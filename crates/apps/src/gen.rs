@@ -1,0 +1,193 @@
+//! Seeded synthetic dataset generators.
+//!
+//! The paper's datasets (12 GB each for knn, kmeans, pagerank) are not
+//! published, so the experiments run on synthetic data with equivalent
+//! statistical shape: uniform points for k-NN, Gaussian clusters for
+//! k-means, a skewed (hub-heavy) link graph for PageRank, and Zipf-ish text
+//! for wordcount. Everything is generated from an explicit seed, so every
+//! test and benchmark is reproducible bit for bit.
+
+use crate::units::{Edge, IdPoint, Point, Word};
+use bytes::{Bytes, BytesMut};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Uniform identified points in `[0, 1)^D` — the k-NN dataset.
+#[must_use]
+pub fn gen_id_points<const D: usize>(n: u32, seed: u64) -> Bytes {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut buf = BytesMut::with_capacity(n as usize * IdPoint::<D>::SIZE);
+    for id in 0..n {
+        let mut coords = [0f32; D];
+        for c in &mut coords {
+            *c = rng.gen::<f32>();
+        }
+        IdPoint { id, coords }.encode(&mut buf);
+    }
+    buf.freeze()
+}
+
+/// Points drawn from `k` Gaussian clusters in `[0, 1)^D` — the k-means
+/// dataset. Returns `(data, true_centers)`.
+#[must_use]
+pub fn gen_clustered_points<const D: usize>(
+    n: u32,
+    k: usize,
+    spread: f32,
+    seed: u64,
+) -> (Bytes, Vec<[f32; D]>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centers: Vec<[f32; D]> = (0..k)
+        .map(|_| {
+            let mut c = [0f32; D];
+            for x in &mut c {
+                *x = rng.gen::<f32>();
+            }
+            c
+        })
+        .collect();
+    let mut buf = BytesMut::with_capacity(n as usize * Point::<D>::SIZE);
+    for i in 0..n {
+        let center = centers[(i as usize) % k];
+        let mut coords = [0f32; D];
+        for (x, c) in coords.iter_mut().zip(center) {
+            // Box-Muller-free noise: sum of uniforms is plenty Gaussian-ish
+            // for a clustering benchmark and avoids transcendental calls.
+            let noise: f32 = (0..4).map(|_| rng.gen::<f32>() - 0.5).sum::<f32>() * 0.5;
+            *x = c + noise * spread;
+        }
+        Point(coords).encode(&mut buf);
+    }
+    (buf.freeze(), centers)
+}
+
+/// A skewed directed graph: sources uniform, destinations biased toward
+/// low-numbered "hub" pages (squaring a uniform variate concentrates mass
+/// near zero) — the PageRank dataset. Every page gets one guaranteed
+/// outgoing edge so no page is dangling.
+#[must_use]
+pub fn gen_edges(n_pages: u32, n_edges: u32, seed: u64) -> Bytes {
+    assert!(n_pages > 1, "graph needs at least two pages");
+    let n_edges = n_edges.max(n_pages);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut buf = BytesMut::with_capacity(n_edges as usize * Edge::SIZE);
+    for i in 0..n_edges {
+        // First n_pages edges give every page an out-edge (kills dangling
+        // pages); the rest are random.
+        let src = if i < n_pages { i } else { rng.gen_range(0..n_pages) };
+        let hub: f64 = rng.gen::<f64>();
+        let mut dst = ((hub * hub) * f64::from(n_pages)) as u32;
+        if dst >= n_pages {
+            dst = n_pages - 1;
+        }
+        if dst == src {
+            dst = (dst + 1) % n_pages;
+        }
+        Edge { src, dst }.encode(&mut buf);
+    }
+    buf.freeze()
+}
+
+/// Zipf-ish fixed-width words over a synthetic vocabulary — the wordcount
+/// dataset.
+#[must_use]
+pub fn gen_words(n: u32, vocab: u32, seed: u64) -> Bytes {
+    assert!(vocab > 0, "vocabulary must be non-empty");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut buf = BytesMut::with_capacity(n as usize * Word::SIZE);
+    for _ in 0..n {
+        // Squared uniform skews toward word 0, like natural-language ranks.
+        let u: f64 = rng.gen();
+        let idx = ((u * u) * f64::from(vocab)) as u32 % vocab;
+        Word::from_str_lossy(&format!("word{idx:06}")).encode(&mut buf);
+    }
+    buf.freeze()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::decode_all;
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(gen_id_points::<4>(100, 7), gen_id_points::<4>(100, 7));
+        assert_eq!(gen_edges(50, 200, 7), gen_edges(50, 200, 7));
+        assert_eq!(gen_words(100, 20, 7), gen_words(100, 20, 7));
+        let (a, ca) = gen_clustered_points::<2>(100, 3, 0.1, 7);
+        let (b, cb) = gen_clustered_points::<2>(100, 3, 0.1, 7);
+        assert_eq!(a, b);
+        assert_eq!(ca, cb);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(gen_id_points::<4>(100, 1), gen_id_points::<4>(100, 2));
+    }
+
+    #[test]
+    fn id_points_are_sized_and_identified() {
+        let data = gen_id_points::<3>(64, 3);
+        assert_eq!(data.len(), 64 * IdPoint::<3>::SIZE);
+        let mut pts = Vec::new();
+        decode_all(&data, IdPoint::<3>::SIZE, &mut pts, IdPoint::<3>::decode);
+        assert_eq!(pts.len(), 64);
+        assert!(pts.iter().enumerate().all(|(i, p)| p.id == i as u32));
+        assert!(pts.iter().all(|p| p.coords.iter().all(|c| (0.0..1.0).contains(c))));
+    }
+
+    #[test]
+    fn clustered_points_stay_near_centers() {
+        let (data, centers) = gen_clustered_points::<2>(300, 3, 0.05, 11);
+        let mut pts = Vec::new();
+        decode_all(&data, Point::<2>::SIZE, &mut pts, Point::<2>::decode);
+        // Each point's nearest true center should be its generating one for
+        // a tight spread; check at least 95% are "close" to some center.
+        let close = pts
+            .iter()
+            .filter(|p| {
+                centers
+                    .iter()
+                    .map(|c| crate::units::dist2_f32(&p.0, c))
+                    .fold(f32::INFINITY, f32::min)
+                    < 0.05
+            })
+            .count();
+        assert!(close >= 285, "only {close}/300 points near a center");
+    }
+
+    #[test]
+    fn graph_has_no_dangling_pages_or_self_loops() {
+        let data = gen_edges(40, 200, 5);
+        let mut edges = Vec::new();
+        decode_all(&data, Edge::SIZE, &mut edges, Edge::decode);
+        assert_eq!(edges.len(), 200);
+        let mut has_out = [false; 40];
+        for e in &edges {
+            assert!(e.src < 40 && e.dst < 40);
+            assert_ne!(e.src, e.dst, "self-loop");
+            has_out[e.src as usize] = true;
+        }
+        assert!(has_out.iter().all(|&b| b), "dangling page");
+    }
+
+    #[test]
+    fn graph_destinations_are_skewed_toward_hubs() {
+        let data = gen_edges(100, 10_000, 9);
+        let mut edges = Vec::new();
+        decode_all(&data, Edge::SIZE, &mut edges, Edge::decode);
+        let low = edges.iter().filter(|e| e.dst < 25).count();
+        // Squared-uniform: P(dst < 25%) = sqrt(0.25) = 50%.
+        assert!(low > 4_000, "hub skew expected, got {low}/10000 to low quarter");
+    }
+
+    #[test]
+    fn words_follow_a_skewed_distribution() {
+        let data = gen_words(10_000, 100, 13);
+        let mut words = Vec::new();
+        decode_all(&data, Word::SIZE, &mut words, Word::decode);
+        let top = words.iter().filter(|w| w.as_str() == "word000000").count();
+        let mid = words.iter().filter(|w| w.as_str() == "word000050").count();
+        assert!(top > mid, "word000000 ({top}) should outnumber word000050 ({mid})");
+    }
+}

@@ -1,0 +1,285 @@
+//! k-Means clustering — "heavy computation resulting in low to medium I/O,
+//! and a small reduction object" (paper §IV-A).
+//!
+//! One framework run performs one Lloyd iteration: every point is assigned
+//! to its nearest centroid and folded into per-centroid coordinate sums.
+//! The reduction object is `k × (D sums + count)` — kilobytes regardless of
+//! dataset size. The per-unit cost is `k·D` multiply-adds, which is what
+//! makes kmeans the compute-bound application of the trio.
+
+use crate::units::{decode_all, dist2, Point};
+use cloudburst_core::{Merge, Reduction, ReductionObject};
+use cloudburst_mapreduce::MapReduceApp;
+
+/// The k-means reduction object: per-centroid coordinate sums and counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMeansObj {
+    /// Flattened `k × D` coordinate sums.
+    pub sums: Vec<f64>,
+    /// Points assigned per centroid.
+    pub counts: Vec<u64>,
+}
+
+impl KMeansObj {
+    /// A zeroed accumulator for `k` centroids in `D` dimensions.
+    #[must_use]
+    pub fn zeros(k: usize, dim: usize) -> KMeansObj {
+        KMeansObj { sums: vec![0.0; k * dim], counts: vec![0; k] }
+    }
+
+    /// The updated centroids; centroids with no assigned points keep their
+    /// previous position.
+    #[must_use]
+    pub fn new_centroids<const D: usize>(&self, previous: &[[f64; D]]) -> Vec<[f64; D]> {
+        let k = self.counts.len();
+        let mut out = Vec::with_capacity(k);
+        for (c, (&count, &prev)) in self.counts.iter().zip(previous).enumerate() {
+            if count == 0 {
+                out.push(prev);
+                continue;
+            }
+            let mut centroid = [0f64; D];
+            for (d, x) in centroid.iter_mut().enumerate() {
+                *x = self.sums[c * D + d] / count as f64;
+            }
+            out.push(centroid);
+        }
+        out
+    }
+}
+
+impl Merge for KMeansObj {
+    /// # Panics
+    /// Panics when the accumulators have different shapes.
+    fn merge(&mut self, other: Self) {
+        assert_eq!(self.sums.len(), other.sums.len(), "kmeans robj shape mismatch");
+        assert_eq!(self.counts.len(), other.counts.len(), "kmeans robj shape mismatch");
+        for (a, b) in self.sums.iter_mut().zip(other.sums) {
+            *a += b;
+        }
+        for (a, b) in self.counts.iter_mut().zip(other.counts) {
+            *a += b;
+        }
+    }
+}
+
+impl ReductionObject for KMeansObj {
+    fn byte_size(&self) -> usize {
+        self.sums.len() * 8 + self.counts.len() * 8
+    }
+}
+
+/// One Lloyd iteration of k-means over `D`-dimensional points.
+#[derive(Debug, Clone)]
+pub struct KMeans<const D: usize> {
+    /// Current centroids.
+    pub centroids: Vec<[f64; D]>,
+}
+
+impl<const D: usize> KMeans<D> {
+    /// An iteration against the given centroids.
+    ///
+    /// # Panics
+    /// Panics when `centroids` is empty.
+    #[must_use]
+    pub fn new(centroids: Vec<[f64; D]>) -> KMeans<D> {
+        assert!(!centroids.is_empty(), "kmeans needs at least one centroid");
+        KMeans { centroids }
+    }
+
+    /// Index of the centroid nearest to `p`.
+    #[must_use]
+    pub fn nearest(&self, p: &[f32; D]) -> usize {
+        let mut best = 0;
+        let mut best_d = f64::INFINITY;
+        for (i, c) in self.centroids.iter().enumerate() {
+            let d = dist2(p, c);
+            if d < best_d {
+                best_d = d;
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+impl<const D: usize> Reduction for KMeans<D> {
+    type Item = Point<D>;
+    type RObj = KMeansObj;
+
+    fn make_robj(&self) -> KMeansObj {
+        KMeansObj::zeros(self.centroids.len(), D)
+    }
+
+    fn unit_size(&self) -> usize {
+        Point::<D>::SIZE
+    }
+
+    fn decode(&self, chunk: &[u8], out: &mut Vec<Point<D>>) {
+        decode_all(chunk, Point::<D>::SIZE, out, Point::<D>::decode);
+    }
+
+    fn local_reduce(&self, robj: &mut KMeansObj, item: &Point<D>) {
+        let c = self.nearest(&item.0);
+        for (d, &x) in item.0.iter().enumerate() {
+            robj.sums[c * D + d] += f64::from(x);
+        }
+        robj.counts[c] += 1;
+    }
+}
+
+/// A per-centroid partial aggregate flowing through the MapReduce shuffle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Partial<const D: usize> {
+    /// Coordinate sums.
+    pub sums: [f64; D],
+    /// Point count.
+    pub count: u64,
+}
+
+/// The MapReduce formulation: map each point to `(centroid, partial sum)`;
+/// the combiner/reducer add partials. Note the per-point heap value the
+/// fused API never materializes — the §III-A ablation measures exactly this.
+impl<const D: usize> MapReduceApp for KMeans<D> {
+    type Item = Point<D>;
+    type Key = u32;
+    type Value = Partial<D>;
+
+    fn unit_size(&self) -> usize {
+        Point::<D>::SIZE
+    }
+
+    fn decode(&self, chunk: &[u8], out: &mut Vec<Point<D>>) {
+        decode_all(chunk, Point::<D>::SIZE, out, Point::<D>::decode);
+    }
+
+    fn map(&self, item: &Point<D>, emit: &mut dyn FnMut(u32, Partial<D>)) {
+        let c = self.nearest(&item.0);
+        let mut sums = [0f64; D];
+        for (s, &x) in sums.iter_mut().zip(&item.0) {
+            *s = f64::from(x);
+        }
+        emit(c as u32, Partial { sums, count: 1 });
+    }
+
+    fn reduce(&self, _key: &u32, values: Vec<Partial<D>>) -> Partial<D> {
+        let mut acc = Partial { sums: [0f64; D], count: 0 };
+        for v in values {
+            for (a, b) in acc.sums.iter_mut().zip(v.sums) {
+                *a += b;
+            }
+            acc.count += v.count;
+        }
+        acc
+    }
+
+    fn combine(&self, key: &u32, values: Vec<Partial<D>>) -> Vec<Partial<D>> {
+        vec![self.reduce(key, values)]
+    }
+
+    fn has_combiner(&self) -> bool {
+        true
+    }
+}
+
+/// Serial oracle: one Lloyd iteration with plain loops.
+#[must_use]
+pub fn kmeans_oracle<const D: usize>(data: &[u8], centroids: &[[f64; D]]) -> KMeansObj {
+    let app = KMeans::new(centroids.to_vec());
+    let mut pts = Vec::new();
+    decode_all(data, Point::<D>::SIZE, &mut pts, Point::<D>::decode);
+    let mut obj = KMeansObj::zeros(centroids.len(), D);
+    for p in &pts {
+        Reduction::local_reduce(&app, &mut obj, p);
+    }
+    obj
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::gen_clustered_points;
+    use cloudburst_core::reduce_serial;
+
+    fn initial_centroids<const D: usize>(k: usize) -> Vec<[f64; D]> {
+        (0..k)
+            .map(|i| {
+                let mut c = [0f64; D];
+                c.iter_mut().for_each(|x| *x = (i as f64 + 0.5) / k as f64);
+                c
+            })
+            .collect()
+    }
+
+    #[test]
+    fn genred_matches_oracle() {
+        let (data, _) = gen_clustered_points::<3>(400, 4, 0.05, 17);
+        let app = KMeans::new(initial_centroids::<3>(4));
+        let robj = reduce_serial(&app, [data.as_ref()]);
+        let oracle = kmeans_oracle(&data, &app.centroids);
+        assert_eq!(robj, oracle);
+        assert_eq!(robj.counts.iter().sum::<u64>(), 400);
+    }
+
+    #[test]
+    fn merge_of_partitions_matches_whole() {
+        let (data, _) = gen_clustered_points::<2>(256, 3, 0.1, 23);
+        let app = KMeans::new(initial_centroids::<2>(3));
+        let cut = (data.len() / 2) - (data.len() / 2) % Point::<2>::SIZE;
+        let mut a = reduce_serial(&app, [&data[..cut]]);
+        let b = reduce_serial(&app, [&data[cut..]]);
+        a.merge(b);
+        assert_eq!(a, kmeans_oracle(&data, &app.centroids));
+    }
+
+    #[test]
+    fn lloyd_iterations_converge_to_true_centers() {
+        let (data, truth) = gen_clustered_points::<2>(3000, 3, 0.02, 41);
+        let mut centroids = initial_centroids::<2>(3);
+        for _ in 0..10 {
+            let app = KMeans::new(centroids.clone());
+            let obj = reduce_serial(&app, [data.as_ref()]);
+            centroids = obj.new_centroids(&centroids);
+        }
+        // Every true center must have a learned centroid nearby.
+        for t in &truth {
+            let t64 = [f64::from(t[0]), f64::from(t[1])];
+            let nearest = centroids
+                .iter()
+                .map(|c| (c[0] - t64[0]).powi(2) + (c[1] - t64[1]).powi(2))
+                .fold(f64::INFINITY, f64::min);
+            assert!(nearest < 0.01, "no centroid near true center {t:?} ({nearest})");
+        }
+    }
+
+    #[test]
+    fn empty_cluster_keeps_previous_centroid() {
+        let obj = KMeansObj::zeros(2, 2);
+        let prev = [[0.25, 0.25], [0.75, 0.75]];
+        assert_eq!(obj.new_centroids(&prev), prev.to_vec());
+    }
+
+    #[test]
+    fn robj_size_is_independent_of_data() {
+        let app = KMeans::new(initial_centroids::<4>(10));
+        let robj = Reduction::make_robj(&app);
+        assert_eq!(robj.byte_size(), 10 * 4 * 8 + 10 * 8);
+    }
+
+    #[test]
+    fn mapreduce_matches_genred() {
+        use cloudburst_mapreduce::{run_mapreduce, EngineConfig};
+        let (data, _) = gen_clustered_points::<2>(300, 3, 0.05, 29);
+        let app = KMeans::new(initial_centroids::<2>(3));
+        let chunks: Vec<&[u8]> = data.chunks(64 * Point::<2>::SIZE).collect();
+        let (res, _) = run_mapreduce(&app, &chunks, EngineConfig::default());
+        let oracle = kmeans_oracle(&data, &app.centroids);
+        for (key, partial) in res {
+            let c = key as usize;
+            assert_eq!(partial.count, oracle.counts[c]);
+            for d in 0..2 {
+                assert!((partial.sums[d] - oracle.sums[c * 2 + d]).abs() < 1e-9);
+            }
+        }
+    }
+}

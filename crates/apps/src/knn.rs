@@ -1,0 +1,204 @@
+//! k-Nearest Neighbors search — "a classic database/data mining algorithm.
+//! It has low computation, leading to medium to high I/O demands and the
+//! reduction object is small" (paper §IV-A).
+//!
+//! Given a query point, find the `k` dataset points nearest to it. The
+//! reduction object is a bounded top-k set of `(distance, id)` pairs —
+//! a few hundred bytes no matter how large the dataset, which is why the
+//! paper sees tiny global-reduction times for knn.
+
+use crate::units::{decode_all, dist2_f32, IdPoint};
+use cloudburst_core::combiners::TopK;
+use cloudburst_core::{Merge, Reduction, ReductionObject};
+use cloudburst_mapreduce::MapReduceApp;
+
+/// A neighbor candidate ordered by distance. The distance is stored as the
+/// bit pattern of a non-negative `f32`, which orders identically to the
+/// float itself — giving a total order without `f32: Ord` headaches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Neighbor {
+    dist_bits: u32,
+    /// The dataset point's id.
+    pub id: u32,
+}
+
+impl Neighbor {
+    /// A candidate at squared distance `dist2` (must be non-negative).
+    #[must_use]
+    pub fn new(dist2: f32, id: u32) -> Neighbor {
+        debug_assert!(dist2 >= 0.0);
+        Neighbor { dist_bits: dist2.to_bits(), id }
+    }
+
+    /// The squared distance.
+    #[must_use]
+    pub fn dist2(&self) -> f32 {
+        f32::from_bits(self.dist_bits)
+    }
+}
+
+/// The k-NN reduction object: the `k` nearest candidates seen so far.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KnnObj(pub TopK<Neighbor>);
+
+impl Merge for KnnObj {
+    fn merge(&mut self, other: Self) {
+        self.0.merge(other.0);
+    }
+}
+
+impl ReductionObject for KnnObj {
+    fn byte_size(&self) -> usize {
+        self.0.byte_size()
+    }
+}
+
+/// The k-NN application over `D`-dimensional identified points.
+#[derive(Debug, Clone)]
+pub struct Knn<const D: usize> {
+    /// The query point.
+    pub query: [f32; D],
+    /// How many neighbors to find.
+    pub k: usize,
+}
+
+impl<const D: usize> Knn<D> {
+    /// A k-NN search for the `k` nearest points to `query`.
+    #[must_use]
+    pub fn new(query: [f32; D], k: usize) -> Knn<D> {
+        Knn { query, k }
+    }
+}
+
+impl<const D: usize> Reduction for Knn<D> {
+    type Item = IdPoint<D>;
+    type RObj = KnnObj;
+
+    fn make_robj(&self) -> KnnObj {
+        KnnObj(TopK::new(self.k))
+    }
+
+    fn unit_size(&self) -> usize {
+        IdPoint::<D>::SIZE
+    }
+
+    fn decode(&self, chunk: &[u8], out: &mut Vec<IdPoint<D>>) {
+        decode_all(chunk, IdPoint::<D>::SIZE, out, IdPoint::<D>::decode);
+    }
+
+    fn local_reduce(&self, robj: &mut KnnObj, item: &IdPoint<D>) {
+        let d = dist2_f32(&item.coords, &self.query);
+        robj.0.observe(Neighbor::new(d, item.id));
+    }
+}
+
+/// The MapReduce formulation of the same search: every point maps to a
+/// candidate under a single key; the combiner keeps per-buffer top-k sets;
+/// the reducer selects the global top-k. Used by the §III-A ablation.
+impl<const D: usize> MapReduceApp for Knn<D> {
+    type Item = IdPoint<D>;
+    type Key = ();
+    type Value = Neighbor;
+
+    fn unit_size(&self) -> usize {
+        IdPoint::<D>::SIZE
+    }
+
+    fn decode(&self, chunk: &[u8], out: &mut Vec<IdPoint<D>>) {
+        decode_all(chunk, IdPoint::<D>::SIZE, out, IdPoint::<D>::decode);
+    }
+
+    fn map(&self, item: &IdPoint<D>, emit: &mut dyn FnMut((), Neighbor)) {
+        let d = dist2_f32(&item.coords, &self.query);
+        emit((), Neighbor::new(d, item.id));
+    }
+
+    fn reduce(&self, _key: &(), mut values: Vec<Neighbor>) -> Neighbor {
+        // MapReduce's reduce returns one value per key; for top-k we return
+        // the k-th nearest (callers wanting the full set use `top_k_of`).
+        values.sort_unstable();
+        values[values.len().min(self.k) - 1]
+    }
+
+    fn combine(&self, _key: &(), mut values: Vec<Neighbor>) -> Vec<Neighbor> {
+        values.sort_unstable();
+        values.truncate(self.k);
+        values
+    }
+
+    fn has_combiner(&self) -> bool {
+        true
+    }
+}
+
+/// Serial oracle: the exact `k` nearest neighbors by full sort.
+#[must_use]
+pub fn knn_oracle<const D: usize>(data: &[u8], query: &[f32; D], k: usize) -> Vec<Neighbor> {
+    let mut pts = Vec::new();
+    decode_all(data, IdPoint::<D>::SIZE, &mut pts, IdPoint::<D>::decode);
+    let mut all: Vec<Neighbor> = pts
+        .iter()
+        .map(|p| Neighbor::new(dist2_f32(&p.coords, query), p.id))
+        .collect();
+    all.sort_unstable();
+    all.truncate(k);
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::gen_id_points;
+    use cloudburst_core::reduce_serial;
+
+    #[test]
+    fn neighbor_ordering_matches_distance() {
+        let a = Neighbor::new(0.5, 1);
+        let b = Neighbor::new(1.5, 2);
+        assert!(a < b);
+        assert_eq!(a.dist2(), 0.5);
+    }
+
+    #[test]
+    fn genred_matches_oracle() {
+        let data = gen_id_points::<4>(500, 21);
+        let app = Knn::<4>::new([0.5; 4], 10);
+        let robj = reduce_serial(&app, [data.as_ref()]);
+        let expect = knn_oracle(&data, &[0.5; 4], 10);
+        assert_eq!(robj.0.items(), expect.as_slice());
+    }
+
+    #[test]
+    fn split_and_merge_matches_oracle() {
+        let data = gen_id_points::<4>(512, 33);
+        let app = Knn::<4>::new([0.2, 0.8, 0.4, 0.6], 7);
+        let half = data.len() / 2;
+        // Split on a unit boundary.
+        let cut = half - half % IdPoint::<4>::SIZE;
+        let mut a = reduce_serial(&app, [&data[..cut]]);
+        let b = reduce_serial(&app, [&data[cut..]]);
+        a.merge(b);
+        assert_eq!(a.0.items(), knn_oracle(&data, &app.query, 7).as_slice());
+    }
+
+    #[test]
+    fn robj_stays_small() {
+        let data = gen_id_points::<4>(10_000, 1);
+        let app = Knn::<4>::new([0.5; 4], 10);
+        let robj = reduce_serial(&app, [data.as_ref()]);
+        assert!(robj.byte_size() < 256, "knn robj must stay tiny");
+    }
+
+    #[test]
+    fn mapreduce_combiner_matches_oracle_top_k() {
+        use cloudburst_mapreduce::{run_mapreduce, EngineConfig};
+        let data = gen_id_points::<4>(400, 5);
+        let app = Knn::<4>::new([0.1; 4], 5);
+        let chunks: Vec<&[u8]> = data.chunks(50 * IdPoint::<4>::SIZE).collect();
+        let (res, _) = run_mapreduce(&app, &chunks, EngineConfig::default());
+        assert_eq!(res.len(), 1);
+        let kth = res[0].1;
+        let oracle = knn_oracle(&data, &app.query, 5);
+        assert_eq!(kth, *oracle.last().unwrap(), "reduce returns the k-th nearest");
+    }
+}

@@ -1,0 +1,147 @@
+//! Wordcount — the quickstart application: count occurrences of fixed-width
+//! tokens. Not part of the paper's evaluated trio, but the canonical first
+//! MapReduce program, used by the quickstart example and the API-comparison
+//! ablation.
+
+use crate::units::{decode_all, Word};
+use cloudburst_core::combiners::{Count, MergeMap};
+use cloudburst_core::{Merge, Reduction, ReductionObject};
+use cloudburst_mapreduce::MapReduceApp;
+use std::collections::HashMap;
+
+/// The wordcount reduction object: word → occurrence count.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WordCounts(pub MergeMap<Word, Count>);
+
+impl WordCounts {
+    /// The counts as a plain map of strings (for display).
+    #[must_use]
+    pub fn as_string_counts(&self) -> HashMap<String, u64> {
+        self.0 .0.iter().map(|(w, c)| (w.as_str().to_owned(), c.0)).collect()
+    }
+
+    /// Total words observed.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.0 .0.values().map(|c| c.0).sum()
+    }
+}
+
+impl Merge for WordCounts {
+    fn merge(&mut self, other: Self) {
+        self.0.merge(other.0);
+    }
+}
+
+impl ReductionObject for WordCounts {
+    fn byte_size(&self) -> usize {
+        self.0.byte_size()
+    }
+}
+
+/// The wordcount application.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WordCount;
+
+impl Reduction for WordCount {
+    type Item = Word;
+    type RObj = WordCounts;
+
+    fn make_robj(&self) -> WordCounts {
+        WordCounts::default()
+    }
+
+    fn unit_size(&self) -> usize {
+        Word::SIZE
+    }
+
+    fn decode(&self, chunk: &[u8], out: &mut Vec<Word>) {
+        decode_all(chunk, Word::SIZE, out, Word::decode);
+    }
+
+    fn local_reduce(&self, robj: &mut WordCounts, item: &Word) {
+        robj.0.observe(*item, Count(1));
+    }
+}
+
+/// The classic MapReduce wordcount.
+impl MapReduceApp for WordCount {
+    type Item = Word;
+    type Key = Word;
+    type Value = u64;
+
+    fn unit_size(&self) -> usize {
+        Word::SIZE
+    }
+
+    fn decode(&self, chunk: &[u8], out: &mut Vec<Word>) {
+        decode_all(chunk, Word::SIZE, out, Word::decode);
+    }
+
+    fn map(&self, item: &Word, emit: &mut dyn FnMut(Word, u64)) {
+        emit(*item, 1);
+    }
+
+    fn reduce(&self, _key: &Word, values: Vec<u64>) -> u64 {
+        values.into_iter().sum()
+    }
+
+    fn combine(&self, _key: &Word, values: Vec<u64>) -> Vec<u64> {
+        vec![values.into_iter().sum()]
+    }
+
+    fn has_combiner(&self) -> bool {
+        true
+    }
+}
+
+/// Serial oracle.
+#[must_use]
+pub fn wordcount_oracle(data: &[u8]) -> HashMap<String, u64> {
+    let mut words = Vec::new();
+    decode_all(data, Word::SIZE, &mut words, Word::decode);
+    let mut counts = HashMap::new();
+    for w in &words {
+        *counts.entry(w.as_str().to_owned()).or_insert(0) += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::gen_words;
+    use cloudburst_core::reduce_serial;
+
+    #[test]
+    fn genred_matches_oracle() {
+        let data = gen_words(2000, 50, 3);
+        let robj = reduce_serial(&WordCount, [data.as_ref()]);
+        assert_eq!(robj.as_string_counts(), wordcount_oracle(&data));
+        assert_eq!(robj.total(), 2000);
+    }
+
+    #[test]
+    fn merge_of_partitions_matches_whole() {
+        let data = gen_words(1024, 30, 5);
+        let cut = (data.len() / 2) - (data.len() / 2) % Word::SIZE;
+        let mut a = reduce_serial(&WordCount, [&data[..cut]]);
+        let b = reduce_serial(&WordCount, [&data[cut..]]);
+        a.merge(b);
+        assert_eq!(a.as_string_counts(), wordcount_oracle(&data));
+    }
+
+    #[test]
+    fn mapreduce_matches_oracle() {
+        use cloudburst_mapreduce::{run_mapreduce, EngineConfig};
+        let data = gen_words(500, 20, 7);
+        let chunks: Vec<&[u8]> = data.chunks(100 * Word::SIZE).collect();
+        let (res, metrics) = run_mapreduce(&WordCount, &chunks, EngineConfig::default());
+        let oracle = wordcount_oracle(&data);
+        assert_eq!(res.len(), oracle.len());
+        for (w, c) in res {
+            assert_eq!(oracle[w.as_str()], c);
+        }
+        assert_eq!(metrics.pairs_emitted, 500);
+    }
+}

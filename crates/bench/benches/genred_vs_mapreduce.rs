@@ -1,0 +1,109 @@
+//! Ablation A (paper §III-A): Generalized Reduction vs MapReduce vs
+//! MapReduce+Combine on identical inputs.
+//!
+//! The paper's claim: fusing map/combine/reduce into `proc(e)` over a
+//! reduction object "avoid[s] the overheads brought on by intermediate
+//! memory requirements, sorting, grouping, and shuffling". The benchmark
+//! measures wall time for all three pipelines on the same chunks, and the
+//! setup prints the intermediate-pair counts that explain the gap.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cloudburst_apps::gen::{gen_clustered_points, gen_words};
+use cloudburst_apps::kmeans::KMeans;
+use cloudburst_apps::units::{Point, Word};
+use cloudburst_apps::wordcount::WordCount;
+use cloudburst_core::{global_reduce, reduce_serial, Reduction};
+use cloudburst_mapreduce::{run_mapreduce, EngineConfig, MapReduceApp};
+use std::hint::black_box;
+
+/// Generalized reduction with the same worker parallelism as the MapReduce
+/// engine: each thread folds a share of the chunks, partials are merged.
+fn reduce_parallel<R: Reduction>(app: &R, chunks: &[&[u8]], workers: usize) -> R::RObj {
+    let share = chunks.len().div_ceil(workers.max(1));
+    let partials: Vec<R::RObj> = std::thread::scope(|scope| {
+        chunks
+            .chunks(share.max(1))
+            .map(|part| scope.spawn(move || reduce_serial(app, part)))
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().expect("worker"))
+            .collect()
+    });
+    global_reduce(partials).expect("at least one partial")
+}
+
+/// Plain MapReduce: wraps an app and disables its combiner.
+struct NoCombine<A>(A);
+
+impl<A: MapReduceApp> MapReduceApp for NoCombine<A> {
+    type Item = A::Item;
+    type Key = A::Key;
+    type Value = A::Value;
+    fn unit_size(&self) -> usize {
+        self.0.unit_size()
+    }
+    fn decode(&self, chunk: &[u8], out: &mut Vec<Self::Item>) {
+        self.0.decode(chunk, out);
+    }
+    fn map(&self, item: &Self::Item, emit: &mut dyn FnMut(Self::Key, Self::Value)) {
+        self.0.map(item, emit);
+    }
+    fn reduce(&self, key: &Self::Key, values: Vec<Self::Value>) -> Self::Value {
+        self.0.reduce(key, values)
+    }
+}
+
+fn bench_wordcount(c: &mut Criterion) {
+    let n = 400_000u32;
+    let data = gen_words(n, 5_000, 17);
+    let chunks: Vec<&[u8]> = data.chunks(4096 * Word::SIZE).collect();
+    let engine = EngineConfig { mappers: 4, reducers: 4, buffer_pairs: 16 * 1024 };
+
+    // Print the intermediate-state numbers once.
+    let (_, with) = run_mapreduce(&WordCount, &chunks, engine);
+    let (_, without) = run_mapreduce(&NoCombine(WordCount), &chunks, engine);
+    println!(
+        "wordcount intermediates: emitted {} | shuffled {} (combine) vs {} (plain) | peak buffered {} vs {}",
+        with.pairs_emitted, with.pairs_shuffled, without.pairs_shuffled,
+        with.peak_buffered_pairs, without.peak_buffered_pairs,
+    );
+
+    let mut g = c.benchmark_group("wordcount_400k");
+    g.bench_function("genred_serial", |b| {
+        b.iter(|| black_box(reduce_serial(&WordCount, &chunks)))
+    });
+    g.bench_function("genred_4workers", |b| {
+        b.iter(|| black_box(reduce_parallel(&WordCount, &chunks, 4)))
+    });
+    g.bench_function("mapreduce_combine", |b| {
+        b.iter(|| black_box(run_mapreduce(&WordCount, &chunks, engine)))
+    });
+    g.bench_function("mapreduce_plain", |b| {
+        b.iter(|| black_box(run_mapreduce(&NoCombine(WordCount), &chunks, engine)))
+    });
+    g.finish();
+}
+
+fn bench_kmeans(c: &mut Criterion) {
+    const D: usize = 4;
+    let (data, _) = gen_clustered_points::<D>(200_000, 8, 0.05, 23);
+    let chunks: Vec<&[u8]> = data.chunks(8192 * Point::<D>::SIZE).collect();
+    let centroids: Vec<[f64; D]> = (0..8).map(|i| [(f64::from(i) + 0.5) / 8.0; D]).collect();
+    let app = KMeans::new(centroids);
+    let engine = EngineConfig { mappers: 4, reducers: 4, buffer_pairs: 16 * 1024 };
+
+    let mut g = c.benchmark_group("kmeans_200k");
+    g.bench_function(BenchmarkId::new("genred_serial", "one_iteration"), |b| {
+        b.iter(|| black_box(reduce_serial(&app, &chunks)))
+    });
+    g.bench_function(BenchmarkId::new("genred_4workers", "one_iteration"), |b| {
+        b.iter(|| black_box(reduce_parallel(&app, &chunks, 4)))
+    });
+    g.bench_function(BenchmarkId::new("mapreduce_combine", "one_iteration"), |b| {
+        b.iter(|| black_box(run_mapreduce(&app, &chunks, engine)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_wordcount, bench_kmeans);
+criterion_main!(benches);

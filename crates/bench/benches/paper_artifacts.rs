@@ -1,0 +1,70 @@
+//! One Criterion benchmark per table/figure of the paper: each benchmark
+//! regenerates the artifact from the paper-scale simulator (the same code
+//! path as `cargo run -p cloudburst-bench --bin repro`) and reports how long
+//! regeneration takes. Shape assertions run once up front so a regression
+//! in the *reproduction* (not just its speed) fails loudly.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cloudburst_sim::figures::{fig3, fig4, fig4_cumulative_efficiencies, summary, table1, table2};
+use cloudburst_sim::{AppModel, SimParams};
+use std::hint::black_box;
+
+/// The paper-shape checks: who wins, roughly by what factor, where the
+/// crossovers fall. Run once before timing.
+fn assert_shapes(params: &SimParams) {
+    for app in AppModel::paper_trio() {
+        let reports = fig3(&app, params);
+        let base = reports[0].total_time;
+        // Hybrid environments are slower than centralized, and slowdown
+        // grows with data skew.
+        let r5050 = reports[2].total_time / base;
+        let r3367 = reports[3].total_time / base;
+        let r1783 = reports[4].total_time / base;
+        assert!(r5050 >= 0.95, "{}: env-50/50 beat the baseline: {r5050}", app.name);
+        assert!(r5050 <= r3367 && r3367 <= r1783, "{}: skew ordering broken", app.name);
+
+        let effs = fig4_cumulative_efficiencies(&fig4(&app, params));
+        assert!(effs.iter().all(|&e| e > 0.5 && e <= 1.05), "{}: {effs:?}", app.name);
+    }
+    // kmeans (compute-bound) suffers least from skew; knn (I/O-bound) most.
+    let knn = fig3(&AppModel::knn(), params);
+    let kmeans = fig3(&AppModel::kmeans(), params);
+    let knn_worst = knn[4].total_time / knn[0].total_time;
+    let kmeans_worst = kmeans[4].total_time / kmeans[0].total_time;
+    assert!(
+        kmeans_worst < knn_worst,
+        "kmeans ({kmeans_worst}) should tolerate skew better than knn ({knn_worst})"
+    );
+    // Headlines near the paper's numbers.
+    let s = summary(params);
+    assert!((0.05..0.35).contains(&s.avg_slowdown_ratio), "{s:?}");
+    assert!((0.65..0.95).contains(&s.avg_scaling_efficiency), "{s:?}");
+}
+
+fn bench_artifacts(c: &mut Criterion) {
+    let params = SimParams::paper();
+    assert_shapes(&params);
+
+    let mut g = c.benchmark_group("paper");
+    for app in AppModel::paper_trio() {
+        let letter = match app.name.as_str() {
+            "knn" => 'a',
+            "kmeans" => 'b',
+            _ => 'c',
+        };
+        g.bench_function(format!("fig3{letter}_{}", app.name), |b| {
+            b.iter(|| black_box(fig3(&app, &params)))
+        });
+        g.bench_function(format!("fig4{letter}_{}", app.name), |b| {
+            b.iter(|| black_box(fig4(&app, &params)))
+        });
+    }
+    let apps = AppModel::paper_trio();
+    g.bench_function("table1", |b| b.iter(|| black_box(table1(&apps, &params))));
+    g.bench_function("table2", |b| b.iter(|| black_box(table2(&apps, &params))));
+    g.bench_function("summary", |b| b.iter(|| black_box(summary(&params))));
+    g.finish();
+}
+
+criterion_group!(benches, bench_artifacts);
+criterion_main!(benches);

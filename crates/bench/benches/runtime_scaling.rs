@@ -1,0 +1,84 @@
+//! Real-execution scalability of the threaded runtime (the wall-clock
+//! counterpart of the simulator's Fig. 4): wordcount over in-memory two-site
+//! data with 1, 2, 4 and 8 worker threads per site, plus the hybrid-vs-
+//! centralized comparison at fixed aggregate cores (the Fig. 3 shape on
+//! real execution).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cloudburst_apps::gen::gen_words;
+use cloudburst_apps::wordcount::WordCount;
+use cloudburst_cluster::{run_hybrid, RuntimeConfig};
+use cloudburst_core::{DataIndex, EnvConfig, LayoutParams, SiteId};
+use cloudburst_storage::{fraction_placement, organize, ChunkStore, FetchConfig};
+use std::collections::BTreeMap;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn setup(n_words: u32, frac: f64) -> (DataIndex, BTreeMap<SiteId, Arc<dyn ChunkStore>>) {
+    let data = gen_words(n_words, 3_000, 13);
+    let params = LayoutParams { unit_size: 16, units_per_chunk: 8192, n_files: 8 };
+    let org = organize(&data, params, &mut fraction_placement(frac, 8)).expect("organize");
+    let stores = org
+        .stores
+        .iter()
+        .map(|(&s, st)| (s, Arc::new(st.clone()) as Arc<dyn ChunkStore>))
+        .collect();
+    (org.index, stores)
+}
+
+fn config(env: EnvConfig) -> RuntimeConfig {
+    let mut c = RuntimeConfig::new(env, 1e-7);
+    c.fetch = FetchConfig::sequential();
+    c
+}
+
+fn bench_worker_scaling(c: &mut Criterion) {
+    let n_words = 600_000u32;
+    let (index, stores) = setup(n_words, 0.5);
+    let mut g = c.benchmark_group("runtime_scaling_600k_words");
+    g.throughput(Throughput::Elements(u64::from(n_words)));
+    g.sample_size(15);
+    for per_site in [1u32, 2, 4] {
+        g.bench_with_input(
+            BenchmarkId::new("cores_per_site", per_site),
+            &per_site,
+            |b, &m| {
+                let env = EnvConfig::new("scale", 0.5, m, m);
+                let cfg = config(env);
+                b.iter(|| {
+                    let out =
+                        run_hybrid(&WordCount, &index, stores.clone(), &cfg).expect("run");
+                    assert_eq!(out.result.total(), u64::from(n_words));
+                    black_box(out.report.total_time)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_hybrid_vs_centralized(c: &mut Criterion) {
+    let n_words = 600_000u32;
+    let mut g = c.benchmark_group("hybrid_vs_centralized_600k_words");
+    g.sample_size(15);
+    for (name, frac, lc, cc) in [
+        ("env-local", 1.0, 4, 0),
+        ("env-cloud", 0.0, 0, 4),
+        ("env-50-50", 0.5, 2, 2),
+        ("env-17-83", 0.17, 2, 2),
+    ] {
+        let (index, stores) = setup(n_words, frac);
+        g.bench_function(name, |b| {
+            let env = EnvConfig::new(name, frac, lc, cc);
+            let cfg = config(env);
+            b.iter(|| {
+                let out = run_hybrid(&WordCount, &index, stores.clone(), &cfg).expect("run");
+                black_box(out.report.total_time)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_worker_scaling, bench_hybrid_vs_centralized);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! `calibrate` — measure the real applications' per-unit processing costs on
+//! this machine and compare them against the simulator's `AppModel`
+//! constants.
+//!
+//! The paper-scale simulator charges `compute_per_unit` seconds per record;
+//! those constants were calibrated to the paper's 2011 Xeons. This tool
+//! times the actual Rust implementations (which are one to two orders of
+//! magnitude faster per unit on modern hardware) so a user retargeting the
+//! simulator at their own cluster can plug in measured values.
+//!
+//! ```text
+//! cargo run --release -p cloudburst-bench --bin calibrate
+//! ```
+
+use cloudburst_apps::gen::{gen_clustered_points, gen_edges, gen_id_points, gen_words};
+use cloudburst_apps::kmeans::KMeans;
+use cloudburst_apps::knn::Knn;
+use cloudburst_apps::pagerank::PageRank;
+use cloudburst_apps::wordcount::WordCount;
+use cloudburst_core::{reduce_serial, Reduction};
+use cloudburst_sim::AppModel;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Median-of-`reps` nanoseconds per unit for `app` over `data`.
+fn measure<R: Reduction>(app: &R, data: &[u8], reps: usize) -> f64 {
+    let units = (data.len() / app.unit_size()) as f64;
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            black_box(reduce_serial(app, [data]));
+            t.elapsed().as_secs_f64() / units
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn row(name: &str, measured: f64, model: Option<&AppModel>) {
+    match model {
+        Some(m) => println!(
+            "{name:<10} {:>12.1} ns/unit   model {:>10.1} ns/unit   ratio {:>6.1}x",
+            measured * 1e9,
+            m.compute_per_unit * 1e9,
+            m.compute_per_unit / measured
+        ),
+        None => println!("{name:<10} {:>12.1} ns/unit   (no simulator model)", measured * 1e9),
+    }
+}
+
+fn main() {
+    let reps = 7;
+    println!("measuring per-unit processing cost (median of {reps} runs)\n");
+
+    let knn_data = gen_id_points::<4>(400_000, 1);
+    let knn = Knn::<4>::new([0.5; 4], 10);
+    row("knn", measure(&knn, &knn_data, reps), Some(&AppModel::knn()));
+
+    let (km_data, _) = gen_clustered_points::<4>(400_000, 10, 0.05, 2);
+    let centroids: Vec<[f64; 4]> = (0..10).map(|i| [(f64::from(i) + 0.5) / 10.0; 4]).collect();
+    let kmeans = KMeans::new(centroids);
+    row("kmeans", measure(&kmeans, &km_data, reps), Some(&AppModel::kmeans()));
+
+    let n_pages = 375_000u32;
+    let pr_data = gen_edges(n_pages, 1_500_000, 3);
+    let outdeg = PageRank::outdegrees(&pr_data, n_pages as usize);
+    let ranks = vec![1.0 / f64::from(n_pages); n_pages as usize];
+    let pagerank = PageRank::new(&ranks, &outdeg, 0.85);
+    row("pagerank", measure(&pagerank, &pr_data, reps), Some(&AppModel::pagerank()));
+
+    let wc_data = gen_words(400_000, 20_000, 4);
+    row("wordcount", measure(&WordCount, &wc_data, reps), None);
+
+    println!(
+        "\nratios >> 1 are expected: the models are calibrated to the paper's\n\
+         2011-era cores, not this machine. To retarget the simulator, put the\n\
+         measured values into `AppModel::{{knn,kmeans,pagerank}}` or build\n\
+         custom `AppModel` values and keep the *relative* intensities."
+    );
+}

@@ -1,0 +1,234 @@
+//! `repro` — regenerate every table and figure of the paper from the
+//! paper-scale simulation.
+//!
+//! ```text
+//! cargo run --release -p cloudburst-bench --bin repro            # everything
+//! cargo run --release -p cloudburst-bench --bin repro -- fig3b   # one artifact
+//! ```
+//!
+//! Artifacts: `fig3a` `fig3b` `fig3c` `table1` `table2`
+//! `fig4a` `fig4b` `fig4c` `summary` `cost` `trace` `ablation` `all`
+//! (default: `all`).
+//! (`cost` is the time/dollar frontier from the authors' follow-up work,
+//! not a figure of the SC'11 paper.)
+
+use cloudburst_sim::figures::{
+    fig3, fig4, fig4_cumulative_efficiencies, fig4_efficiencies, summary, table1, table2,
+    Table1Row, Table2Row,
+};
+use cloudburst_sim::{
+    burst_frontier, simulate_multi, simulate_multi_traced, Activity, AppModel, MultiEnv,
+    PricingModel, SimParams,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let what = args.first().map_or("all", String::as_str);
+    let params = SimParams::paper();
+
+    let apps = AppModel::paper_trio();
+    let by_letter = |c: char| match c {
+        'a' => AppModel::knn(),
+        'b' => AppModel::kmeans(),
+        _ => AppModel::pagerank(),
+    };
+
+    match what {
+        "fig3a" | "fig3b" | "fig3c" => {
+            let app = by_letter(what.chars().last().unwrap());
+            print_fig3(&app, &params);
+        }
+        "fig4a" | "fig4b" | "fig4c" => {
+            let app = by_letter(what.chars().last().unwrap());
+            print_fig4(&app, &params);
+        }
+        "cost" => print_cost(&apps, &params),
+        "trace" => print_trace(&params),
+        "ablation" => print_ablation(&params),
+        "table1" => print_table1(&apps, &params),
+        "table2" => print_table2(&apps, &params),
+        "summary" => print_summary(&params),
+        "all" => {
+            for app in &apps {
+                print_fig3(app, &params);
+            }
+            print_table1(&apps, &params);
+            print_table2(&apps, &params);
+            for app in &apps {
+                print_fig4(app, &params);
+            }
+            print_summary(&params);
+            print_cost(&apps, &params);
+            print_trace(&params);
+            print_ablation(&params);
+        }
+        other => {
+            eprintln!("unknown artifact `{other}`");
+            eprintln!("expected: fig3a fig3b fig3c table1 table2 fig4a fig4b fig4c summary all");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn print_fig3(app: &AppModel, params: &SimParams) {
+    let reports = fig3(app, params);
+    println!("\n=== Figure 3 ({}) — execution-time breakdown (seconds) ===", app.name);
+    println!(
+        "{:<12} {:>12} {:>12} {:>10} {:>10}",
+        "env", "processing", "retrieval", "sync", "total"
+    );
+    for r in &reports {
+        let b = r.overall_breakdown();
+        println!(
+            "{:<12} {:>12.1} {:>12.1} {:>10.1} {:>10.1}",
+            r.env, b.processing, b.retrieval, b.sync, r.total_time
+        );
+    }
+    let base = reports[0].total_time;
+    let ratios: Vec<String> = reports[2..]
+        .iter()
+        .map(|r| format!("{}: {:+.1}%", r.env, 100.0 * (r.total_time - base) / base))
+        .collect();
+    println!("slowdown vs env-local: {}", ratios.join("  "));
+}
+
+fn print_table1(apps: &[AppModel], params: &SimParams) {
+    println!("\n=== Table I — job assignment per application ===");
+    println!(
+        "{:<10} {:<11} {:>11} {:>11} {:>14} {:>14}",
+        "app", "env", "local jobs", "cloud jobs", "local stolen", "cloud stolen"
+    );
+    for Table1Row { app, env, local_jobs, cloud_jobs, local_stolen, cloud_stolen } in
+        table1(apps, params)
+    {
+        println!(
+            "{app:<10} {env:<11} {local_jobs:>11} {cloud_jobs:>11} {local_stolen:>14} {cloud_stolen:>14}"
+        );
+    }
+}
+
+fn print_table2(apps: &[AppModel], params: &SimParams) {
+    println!("\n=== Table II — overheads and slowdowns (seconds) ===");
+    println!(
+        "{:<10} {:<11} {:>10} {:>11} {:>11} {:>10} {:>9}",
+        "app", "env", "glob.red.", "idle local", "idle cloud", "slowdown", "ratio"
+    );
+    for Table2Row { app, env, global_reduction, idle_local, idle_cloud, slowdown, slowdown_ratio } in
+        table2(apps, params)
+    {
+        println!(
+            "{app:<10} {env:<11} {global_reduction:>10.2} {idle_local:>11.1} {idle_cloud:>11.1} {slowdown:>10.1} {:>8.1}%",
+            100.0 * slowdown_ratio
+        );
+    }
+}
+
+fn print_fig4(app: &AppModel, params: &SimParams) {
+    let reports = fig4(app, params);
+    println!("\n=== Figure 4 ({}) — scalability, all data in S3 ===", app.name);
+    println!(
+        "{:<10} {:>12} {:>12} {:>10} {:>10}",
+        "(m,m)", "processing", "retrieval", "sync", "total"
+    );
+    for r in &reports {
+        let b = r.overall_breakdown();
+        println!(
+            "{:<10} {:>12.1} {:>12.1} {:>10.1} {:>10.1}",
+            r.env, b.processing, b.retrieval, b.sync, r.total_time
+        );
+    }
+    let effs: Vec<String> = fig4_efficiencies(&reports)
+        .iter()
+        .map(|e| format!("{:.1}%", 100.0 * e))
+        .collect();
+    println!("per-doubling efficiency: {}", effs.join("  "));
+    let cums: Vec<String> = fig4_cumulative_efficiencies(&reports)
+        .iter()
+        .map(|e| format!("{:.1}%", 100.0 * e))
+        .collect();
+    println!("cumulative efficiency vs (4,4) [paper's bar labels]: {}", cums.join("  "));
+}
+
+fn print_cost(apps: &[AppModel], params: &SimParams) {
+    let pricing = PricingModel::aws_2011();
+    println!("\n=== Bursting time/cost frontier (8 local cores, 50% data local, AWS 2011 prices) ===");
+    println!(
+        "{:<10} {:>11} {:>10} {:>10} {:>9} {:>9} {:>9}",
+        "app", "cloud cores", "time (s)", "compute $", "GETs $", "egress $", "total $"
+    );
+    for app in apps {
+        for o in burst_frontier(app, 8, 0.5, &[8, 16, 32, 64], params, &pricing) {
+            println!(
+                "{:<10} {:>11} {:>10.1} {:>10.2} {:>9.4} {:>9.4} {:>9.2}",
+                app.name,
+                o.cloud_cores,
+                o.time,
+                o.cost.compute_cost,
+                o.cost.request_cost,
+                o.cost.egress_cost,
+                o.cost.total()
+            );
+        }
+    }
+}
+
+fn print_ablation(params: &SimParams) {
+    use cloudburst_sim::figures::envs_for;
+    println!("\n=== Ablation — rate-aware stealing (paper: \"considers the rate of processing\") ===");
+    println!("hybrid total seconds, naive locality-greedy stealing vs rate-aware:\n");
+    println!("{:<10} {:<11} {:>10} {:>12} {:>9}", "app", "env", "naive (s)", "rate-aware", "saved");
+    for app in AppModel::paper_trio() {
+        for env in envs_for(&app).into_iter().skip(2) {
+            let mut naive_env = MultiEnv::two_site(&env, &app, params);
+            naive_env.rate_aware_stealing = false;
+            let naive = simulate_multi(&app, &naive_env).total_time;
+            let aware = simulate_multi(&app, &MultiEnv::two_site(&env, &app, params)).total_time;
+            println!(
+                "{:<10} {:<11} {:>10.1} {:>12.1} {:>8.1}%",
+                app.name,
+                env.name,
+                naive,
+                aware,
+                100.0 * (naive - aware) / naive
+            );
+        }
+    }
+}
+
+fn print_trace(params: &SimParams) {
+    // Per-slave Gantt of the knn env-17/83 run: watch the local cluster (the
+    // first two rows) drain its files, then switch to stealing (R-heavy
+    // tail) while the cloud streams steadily.
+    let app = AppModel::knn();
+    let env = cloudburst_core::EnvConfig::new("env-17/83", 0.17, 16, 16);
+    let (report, timeline) = simulate_multi_traced(&app, &MultiEnv::two_site(&env, &app, params));
+    println!("\n=== Activity trace — knn env-17/83 (rows 0-1: cluster nodes, 2-5: EC2 instances) ===");
+    println!("legend: c = control RPC, R = retrieval, P = processing, blank = idle\n");
+    print!(
+        "{}",
+        timeline.gantt(92, |k| match k {
+            Activity::Control => 'c',
+            Activity::Retrieval => 'R',
+            Activity::Compute => 'P',
+        })
+    );
+    let curve = timeline.utilization_curve(23);
+    let bars: String = curve
+        .iter()
+        .map(|&u| match (u * 8.0) as usize {
+            0 => ' ',
+            1 => '.',
+            2 | 3 => ':',
+            4 | 5 => '|',
+            _ => '#',
+        })
+        .collect();
+    println!("\nfleet utilization over time: [{bars}]  (total {:.1}s)", report.total_time);
+}
+
+fn print_summary(params: &SimParams) {
+    let s = summary(params);
+    println!("\n=== Headline summary (paper: 15.55% avg slowdown, 81% scaling) ===");
+    println!("average slowdown of cloud bursting vs centralized: {:.2}%", 100.0 * s.avg_slowdown_ratio);
+    println!("average per-doubling scaling efficiency:           {:.1}%", 100.0 * s.avg_scaling_efficiency);
+}

@@ -1,0 +1,77 @@
+//! Error type for the threaded runtime.
+
+use cloudburst_core::SiteId;
+use std::fmt;
+use std::io;
+
+/// Failures surfaced by a cloud-bursting run.
+#[derive(Debug)]
+pub enum RunError {
+    /// A chunk retrieval failed.
+    Io(io::Error),
+    /// No store was registered for a site that hosts data.
+    NoStoreForSite(SiteId),
+    /// The environment has no cores anywhere.
+    NoWorkers,
+    /// A runtime thread panicked (the payload's message, if any).
+    WorkerPanic(String),
+    /// No data was processed (empty index or all sites idle).
+    NothingProcessed,
+    /// The run finished but some jobs were permanently abandoned after
+    /// exhausting their retry attempts — the result would be partial.
+    Incomplete {
+        /// Number of abandoned jobs.
+        abandoned: u64,
+    },
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Io(e) => write!(f, "chunk retrieval failed: {e}"),
+            RunError::NoStoreForSite(s) => write!(f, "no store registered for {s}"),
+            RunError::NoWorkers => write!(f, "environment has no worker cores"),
+            RunError::WorkerPanic(m) => write!(f, "runtime thread panicked: {m}"),
+            RunError::NothingProcessed => write!(f, "no data was processed"),
+            RunError::Incomplete { abandoned } => {
+                write!(f, "run incomplete: {abandoned} jobs abandoned after retries")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RunError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for RunError {
+    fn from(e: io::Error) -> Self {
+        RunError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = RunError::NoStoreForSite(SiteId::CLOUD);
+        assert!(e.to_string().contains("cloud"));
+        let e = RunError::Io(io::Error::new(io::ErrorKind::NotFound, "gone"));
+        assert!(e.to_string().contains("gone"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(std::error::Error::source(&RunError::NoWorkers).is_none());
+    }
+
+    #[test]
+    fn io_errors_convert() {
+        let e: RunError = io::Error::other("x").into();
+        assert!(matches!(e, RunError::Io(_)));
+    }
+}

@@ -1,0 +1,94 @@
+//! The head node (paper §III-B): owns the global job pool, grants batches to
+//! requesting masters (local first, then stealing), and records completions.
+
+use crate::protocol::{HeadMsg, HeadReport};
+use cloudburst_core::JobPool;
+use crossbeam::channel::Receiver;
+
+/// Serve head requests until every sender has hung up, then report.
+///
+/// The loop is intentionally trivial — the whole assignment policy lives in
+/// [`JobPool`], which the simulator replays identically.
+pub fn run_head(mut pool: JobPool, rx: Receiver<HeadMsg>) -> HeadReport {
+    let mut report = HeadReport::default();
+    for msg in rx {
+        match msg {
+            HeadMsg::RequestJobs { site, reply } => {
+                report.requests += 1;
+                let batch = pool.request_for(site);
+                // A dropped reply means the master died; the pool keeps the
+                // jobs assigned, which surfaces as a hang rather than silent
+                // data loss — the runtime converts worker panics to errors.
+                let _ = reply.send(batch);
+            }
+            HeadMsg::Complete { job, site } => {
+                report.completions += 1;
+                pool.complete(job, site);
+            }
+            HeadMsg::Failed { job, site } => {
+                report.failures += 1;
+                pool.fail(job, site);
+            }
+        }
+    }
+    report.counts = pool.site_counts().clone();
+    report.abandoned = pool.abandoned() as u64;
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudburst_core::{BatchPolicy, DataIndex, LayoutParams, SiteId};
+    use crossbeam::channel::{bounded, unbounded};
+
+    fn pool(n_chunks: u64) -> JobPool {
+        let idx = DataIndex::build(
+            n_chunks * 2,
+            LayoutParams { unit_size: 1, units_per_chunk: 2, n_files: 2 },
+            |_| SiteId::LOCAL,
+        )
+        .unwrap();
+        JobPool::from_index(&idx, BatchPolicy::Fixed(2))
+    }
+
+    #[test]
+    fn head_serves_until_senders_drop() {
+        let (tx, rx) = unbounded();
+        let head = std::thread::spawn(move || run_head(pool(4), rx));
+
+        let (btx, brx) = bounded(1);
+        tx.send(HeadMsg::RequestJobs { site: SiteId::LOCAL, reply: btx }).unwrap();
+        let batch = brx.recv().unwrap();
+        assert_eq!(batch.len(), 2);
+        for j in &batch.jobs {
+            tx.send(HeadMsg::Complete { job: j.id, site: SiteId::LOCAL }).unwrap();
+        }
+        drop(tx);
+        let report = head.join().unwrap();
+        assert_eq!(report.requests, 1);
+        assert_eq!(report.completions, 2);
+        assert_eq!(report.counts[&SiteId::LOCAL].local, 2);
+    }
+
+    #[test]
+    fn empty_pool_grants_empty_batches() {
+        let (tx, rx) = unbounded();
+        let head = std::thread::spawn(move || run_head(pool(2), rx));
+        // Drain everything.
+        loop {
+            let (btx, brx) = bounded(1);
+            tx.send(HeadMsg::RequestJobs { site: SiteId::CLOUD, reply: btx }).unwrap();
+            let batch = brx.recv().unwrap();
+            if batch.is_empty() {
+                break;
+            }
+            for j in &batch.jobs {
+                tx.send(HeadMsg::Complete { job: j.id, site: SiteId::CLOUD }).unwrap();
+            }
+        }
+        drop(tx);
+        let report = head.join().unwrap();
+        assert_eq!(report.counts[&SiteId::CLOUD].stolen, 2, "all-local data read from cloud");
+    }
+}

@@ -1,0 +1,30 @@
+//! # cloudburst-cluster
+//!
+//! The threaded cloud-bursting runtime: a faithful, executable version of
+//! the paper's architecture (Fig. 2) where sites are thread pools, the
+//! control plane (head → master → slave job assignment, with on-demand
+//! pooling and inter-cluster work stealing) flows over channels, and every
+//! inter-site interaction is charged against the `cloudburst-netsim` link
+//! model — master↔head RPCs, cross-site chunk retrieval, and the
+//! reduction-object exchange at global reduction.
+//!
+//! Entry points: [`run_hybrid`] (channels) and [`run_hybrid_tcp`] (the
+//! same protocol with the head ↔ master control plane over real TCP
+//! sockets, see [`net`]/[`wire`]).
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod error;
+pub mod head;
+pub mod net;
+pub mod protocol;
+pub mod router;
+pub mod runtime;
+pub mod wire;
+
+pub use error::RunError;
+pub use protocol::{HeadMsg, HeadReport, MasterMsg};
+pub use router::{Fetched, StoreRouter};
+pub use net::{run_hybrid_tcp, serve_head};
+pub use runtime::{run_hybrid, FaultPolicy, RunOutcome, RuntimeConfig};

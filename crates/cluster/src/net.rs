@@ -1,0 +1,394 @@
+//! TCP deployment mode: the head ↔ master control plane over real sockets.
+//!
+//! The in-process runtime wires Fig. 2's node roles with channels; this
+//! module runs the same protocol over TCP using the [`crate::wire`] codec,
+//! so job assignment, work stealing, completion reporting and the terminal
+//! handshake genuinely cross a wire. Slaves still live in their master's
+//! process (as in the paper, where slaves and master share a cluster), and
+//! the data plane goes through the usual [`StoreRouter`].
+//!
+//! [`run_hybrid_tcp`] is a drop-in alternative to
+//! [`run_hybrid`](crate::runtime::run_hybrid) that binds a loopback head
+//! server and connects one control socket per site.
+
+use crate::error::RunError;
+use crate::protocol::{HeadReport, MasterMsg};
+use crate::router::StoreRouter;
+use crate::runtime::{run_slave, panic_msg, ReportSink, RunOutcome, RuntimeConfig, FaultPolicy};
+use crate::wire::{read_from_master, read_grant, write_grant, write_to_head, MasterToHead};
+use cloudburst_core::{
+    global_reduce, Breakdown, DataIndex, JobPool, MasterPool, Merge, Reduction, ReductionObject,
+    RunReport, SiteId, SiteStats, Take,
+};
+use cloudburst_storage::ChunkStore;
+use crossbeam::channel::{unbounded, Receiver};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Serve the head's control protocol to exactly `n_masters` connections,
+/// then return the head's report. Each connection gets its own thread; the
+/// pool is shared behind a mutex (the head's work per message is microseconds,
+/// so the lock is never contended at protocol rates).
+pub fn serve_head(
+    listener: &TcpListener,
+    pool: JobPool,
+    n_masters: usize,
+) -> io::Result<HeadReport> {
+    let shared = Arc::new(Mutex::new((pool, HeadReport::default())));
+    let mut handles = Vec::with_capacity(n_masters);
+    for _ in 0..n_masters {
+        let (stream, _addr) = listener.accept()?;
+        let shared = Arc::clone(&shared);
+        handles.push(std::thread::spawn(move || serve_one_master(stream, &shared)));
+    }
+    for h in handles {
+        h.join()
+            .map_err(|_| io::Error::other("head handler panicked"))??;
+    }
+    let (pool, mut report) = Arc::try_unwrap(shared)
+        .map_err(|_| io::Error::other("head state still shared"))?
+        .into_inner();
+    report.counts = pool.site_counts().clone();
+    report.abandoned = pool.abandoned() as u64;
+    Ok(report)
+}
+
+type SharedHead = Mutex<(JobPool, HeadReport)>;
+
+fn serve_one_master(stream: TcpStream, shared: &SharedHead) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    while let Some(msg) = read_from_master(&mut reader)? {
+        match msg {
+            MasterToHead::Request { site } => {
+                let batch = {
+                    let mut guard = shared.lock();
+                    guard.1.requests += 1;
+                    guard.0.request_for(site)
+                };
+                write_grant(&mut writer, &batch)?;
+            }
+            MasterToHead::Complete { job, site } => {
+                let mut guard = shared.lock();
+                guard.1.completions += 1;
+                guard.0.complete(job, site);
+            }
+            MasterToHead::Failed { job, site } => {
+                let mut guard = shared.lock();
+                guard.1.failures += 1;
+                guard.0.fail(job, site);
+            }
+            MasterToHead::Bye => break,
+        }
+    }
+    writer.flush()
+}
+
+/// The master side of the control connection plus the local slave-facing
+/// loop: serve slaves from the site pool, refilling over TCP, forwarding
+/// completion/failure reports upstream.
+fn run_tcp_master(
+    site: SiteId,
+    low_watermark: usize,
+    control_latency_real: f64,
+    rx: &Receiver<MasterMsg>,
+    stream: TcpStream,
+) -> io::Result<MasterPool> {
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let mut pool = MasterPool::new(site, low_watermark);
+
+    fn refill(
+        pool: &mut MasterPool,
+        site: SiteId,
+        latency: f64,
+        writer: &mut impl Write,
+        reader: &mut impl io::Read,
+    ) -> io::Result<()> {
+        sleep_secs(latency);
+        write_to_head(writer, &MasterToHead::Request { site })?;
+        let batch = read_grant(reader)?;
+        sleep_secs(latency);
+        pool.refill(batch);
+        Ok(())
+    }
+
+    // Slaves blocked on empty non-terminal grants must not stop the master
+    // from forwarding its other slaves' completion reports — the head can
+    // only mark the pool terminal once it has seen those completions. So
+    // the master never blocks while holding unserved requests: it parks
+    // them in `waiting` and keeps draining its mailbox.
+    let mut waiting: VecDeque<crossbeam::channel::Sender<Take>> = VecDeque::new();
+    let mut disconnected = false;
+    while !(disconnected && waiting.is_empty()) {
+        let msg = if waiting.is_empty() {
+            match rx.recv() {
+                Ok(m) => Some(m),
+                Err(_) => {
+                    disconnected = true;
+                    None
+                }
+            }
+        } else {
+            match rx.recv_timeout(Duration::from_micros(200)) {
+                Ok(m) => Some(m),
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => None,
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                    disconnected = true;
+                    None
+                }
+            }
+        };
+        match msg {
+            Some(MasterMsg::Complete { job }) => {
+                write_to_head(&mut writer, &MasterToHead::Complete { job, site })?;
+            }
+            Some(MasterMsg::Failed { job }) => {
+                write_to_head(&mut writer, &MasterToHead::Failed { job, site })?;
+            }
+            Some(MasterMsg::GetJob { reply }) => waiting.push_back(reply),
+            None => {}
+        }
+        // Serve as many parked requests as the pool allows right now.
+        while let Some(reply) = waiting.front() {
+            match pool.take() {
+                Take::Job(j) => {
+                    let _ = reply.send(Take::Job(j));
+                    waiting.pop_front();
+                    if pool.needs_refill() {
+                        refill(&mut pool, site, control_latency_real, &mut writer, &mut reader)?;
+                    }
+                }
+                Take::Drained => {
+                    let _ = reply.send(Take::Drained);
+                    waiting.pop_front();
+                }
+                Take::NeedRefill => {
+                    refill(&mut pool, site, control_latency_real, &mut writer, &mut reader)?;
+                    if pool.queued() == 0 && !pool.is_drained() {
+                        // Nothing to hand out yet: go back to the mailbox
+                        // (the recv_timeout above paces the polling).
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    write_to_head(&mut writer, &MasterToHead::Bye)?;
+    Ok(pool)
+}
+
+/// [`run_hybrid`](crate::runtime::run_hybrid) with the head ↔ master control
+/// plane over TCP on the loopback interface.
+///
+/// # Errors
+/// Everything [`run_hybrid`](crate::runtime::run_hybrid) can report, plus
+/// socket errors surfaced as [`RunError::Io`].
+pub fn run_hybrid_tcp<R: Reduction>(
+    app: &R,
+    index: &DataIndex,
+    stores: BTreeMap<SiteId, Arc<dyn ChunkStore>>,
+    config: &RuntimeConfig,
+) -> Result<RunOutcome<R::RObj>, RunError> {
+    let active: Vec<(SiteId, u32)> = config
+        .env
+        .active_sites()
+        .into_iter()
+        .map(|s| (s, config.env.cores_at(s)))
+        .collect();
+    if active.is_empty() {
+        return Err(RunError::NoWorkers);
+    }
+    for (&site, &n) in index.chunks_per_site().iter() {
+        if n > 0 && !stores.contains_key(&site) {
+            return Err(RunError::NoStoreForSite(site));
+        }
+    }
+    let head_site = active[0].0;
+
+    let router = StoreRouter::new(stores, &config.topology, config.fetch, config.time_scale);
+    let mut pool = JobPool::from_index(index, config.batch_policy);
+    if let FaultPolicy::Retry { max_attempts } = config.fault_policy {
+        pool.set_max_attempts(max_attempts);
+    }
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let head_addr: SocketAddr = listener.local_addr()?;
+    let n_masters = active.len();
+    let epoch = Instant::now();
+
+    struct SiteOutcome<O> {
+        site: SiteId,
+        robj: Option<O>,
+        slaves: Vec<crate::runtime::SlaveStats>,
+        local_merge: f64,
+        finish: f64,
+    }
+
+    let mut site_outcomes: Vec<Result<SiteOutcome<R::RObj>, RunError>> = Vec::new();
+    let mut head_result: Option<Result<HeadReport, RunError>> = None;
+
+    std::thread::scope(|scope| {
+        let head_handle =
+            scope.spawn(move || serve_head(&listener, pool, n_masters).map_err(RunError::Io));
+
+        let coordinators: Vec<_> = active
+            .iter()
+            .map(|&(site, cores)| {
+                let router = &router;
+                scope.spawn(move || -> Result<SiteOutcome<R::RObj>, RunError> {
+                    let control_latency = config.topology.link(site.0, head_site.0).latency;
+                    let (master_tx, master_rx) = unbounded::<MasterMsg>();
+                    let stream = TcpStream::connect(head_addr)?;
+
+                    let mut results: Vec<Result<(R::RObj, crate::runtime::SlaveStats), RunError>> =
+                        Vec::new();
+                    let mut master_result: Option<io::Result<MasterPool>> = None;
+                    std::thread::scope(|site_scope| {
+                        let master = site_scope.spawn(|| {
+                            run_tcp_master(
+                                site,
+                                config.low_watermark,
+                                control_latency * config.time_scale,
+                                &master_rx,
+                                stream,
+                            )
+                        });
+                        let handles: Vec<_> = (0..cores)
+                            .map(|_| {
+                                let master_tx = master_tx.clone();
+                                site_scope.spawn({
+                                    let master_tx_for_reports = master_tx.clone();
+                                    move || {
+                                        run_slave(
+                                            app,
+                                            site,
+                                            &master_tx,
+                                            &ReportSink::Master(&master_tx_for_reports),
+                                            router,
+                                            config,
+                                            epoch,
+                                        )
+                                    }
+                                })
+                            })
+                            .collect();
+                        drop(master_tx);
+                        results = handles
+                            .into_iter()
+                            .map(|h| {
+                                h.join()
+                                    .unwrap_or_else(|p| Err(RunError::WorkerPanic(panic_msg(&p))))
+                            })
+                            .collect();
+                        master_result = Some(
+                            master
+                                .join()
+                                .unwrap_or_else(|p| Err(io::Error::other(
+                                    panic_msg(&p),
+                                ))),
+                        );
+                    });
+                    master_result.expect("master joined")?;
+
+                    let mut robjs = Vec::with_capacity(results.len());
+                    let mut slaves = Vec::with_capacity(results.len());
+                    for r in results {
+                        let (robj, stats) = r?;
+                        robjs.push(robj);
+                        slaves.push(stats);
+                    }
+                    let merge_start = Instant::now();
+                    let robj = global_reduce(robjs);
+                    let local_merge = merge_start.elapsed().as_secs_f64();
+                    let finish = epoch.elapsed().as_secs_f64();
+                    Ok(SiteOutcome { site, robj, slaves, local_merge, finish })
+                })
+            })
+            .collect();
+
+        site_outcomes = coordinators
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|p| Err(RunError::WorkerPanic(panic_msg(&p)))))
+            .collect();
+        head_result = Some(
+            head_handle
+                .join()
+                .unwrap_or_else(|p| Err(RunError::WorkerPanic(panic_msg(&p)))),
+        );
+    });
+
+    let head = head_result.expect("head joined in scope")?;
+    let mut outcomes = Vec::with_capacity(site_outcomes.len());
+    for o in site_outcomes {
+        outcomes.push(o?);
+    }
+    if head.abandoned > 0 {
+        return Err(RunError::Incomplete { abandoned: head.abandoned });
+    }
+
+    // Global reduction (same accounting as the in-process runtime).
+    let compute_finish = outcomes.iter().map(|o| o.finish).fold(0.0_f64, f64::max);
+    let gr_start = Instant::now();
+    let mut final_robj: Option<R::RObj> = None;
+    for o in &mut outcomes {
+        let Some(robj) = o.robj.take() else { continue };
+        if o.site != head_site {
+            let link = config.topology.link(o.site.0, head_site.0);
+            let modelled = link.transfer_time(robj.byte_size() as u64);
+            std::thread::sleep(Duration::from_secs_f64(modelled * config.time_scale));
+        }
+        final_robj = Some(match final_robj.take() {
+            None => robj,
+            Some(mut acc) => {
+                acc.merge(robj);
+                acc
+            }
+        });
+    }
+    let global_reduction = gr_start.elapsed().as_secs_f64();
+    let total_time = epoch.elapsed().as_secs_f64();
+    let result = final_robj.ok_or(RunError::NothingProcessed)?;
+
+    let mut report = RunReport {
+        env: config.env.name.clone(),
+        global_reduction,
+        total_time,
+        ..RunReport::default()
+    };
+    for o in &outcomes {
+        let n = o.slaves.len().max(1) as f64;
+        let site_compute_finish = o.slaves.iter().map(|s| s.finish).fold(0.0_f64, f64::max);
+        let mean_proc = o.slaves.iter().map(|s| s.processing).sum::<f64>() / n;
+        let mean_retr = o.slaves.iter().map(|s| s.retrieval).sum::<f64>() / n;
+        let mean_barrier =
+            o.slaves.iter().map(|s| site_compute_finish - s.finish).sum::<f64>() / n;
+        let idle = compute_finish - o.finish;
+        report.sites.insert(
+            o.site,
+            SiteStats {
+                breakdown: Breakdown {
+                    processing: mean_proc,
+                    retrieval: mean_retr,
+                    sync: mean_barrier + o.local_merge + idle,
+                },
+                finish_time: o.finish,
+                idle,
+                jobs: head.counts.get(&o.site).copied().unwrap_or_default(),
+                remote_bytes: o.slaves.iter().map(|s| s.remote_bytes).sum(),
+            },
+        );
+    }
+    Ok(RunOutcome { result, report, head })
+}
+
+fn sleep_secs(secs: f64) {
+    if secs > 0.0 {
+        std::thread::sleep(Duration::from_secs_f64(secs));
+    }
+}

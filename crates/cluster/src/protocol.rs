@@ -1,0 +1,75 @@
+//! Control-plane messages between node roles (Fig. 2 of the paper).
+//!
+//! The control plane (job assignment) flows over channels: slaves ask their
+//! site's **master** for jobs; masters ask the **head** for batches and
+//! report completions. The data plane — chunk bytes and reduction objects —
+//! never rides these channels: chunks go through the
+//! [`StoreRouter`](crate::router::StoreRouter), and reduction objects are
+//! merged at site level and charged explicitly against the inter-site link
+//! during global reduction.
+
+use cloudburst_core::{ChunkId, JobBatch, SiteId, SiteJobCounts, Take};
+use crossbeam::channel::Sender;
+use std::collections::BTreeMap;
+
+/// Messages the head node serves.
+pub enum HeadMsg {
+    /// A master requests a batch of jobs for its site.
+    RequestJobs {
+        /// The requesting site.
+        site: SiteId,
+        /// Where to send the granted batch (empty batch = no work left).
+        reply: Sender<JobBatch>,
+    },
+    /// A slave finished one job.
+    Complete {
+        /// The finished job.
+        job: ChunkId,
+        /// The site that processed it.
+        site: SiteId,
+    },
+    /// A slave failed to process one job (retrieval error, crash); the head
+    /// requeues it for reassignment or abandons it after too many attempts.
+    Failed {
+        /// The failed job.
+        job: ChunkId,
+        /// The site that failed it.
+        site: SiteId,
+    },
+}
+
+/// Messages a site master serves.
+pub enum MasterMsg {
+    /// A slave asks for its next job.
+    GetJob {
+        /// Where to send the job (or the drained signal).
+        reply: Sender<Take>,
+    },
+    /// A slave reports a finished job (TCP deployment mode: the master
+    /// forwards it to the head over its control connection).
+    Complete {
+        /// The finished job.
+        job: ChunkId,
+    },
+    /// A slave reports a failed job (TCP deployment mode).
+    Failed {
+        /// The failed job.
+        job: ChunkId,
+    },
+}
+
+/// What the head reports after the run: the authoritative per-site job
+/// accounting (Table I) plus control-traffic counters.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HeadReport {
+    /// Jobs processed per site, split local/stolen.
+    pub counts: BTreeMap<SiteId, SiteJobCounts>,
+    /// Batch requests served.
+    pub requests: u64,
+    /// Completions recorded.
+    pub completions: u64,
+    /// Failure reports received.
+    pub failures: u64,
+    /// Jobs permanently abandoned after exhausting their retry attempts.
+    pub abandoned: u64,
+}

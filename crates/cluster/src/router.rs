@@ -1,0 +1,147 @@
+//! Routing of chunk retrievals to the store that hosts them, with WAN
+//! charging for cross-site ("stolen") reads.
+//!
+//! A slave always asks the router for a chunk; the router finds the hosting
+//! site's store, fetches with the configured number of retrieval threads,
+//! and — when reader and host differ — pushes the bytes through the shared
+//! inter-site throttle so concurrent thieves genuinely compete for WAN
+//! bandwidth.
+
+use crate::error::RunError;
+use bytes::Bytes;
+use cloudburst_core::{ChunkMeta, SiteId};
+use cloudburst_netsim::{Throttle, Topology};
+use cloudburst_storage::{fetch_chunk, ChunkStore, FetchConfig};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Outcome of one routed fetch.
+#[derive(Debug, Clone)]
+pub struct Fetched {
+    /// The chunk's bytes.
+    pub bytes: Bytes,
+    /// Whether the read crossed sites.
+    pub remote: bool,
+}
+
+/// The runtime's view of every site's storage plus the links between sites.
+pub struct StoreRouter {
+    stores: BTreeMap<SiteId, Arc<dyn ChunkStore>>,
+    wan: BTreeMap<(SiteId, SiteId), Arc<Throttle>>,
+    fetch: FetchConfig,
+}
+
+impl StoreRouter {
+    /// Build a router over per-site stores, charging cross-site reads
+    /// against `topology`'s storage-access links at `time_scale`.
+    #[must_use]
+    pub fn new(
+        stores: BTreeMap<SiteId, Arc<dyn ChunkStore>>,
+        topology: &Topology,
+        fetch: FetchConfig,
+        time_scale: f64,
+    ) -> StoreRouter {
+        let mut wan = BTreeMap::new();
+        let sites: Vec<SiteId> = stores.keys().copied().collect();
+        for &reader in &sites {
+            for &host in &sites {
+                if reader != host {
+                    let link = topology.storage_access(reader.0, host.0);
+                    wan.insert((reader, host), Arc::new(Throttle::new(link, time_scale)));
+                }
+            }
+        }
+        StoreRouter { stores, wan, fetch }
+    }
+
+    /// The retrieval configuration slaves use.
+    #[must_use]
+    pub fn fetch_config(&self) -> FetchConfig {
+        self.fetch
+    }
+
+    /// Sites with a registered store.
+    #[must_use]
+    pub fn sites(&self) -> Vec<SiteId> {
+        self.stores.keys().copied().collect()
+    }
+
+    /// Fetch `chunk` on behalf of a worker at `reader`.
+    pub fn fetch(&self, reader: SiteId, chunk: &ChunkMeta) -> Result<Fetched, RunError> {
+        let store = self
+            .stores
+            .get(&chunk.site)
+            .ok_or(RunError::NoStoreForSite(chunk.site))?;
+        let bytes = fetch_chunk(store.as_ref(), chunk, self.fetch)?;
+        let remote = chunk.site != reader;
+        if remote {
+            if let Some(throttle) = self.wan.get(&(reader, chunk.site)) {
+                throttle.transfer(bytes.len() as u64);
+            }
+        }
+        Ok(Fetched { bytes, remote })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudburst_core::{ChunkId, FileId};
+    use cloudburst_netsim::LinkSpec;
+    use cloudburst_storage::MemStore;
+    use std::time::Instant;
+
+    fn chunk(site: SiteId, len: u64) -> ChunkMeta {
+        ChunkMeta { id: ChunkId(0), file: FileId(0), offset: 0, len, n_units: len, site }
+    }
+
+    fn router(wan_bw: f64) -> StoreRouter {
+        let mut stores: BTreeMap<SiteId, Arc<dyn ChunkStore>> = BTreeMap::new();
+        stores.insert(
+            SiteId::LOCAL,
+            Arc::new(MemStore::new(SiteId::LOCAL, vec![Bytes::from(vec![1u8; 4096])])),
+        );
+        stores.insert(
+            SiteId::CLOUD,
+            Arc::new(MemStore::new(SiteId::CLOUD, vec![Bytes::from(vec![2u8; 4096])])),
+        );
+        let topo = Topology::new()
+            .with_storage_access(SiteId::LOCAL.0, SiteId::CLOUD.0, LinkSpec::new(0.0, wan_bw))
+            .with_storage_access(SiteId::CLOUD.0, SiteId::LOCAL.0, LinkSpec::new(0.0, wan_bw));
+        StoreRouter::new(stores, &topo, FetchConfig::sequential(), 1e-3)
+    }
+
+    #[test]
+    fn local_reads_are_not_remote() {
+        let r = router(1e12);
+        let f = r.fetch(SiteId::LOCAL, &chunk(SiteId::LOCAL, 100)).unwrap();
+        assert!(!f.remote);
+        assert_eq!(f.bytes, Bytes::from(vec![1u8; 100]));
+    }
+
+    #[test]
+    fn cross_site_reads_are_remote_and_throttled() {
+        // 4096 bytes at 4096 B/s = 1 modelled s = 1 ms real at 1e-3.
+        let r = router(4096.0);
+        let t = Instant::now();
+        let f = r.fetch(SiteId::LOCAL, &chunk(SiteId::CLOUD, 4096)).unwrap();
+        assert!(f.remote);
+        assert_eq!(f.bytes, Bytes::from(vec![2u8; 4096]));
+        assert!(t.elapsed().as_secs_f64() >= 0.8e-3, "WAN charge expected");
+    }
+
+    #[test]
+    fn missing_store_is_reported() {
+        let r = router(1e12);
+        let orphan = chunk(SiteId(9), 10);
+        assert!(matches!(
+            r.fetch(SiteId::LOCAL, &orphan),
+            Err(RunError::NoStoreForSite(SiteId(9)))
+        ));
+    }
+
+    #[test]
+    fn sites_lists_registered_stores() {
+        assert_eq!(router(1.0).sites(), vec![SiteId::LOCAL, SiteId::CLOUD]);
+    }
+}

@@ -1,0 +1,677 @@
+//! The threaded cloud-bursting runtime: one head, one master per site, and
+//! one slave thread per core, wired exactly like Fig. 2 of the paper.
+//!
+//! "Clusters" are thread pools on this machine; the geographic separation is
+//! supplied by [`cloudburst_netsim`] throttles on every inter-site
+//! interaction: master↔head control RPCs, cross-site chunk retrieval, and
+//! the reduction-object exchange during global reduction. The paper-scale
+//! numbers come from `cloudburst-sim`; this runtime demonstrates the
+//! middleware end to end on real data.
+
+use crate::error::RunError;
+use crate::head::run_head;
+use crate::protocol::{HeadMsg, HeadReport, MasterMsg};
+use crate::router::StoreRouter;
+use cloudburst_core::{
+    global_reduce, BatchPolicy, Breakdown, DataIndex, EnvConfig, JobPool, MasterPool, Merge,
+    Reduction, ReductionObject, RunReport, Seconds, SiteId, SiteStats, Take,
+};
+use cloudburst_netsim::Topology;
+use cloudburst_storage::{ChunkStore, FetchConfig};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// What to do when a slave fails to retrieve or process a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultPolicy {
+    /// Abort the run on the first failure (the default): correctness over
+    /// availability.
+    FailFast,
+    /// Report the failure to the head, which requeues the job for
+    /// reassignment (to any site) up to `max_attempts` times before
+    /// abandoning it. A run that ends with abandoned jobs fails with
+    /// [`RunError::Incomplete`].
+    Retry {
+        /// Attempts per job before it is abandoned.
+        max_attempts: u8,
+    },
+}
+
+/// Everything configurable about a run.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Cores per site and data split.
+    pub env: EnvConfig,
+    /// Head-node batch granting policy.
+    pub batch_policy: BatchPolicy,
+    /// Per-slave retrieval parallelism.
+    pub fetch: FetchConfig,
+    /// Units per cache-sized reduction group.
+    pub unit_group: usize,
+    /// Master refill watermark (jobs left when the next batch is requested).
+    pub low_watermark: usize,
+    /// Link/topology model for inter-site charging.
+    pub topology: Topology,
+    /// Compression of modelled network time into real time.
+    pub time_scale: f64,
+    /// Failure handling.
+    pub fault_policy: FaultPolicy,
+}
+
+impl RuntimeConfig {
+    /// A configuration for `env` with paper-testbed links compressed by
+    /// `time_scale` and sensible defaults elsewhere.
+    #[must_use]
+    pub fn new(env: EnvConfig, time_scale: f64) -> RuntimeConfig {
+        RuntimeConfig {
+            env,
+            batch_policy: BatchPolicy::default_adaptive(2),
+            fetch: FetchConfig::default(),
+            unit_group: 1024,
+            low_watermark: 1,
+            topology: Topology::paper_testbed(),
+            time_scale,
+            fault_policy: FaultPolicy::FailFast,
+        }
+    }
+}
+
+/// The result of a run: the final reduction object plus the paper-shaped
+/// statistics record.
+#[derive(Debug)]
+pub struct RunOutcome<R> {
+    /// The globally reduced result.
+    pub result: R,
+    /// Timing breakdowns, job counts, and overheads (Fig. 3/4, Tables I/II).
+    pub report: RunReport,
+    /// Head-side accounting (control traffic, authoritative job counts).
+    pub head: HeadReport,
+}
+
+/// Per-slave measurements gathered during the run.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct SlaveStats {
+    pub(crate) processing: Seconds,
+    pub(crate) retrieval: Seconds,
+    pub(crate) finish: Seconds,
+    pub(crate) remote_bytes: u64,
+    pub(crate) jobs: u64,
+}
+
+/// Execute `app` over the dataset described by `index`, with per-site
+/// `stores`, under `config`. This is the framework's main entry point.
+///
+/// # Errors
+/// Fails when the environment has no cores, a store is missing for a site
+/// that hosts data, retrieval fails, or a worker panics.
+pub fn run_hybrid<R: Reduction>(
+    app: &R,
+    index: &DataIndex,
+    stores: BTreeMap<SiteId, Arc<dyn ChunkStore>>,
+    config: &RuntimeConfig,
+) -> Result<RunOutcome<R::RObj>, RunError> {
+    let active: Vec<(SiteId, u32)> = config
+        .env
+        .active_sites()
+        .into_iter()
+        .map(|s| (s, config.env.cores_at(s)))
+        .collect();
+    if active.is_empty() {
+        return Err(RunError::NoWorkers);
+    }
+    // Verify every data-hosting site has a store before spawning anything.
+    for (&site, &n) in index.chunks_per_site().iter() {
+        if n > 0 && !stores.contains_key(&site) {
+            return Err(RunError::NoStoreForSite(site));
+        }
+    }
+    // The head is co-located with the local cluster when it is active
+    // (paper Fig. 2); centralized-cloud baselines host it in the cloud, so
+    // the baselines see no inter-cluster control traffic.
+    let head_site = active[0].0;
+
+    let router = StoreRouter::new(stores, &config.topology, config.fetch, config.time_scale);
+    let mut pool = JobPool::from_index(index, config.batch_policy);
+    if let FaultPolicy::Retry { max_attempts } = config.fault_policy {
+        pool.set_max_attempts(max_attempts);
+    }
+    let (head_tx, head_rx) = unbounded::<HeadMsg>();
+    let epoch = Instant::now();
+
+    struct SiteOutcome<O> {
+        site: SiteId,
+        robj: Option<O>,
+        slaves: Vec<SlaveStats>,
+        local_merge: Seconds,
+        finish: Seconds,
+    }
+
+    let mut site_outcomes: Vec<Result<SiteOutcome<R::RObj>, RunError>> = Vec::new();
+    let mut head_result: Option<Result<HeadReport, RunError>> = None;
+
+    std::thread::scope(|scope| {
+        let head_handle = scope.spawn(move || run_head(pool, head_rx));
+
+        let coordinators: Vec<_> = active
+            .iter()
+            .map(|&(site, cores)| {
+                let head_tx = head_tx.clone();
+                let router = &router;
+                scope.spawn(move || -> Result<SiteOutcome<R::RObj>, RunError> {
+                    // Control-plane latency between this site's master and
+                    // the head (zero when co-located).
+                    let control_latency = config.topology.link(site.0, head_site.0).latency;
+                    let (master_tx, master_rx) = unbounded::<MasterMsg>();
+
+                    let mut results: Vec<Result<(R::RObj, SlaveStats), RunError>> = Vec::new();
+                    std::thread::scope(|site_scope| {
+                        let master = site_scope.spawn({
+                            let head_tx = head_tx.clone();
+                            move || {
+                                run_master(
+                                    site,
+                                    config.low_watermark,
+                                    control_latency * config.time_scale,
+                                    &master_rx,
+                                    &head_tx,
+                                )
+                            }
+                        });
+                        let handles: Vec<_> = (0..cores)
+                            .map(|_| {
+                                let master_tx = master_tx.clone();
+                                let head_tx = head_tx.clone();
+                                site_scope.spawn(move || {
+                                    run_slave(
+                                        app,
+                                        site,
+                                        &master_tx,
+                                        &ReportSink::Head(&head_tx),
+                                        router,
+                                        config,
+                                        epoch,
+                                    )
+                                })
+                            })
+                            .collect();
+                        drop(master_tx);
+                        results = handles
+                            .into_iter()
+                            .map(|h| {
+                                h.join().unwrap_or_else(|p| Err(RunError::WorkerPanic(panic_msg(&p))))
+                            })
+                            .collect();
+                        // Master exits once all its slaves hung up.
+                        let _ = master.join();
+                    });
+
+                    let mut robjs = Vec::with_capacity(results.len());
+                    let mut slaves = Vec::with_capacity(results.len());
+                    for r in results {
+                        let (robj, stats) = r?;
+                        robjs.push(robj);
+                        slaves.push(stats);
+                    }
+                    // Local combination: fold this site's worker objects into
+                    // one before the inter-site exchange.
+                    let merge_start = Instant::now();
+                    let robj = global_reduce(robjs);
+                    let local_merge = merge_start.elapsed().as_secs_f64();
+                    let finish = epoch.elapsed().as_secs_f64();
+                    Ok(SiteOutcome { site, robj, slaves, local_merge, finish })
+                })
+            })
+            .collect();
+
+        site_outcomes = coordinators
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|p| Err(RunError::WorkerPanic(panic_msg(&p)))))
+            .collect();
+        // All masters and slaves are done; let the head drain and exit.
+        drop(head_tx);
+        head_result = Some(
+            head_handle
+                .join()
+                .map_err(|p| RunError::WorkerPanic(panic_msg(&p))),
+        );
+    });
+
+    let head = head_result.expect("head joined in scope")?;
+
+    // Worker-level failures take precedence over the aggregate
+    // incompleteness report: they carry the root cause.
+    let mut outcomes = Vec::with_capacity(site_outcomes.len());
+    for o in site_outcomes {
+        outcomes.push(o?);
+    }
+    if head.abandoned > 0 {
+        return Err(RunError::Incomplete { abandoned: head.abandoned });
+    }
+
+    // ---- Global reduction phase (head collects and merges robjs) ----
+    let compute_finish = outcomes.iter().map(|o| o.finish).fold(0.0_f64, f64::max);
+    let gr_start = Instant::now();
+    let mut final_robj: Option<R::RObj> = None;
+    for o in &mut outcomes {
+        let Some(robj) = o.robj.take() else { continue };
+        if o.site != head_site {
+            // The reduction object crosses the inter-site link; its size is
+            // what makes pagerank's sync time large (paper §IV-B).
+            let link = config.topology.link(o.site.0, head_site.0);
+            let modelled = link.transfer_time(robj.byte_size() as u64);
+            std::thread::sleep(Duration::from_secs_f64(modelled * config.time_scale));
+        }
+        final_robj = Some(match final_robj.take() {
+            None => robj,
+            Some(mut acc) => {
+                acc.merge(robj);
+                acc
+            }
+        });
+    }
+    let global_reduction = gr_start.elapsed().as_secs_f64();
+    let total_time = epoch.elapsed().as_secs_f64();
+    let result = final_robj.ok_or(RunError::NothingProcessed)?;
+
+    // ---- Assemble the paper-shaped report ----
+    let mut report = RunReport {
+        env: config.env.name.clone(),
+        global_reduction,
+        total_time,
+        ..RunReport::default()
+    };
+    for o in &outcomes {
+        let n = o.slaves.len().max(1) as f64;
+        let site_compute_finish =
+            o.slaves.iter().map(|s| s.finish).fold(0.0_f64, f64::max);
+        let mean_proc = o.slaves.iter().map(|s| s.processing).sum::<f64>() / n;
+        let mean_retr = o.slaves.iter().map(|s| s.retrieval).sum::<f64>() / n;
+        // Intra-site barrier: the average wait for the slowest sibling.
+        let mean_barrier = o
+            .slaves
+            .iter()
+            .map(|s| site_compute_finish - s.finish)
+            .sum::<f64>()
+            / n;
+        let idle = compute_finish - o.finish;
+        report.sites.insert(
+            o.site,
+            SiteStats {
+                breakdown: Breakdown {
+                    processing: mean_proc,
+                    retrieval: mean_retr,
+                    sync: mean_barrier + o.local_merge + idle,
+                },
+                finish_time: o.finish,
+                idle,
+                jobs: head.counts.get(&o.site).copied().unwrap_or_default(),
+                remote_bytes: o.slaves.iter().map(|s| s.remote_bytes).sum(),
+            },
+        );
+    }
+    Ok(RunOutcome { result, report, head })
+}
+
+/// The master loop: serve slaves from the site pool, refilling from the head
+/// (paying the control-plane latency) when the pool runs low.
+fn run_master(
+    site: SiteId,
+    low_watermark: usize,
+    control_latency_real: f64,
+    rx: &Receiver<MasterMsg>,
+    head_tx: &Sender<HeadMsg>,
+) -> MasterPool {
+    let mut pool = MasterPool::new(site, low_watermark);
+    let refill = |pool: &mut MasterPool| {
+        // Request leg.
+        sleep_secs(control_latency_real);
+        let (btx, brx) = bounded(1);
+        if head_tx.send(HeadMsg::RequestJobs { site, reply: btx }).is_err() {
+            return false;
+        }
+        let Ok(batch) = brx.recv() else { return false };
+        // Response leg.
+        sleep_secs(control_latency_real);
+        pool.refill(batch);
+        true
+    };
+    for msg in rx.iter() {
+        let reply = match msg {
+            MasterMsg::GetJob { reply } => reply,
+            // Completion reports only flow through masters in the TCP
+            // deployment mode; the in-process runtime reports to the head
+            // directly.
+            MasterMsg::Complete { .. } | MasterMsg::Failed { .. } => continue,
+        };
+        let take = loop {
+            match pool.take() {
+                Take::NeedRefill => {
+                    if !refill(&mut pool) {
+                        break Take::Drained; // head gone: shutting down
+                    }
+                    if pool.queued() == 0 && !pool.is_drained() {
+                        // Nothing pending at the head, but in-flight jobs
+                        // may yet fail and be requeued: poll with backoff.
+                        std::thread::sleep(Duration::from_micros(200));
+                    }
+                }
+                other => break other,
+            }
+        };
+        let served_job = matches!(take, Take::Job(_));
+        let _ = reply.send(take);
+        // Low-watermark prefetch happens after replying, so the slave is
+        // already fetching while the head round-trip is in flight.
+        if served_job && pool.needs_refill() {
+            refill(&mut pool);
+        }
+    }
+    pool
+}
+
+/// Where a slave reports job completions and failures: directly to the
+/// head (the in-process runtime) or to its master, which forwards over the
+/// control connection (the TCP deployment mode).
+pub(crate) enum ReportSink<'a> {
+    /// Report straight to the head's channel.
+    Head(&'a Sender<HeadMsg>),
+    /// Report to the site master.
+    Master(&'a Sender<MasterMsg>),
+}
+
+impl ReportSink<'_> {
+    fn complete(&self, job: cloudburst_core::ChunkId, site: SiteId) {
+        match self {
+            ReportSink::Head(tx) => {
+                let _ = tx.send(HeadMsg::Complete { job, site });
+            }
+            ReportSink::Master(tx) => {
+                let _ = tx.send(MasterMsg::Complete { job });
+            }
+        }
+    }
+
+    fn fail(&self, job: cloudburst_core::ChunkId, site: SiteId) {
+        match self {
+            ReportSink::Head(tx) => {
+                let _ = tx.send(HeadMsg::Failed { job, site });
+            }
+            ReportSink::Master(tx) => {
+                let _ = tx.send(MasterMsg::Failed { job });
+            }
+        }
+    }
+}
+
+/// The slave loop: pull a job, retrieve its chunk (local stream or remote
+/// ranged fetch), split into cache-sized unit groups, and fold into the
+/// worker's reduction object.
+pub(crate) fn run_slave<R: Reduction>(
+    app: &R,
+    site: SiteId,
+    master_tx: &Sender<MasterMsg>,
+    reports: &ReportSink<'_>,
+    router: &StoreRouter,
+    config: &RuntimeConfig,
+    epoch: Instant,
+) -> Result<(R::RObj, SlaveStats), RunError> {
+    let mut robj = app.make_robj();
+    let mut stats = SlaveStats::default();
+    let mut items: Vec<R::Item> = Vec::new();
+    loop {
+        let (rtx, rrx) = bounded(1);
+        if master_tx.send(MasterMsg::GetJob { reply: rtx }).is_err() {
+            break;
+        }
+        let Ok(take) = rrx.recv() else { break };
+        let job = match take {
+            Take::Job(j) => j,
+            Take::Drained => break,
+            Take::NeedRefill => unreachable!("master resolves refills internally"),
+        };
+
+        // Whatever goes wrong below — retrieval error or a panic inside the
+        // application's decode/reduce — the in-flight job must be reported
+        // to the head, or its masters would poll for it forever.
+        let fail_job = |e: RunError| -> Result<(), RunError> {
+            reports.fail(job.chunk.id, site);
+            match config.fault_policy {
+                FaultPolicy::FailFast => Err(e),
+                FaultPolicy::Retry { .. } => Ok(()), // head requeues/abandons
+            }
+        };
+
+        let fetch_start = Instant::now();
+        let fetched = match router.fetch(site, &job.chunk) {
+            Ok(f) => f,
+            Err(e) => {
+                fail_job(e)?;
+                continue;
+            }
+        };
+        stats.retrieval += fetch_start.elapsed().as_secs_f64();
+        if fetched.remote {
+            stats.remote_bytes += fetched.bytes.len() as u64;
+        }
+
+        let proc_start = Instant::now();
+        // Under the retry policy, fold the chunk into a scratch object and
+        // merge only on success, so a mid-chunk panic cannot leave a
+        // partially-applied job in the worker's accumulator (the job will
+        // be re-executed elsewhere in full).
+        let isolate = matches!(config.fault_policy, FaultPolicy::Retry { .. });
+        let processed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            items.clear();
+            app.decode(&fetched.bytes, &mut items);
+            if isolate {
+                let mut scratch = app.make_robj();
+                for group in items.chunks(config.unit_group.max(1)) {
+                    app.reduce_group(&mut scratch, group);
+                }
+                Some(scratch)
+            } else {
+                for group in items.chunks(config.unit_group.max(1)) {
+                    app.reduce_group(&mut robj, group);
+                }
+                None
+            }
+        }));
+        match processed {
+            Ok(scratch) => {
+                if let Some(scratch) = scratch {
+                    robj.merge(scratch);
+                }
+            }
+            Err(p) => {
+                // The items buffer may hold garbage from the aborted decode.
+                items.clear();
+                fail_job(RunError::WorkerPanic(panic_msg(&*p)))?;
+                continue;
+            }
+        }
+        stats.processing += proc_start.elapsed().as_secs_f64();
+        stats.jobs += 1;
+
+        reports.complete(job.chunk.id, site);
+    }
+    stats.finish = epoch.elapsed().as_secs_f64();
+    Ok((robj, stats))
+}
+
+fn sleep_secs(secs: f64) {
+    if secs > 0.0 {
+        std::thread::sleep(Duration::from_secs_f64(secs));
+    }
+}
+
+pub(crate) fn panic_msg(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use cloudburst_core::{reduce_serial, LayoutParams};
+    use cloudburst_storage::{fraction_placement, organize};
+
+    /// Units are little-endian u32s; the result is their sum (order-free).
+    struct SumApp;
+
+    #[derive(Debug, PartialEq, Eq)]
+    struct SumObj(u64);
+
+    impl Merge for SumObj {
+        fn merge(&mut self, other: Self) {
+            self.0 += other.0;
+        }
+    }
+    impl ReductionObject for SumObj {
+        fn byte_size(&self) -> usize {
+            8
+        }
+    }
+    impl Reduction for SumApp {
+        type Item = u32;
+        type RObj = SumObj;
+        fn make_robj(&self) -> SumObj {
+            SumObj(0)
+        }
+        fn unit_size(&self) -> usize {
+            4
+        }
+        fn decode(&self, chunk: &[u8], out: &mut Vec<u32>) {
+            out.extend(chunk.chunks_exact(4).map(|b| u32::from_le_bytes(b.try_into().unwrap())));
+        }
+        fn local_reduce(&self, robj: &mut SumObj, item: &u32) {
+            robj.0 += u64::from(*item);
+        }
+    }
+
+    fn dataset(units: u32) -> Bytes {
+        Bytes::from((0..units).flat_map(|i| i.to_le_bytes()).collect::<Vec<_>>())
+    }
+
+    fn setup(
+        units: u32,
+        local_frac: f64,
+        n_files: u32,
+    ) -> (DataIndex, BTreeMap<SiteId, Arc<dyn ChunkStore>>) {
+        let data = dataset(units);
+        let params = LayoutParams { unit_size: 4, units_per_chunk: 64, n_files };
+        let org = organize(&data, params, &mut fraction_placement(local_frac, n_files)).unwrap();
+        let stores: BTreeMap<SiteId, Arc<dyn ChunkStore>> = org
+            .stores
+            .iter()
+            .map(|(&s, st)| (s, Arc::new(st.clone()) as Arc<dyn ChunkStore>))
+            .collect();
+        (org.index, stores)
+    }
+
+    fn fast_config(env: EnvConfig) -> RuntimeConfig {
+        let mut c = RuntimeConfig::new(env, 1e-5);
+        c.fetch = FetchConfig { threads: 2, min_range: 64 };
+        c
+    }
+
+    fn expected_sum(units: u32) -> u64 {
+        (0..units).map(u64::from).sum()
+    }
+
+    #[test]
+    fn hybrid_run_matches_serial_oracle() {
+        let units = 4096;
+        let (index, stores) = setup(units, 0.5, 4);
+        let env = EnvConfig::new("env-50/50", 0.5, 3, 3);
+        let out = run_hybrid(&SumApp, &index, stores, &fast_config(env)).unwrap();
+        assert_eq!(out.result.0, expected_sum(units));
+        assert_eq!(out.report.total_jobs(), index.n_chunks() as u64);
+        assert!(out.report.total_time > 0.0);
+    }
+
+    #[test]
+    fn centralized_local_run_works() {
+        let units = 1024;
+        let (index, stores) = setup(units, 1.0, 2);
+        let env = EnvConfig::new("env-local", 1.0, 4, 0);
+        let out = run_hybrid(&SumApp, &index, stores, &fast_config(env)).unwrap();
+        assert_eq!(out.result.0, expected_sum(units));
+        // Single site, all data local: nothing stolen.
+        assert_eq!(out.report.total_stolen(), 0);
+        assert_eq!(out.report.sites.len(), 1);
+    }
+
+    #[test]
+    fn skewed_data_forces_stealing() {
+        // All data in the cloud, cores on both sides: the local cluster can
+        // only contribute by stealing.
+        let units = 8192;
+        let (index, stores) = setup(units, 0.0, 4);
+        let env = EnvConfig::new("steal", 0.0, 3, 3);
+        let out = run_hybrid(&SumApp, &index, stores, &fast_config(env)).unwrap();
+        assert_eq!(out.result.0, expected_sum(units));
+        let local = &out.report.sites[&SiteId::LOCAL];
+        assert_eq!(local.jobs.local, 0);
+        assert!(local.jobs.stolen > 0, "local cluster must steal cloud jobs");
+        assert!(local.remote_bytes > 0);
+    }
+
+    #[test]
+    fn result_identical_across_environments() {
+        let units = 2048;
+        let serial = {
+            let data = dataset(units);
+            reduce_serial(&SumApp, [data.as_ref()])
+        };
+        for (frac, lc, cc) in [(1.0, 4, 0), (0.0, 0, 4), (0.5, 2, 2), (0.17, 2, 2)] {
+            let (index, stores) = setup(units, frac, 4);
+            let env = EnvConfig::new("x", frac, lc, cc);
+            let out = run_hybrid(&SumApp, &index, stores, &fast_config(env)).unwrap();
+            assert_eq!(out.result, serial, "env ({frac},{lc},{cc}) diverged");
+        }
+    }
+
+    #[test]
+    fn head_accounting_is_consistent() {
+        let units = 2048;
+        let (index, stores) = setup(units, 0.33, 4);
+        let env = EnvConfig::new("x", 0.33, 2, 2);
+        let out = run_hybrid(&SumApp, &index, stores, &fast_config(env)).unwrap();
+        assert_eq!(out.head.completions, index.n_chunks() as u64);
+        let total: u64 = out.head.counts.values().map(|c| c.total()).sum();
+        assert_eq!(total, index.n_chunks() as u64);
+        assert!(out.head.requests > 0);
+    }
+
+    #[test]
+    fn missing_store_fails_before_spawning() {
+        let (index, mut stores) = setup(512, 0.5, 2);
+        stores.remove(&SiteId::CLOUD);
+        let env = EnvConfig::new("x", 0.5, 2, 2);
+        let err = run_hybrid(&SumApp, &index, stores, &fast_config(env)).unwrap_err();
+        assert!(matches!(err, RunError::NoStoreForSite(SiteId::CLOUD)));
+    }
+
+    #[test]
+    fn report_breakdowns_are_populated() {
+        let units = 4096;
+        let (index, stores) = setup(units, 0.5, 4);
+        let env = EnvConfig::new("x", 0.5, 2, 2);
+        let out = run_hybrid(&SumApp, &index, stores, &fast_config(env)).unwrap();
+        for (site, s) in &out.report.sites {
+            assert!(s.finish_time > 0.0, "{site} finish time");
+            assert!(s.breakdown.total() > 0.0, "{site} breakdown");
+            assert!(s.idle >= 0.0);
+        }
+        let b = out.report.overall_breakdown();
+        assert!(b.total() >= out.report.global_reduction);
+    }
+}

@@ -1,0 +1,234 @@
+//! Binary wire format for the head ↔ master control protocol.
+//!
+//! The control plane is small and fixed-shape, so the codec is hand-rolled
+//! little-endian (the workspace ships no serde format crate): one tag byte,
+//! fixed fields, and chunk metadata in the same 30-byte record layout as
+//! the on-disk index. Used by [`crate::net`] to run the protocol over TCP.
+
+use bytes::{Buf, BufMut, BytesMut};
+use cloudburst_core::{ByteSize, ChunkId, ChunkMeta, FileId, JobBatch, SiteId};
+use std::io::{self, ErrorKind, Read, Write};
+
+/// Messages a master sends to the head.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MasterToHead {
+    /// Request a batch of jobs for `site`.
+    Request {
+        /// Requesting site.
+        site: SiteId,
+    },
+    /// Report a completed job.
+    Complete {
+        /// The finished job.
+        job: ChunkId,
+        /// Processing site.
+        site: SiteId,
+    },
+    /// Report a failed job.
+    Failed {
+        /// The failed job.
+        job: ChunkId,
+        /// Reporting site.
+        site: SiteId,
+    },
+    /// Orderly goodbye: the master is done.
+    Bye,
+}
+
+const TAG_REQUEST: u8 = 1;
+const TAG_COMPLETE: u8 = 2;
+const TAG_FAILED: u8 = 3;
+const TAG_BYE: u8 = 4;
+const TAG_GRANT: u8 = 5;
+
+fn err(msg: &str) -> io::Error {
+    io::Error::new(ErrorKind::InvalidData, msg)
+}
+
+/// Encode one master→head message.
+#[must_use]
+pub fn encode_to_head(msg: &MasterToHead) -> Vec<u8> {
+    let mut buf = BytesMut::with_capacity(16);
+    match *msg {
+        MasterToHead::Request { site } => {
+            buf.put_u8(TAG_REQUEST);
+            buf.put_u16_le(site.0);
+        }
+        MasterToHead::Complete { job, site } => {
+            buf.put_u8(TAG_COMPLETE);
+            buf.put_u32_le(job.0);
+            buf.put_u16_le(site.0);
+        }
+        MasterToHead::Failed { job, site } => {
+            buf.put_u8(TAG_FAILED);
+            buf.put_u32_le(job.0);
+            buf.put_u16_le(site.0);
+        }
+        MasterToHead::Bye => buf.put_u8(TAG_BYE),
+    }
+    buf.to_vec()
+}
+
+/// Read one master→head message from a stream. Returns `None` on a clean
+/// EOF before any byte of a message.
+pub fn read_from_master(r: &mut impl Read) -> io::Result<Option<MasterToHead>> {
+    let mut tag = [0u8; 1];
+    match r.read_exact(&mut tag) {
+        Ok(()) => {}
+        Err(e) if e.kind() == ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let msg = match tag[0] {
+        TAG_REQUEST => {
+            let mut b = [0u8; 2];
+            r.read_exact(&mut b)?;
+            MasterToHead::Request { site: SiteId(u16::from_le_bytes(b)) }
+        }
+        TAG_COMPLETE | TAG_FAILED => {
+            let mut b = [0u8; 6];
+            r.read_exact(&mut b)?;
+            let job = ChunkId(u32::from_le_bytes(b[0..4].try_into().expect("job id")));
+            let site = SiteId(u16::from_le_bytes(b[4..6].try_into().expect("site id")));
+            if tag[0] == TAG_COMPLETE {
+                MasterToHead::Complete { job, site }
+            } else {
+                MasterToHead::Failed { job, site }
+            }
+        }
+        TAG_BYE => MasterToHead::Bye,
+        other => return Err(err(&format!("unknown control tag {other}"))),
+    };
+    Ok(Some(msg))
+}
+
+/// Write one master→head message to a stream.
+pub fn write_to_head(w: &mut impl Write, msg: &MasterToHead) -> io::Result<()> {
+    w.write_all(&encode_to_head(msg))?;
+    w.flush()
+}
+
+/// Encode a head→master grant (the reply to `Request`).
+#[must_use]
+pub fn encode_grant(batch: &JobBatch) -> Vec<u8> {
+    let mut buf = BytesMut::with_capacity(8 + batch.jobs.len() * 30);
+    buf.put_u8(TAG_GRANT);
+    buf.put_u8(u8::from(batch.stolen));
+    buf.put_u8(u8::from(batch.terminal));
+    buf.put_u32_le(batch.jobs.len() as u32);
+    for c in &batch.jobs {
+        buf.put_u32_le(c.id.0);
+        buf.put_u32_le(c.file.0);
+        buf.put_u64_le(c.offset);
+        buf.put_u64_le(c.len);
+        buf.put_u64_le(c.n_units);
+        buf.put_u16_le(c.site.0);
+    }
+    buf.to_vec()
+}
+
+/// Write a grant to a stream.
+pub fn write_grant(w: &mut impl Write, batch: &JobBatch) -> io::Result<()> {
+    w.write_all(&encode_grant(batch))?;
+    w.flush()
+}
+
+/// Read a grant from a stream.
+pub fn read_grant(r: &mut impl Read) -> io::Result<JobBatch> {
+    let mut head = [0u8; 7];
+    r.read_exact(&mut head)?;
+    if head[0] != TAG_GRANT {
+        return Err(err(&format!("expected grant, got tag {}", head[0])));
+    }
+    let stolen = head[1] != 0;
+    let terminal = head[2] != 0;
+    let n = u32::from_le_bytes(head[3..7].try_into().expect("count")) as usize;
+    if n > 1 << 20 {
+        return Err(err("grant unreasonably large"));
+    }
+    let mut body = vec![0u8; n * 34];
+    r.read_exact(&mut body)?;
+    let mut buf = body.as_slice();
+    let mut jobs = Vec::with_capacity(n);
+    for _ in 0..n {
+        jobs.push(ChunkMeta {
+            id: ChunkId(buf.get_u32_le()),
+            file: FileId(buf.get_u32_le()),
+            offset: buf.get_u64_le() as ByteSize,
+            len: buf.get_u64_le() as ByteSize,
+            n_units: buf.get_u64_le(),
+            site: SiteId(buf.get_u16_le()),
+        });
+    }
+    Ok(JobBatch { jobs, stolen, terminal })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn chunk(id: u32) -> ChunkMeta {
+        ChunkMeta {
+            id: ChunkId(id),
+            file: FileId(id / 3),
+            offset: u64::from(id) * 128,
+            len: 128,
+            n_units: 16,
+            site: SiteId::CLOUD,
+        }
+    }
+
+    #[test]
+    fn control_messages_roundtrip() {
+        let msgs = [
+            MasterToHead::Request { site: SiteId::CLOUD },
+            MasterToHead::Complete { job: ChunkId(42), site: SiteId::LOCAL },
+            MasterToHead::Failed { job: ChunkId(7), site: SiteId(3) },
+            MasterToHead::Bye,
+        ];
+        let mut stream = Vec::new();
+        for m in &msgs {
+            stream.extend(encode_to_head(m));
+        }
+        let mut cursor = Cursor::new(stream);
+        for m in &msgs {
+            assert_eq!(read_from_master(&mut cursor).unwrap(), Some(*m));
+        }
+        assert_eq!(read_from_master(&mut cursor).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn grants_roundtrip() {
+        for (n, stolen, terminal) in [(0usize, false, true), (1, true, false), (5, false, false)] {
+            let batch = JobBatch {
+                jobs: (0..n as u32).map(chunk).collect(),
+                stolen,
+                terminal,
+            };
+            let mut cursor = Cursor::new(encode_grant(&batch));
+            assert_eq!(read_grant(&mut cursor).unwrap(), batch);
+        }
+    }
+
+    #[test]
+    fn truncated_grant_errors() {
+        let batch = JobBatch { jobs: vec![chunk(1), chunk(2)], stolen: false, terminal: false };
+        let bytes = encode_grant(&batch);
+        for cut in [0, 3, 8, bytes.len() - 1] {
+            let mut cursor = Cursor::new(&bytes[..cut]);
+            assert!(read_grant(&mut cursor).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn unknown_tag_is_rejected() {
+        let mut cursor = Cursor::new(vec![0xFFu8]);
+        assert!(read_from_master(&mut cursor).is_err());
+        let cursor = Cursor::new(vec![TAG_REQUEST, 0, 0]);
+        // A request where a grant is expected:
+        let bytes = cursor.get_ref().clone();
+        let mut c2 = Cursor::new(bytes);
+        assert!(read_grant(&mut c2).is_err());
+        let _ = cursor;
+    }
+}

@@ -1,0 +1,156 @@
+//! Define a Generalized Reduction application from plain closures — the
+//! quickest way to put a one-off analysis on the framework without writing
+//! a struct and trait impl.
+//!
+//! ```
+//! use cloudburst_core::closure::from_fns;
+//! use cloudburst_core::combiners::Sum;
+//! use cloudburst_core::reduce_serial;
+//!
+//! // Sum all little-endian u32 records.
+//! let app = from_fns(
+//!     4,
+//!     || Sum(0u64),
+//!     |chunk, out: &mut Vec<u32>| {
+//!         out.extend(chunk.chunks_exact(4).map(|b| u32::from_le_bytes(b.try_into().unwrap())));
+//!     },
+//!     |acc, item| acc.0 += u64::from(*item),
+//! );
+//! let bytes: Vec<u8> = [1u32, 2, 3].iter().flat_map(|v| v.to_le_bytes()).collect();
+//! assert_eq!(reduce_serial(&app, [bytes.as_slice()]).0, 6);
+//! ```
+
+use crate::reduction::{Reduction, ReductionObject};
+
+/// A [`Reduction`] assembled from closures. Build with [`from_fns`].
+pub struct FnReduction<Item, RObj, Make, Decode, Reduce> {
+    unit_size: usize,
+    make: Make,
+    decode: Decode,
+    reduce: Reduce,
+    _marker: std::marker::PhantomData<fn() -> (Item, RObj)>,
+}
+
+/// Assemble a [`Reduction`] from its three moving parts: a reduction-object
+/// constructor, a chunk decoder, and the `proc(e)` step.
+///
+/// All closures must be `Send + Sync` (they are shared across worker
+/// threads) and the item/robj types follow the usual framework bounds.
+pub fn from_fns<Item, RObj, Make, Decode, Reduce>(
+    unit_size: usize,
+    make: Make,
+    decode: Decode,
+    reduce: Reduce,
+) -> FnReduction<Item, RObj, Make, Decode, Reduce>
+where
+    Item: Send,
+    RObj: ReductionObject,
+    Make: Fn() -> RObj + Send + Sync,
+    Decode: Fn(&[u8], &mut Vec<Item>) + Send + Sync,
+    Reduce: Fn(&mut RObj, &Item) + Send + Sync,
+{
+    assert!(unit_size > 0, "unit size must be non-zero");
+    FnReduction { unit_size, make, decode, reduce, _marker: std::marker::PhantomData }
+}
+
+impl<Item, RObj, Make, Decode, Reduce> Reduction for FnReduction<Item, RObj, Make, Decode, Reduce>
+where
+    Item: Send,
+    RObj: ReductionObject,
+    Make: Fn() -> RObj + Send + Sync,
+    Decode: Fn(&[u8], &mut Vec<Item>) + Send + Sync,
+    Reduce: Fn(&mut RObj, &Item) + Send + Sync,
+{
+    type Item = Item;
+    type RObj = RObj;
+
+    fn make_robj(&self) -> RObj {
+        (self.make)()
+    }
+
+    fn unit_size(&self) -> usize {
+        self.unit_size
+    }
+
+    fn decode(&self, chunk: &[u8], out: &mut Vec<Item>) {
+        (self.decode)(chunk, out);
+    }
+
+    fn local_reduce(&self, robj: &mut RObj, item: &Item) {
+        (self.reduce)(robj, item);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::combiners::{Count, Histogram, MinMax};
+    use crate::reduction::{global_reduce, reduce_serial};
+
+    fn f32_records(vals: &[f32]) -> Vec<u8> {
+        vals.iter().flat_map(|v| v.to_le_bytes()).collect()
+    }
+
+    fn decode_f32(chunk: &[u8], out: &mut Vec<f32>) {
+        out.extend(chunk.chunks_exact(4).map(|b| f32::from_le_bytes(b.try_into().unwrap())));
+    }
+
+    #[test]
+    fn closure_app_counts_records() {
+        let app = from_fns(4, || Count(0), decode_f32, |c: &mut Count, _| c.bump());
+        let data = f32_records(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(reduce_serial(&app, [data.as_slice()]).0, 5);
+    }
+
+    #[test]
+    fn closure_app_composes_with_combiners() {
+        let app = from_fns(
+            4,
+            || (MinMax::default(), Histogram::new(0.0, 10.0, 5)),
+            decode_f32,
+            |(mm, h): &mut (MinMax<f32>, Histogram), &v| {
+                mm.observe(v);
+                h.observe(f64::from(v));
+            },
+        );
+        let data = f32_records(&[1.0, 9.0, 4.0, 4.5]);
+        let robj = reduce_serial(&app, [data.as_slice()]);
+        assert_eq!(robj.0.min, Some(1.0));
+        assert_eq!(robj.0.max, Some(9.0));
+        assert_eq!(robj.1.total(), 4);
+    }
+
+    #[test]
+    fn closure_app_split_merge_matches_serial() {
+        let app = from_fns(4, || Count(0), decode_f32, |c: &mut Count, _| c.bump());
+        let data = f32_records(&[0.0; 64]);
+        let whole = reduce_serial(&app, [data.as_slice()]);
+        let a = reduce_serial(&app, [&data[..128]]);
+        let b = reduce_serial(&app, [&data[128..]]);
+        assert_eq!(global_reduce([a, b]).unwrap(), whole);
+    }
+
+    #[test]
+    fn closure_app_runs_on_worker_threads() {
+        // The Send + Sync bounds must actually hold for scoped threads.
+        let app = from_fns(4, || Count(0), decode_f32, |c: &mut Count, _| c.bump());
+        let data = f32_records(&[0.0; 100]);
+        let halves: Vec<&[u8]> = data.chunks(200).collect();
+        let counts: Vec<Count> = std::thread::scope(|s| {
+            halves
+                .iter()
+                .map(|chunk| s.spawn(|| reduce_serial(&app, [*chunk])))
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        assert_eq!(global_reduce(counts).unwrap().0, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_unit_size_rejected() {
+        let _ = from_fns(0, || Count(0), decode_f32, |c: &mut Count, _| c.bump());
+    }
+}

@@ -1,0 +1,184 @@
+//! Environment configurations — the five setups of the paper's evaluation
+//! (§IV-B) plus the scalability sweep (§IV-C).
+//!
+//! | Env        | Data (local/S3) | Cores (local/cloud)          |
+//! |------------|-----------------|------------------------------|
+//! | env-local  | 100% / 0%       | 32 / 0                       |
+//! | env-cloud  | 0% / 100%       | 0 / 32 (44 for kmeans)       |
+//! | env-50/50  | 50% / 50%       | 16 / 16 (22 for kmeans)      |
+//! | env-33/67  | 33% / 67%       | 16 / 16 (22 for kmeans)      |
+//! | env-17/83  | 17% / 83%       | 16 / 16 (22 for kmeans)      |
+//!
+//! k-means gets extra cloud cores because one EC2 core delivers less compute
+//! than one cluster core; the paper empirically equalized aggregate
+//! throughput ("22 cores resulted in a more equal comparison with 16 cluster
+//! nodes due to the compute intensive nature of kmeans").
+
+use crate::types::SiteId;
+use serde::{Deserialize, Serialize};
+
+/// Resources and data placement for one experiment environment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnvConfig {
+    /// Display label, e.g. `env-33/67`.
+    pub name: String,
+    /// Fraction of the dataset hosted at the local cluster (the rest is in
+    /// cloud storage).
+    pub local_data_fraction: f64,
+    /// Worker cores at the local cluster.
+    pub local_cores: u32,
+    /// Worker cores at the cloud.
+    pub cloud_cores: u32,
+}
+
+impl EnvConfig {
+    /// # Panics
+    /// Panics if the fraction is outside `[0, 1]` or no cores are given.
+    #[must_use]
+    pub fn new(name: &str, local_data_fraction: f64, local_cores: u32, cloud_cores: u32) -> EnvConfig {
+        assert!(
+            (0.0..=1.0).contains(&local_data_fraction),
+            "data fraction must be within [0, 1]"
+        );
+        assert!(local_cores + cloud_cores > 0, "need at least one core");
+        EnvConfig { name: name.to_owned(), local_data_fraction, local_cores, cloud_cores }
+    }
+
+    /// Cores at `site`.
+    #[must_use]
+    pub fn cores_at(&self, site: SiteId) -> u32 {
+        match site {
+            SiteId::LOCAL => self.local_cores,
+            SiteId::CLOUD => self.cloud_cores,
+            _ => 0,
+        }
+    }
+
+    /// Total cores across sites.
+    #[must_use]
+    pub fn total_cores(&self) -> u32 {
+        self.local_cores + self.cloud_cores
+    }
+
+    /// Sites that have at least one core.
+    #[must_use]
+    pub fn active_sites(&self) -> Vec<SiteId> {
+        let mut v = Vec::new();
+        if self.local_cores > 0 {
+            v.push(SiteId::LOCAL);
+        }
+        if self.cloud_cores > 0 {
+            v.push(SiteId::CLOUD);
+        }
+        v
+    }
+
+    /// True when compute spans both sites (a genuine cloud-bursting run).
+    #[must_use]
+    pub fn is_hybrid(&self) -> bool {
+        self.local_cores > 0 && self.cloud_cores > 0
+    }
+}
+
+/// The five environments of §IV-B for an application that splits cores
+/// evenly (knn, pagerank): hybrid envs get `(half, half)` cores.
+#[must_use]
+pub fn paper_envs_even(total_cores: u32) -> Vec<EnvConfig> {
+    let half = total_cores / 2;
+    vec![
+        EnvConfig::new("env-local", 1.0, total_cores, 0),
+        EnvConfig::new("env-cloud", 0.0, 0, total_cores),
+        EnvConfig::new("env-50/50", 0.50, half, half),
+        EnvConfig::new("env-33/67", 0.33, half, half),
+        EnvConfig::new("env-17/83", 0.17, half, half),
+    ]
+}
+
+/// The five environments for kmeans: the cloud side gets
+/// `cloud_equalized` cores (paper: 44 centralized / 22 hybrid vs 32/16
+/// cluster cores) to equalize aggregate throughput.
+#[must_use]
+pub fn paper_envs_kmeans(local_total: u32, cloud_equalized: u32) -> Vec<EnvConfig> {
+    let lh = local_total / 2;
+    let ch = cloud_equalized / 2;
+    vec![
+        EnvConfig::new("env-local", 1.0, local_total, 0),
+        EnvConfig::new("env-cloud", 0.0, 0, cloud_equalized),
+        EnvConfig::new("env-50/50", 0.50, lh, ch),
+        EnvConfig::new("env-33/67", 0.33, lh, ch),
+        EnvConfig::new("env-17/83", 0.17, lh, ch),
+    ]
+}
+
+/// The scalability sweep of §IV-C: all data in cloud storage, `(m, m)`
+/// cores for each `m` in `steps`.
+#[must_use]
+pub fn scalability_envs(steps: &[u32]) -> Vec<EnvConfig> {
+    steps
+        .iter()
+        .map(|&m| EnvConfig::new(&format!("({m},{m})"), 0.0, m, m))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_envs_have_expected_shapes() {
+        let envs = paper_envs_even(32);
+        assert_eq!(envs.len(), 5);
+        assert_eq!(envs[0].cores_at(SiteId::LOCAL), 32);
+        assert_eq!(envs[0].cores_at(SiteId::CLOUD), 0);
+        assert!(!envs[0].is_hybrid());
+        assert!(envs[2].is_hybrid());
+        assert_eq!(envs[2].local_cores, 16);
+        assert_eq!(envs[4].local_data_fraction, 0.17);
+        assert!(envs.iter().skip(2).all(|e| e.total_cores() == 32));
+    }
+
+    #[test]
+    fn kmeans_envs_equalize_cloud_cores() {
+        let envs = paper_envs_kmeans(32, 44);
+        assert_eq!(envs[1].cloud_cores, 44);
+        assert_eq!(envs[2].local_cores, 16);
+        assert_eq!(envs[2].cloud_cores, 22);
+    }
+
+    #[test]
+    fn scalability_envs_put_all_data_in_cloud() {
+        let envs = scalability_envs(&[4, 8, 16, 32]);
+        assert_eq!(envs.len(), 4);
+        assert!(envs.iter().all(|e| e.local_data_fraction == 0.0));
+        assert_eq!(envs[3].name, "(32,32)");
+        assert_eq!(envs[3].total_cores(), 64);
+    }
+
+    #[test]
+    fn active_sites_reflect_core_placement() {
+        assert_eq!(
+            EnvConfig::new("x", 1.0, 4, 0).active_sites(),
+            vec![SiteId::LOCAL]
+        );
+        assert_eq!(
+            EnvConfig::new("x", 0.0, 0, 4).active_sites(),
+            vec![SiteId::CLOUD]
+        );
+        assert_eq!(
+            EnvConfig::new("x", 0.5, 4, 4).active_sites(),
+            vec![SiteId::LOCAL, SiteId::CLOUD]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "within [0, 1]")]
+    fn rejects_bad_fraction() {
+        let _ = EnvConfig::new("bad", 1.5, 1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn rejects_zero_cores() {
+        let _ = EnvConfig::new("bad", 0.5, 0, 0);
+    }
+}

@@ -1,0 +1,48 @@
+//! # cloudburst-core
+//!
+//! The core of **cloudburst**, a framework for data-intensive computing with
+//! cloud bursting — a Rust reproduction of Bicer, Chiu & Agrawal (SC 2011).
+//!
+//! This crate holds everything both runtimes (the threaded
+//! `cloudburst-cluster` runtime and the paper-scale discrete-event simulator
+//! in `cloudburst-sim`) share:
+//!
+//! * the **Generalized Reduction** programming model ([`reduction`]) — a
+//!   MapReduce variant that fuses map, combine and reduce into a single
+//!   `proc(e)` step over a mergeable *reduction object*, avoiding the
+//!   intermediate-pair memory, sorting, grouping and shuffling costs of
+//!   classic MapReduce;
+//! * the ready-made accumulator library ([`combiners`]) and the
+//!   closure-based application builder ([`closure`]);
+//! * the **files → chunks → units** data-organization model ([`layout`],
+//!   [`index`]);
+//! * the head node's global **job pool** with locality-aware consecutive
+//!   batching and inter-cluster **work stealing** ([`pool`]), and the
+//!   per-site master pool ([`master`]);
+//! * the experiment **environment configurations** ([`config`]) and the
+//!   **statistics model** matching the paper's figures and tables
+//!   ([`stats`]).
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod closure;
+pub mod combiners;
+pub mod config;
+pub mod index;
+pub mod layout;
+pub mod master;
+pub mod pool;
+pub mod reduction;
+pub mod stats;
+pub mod types;
+
+pub use closure::{from_fns, FnReduction};
+pub use config::EnvConfig;
+pub use index::DataIndex;
+pub use layout::{ChunkMeta, FileMeta, LayoutParams};
+pub use master::{LocalJob, MasterPool, Take};
+pub use pool::{BatchPolicy, JobBatch, JobPool, SiteJobCounts};
+pub use reduction::{global_reduce, reduce_serial, Merge, Reduction, ReductionObject};
+pub use stats::{doubling_efficiency, Breakdown, RunReport, SiteStats};
+pub use types::{ByteSize, ChunkId, FileId, JobId, NodeId, Seconds, SiteId};

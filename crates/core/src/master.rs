@@ -1,0 +1,214 @@
+//! The per-site master's local job pool (paper §III-B).
+//!
+//! "The master monitors the cluster's job pool, and when it senses that it is
+//! depleted, it will request a new group of jobs from the head. After the
+//! master receives the set of jobs, they are added into the pool, and
+//! assigned to the requesting slaves individually."
+//!
+//! Like [`crate::pool::JobPool`], this is pure logic: the threaded runtime
+//! wraps it in a mutex and performs the actual head RPC; the simulator drives
+//! it directly and charges virtual time for the RPC.
+
+use crate::layout::ChunkMeta;
+use crate::pool::JobBatch;
+use crate::types::SiteId;
+use std::collections::VecDeque;
+
+/// One job as held by a master: the chunk plus whether it was stolen from a
+/// remote site (and therefore needs remote retrieval).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LocalJob {
+    /// The chunk to retrieve and process.
+    pub chunk: ChunkMeta,
+    /// True when the chunk's home site is not this master's site.
+    pub stolen: bool,
+}
+
+/// State of a [`MasterPool::take`] request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Take {
+    /// A job to process.
+    Job(LocalJob),
+    /// Pool empty but the head may still have jobs: the caller must refill.
+    NeedRefill,
+    /// The head has confirmed there is no work left anywhere.
+    Drained,
+}
+
+/// The master's site-local pool of granted-but-unprocessed jobs.
+#[derive(Debug, Clone)]
+pub struct MasterPool {
+    site: SiteId,
+    queue: VecDeque<LocalJob>,
+    /// Request a refill when the queue shrinks to this many jobs, so slaves
+    /// rarely block on the head round-trip.
+    low_watermark: usize,
+    /// Set when the head returned an empty batch: no more work exists.
+    drained: bool,
+    /// Refill requests issued (control-traffic accounting).
+    refills: u64,
+    /// Jobs handed to slaves.
+    dispatched: u64,
+}
+
+impl MasterPool {
+    /// An empty pool for `site` that asks for more work once its queue
+    /// shrinks to `low_watermark` jobs.
+    #[must_use]
+    pub fn new(site: SiteId, low_watermark: usize) -> MasterPool {
+        MasterPool {
+            site,
+            queue: VecDeque::new(),
+            low_watermark,
+            drained: false,
+            refills: 0,
+            dispatched: 0,
+        }
+    }
+
+    /// The site this master manages.
+    #[must_use]
+    pub fn site(&self) -> SiteId {
+        self.site
+    }
+
+    /// Jobs currently queued at this master.
+    #[must_use]
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the pool is at or below its low watermark and has not yet been
+    /// told the head is empty. The runtime should issue a head request when
+    /// this returns true.
+    #[must_use]
+    pub fn needs_refill(&self) -> bool {
+        !self.drained && self.queue.len() <= self.low_watermark
+    }
+
+    /// Add a batch granted by the head.
+    ///
+    /// An empty **terminal** batch marks the pool as drained: the head has
+    /// guaranteed no work will ever appear again. An empty *non*-terminal
+    /// batch leaves the pool as-is — in-flight jobs elsewhere may still fail
+    /// and be requeued, so the caller should poll again after a short
+    /// backoff.
+    pub fn refill(&mut self, batch: JobBatch) {
+        self.refills += 1;
+        if batch.is_empty() {
+            if batch.terminal {
+                self.drained = true;
+            }
+            return;
+        }
+        for chunk in batch.jobs {
+            self.queue.push_back(LocalJob { chunk, stolen: batch.stolen });
+        }
+    }
+
+    /// Hand the next job to a slave.
+    pub fn take(&mut self) -> Take {
+        if let Some(job) = self.queue.pop_front() {
+            self.dispatched += 1;
+            return Take::Job(job);
+        }
+        if self.drained {
+            Take::Drained
+        } else {
+            Take::NeedRefill
+        }
+    }
+
+    /// True once the head reported no remaining work **and** the local queue
+    /// has been fully handed out.
+    #[must_use]
+    pub fn is_drained(&self) -> bool {
+        self.drained && self.queue.is_empty()
+    }
+
+    /// Number of head refill requests issued so far.
+    #[must_use]
+    pub fn refill_count(&self) -> u64 {
+        self.refills
+    }
+
+    /// Number of jobs dispatched to slaves so far.
+    #[must_use]
+    pub fn dispatched(&self) -> u64 {
+        self.dispatched
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::DataIndex;
+    use crate::layout::LayoutParams;
+
+    fn some_batch(n: u64, stolen: bool) -> JobBatch {
+        let idx = DataIndex::build(
+            n * 2,
+            LayoutParams { unit_size: 1, units_per_chunk: 2, n_files: 1 },
+            |_| SiteId::CLOUD,
+        )
+        .unwrap();
+        JobBatch { jobs: idx.chunks.clone(), stolen, terminal: false }
+    }
+
+    #[test]
+    fn empty_pool_requests_refill_then_serves() {
+        let mut mp = MasterPool::new(SiteId::LOCAL, 1);
+        assert_eq!(mp.take(), Take::NeedRefill);
+        mp.refill(some_batch(3, false));
+        assert!(matches!(mp.take(), Take::Job(j) if !j.stolen));
+        assert_eq!(mp.queued(), 2);
+        assert_eq!(mp.dispatched(), 1);
+    }
+
+    #[test]
+    fn stolen_flag_propagates_to_jobs() {
+        let mut mp = MasterPool::new(SiteId::LOCAL, 0);
+        mp.refill(some_batch(1, true));
+        assert!(matches!(mp.take(), Take::Job(j) if j.stolen));
+    }
+
+    #[test]
+    fn low_watermark_triggers_early_refill() {
+        let mut mp = MasterPool::new(SiteId::LOCAL, 2);
+        mp.refill(some_batch(4, false));
+        assert!(!mp.needs_refill());
+        let _ = mp.take();
+        let _ = mp.take(); // 2 left == watermark
+        assert!(mp.needs_refill());
+    }
+
+    #[test]
+    fn empty_refill_drains_pool() {
+        let mut mp = MasterPool::new(SiteId::CLOUD, 0);
+        mp.refill(some_batch(1, false));
+        mp.refill(JobBatch::empty(true));
+        assert!(!mp.is_drained(), "queued job still to be handed out");
+        assert!(matches!(mp.take(), Take::Job(_)));
+        assert_eq!(mp.take(), Take::Drained);
+        assert!(mp.is_drained());
+        assert!(!mp.needs_refill(), "drained pool must not request refills");
+    }
+
+    #[test]
+    fn empty_nonterminal_refill_does_not_drain() {
+        let mut mp = MasterPool::new(SiteId::LOCAL, 0);
+        mp.refill(JobBatch::empty(false));
+        assert!(!mp.is_drained());
+        assert_eq!(mp.take(), Take::NeedRefill, "must keep polling");
+        mp.refill(JobBatch::empty(true));
+        assert_eq!(mp.take(), Take::Drained);
+    }
+
+    #[test]
+    fn refill_count_tracks_requests() {
+        let mut mp = MasterPool::new(SiteId::LOCAL, 0);
+        mp.refill(some_batch(1, false));
+        mp.refill(some_batch(1, false));
+        assert_eq!(mp.refill_count(), 2);
+    }
+}

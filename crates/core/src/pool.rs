@@ -1,0 +1,695 @@
+//! The global job pool and the head node's assignment policy (paper §III-B).
+//!
+//! One job corresponds to one chunk. Masters request *batches* of jobs on
+//! demand; the head grants:
+//!
+//! 1. **Local jobs first** — a group of *consecutive* jobs from a file hosted
+//!    at the requesting site, "because it allows the compute units to
+//!    sequentially read jobs from the files".
+//! 2. **Remote jobs ("job stealing") once local jobs are exhausted** — chosen
+//!    "from files which the minimum number of nodes are currently
+//!    processing", minimizing file contention between clusters.
+//!
+//! The pool is pure single-threaded logic: the threaded runtime wraps it in a
+//! mutex, the discrete-event simulator drives it directly. This guarantees
+//! both runtimes execute the *same* policy.
+
+use crate::index::DataIndex;
+use crate::layout::ChunkMeta;
+use crate::types::{ChunkId, FileId, SiteId};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Largest batch ever granted for cross-site (stolen) jobs.
+pub const STEAL_BATCH_MAX: usize = 2;
+
+/// Lifecycle of one job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum JobState {
+    Pending,
+    Assigned(SiteId),
+    Done(SiteId),
+    /// Permanently given up after exhausting retry attempts.
+    Abandoned,
+}
+
+/// A batch of jobs granted to one site.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobBatch {
+    /// Chunks to process, in physical (sequential-read) order.
+    pub jobs: Vec<ChunkMeta>,
+    /// True when the jobs' home site differs from the processing site.
+    pub stolen: bool,
+    /// True when the head guarantees no further work will ever appear:
+    /// every job is finished or permanently abandoned. An empty,
+    /// *non*-terminal batch means "nothing right now, but in-flight jobs
+    /// could still fail and be requeued — poll again".
+    pub terminal: bool,
+}
+
+impl JobBatch {
+    /// An empty batch with the given terminal flag.
+    #[must_use]
+    pub fn empty(terminal: bool) -> JobBatch {
+        JobBatch { jobs: Vec::new(), stolen: false, terminal }
+    }
+}
+
+impl JobBatch {
+    /// True when the batch grants no jobs.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Number of jobs granted.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+}
+
+/// How many jobs to grant per request.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum BatchPolicy {
+    /// Always grant up to `n` jobs.
+    Fixed(usize),
+    /// Grant `pending / (divisor)` jobs, clamped to `[min, max]`. Large
+    /// batches early (sequential reads, low control traffic), small batches
+    /// near the end (fine-grained balancing, bounded idle tail).
+    Adaptive {
+        /// Pending-count divisor.
+        divisor: usize,
+        /// Smallest batch ever granted.
+        min: usize,
+        /// Largest batch ever granted.
+        max: usize,
+    },
+}
+
+impl BatchPolicy {
+    /// Paper-like default: adaptive with a tail of single jobs.
+    #[must_use]
+    pub fn default_adaptive(n_sites: usize) -> BatchPolicy {
+        BatchPolicy::Adaptive { divisor: 4 * n_sites.max(1), min: 1, max: 8 }
+    }
+
+    /// Number of jobs to grant given the current pending count.
+    #[must_use]
+    pub fn batch_size(&self, pending: usize) -> usize {
+        match *self {
+            BatchPolicy::Fixed(n) => n.max(1),
+            BatchPolicy::Adaptive { divisor, min, max } => {
+                (pending / divisor.max(1)).clamp(min.max(1), max.max(1))
+            }
+        }
+    }
+}
+
+/// Per-site bookkeeping the pool maintains for reporting (Table I).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SiteJobCounts {
+    /// Jobs this site processed whose data was hosted at the site.
+    pub local: u64,
+    /// Jobs this site processed whose data had to be fetched remotely.
+    pub stolen: u64,
+}
+
+impl SiteJobCounts {
+    /// Total jobs this site processed.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.local + self.stolen
+    }
+}
+
+/// The head node's global job pool.
+#[derive(Debug, Clone)]
+pub struct JobPool {
+    chunks: Vec<ChunkMeta>,
+    state: Vec<JobState>,
+    /// Pending chunks per file, front = lowest id (physical order).
+    pending_by_file: Vec<VecDeque<ChunkId>>,
+    file_site: Vec<SiteId>,
+    /// Jobs from each file currently assigned (in flight). This is the
+    /// "number of nodes currently processing" signal of the heuristic.
+    readers: Vec<u32>,
+    pending_total: usize,
+    done_total: usize,
+    batch_policy: BatchPolicy,
+    counts: BTreeMap<SiteId, SiteJobCounts>,
+    /// Estimated end-to-end cost (seconds) for each site to process one
+    /// *stolen* job: remote retrieval plus processing. Zero disables the
+    /// rate-aware steal condition for that site.
+    steal_cost: BTreeMap<SiteId, f64>,
+    /// Completions per site, for online processing-rate estimation.
+    rate_completed: BTreeMap<SiteId, u64>,
+    /// Latest timestamp observed from callers (seconds since run start).
+    now: f64,
+    /// Per-job processing attempts (for fault-tolerant requeueing).
+    attempts: Vec<u8>,
+    /// Attempts after which a failing job is abandoned.
+    max_attempts: u8,
+    /// Jobs permanently abandoned.
+    abandoned_total: usize,
+    /// Failures reported per site.
+    failures: BTreeMap<SiteId, u64>,
+    /// Jobs currently assigned to each processing site.
+    assigned_to: BTreeMap<SiteId, usize>,
+}
+
+impl JobPool {
+    /// Build the pool from a data index ("the head node ... reads the index
+    /// file in order to generate the job pool").
+    #[must_use]
+    pub fn from_index(index: &DataIndex, batch_policy: BatchPolicy) -> JobPool {
+        let n_files = index.files.len();
+        let mut pending_by_file = vec![VecDeque::new(); n_files];
+        for c in &index.chunks {
+            pending_by_file[c.file.0 as usize].push_back(c.id);
+        }
+        JobPool {
+            chunks: index.chunks.clone(),
+            state: vec![JobState::Pending; index.chunks.len()],
+            pending_by_file,
+            file_site: index.files.iter().map(|f| f.site).collect(),
+            readers: vec![0; n_files],
+            pending_total: index.chunks.len(),
+            done_total: 0,
+            batch_policy,
+            counts: BTreeMap::new(),
+            steal_cost: BTreeMap::new(),
+            rate_completed: BTreeMap::new(),
+            now: 0.0,
+            attempts: vec![0; index.chunks.len()],
+            max_attempts: 3,
+            abandoned_total: 0,
+            failures: BTreeMap::new(),
+            assigned_to: BTreeMap::new(),
+        }
+    }
+
+    /// Set how many processing attempts a job gets before being abandoned
+    /// (default 3; minimum 1).
+    pub fn set_max_attempts(&mut self, n: u8) {
+        self.max_attempts = n.max(1);
+    }
+
+    /// Enable rate-aware stealing for `site` (paper abstract: "Our
+    /// middleware considers the rate of processing together with
+    /// distribution of data to decide on the optimal processing of data").
+    ///
+    /// `cost` is the estimated end-to-end seconds for `site` to fetch and
+    /// process one stolen job. A steal is granted only while the data-local
+    /// site's backlog would take longer than `cost` to drain at its observed
+    /// processing rate — otherwise stealing a tail job over the slow
+    /// inter-site path finishes *later* than simply letting the owner drain.
+    pub fn set_steal_cost(&mut self, site: SiteId, cost: f64) {
+        self.steal_cost.insert(site, cost);
+    }
+
+    /// Total number of jobs.
+    #[must_use]
+    pub fn n_jobs(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Jobs not yet assigned.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.pending_total
+    }
+
+    /// Jobs fully processed.
+    #[must_use]
+    pub fn completed(&self) -> usize {
+        self.done_total
+    }
+
+    /// True when every job has been processed or permanently abandoned.
+    #[must_use]
+    pub fn all_done(&self) -> bool {
+        self.done_total + self.abandoned_total == self.chunks.len()
+    }
+
+    /// Jobs currently assigned but neither completed nor failed.
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.chunks.len() - self.pending_total - self.done_total - self.abandoned_total
+    }
+
+    /// Jobs permanently abandoned after exhausting their attempts.
+    #[must_use]
+    pub fn abandoned(&self) -> usize {
+        self.abandoned_total
+    }
+
+    /// Failure reports per site.
+    #[must_use]
+    pub fn failure_counts(&self) -> &BTreeMap<SiteId, u64> {
+        &self.failures
+    }
+
+    /// The empty grant, terminal only when no work can ever appear again.
+    fn empty_grant(&self) -> JobBatch {
+        JobBatch::empty(self.all_done())
+    }
+
+    /// True when the pool still has unassigned jobs hosted at `site`.
+    #[must_use]
+    pub fn has_local_pending(&self, site: SiteId) -> bool {
+        self.pending_by_file
+            .iter()
+            .zip(&self.file_site)
+            .any(|(q, &s)| s == site && !q.is_empty())
+    }
+
+    /// Per-site processed/stolen counts (Table I data).
+    #[must_use]
+    pub fn site_counts(&self) -> &BTreeMap<SiteId, SiteJobCounts> {
+        &self.counts
+    }
+
+    /// Handle a master's job request: grant a batch for `site`, or an empty
+    /// batch when no pending jobs remain anywhere (or stealing would not
+    /// pay off).
+    pub fn request(&mut self, site: SiteId) -> JobBatch {
+        let want = self.batch_policy.batch_size(self.pending_total);
+        // Phase 1: local jobs, consecutive within one file.
+        if let Some(file) = self.pick_local_file(site) {
+            return self.grant_from_file(file, want, false);
+        }
+        // Phase 2: steal from the remote file with the fewest readers.
+        // Stolen jobs ride the slow inter-site path, so grants are kept
+        // fine-grained: a site that over-commits to remote retrieval would
+        // starve the (faster) data-local site of its own pending jobs.
+        if let Some(file) = self.pick_steal_file(site) {
+            if self.steal_pays_off(site, self.file_site[file.0 as usize]) {
+                return self.grant_from_file(file, want.min(STEAL_BATCH_MAX), true);
+            }
+        }
+        self.empty_grant()
+    }
+
+    /// Report that `site` failed to process `job` (retrieval error, worker
+    /// crash). The job returns to the pending pool for reassignment — to any
+    /// site — unless it has exhausted its attempts, in which case it is
+    /// permanently abandoned. Returns `true` when the job was requeued.
+    ///
+    /// # Panics
+    /// Panics if the job was not assigned to `site`.
+    pub fn fail(&mut self, job: ChunkId, site: SiteId) -> bool {
+        let i = job.0 as usize;
+        assert_eq!(
+            self.state[i],
+            JobState::Assigned(site),
+            "{job} failed by {site} but not assigned to it"
+        );
+        let file = self.chunks[i].file.0 as usize;
+        self.readers[file] -= 1;
+        *self.assigned_to.entry(site).or_insert(1) -= 1;
+        *self.failures.entry(site).or_insert(0) += 1;
+        self.attempts[i] += 1;
+        if self.attempts[i] >= self.max_attempts {
+            self.state[i] = JobState::Abandoned;
+            self.abandoned_total += 1;
+            return false;
+        }
+        self.state[i] = JobState::Pending;
+        self.pending_total += 1;
+        // Re-insert in physical order so consecutive-batch grants stay
+        // consecutive.
+        let q = &mut self.pending_by_file[file];
+        let pos = q.partition_point(|&c| c < job);
+        q.insert(pos, job);
+        true
+    }
+
+    /// The rate-aware steal condition: worth stealing only while the owner
+    /// site's pending backlog outlasts the thief's end-to-end steal cost.
+    fn steal_pays_off(&self, thief: SiteId, owner: SiteId) -> bool {
+        let cost = self.steal_cost.get(&thief).copied().unwrap_or(0.0);
+        if cost <= 0.0 || self.now <= 0.0 {
+            return true; // rate awareness disabled or no signal yet
+        }
+        let done = self.rate_completed.get(&owner).copied().unwrap_or(0);
+        if done == 0 {
+            return true; // owner rate unknown; assume stealing helps
+        }
+        let rate = done as f64 / self.now;
+        let pending: usize = self
+            .pending_by_file
+            .iter()
+            .zip(&self.file_site)
+            .filter(|(_, &s)| s == owner)
+            .map(|(q, _)| q.len())
+            .sum();
+        // The owner's true remaining work also includes its in-flight jobs
+        // (half-done on average); ignoring them makes the estimate stop
+        // stealing too early and strands the thief idle over the tail.
+        let in_flight = self.assigned_to.get(&owner).copied().unwrap_or(0);
+        let backlog = pending as f64 + 0.5 * in_flight as f64;
+        backlog / rate > cost
+    }
+
+    /// [`JobPool::request`] with the caller's clock, feeding the online
+    /// rate estimator. Both runtimes use this form; `request_for` is the
+    /// rate-blind wrapper.
+    pub fn request_for_at(&mut self, site: SiteId, now: f64) -> JobBatch {
+        self.now = self.now.max(now);
+        self.request_for(site)
+    }
+
+    /// [`JobPool::complete`] with the caller's clock.
+    pub fn complete_at(&mut self, job: ChunkId, site: SiteId, now: f64) {
+        self.now = self.now.max(now);
+        *self.rate_completed.entry(site).or_insert(0) += 1;
+        self.complete(job, site);
+    }
+
+    /// Mark one job finished. `site` is the site that processed it.
+    ///
+    /// # Panics
+    /// Panics if the job was not assigned to `site` — a protocol violation.
+    pub fn complete(&mut self, job: ChunkId, site: SiteId) {
+        let i = job.0 as usize;
+        assert_eq!(
+            self.state[i],
+            JobState::Assigned(site),
+            "{job} completed by {site} but not assigned to it"
+        );
+        self.state[i] = JobState::Done(site);
+        self.done_total += 1;
+        let file = self.chunks[i].file.0 as usize;
+        self.readers[file] -= 1;
+        *self.assigned_to.entry(site).or_insert(1) -= 1;
+        let entry = self.counts.entry(site).or_default();
+        if self.chunks[i].site == site {
+            entry.local += 1;
+        } else {
+            entry.stolen += 1;
+        }
+    }
+
+    /// Local file to serve next: the site's file with the most pending jobs,
+    /// preferring files already being read by someone (keeps streams long),
+    /// tie-broken by file id for determinism.
+    fn pick_local_file(&self, site: SiteId) -> Option<FileId> {
+        self.pending_by_file
+            .iter()
+            .enumerate()
+            .filter(|(f, q)| self.file_site[*f] == site && !q.is_empty())
+            .max_by_key(|(f, q)| (q.len(), std::cmp::Reverse(*f)))
+            .map(|(f, _)| FileId(f as u32))
+    }
+
+    /// Remote file to steal from: fewest current readers, then most pending,
+    /// then lowest id ("chosen from files which the minimum number of nodes
+    /// are currently processing").
+    fn pick_steal_file(&self, site: SiteId) -> Option<FileId> {
+        self.pending_by_file
+            .iter()
+            .enumerate()
+            .filter(|(f, q)| self.file_site[*f] != site && !q.is_empty())
+            .min_by_key(|(f, q)| (self.readers[*f], std::cmp::Reverse(q.len()), *f))
+            .map(|(f, _)| FileId(f as u32))
+    }
+
+    /// Grant up to `want` *consecutive* jobs from the front of `file`'s
+    /// pending queue.
+    fn grant_from_file(&mut self, file: FileId, want: usize, stolen: bool) -> JobBatch {
+        let q = &mut self.pending_by_file[file.0 as usize];
+        let mut jobs = Vec::with_capacity(want.min(q.len()));
+        while jobs.len() < want {
+            let Some(id) = q.front().copied() else { break };
+            // Keep the run physically consecutive: stop at a gap.
+            if let Some(last) = jobs.last() {
+                let last: &ChunkMeta = last;
+                if id != last.id.next() {
+                    break;
+                }
+            }
+            q.pop_front();
+            jobs.push(self.chunks[id.0 as usize]);
+        }
+        JobBatch { jobs, stolen, terminal: false }
+    }
+
+    /// Record that `batch` is now owned by `site`. Split from `request` so
+    /// the policy methods stay pure; `request_for` combines both.
+    fn assign_to(&mut self, batch: &JobBatch, site: SiteId) {
+        for j in &batch.jobs {
+            let i = j.id.0 as usize;
+            debug_assert_eq!(self.state[i], JobState::Pending);
+            self.state[i] = JobState::Assigned(site);
+            self.readers[j.file.0 as usize] += 1;
+            self.pending_total -= 1;
+            *self.assigned_to.entry(site).or_insert(0) += 1;
+        }
+    }
+
+    /// Request a batch for `site` and record the assignment.
+    pub fn request_for(&mut self, site: SiteId) -> JobBatch {
+        let batch = self.request(site);
+        self.assign_to(&batch, site);
+        batch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::LayoutParams;
+
+    fn index(n_files: u32, chunks_per_file: u64, split: impl Fn(FileId) -> SiteId) -> DataIndex {
+        let upc = 4;
+        let total = u64::from(n_files) * chunks_per_file * upc;
+        DataIndex::build(
+            total,
+            LayoutParams { unit_size: 8, units_per_chunk: upc, n_files },
+            split,
+        )
+        .unwrap()
+    }
+
+    fn half_split(f: FileId) -> SiteId {
+        if f.0 < 2 { SiteId::LOCAL } else { SiteId::CLOUD }
+    }
+
+    #[test]
+    fn grants_local_jobs_first() {
+        let idx = index(4, 3, half_split);
+        let mut pool = JobPool::from_index(&idx, BatchPolicy::Fixed(2));
+        let b = pool.request_for(SiteId::LOCAL);
+        assert!(!b.stolen);
+        assert!(b.jobs.iter().all(|c| c.site == SiteId::LOCAL));
+    }
+
+    #[test]
+    fn batches_are_consecutive_chunks_of_one_file() {
+        let idx = index(2, 6, |_| SiteId::LOCAL);
+        let mut pool = JobPool::from_index(&idx, BatchPolicy::Fixed(4));
+        let b = pool.request_for(SiteId::LOCAL);
+        assert_eq!(b.len(), 4);
+        let file = b.jobs[0].file;
+        for w in b.jobs.windows(2) {
+            assert_eq!(w[0].file, file);
+            assert_eq!(w[1].id, w[0].id.next());
+            assert_eq!(w[1].offset, w[0].end());
+        }
+    }
+
+    #[test]
+    fn steals_only_after_local_exhausted() {
+        let idx = index(2, 2, |f| if f.0 == 0 { SiteId::LOCAL } else { SiteId::CLOUD });
+        let mut pool = JobPool::from_index(&idx, BatchPolicy::Fixed(2));
+        let b1 = pool.request_for(SiteId::LOCAL);
+        assert!(!b1.stolen);
+        assert_eq!(b1.len(), 2);
+        let b2 = pool.request_for(SiteId::LOCAL);
+        assert!(b2.stolen, "local jobs exhausted; must steal");
+        assert!(b2.jobs.iter().all(|c| c.site == SiteId::CLOUD));
+    }
+
+    #[test]
+    fn steal_prefers_file_with_fewest_readers() {
+        // Two cloud files; the cloud site is actively reading file2.
+        let idx = index(4, 2, half_split); // files 0,1 local; 2,3 cloud
+        let mut pool = JobPool::from_index(&idx, BatchPolicy::Fixed(1));
+        // Cloud takes one job -> becomes a reader of one of its files.
+        let cb = pool.request_for(SiteId::CLOUD);
+        let busy_file = cb.jobs[0].file;
+        // Drain local jobs.
+        while pool.has_local_pending(SiteId::LOCAL) {
+            let b = pool.request_for(SiteId::LOCAL);
+            for j in &b.jobs {
+                pool.complete(j.id, SiteId::LOCAL);
+            }
+        }
+        // First steal must avoid the file the cloud is reading.
+        let sb = pool.request_for(SiteId::LOCAL);
+        assert!(sb.stolen);
+        assert_ne!(sb.jobs[0].file, busy_file);
+    }
+
+    #[test]
+    fn every_job_processed_exactly_once_two_sites() {
+        let idx = index(4, 3, half_split);
+        let mut pool = JobPool::from_index(&idx, BatchPolicy::Fixed(2));
+        let mut turn = 0;
+        let sites = [SiteId::LOCAL, SiteId::CLOUD];
+        let mut seen = vec![0u32; idx.n_chunks()];
+        while !pool.all_done() {
+            let site = sites[turn % 2];
+            turn += 1;
+            let b = pool.request_for(site);
+            for j in &b.jobs {
+                seen[j.id.0 as usize] += 1;
+                pool.complete(j.id, site);
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1));
+        let counts = pool.site_counts();
+        let total: u64 = counts.values().map(SiteJobCounts::total).sum();
+        assert_eq!(total, idx.n_chunks() as u64);
+    }
+
+    #[test]
+    fn stolen_counts_match_remote_processing() {
+        // All data on the cloud; the local site processes everything.
+        let idx = index(2, 4, |_| SiteId::CLOUD);
+        let mut pool = JobPool::from_index(&idx, BatchPolicy::Fixed(3));
+        while !pool.all_done() {
+            let b = pool.request_for(SiteId::LOCAL);
+            assert!(b.stolen);
+            for j in &b.jobs {
+                pool.complete(j.id, SiteId::LOCAL);
+            }
+        }
+        let c = pool.site_counts()[&SiteId::LOCAL];
+        assert_eq!(c.local, 0);
+        assert_eq!(c.stolen, 8);
+    }
+
+    #[test]
+    fn empty_batch_when_drained() {
+        let idx = index(1, 1, |_| SiteId::LOCAL);
+        let mut pool = JobPool::from_index(&idx, BatchPolicy::Fixed(8));
+        let b = pool.request_for(SiteId::LOCAL);
+        assert_eq!(b.len(), 1);
+        let b2 = pool.request_for(SiteId::LOCAL);
+        assert!(b2.is_empty());
+        let b3 = pool.request_for(SiteId::CLOUD);
+        assert!(b3.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "not assigned")]
+    fn completing_unassigned_job_panics() {
+        let idx = index(1, 2, |_| SiteId::LOCAL);
+        let mut pool = JobPool::from_index(&idx, BatchPolicy::Fixed(1));
+        pool.complete(ChunkId(0), SiteId::LOCAL);
+    }
+
+    #[test]
+    fn adaptive_batches_shrink_toward_tail() {
+        let p = BatchPolicy::Adaptive { divisor: 8, min: 1, max: 8 };
+        assert_eq!(p.batch_size(96), 8);
+        assert_eq!(p.batch_size(32), 4);
+        assert_eq!(p.batch_size(8), 1);
+        assert_eq!(p.batch_size(0), 1);
+    }
+
+    #[test]
+    fn fixed_policy_never_grants_zero() {
+        assert_eq!(BatchPolicy::Fixed(0).batch_size(10), 1);
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use crate::index::DataIndex;
+    use crate::layout::LayoutParams;
+
+    fn pool(n_chunks: u64, max_attempts: u8) -> JobPool {
+        let idx = DataIndex::build(
+            n_chunks * 2,
+            LayoutParams { unit_size: 1, units_per_chunk: 2, n_files: 2 },
+            |_| SiteId::LOCAL,
+        )
+        .unwrap();
+        let mut p = JobPool::from_index(&idx, BatchPolicy::Fixed(2));
+        p.set_max_attempts(max_attempts);
+        p
+    }
+
+    #[test]
+    fn failed_job_is_requeued_and_completes_later() {
+        let mut p = pool(4, 3);
+        let b = p.request_for(SiteId::LOCAL);
+        let victim = b.jobs[0].id;
+        assert!(p.fail(victim, SiteId::LOCAL), "first failure requeues");
+        assert_eq!(p.in_flight(), b.len() - 1);
+        for j in &b.jobs[1..] {
+            p.complete(j.id, SiteId::LOCAL);
+        }
+        // Drain the rest; the victim must come back.
+        let mut saw_victim = false;
+        while !p.all_done() {
+            let b = p.request_for(SiteId::CLOUD);
+            for j in &b.jobs {
+                saw_victim |= j.id == victim;
+                p.complete(j.id, SiteId::CLOUD);
+            }
+        }
+        assert!(saw_victim, "requeued job must be granted again");
+        assert_eq!(p.abandoned(), 0);
+        assert_eq!(p.failure_counts()[&SiteId::LOCAL], 1);
+    }
+
+    #[test]
+    fn requeued_job_keeps_physical_order() {
+        let mut p = pool(4, 5);
+        let b = p.request_for(SiteId::LOCAL);
+        // Fail both; they go back in id order regardless of failure order.
+        assert!(p.fail(b.jobs[1].id, SiteId::LOCAL));
+        assert!(p.fail(b.jobs[0].id, SiteId::LOCAL));
+        let again = p.request_for(SiteId::LOCAL);
+        assert!(again.jobs.windows(2).all(|w| w[1].id == w[0].id.next()));
+    }
+
+    #[test]
+    fn exhausted_attempts_abandon_the_job() {
+        let mut p = pool(1, 2);
+        for round in 0..2 {
+            let b = p.request_for(SiteId::LOCAL);
+            assert_eq!(b.len(), 1, "round {round}");
+            let requeued = p.fail(b.jobs[0].id, SiteId::LOCAL);
+            assert_eq!(requeued, round == 0);
+        }
+        assert!(p.all_done(), "abandoned jobs count toward completion");
+        assert_eq!(p.abandoned(), 1);
+        assert!(p.request_for(SiteId::LOCAL).terminal);
+    }
+
+    #[test]
+    fn empty_grant_is_nonterminal_while_jobs_in_flight() {
+        let mut p = pool(1, 3);
+        let b = p.request_for(SiteId::LOCAL);
+        assert_eq!(b.len(), 1);
+        // Nothing pending, but the job is in flight: not terminal.
+        let empty = p.request_for(SiteId::CLOUD);
+        assert!(empty.is_empty());
+        assert!(!empty.terminal, "in-flight job could still fail and requeue");
+        p.complete(b.jobs[0].id, SiteId::LOCAL);
+        assert!(p.request_for(SiteId::CLOUD).terminal);
+    }
+
+    #[test]
+    #[should_panic(expected = "not assigned")]
+    fn failing_unassigned_job_panics() {
+        let mut p = pool(2, 3);
+        p.fail(ChunkId(0), SiteId::LOCAL);
+    }
+}

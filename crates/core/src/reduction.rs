@@ -1,0 +1,191 @@
+//! The Generalized Reduction programming model (paper §III-A).
+//!
+//! The API has two phases:
+//!
+//! * **Local reduction** — `proc(e)`: each data element is processed and
+//!   folded into the *reduction object* immediately, before the next element
+//!   is touched. Map, combine, and reduce are fused, so no intermediate
+//!   `(key, value)` pairs are materialized, sorted, grouped, or shuffled.
+//! * **Global reduction** — after all elements are processed, the reduction
+//!   objects from all workers/sites are merged (an all-to-all collective or a
+//!   user-defined function) into the final result.
+//!
+//! Correctness contract (paper): "The result of this processing must be
+//! independent of the order in which data elements are processed" — i.e.
+//! [`Merge`] must be commutative and associative with respect to
+//! `local_reduce`, and the property tests in this workspace check exactly
+//! that for every shipped application and combiner.
+
+use crate::types::Seconds;
+
+/// Pairwise combination of two partial results — the global-reduction step.
+///
+/// Implementations must be **associative** and **commutative** up to the
+/// application's notion of equivalence, or the final result would depend on
+/// the nondeterministic processing order.
+pub trait Merge {
+    /// Fold `other` into `self`.
+    fn merge(&mut self, other: Self);
+}
+
+/// An accumulator for generalized reduction.
+///
+/// "This data structure is designed by the application developer. However,
+/// memory allocation and access operations to this object are managed by the
+/// middleware for efficiency."
+pub trait ReductionObject: Merge + Send + 'static {
+    /// Size of the object when transferred between sites, in bytes. Used to
+    /// charge the inter-cluster link during global reduction (the paper's
+    /// pagerank robj is ~3 MB and dominates its sync time).
+    fn byte_size(&self) -> usize;
+}
+
+/// A data-analysis application written against the Generalized Reduction API.
+///
+/// Applications provide: the reduction object, how to decode a chunk of raw
+/// bytes into data units, and the `proc(e)` local reduction. The runtime
+/// owns everything else: chunk retrieval, cache-sized unit grouping, worker
+/// scheduling, and the global reduction.
+pub trait Reduction: Send + Sync {
+    /// One decoded data unit (the smallest atomically processed element).
+    type Item: Send;
+    /// The accumulator type.
+    type RObj: ReductionObject;
+
+    /// A fresh, empty reduction object ("initially declared by the
+    /// programmer"; allocated by the middleware per worker).
+    fn make_robj(&self) -> Self::RObj;
+
+    /// Size in bytes of one encoded data unit.
+    fn unit_size(&self) -> usize;
+
+    /// Decode a chunk's raw bytes into data units, appending to `out`.
+    /// `chunk.len()` is always a multiple of [`Reduction::unit_size`].
+    fn decode(&self, chunk: &[u8], out: &mut Vec<Self::Item>);
+
+    /// `proc(e)`: process one data element and fold it into `robj`.
+    fn local_reduce(&self, robj: &mut Self::RObj, item: &Self::Item);
+
+    /// Process a cache-sized group of units. The default folds items one by
+    /// one; applications may override for vectorized inner loops.
+    fn reduce_group(&self, robj: &mut Self::RObj, items: &[Self::Item]) {
+        for item in items {
+            self.local_reduce(robj, item);
+        }
+    }
+
+    /// Optional cost-model hint: seconds of compute per unit on a reference
+    /// core. Used only by the paper-scale simulator; the threaded runtime
+    /// measures real time. `None` means "calibrate by measurement".
+    fn compute_hint(&self) -> Option<Seconds> {
+        None
+    }
+}
+
+/// Sequentially process a whole dataset (all chunks, in order) on one core —
+/// the reference oracle used by tests and the centralized baseline.
+pub fn reduce_serial<R: Reduction>(app: &R, chunks: impl IntoIterator<Item = impl AsRef<[u8]>>) -> R::RObj {
+    let mut robj = app.make_robj();
+    let mut items = Vec::new();
+    for chunk in chunks {
+        items.clear();
+        app.decode(chunk.as_ref(), &mut items);
+        app.reduce_group(&mut robj, &items);
+    }
+    robj
+}
+
+/// Merge an iterator of partial reduction objects into one (the global
+/// reduction collective). Returns `None` for an empty iterator.
+pub fn global_reduce<R: ReductionObject>(parts: impl IntoIterator<Item = R>) -> Option<R> {
+    let mut iter = parts.into_iter();
+    let mut acc = iter.next()?;
+    for part in iter {
+        acc.merge(part);
+    }
+    Some(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimal app: units are little-endian u32s, robj is their sum.
+    struct SumApp;
+
+    #[derive(Debug, PartialEq, Eq)]
+    struct SumObj(u64);
+
+    impl Merge for SumObj {
+        fn merge(&mut self, other: Self) {
+            self.0 += other.0;
+        }
+    }
+    impl ReductionObject for SumObj {
+        fn byte_size(&self) -> usize {
+            8
+        }
+    }
+    impl Reduction for SumApp {
+        type Item = u32;
+        type RObj = SumObj;
+        fn make_robj(&self) -> SumObj {
+            SumObj(0)
+        }
+        fn unit_size(&self) -> usize {
+            4
+        }
+        fn decode(&self, chunk: &[u8], out: &mut Vec<u32>) {
+            out.extend(chunk.chunks_exact(4).map(|b| u32::from_le_bytes(b.try_into().unwrap())));
+        }
+        fn local_reduce(&self, robj: &mut SumObj, item: &u32) {
+            robj.0 += u64::from(*item);
+        }
+    }
+
+    fn encode(vals: &[u32]) -> Vec<u8> {
+        vals.iter().flat_map(|v| v.to_le_bytes()).collect()
+    }
+
+    #[test]
+    fn serial_reduction_sums_all_chunks() {
+        let chunks = [encode(&[1, 2, 3]), encode(&[10, 20])];
+        let robj = reduce_serial(&SumApp, &chunks);
+        assert_eq!(robj, SumObj(36));
+    }
+
+    #[test]
+    fn global_reduce_merges_partials() {
+        let merged = global_reduce([SumObj(5), SumObj(7), SumObj(1)]).unwrap();
+        assert_eq!(merged, SumObj(13));
+    }
+
+    #[test]
+    fn global_reduce_of_nothing_is_none() {
+        assert!(global_reduce(std::iter::empty::<SumObj>()).is_none());
+    }
+
+    #[test]
+    fn split_processing_equals_serial() {
+        // Process the same units in two partitions and merge: must equal the
+        // one-pass result (the order-independence contract).
+        let all = [3u32, 1, 4, 1, 5, 9, 2, 6];
+        let serial = reduce_serial(&SumApp, [encode(&all)]);
+        let a = reduce_serial(&SumApp, [encode(&all[..3])]);
+        let b = reduce_serial(&SumApp, [encode(&all[3..])]);
+        let merged = global_reduce([a, b]).unwrap();
+        assert_eq!(serial, merged);
+    }
+
+    #[test]
+    fn reduce_group_default_matches_item_loop() {
+        let app = SumApp;
+        let mut g = app.make_robj();
+        app.reduce_group(&mut g, &[1, 2, 3, 4]);
+        let mut s = app.make_robj();
+        for i in [1u32, 2, 3, 4] {
+            app.local_reduce(&mut s, &i);
+        }
+        assert_eq!(g, s);
+    }
+}

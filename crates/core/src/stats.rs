@@ -1,0 +1,220 @@
+//! Execution statistics in the exact shape the paper reports.
+//!
+//! Figures 3 and 4 decompose overall execution time into **processing**,
+//! **data retrieval**, and **sync**; Table II additionally reports the
+//! **global reduction** time, per-site **idle** time, and the **total
+//! slowdown** vs. the centralized baseline; Table I reports per-site job
+//! counts including stolen jobs.
+
+use crate::pool::SiteJobCounts;
+use crate::types::{Seconds, SiteId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::ops::AddAssign;
+
+/// Stacked-bar decomposition of one site's (or one run's) execution time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Breakdown {
+    /// Time spent in the reduction layer (`proc(e)` over unit groups).
+    pub processing: Seconds,
+    /// Time spent reading/retrieving chunks (local disk or remote store).
+    pub retrieval: Seconds,
+    /// Barrier wait + reduction-object exchange + waiting for the other
+    /// cluster to finish ("sync. time" in the figures).
+    pub sync: Seconds,
+}
+
+impl Breakdown {
+    /// Total execution time represented by this breakdown.
+    #[must_use]
+    pub fn total(&self) -> Seconds {
+        self.processing + self.retrieval + self.sync
+    }
+
+    /// Fraction of total time spent in sync (paper quotes e.g. "0.1% to
+    /// 0.3%" for knn scalability).
+    #[must_use]
+    pub fn sync_fraction(&self) -> f64 {
+        let t = self.total();
+        if t > 0.0 {
+            self.sync / t
+        } else {
+            0.0
+        }
+    }
+}
+
+impl AddAssign for Breakdown {
+    fn add_assign(&mut self, rhs: Self) {
+        self.processing += rhs.processing;
+        self.retrieval += rhs.retrieval;
+        self.sync += rhs.sync;
+    }
+}
+
+/// Everything measured for one site during one run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SiteStats {
+    /// Per-core-averaged breakdown for the site's stacked bar.
+    pub breakdown: Breakdown,
+    /// Wall-clock (or virtual) time from start until the site finished its
+    /// last job and local combination.
+    pub finish_time: Seconds,
+    /// Time the site idled at the end waiting for the other cluster
+    /// (Table II "Idle Time").
+    pub idle: Seconds,
+    /// Jobs processed, split into local vs stolen (Table I).
+    pub jobs: SiteJobCounts,
+    /// Bytes fetched from remote storage by this site's workers.
+    pub remote_bytes: u64,
+}
+
+/// The complete result record for one run — one bar of Fig. 3/4 plus its
+/// rows in Tables I and II.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Label of the environment configuration (e.g. `env-33/67`).
+    pub env: String,
+    /// Per-site statistics.
+    pub sites: BTreeMap<SiteId, SiteStats>,
+    /// Elapsed time of the global reduction phase (Table II).
+    pub global_reduction: Seconds,
+    /// End-to-end execution time.
+    pub total_time: Seconds,
+}
+
+impl RunReport {
+    /// The overall stacked-bar breakdown: the maximum-finishing site's bar
+    /// plus the global reduction folded into sync, which is how the paper's
+    /// figures present a run.
+    #[must_use]
+    pub fn overall_breakdown(&self) -> Breakdown {
+        let mut b = self
+            .sites
+            .values()
+            .max_by(|a, b| a.finish_time.total_cmp(&b.finish_time))
+            .map(|s| s.breakdown)
+            .unwrap_or_default();
+        b.sync += self.global_reduction;
+        b
+    }
+
+    /// Total slowdown of this run relative to a baseline run (Table II),
+    /// in seconds: `self.total_time - baseline.total_time`.
+    #[must_use]
+    pub fn slowdown_vs(&self, baseline: &RunReport) -> Seconds {
+        self.total_time - baseline.total_time
+    }
+
+    /// Slowdown as a fraction of the baseline total (paper: "the ratios of
+    /// total slowdown with respect to the total execution times are 1.7%,
+    /// 15.4% and 45.9%...").
+    #[must_use]
+    pub fn slowdown_ratio_vs(&self, baseline: &RunReport) -> f64 {
+        if baseline.total_time > 0.0 {
+            (self.total_time - baseline.total_time) / baseline.total_time
+        } else {
+            0.0
+        }
+    }
+
+    /// Total jobs processed across sites.
+    #[must_use]
+    pub fn total_jobs(&self) -> u64 {
+        self.sites.values().map(|s| s.jobs.total()).sum()
+    }
+
+    /// Total stolen jobs across sites.
+    #[must_use]
+    pub fn total_stolen(&self) -> u64 {
+        self.sites.values().map(|s| s.jobs.stolen).sum()
+    }
+}
+
+/// Scaling efficiency between a run on `n` cores and a run on `2n` cores:
+/// `t_n / (2 * t_2n)`. A value of 1.0 is perfect linear scaling; the paper
+/// reports an average of 81% per core-doubling.
+#[must_use]
+pub fn doubling_efficiency(t_small: Seconds, t_double: Seconds) -> f64 {
+    if t_double > 0.0 {
+        t_small / (2.0 * t_double)
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(finish: Seconds, proc_: Seconds, retr: Seconds, sync: Seconds) -> SiteStats {
+        SiteStats {
+            breakdown: Breakdown { processing: proc_, retrieval: retr, sync },
+            finish_time: finish,
+            ..SiteStats::default()
+        }
+    }
+
+    #[test]
+    fn breakdown_total_and_sync_fraction() {
+        let b = Breakdown { processing: 6.0, retrieval: 3.0, sync: 1.0 };
+        assert_eq!(b.total(), 10.0);
+        assert!((b.sync_fraction() - 0.1).abs() < 1e-12);
+        assert_eq!(Breakdown::default().sync_fraction(), 0.0);
+    }
+
+    #[test]
+    fn breakdown_add_assign_accumulates() {
+        let mut a = Breakdown { processing: 1.0, retrieval: 2.0, sync: 3.0 };
+        a += Breakdown { processing: 0.5, retrieval: 0.5, sync: 0.5 };
+        assert_eq!(a.total(), 7.5);
+    }
+
+    #[test]
+    fn overall_breakdown_uses_slowest_site_plus_global_reduction() {
+        let mut r = RunReport { global_reduction: 2.0, ..RunReport::default() };
+        r.sites.insert(SiteId::LOCAL, stats(10.0, 7.0, 2.0, 1.0));
+        r.sites.insert(SiteId::CLOUD, stats(12.0, 5.0, 6.0, 1.0));
+        let b = r.overall_breakdown();
+        assert_eq!(b.processing, 5.0); // cloud site finished last
+        assert_eq!(b.sync, 3.0); // 1.0 + global reduction
+    }
+
+    #[test]
+    fn slowdown_ratio_matches_definition() {
+        let base = RunReport { total_time: 100.0, ..RunReport::default() };
+        let run = RunReport { total_time: 115.5, ..RunReport::default() };
+        assert!((run.slowdown_vs(&base) - 15.5).abs() < 1e-12);
+        assert!((run.slowdown_ratio_vs(&base) - 0.155).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slowdown_ratio_of_zero_baseline_is_zero() {
+        let base = RunReport::default();
+        let run = RunReport { total_time: 5.0, ..RunReport::default() };
+        assert_eq!(run.slowdown_ratio_vs(&base), 0.0);
+    }
+
+    #[test]
+    fn job_totals_aggregate_sites() {
+        let mut r = RunReport::default();
+        r.sites.insert(
+            SiteId::LOCAL,
+            SiteStats { jobs: SiteJobCounts { local: 48, stolen: 9 }, ..SiteStats::default() },
+        );
+        r.sites.insert(
+            SiteId::CLOUD,
+            SiteStats { jobs: SiteJobCounts { local: 39, stolen: 0 }, ..SiteStats::default() },
+        );
+        assert_eq!(r.total_jobs(), 96);
+        assert_eq!(r.total_stolen(), 9);
+    }
+
+    #[test]
+    fn doubling_efficiency_is_one_for_perfect_scaling() {
+        assert!((doubling_efficiency(10.0, 5.0) - 1.0).abs() < 1e-12);
+        // 81% efficiency: doubling cores gives 1.62x speedup.
+        assert!((doubling_efficiency(10.0, 10.0 / 1.62) - 0.81).abs() < 1e-12);
+        assert_eq!(doubling_efficiency(10.0, 0.0), 0.0);
+    }
+}

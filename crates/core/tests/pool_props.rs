@@ -1,0 +1,123 @@
+//! Property tests for the job pool: under *any* interleaving of requests
+//! from any mixture of sites, every job is granted exactly once, completed
+//! exactly once, batches are physically consecutive, and stealing only
+//! happens when the requester has no local pending jobs.
+
+use cloudburst_core::{BatchPolicy, DataIndex, JobPool, LayoutParams, SiteId};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn arb_index() -> impl Strategy<Value = DataIndex> {
+    (1u32..8, 1u64..6, 1u64..5, 0.0f64..=1.0).prop_map(|(n_files, cpf, upc, frac)| {
+        let total = u64::from(n_files) * cpf * upc;
+        let n_local = (frac * f64::from(n_files)).round() as u32;
+        DataIndex::build(
+            total,
+            LayoutParams { unit_size: 4, units_per_chunk: upc, n_files },
+            |f| if f.0 < n_local { SiteId::LOCAL } else { SiteId::CLOUD },
+        )
+        .expect("valid index")
+    })
+}
+
+proptest! {
+    #[test]
+    fn every_job_granted_and_completed_exactly_once(
+        index in arb_index(),
+        order in prop::collection::vec(prop::bool::ANY, 0..200),
+        batch in 1usize..6,
+    ) {
+        let mut pool = JobPool::from_index(&index, BatchPolicy::Fixed(batch));
+        let mut seen = vec![0u32; index.n_chunks()];
+        let mut i = 0;
+        // Interleave requests from the two sites per the random order; when
+        // the random stream runs out, round-robin until done.
+        while !pool.all_done() {
+            let site = if *order.get(i).unwrap_or(&(i % 2 == 0)) {
+                SiteId::LOCAL
+            } else {
+                SiteId::CLOUD
+            };
+            i += 1;
+            let b = pool.request_for(site);
+            if b.is_empty() {
+                // Nothing pending: only legal when all jobs are assigned.
+                prop_assert_eq!(pool.pending(), 0);
+                // Avoid spinning forever if the pool is waiting on
+                // completions of the other site's in-flight jobs.
+            }
+            for j in &b.jobs {
+                seen[j.id.0 as usize] += 1;
+                pool.complete(j.id, site);
+            }
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1), "grants: {seen:?}");
+        let total: u64 = pool.site_counts().values().map(|c| c.total()).sum();
+        prop_assert_eq!(total, index.n_chunks() as u64);
+    }
+
+    #[test]
+    fn batches_are_consecutive_within_one_file(
+        index in arb_index(),
+        batch in 1usize..8,
+    ) {
+        let mut pool = JobPool::from_index(&index, BatchPolicy::Fixed(batch));
+        while !pool.all_done() {
+            let b = pool.request_for(SiteId::LOCAL);
+            for w in b.jobs.windows(2) {
+                prop_assert_eq!(w[0].file, w[1].file);
+                prop_assert_eq!(w[1].id, w[0].id.next());
+                prop_assert_eq!(w[1].offset, w[0].end());
+            }
+            for j in &b.jobs {
+                pool.complete(j.id, SiteId::LOCAL);
+            }
+        }
+    }
+
+    #[test]
+    fn stealing_only_after_local_exhaustion(
+        index in arb_index(),
+        batch in 1usize..6,
+    ) {
+        let mut pool = JobPool::from_index(&index, BatchPolicy::Fixed(batch));
+        let mut local_pending: BTreeSet<u32> = index
+            .chunks
+            .iter()
+            .filter(|c| c.site == SiteId::LOCAL)
+            .map(|c| c.id.0)
+            .collect();
+        while !pool.all_done() {
+            let b = pool.request_for(SiteId::LOCAL);
+            if b.stolen {
+                prop_assert!(
+                    local_pending.is_empty(),
+                    "stole while local jobs pending: {local_pending:?}"
+                );
+            }
+            for j in &b.jobs {
+                local_pending.remove(&j.id.0);
+                pool.complete(j.id, SiteId::LOCAL);
+            }
+        }
+    }
+
+    #[test]
+    fn counts_split_local_vs_stolen_correctly(
+        index in arb_index(),
+    ) {
+        let n_local_chunks =
+            index.chunks.iter().filter(|c| c.site == SiteId::LOCAL).count() as u64;
+        let mut pool = JobPool::from_index(&index, BatchPolicy::Fixed(2));
+        // The local site processes everything.
+        while !pool.all_done() {
+            let b = pool.request_for(SiteId::LOCAL);
+            for j in &b.jobs {
+                pool.complete(j.id, SiteId::LOCAL);
+            }
+        }
+        let c = pool.site_counts()[&SiteId::LOCAL];
+        prop_assert_eq!(c.local, n_local_chunks);
+        prop_assert_eq!(c.stolen, index.n_chunks() as u64 - n_local_chunks);
+    }
+}

@@ -1,0 +1,25 @@
+//! # cloudburst-des
+//!
+//! A small deterministic discrete-event simulation engine: virtual time
+//! ([`time`]), a future-event list with FIFO tie-breaking ([`queue`]),
+//! contended resources with FIFO queueing plus summary statistics
+//! ([`resource`]), and activity timelines with utilization curves and text
+//! Gantt charts ([`trace`]).
+//!
+//! `cloudburst-sim` builds the paper-scale cloud-bursting scenario on top of
+//! this engine, replaying the *same* scheduling-policy objects the threaded
+//! runtime uses, so simulated schedules are the real schedules under a cost
+//! model rather than a re-implementation.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod queue;
+pub mod resource;
+pub mod time;
+pub mod trace;
+
+pub use queue::EventQueue;
+pub use trace::{Span, Timeline};
+pub use resource::{Grant, Servers, Tally};
+pub use time::SimTime;

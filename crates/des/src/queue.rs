@@ -1,0 +1,179 @@
+//! The event queue: a priority queue over `(SimTime, sequence)` with FIFO
+//! tie-breaking, which makes every simulation a deterministic function of
+//! its inputs.
+
+use crate::time::SimTime;
+use std::cmp::{Ordering, Reverse};
+use std::collections::BinaryHeap;
+
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.at.cmp(&other.at).then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// A deterministic future-event list.
+///
+/// Events scheduled for the same instant are delivered in scheduling order.
+/// Popping advances the queue's clock; scheduling into the past is a logic
+/// error and panics.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue at time zero.
+    #[must_use]
+    pub fn new() -> EventQueue<E> {
+        EventQueue { heap: BinaryHeap::new(), seq: 0, now: SimTime::ZERO }
+    }
+
+    /// Current virtual time (the timestamp of the last popped event).
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is before the current time.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        assert!(at >= self.now, "cannot schedule into the past ({at} < {})", self.now);
+        self.heap.push(Reverse(Entry { at, seq: self.seq, event }));
+        self.seq += 1;
+    }
+
+    /// Schedule `event` after a non-negative `delay` from now.
+    pub fn schedule_in(&mut self, delay: f64, event: E) {
+        let at = self.now + delay;
+        self.schedule(at, event);
+    }
+
+    /// Pop the earliest event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let Reverse(e) = self.heap.pop()?;
+        debug_assert!(e.at >= self.now, "event queue went backwards");
+        self.now = e.at;
+        Some((e.at, e.event))
+    }
+
+    /// Timestamp of the earliest pending event, if any.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(e)| e.at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::at(3.0), "c");
+        q.schedule(SimTime::at(1.0), "a");
+        q.schedule(SimTime::at(2.0), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn simultaneous_events_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.schedule(SimTime::at(5.0), i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule_in(2.0, ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        let (t, ()) = q.pop().unwrap();
+        assert_eq!(t, SimTime::at(2.0));
+        assert_eq!(q.now(), t);
+        // schedule_in is now relative to the advanced clock.
+        q.schedule_in(1.0, ());
+        assert_eq!(q.peek_time(), Some(SimTime::at(3.0)));
+    }
+
+    #[test]
+    fn empty_queue_reports_state() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+        assert_eq!(q.pop(), None.map(|x: (SimTime, ())| x));
+        q.schedule_in(0.0, ());
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "into the past")]
+    fn scheduling_into_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::at(5.0), ());
+        let _ = q.pop();
+        q.schedule(SimTime::at(1.0), ());
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop_is_deterministic() {
+        // Two structurally identical runs produce identical traces.
+        let run = || {
+            let mut q = EventQueue::new();
+            let mut trace = Vec::new();
+            q.schedule_in(1.0, 0u32);
+            q.schedule_in(1.0, 1);
+            while let Some((t, e)) = q.pop() {
+                trace.push((t, e));
+                if e < 4 {
+                    q.schedule_in(0.5, e + 2);
+                }
+            }
+            trace
+        };
+        assert_eq!(run(), run());
+    }
+}

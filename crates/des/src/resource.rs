@@ -1,0 +1,250 @@
+//! Shared simulated resources.
+//!
+//! [`Servers`] models a bank of `k` identical servers with FIFO queueing —
+//! the shape of every contended resource in the cloud-bursting scenario:
+//! a site's cores, a storage node's disk streams, S3's parallel GET
+//! connections, and the WAN link's capacity.
+
+use crate::time::SimTime;
+
+/// Result of reserving a resource: when service began (after queueing) and
+/// when it completes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Grant {
+    /// When the request reached a free server.
+    pub start: SimTime,
+    /// When service completes.
+    pub finish: SimTime,
+}
+
+impl Grant {
+    /// Time spent waiting for a free server.
+    #[must_use]
+    pub fn queued(&self, requested_at: SimTime) -> f64 {
+        self.start - requested_at
+    }
+}
+
+/// A bank of `k` identical servers with greedy earliest-free assignment.
+///
+/// Requests are served in request order (the caller must issue requests in
+/// non-decreasing time order, which event-loop code naturally does).
+#[derive(Debug, Clone)]
+pub struct Servers {
+    free_at: Vec<SimTime>,
+    busy: f64,
+    served: u64,
+}
+
+impl Servers {
+    /// A bank of `k >= 1` servers, all free at time zero.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    #[must_use]
+    pub fn new(k: usize) -> Servers {
+        assert!(k > 0, "resource needs at least one server");
+        Servers { free_at: vec![SimTime::ZERO; k], busy: 0.0, served: 0 }
+    }
+
+    /// Number of servers.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.free_at.len()
+    }
+
+    /// Reserve one server at `now` for `service` seconds, queueing FIFO if
+    /// all are busy.
+    ///
+    /// # Panics
+    /// Panics on negative service time.
+    pub fn request(&mut self, now: SimTime, service: f64) -> Grant {
+        assert!(service >= 0.0, "service time cannot be negative");
+        let idx = self
+            .free_at
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &t)| t)
+            .map(|(i, _)| i)
+            .expect("at least one server");
+        let start = self.free_at[idx].max(now);
+        let finish = start + service;
+        self.free_at[idx] = finish;
+        self.busy += service;
+        self.served += 1;
+        Grant { start, finish }
+    }
+
+    /// Earliest time any server becomes free.
+    #[must_use]
+    pub fn next_free(&self) -> SimTime {
+        self.free_at.iter().copied().min().unwrap_or(SimTime::ZERO)
+    }
+
+    /// Total busy seconds accumulated across servers.
+    #[must_use]
+    pub fn busy_time(&self) -> f64 {
+        self.busy
+    }
+
+    /// Requests served so far.
+    #[must_use]
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// Mean utilization over `[0, horizon]`.
+    #[must_use]
+    pub fn utilization(&self, horizon: SimTime) -> f64 {
+        let h = horizon.seconds();
+        if h > 0.0 {
+            self.busy / (h * self.free_at.len() as f64)
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Online summary statistics over a stream of samples.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Tally {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Tally {
+    /// Record one sample.
+    pub fn record(&mut self, v: f64) {
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v;
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of samples.
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean of samples (`None` when empty).
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// Smallest sample (`None` when empty).
+    #[must_use]
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample (`None` when empty).
+    #[must_use]
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_server_serializes_requests() {
+        let mut s = Servers::new(1);
+        let g1 = s.request(SimTime::ZERO, 2.0);
+        let g2 = s.request(SimTime::ZERO, 3.0);
+        assert_eq!(g1.start, SimTime::ZERO);
+        assert_eq!(g1.finish, SimTime::at(2.0));
+        assert_eq!(g2.start, SimTime::at(2.0), "second request queues");
+        assert_eq!(g2.finish, SimTime::at(5.0));
+        assert_eq!(g2.queued(SimTime::ZERO), 2.0);
+    }
+
+    #[test]
+    fn k_servers_run_k_requests_in_parallel() {
+        let mut s = Servers::new(3);
+        for _ in 0..3 {
+            let g = s.request(SimTime::ZERO, 4.0);
+            assert_eq!(g.start, SimTime::ZERO);
+        }
+        let g4 = s.request(SimTime::ZERO, 1.0);
+        assert_eq!(g4.start, SimTime::at(4.0));
+    }
+
+    #[test]
+    fn idle_server_starts_at_request_time() {
+        let mut s = Servers::new(1);
+        let g = s.request(SimTime::at(10.0), 1.0);
+        assert_eq!(g.start, SimTime::at(10.0));
+        assert_eq!(g.queued(SimTime::at(10.0)), 0.0);
+    }
+
+    #[test]
+    fn bookkeeping_tracks_busy_and_served() {
+        let mut s = Servers::new(2);
+        s.request(SimTime::ZERO, 3.0);
+        s.request(SimTime::ZERO, 5.0);
+        assert_eq!(s.busy_time(), 8.0);
+        assert_eq!(s.served(), 2);
+        assert_eq!(s.next_free(), SimTime::at(3.0));
+        // Utilization over horizon 5s with 2 servers: 8 / 10 = 0.8.
+        assert!((s.utilization(SimTime::at(5.0)) - 0.8).abs() < 1e-12);
+        assert_eq!(s.utilization(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn zero_service_is_instant() {
+        let mut s = Servers::new(1);
+        let g = s.request(SimTime::at(1.0), 0.0);
+        assert_eq!(g.start, g.finish);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn zero_capacity_rejected() {
+        let _ = Servers::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be negative")]
+    fn negative_service_rejected() {
+        let _ = Servers::new(1).request(SimTime::ZERO, -1.0);
+    }
+
+    #[test]
+    fn tally_summary_statistics() {
+        let mut t = Tally::default();
+        assert_eq!(t.mean(), None);
+        for v in [2.0, 4.0, 6.0] {
+            t.record(v);
+        }
+        assert_eq!(t.count(), 3);
+        assert_eq!(t.sum(), 12.0);
+        assert_eq!(t.mean(), Some(4.0));
+        assert_eq!(t.min(), Some(2.0));
+        assert_eq!(t.max(), Some(6.0));
+    }
+
+    #[test]
+    fn tally_single_sample_is_min_and_max() {
+        let mut t = Tally::default();
+        t.record(-3.5);
+        assert_eq!(t.min(), Some(-3.5));
+        assert_eq!(t.max(), Some(-3.5));
+    }
+}

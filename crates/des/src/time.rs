@@ -1,0 +1,119 @@
+//! Virtual time for the discrete-event simulator.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in virtual time, in seconds since simulation start.
+///
+/// Wraps `f64` with a total order (`total_cmp`) so it can key the event
+/// queue; construction rejects NaN so the order is also meaningful.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// Simulation start.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// A time point `t` seconds after start.
+    ///
+    /// # Panics
+    /// Panics on NaN or negative input.
+    #[must_use]
+    pub fn at(t: f64) -> SimTime {
+        assert!(!t.is_nan(), "SimTime cannot be NaN");
+        assert!(t >= 0.0, "SimTime cannot be negative");
+        SimTime(t)
+    }
+
+    /// Seconds since simulation start.
+    #[must_use]
+    pub fn seconds(self) -> f64 {
+        self.0
+    }
+
+    /// The later of two times.
+    #[must_use]
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Eq for SimTime {}
+
+impl Ord for SimTime {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl PartialOrd for SimTime {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Add<f64> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: f64) -> SimTime {
+        SimTime::at(self.0 + rhs)
+    }
+}
+
+impl AddAssign<f64> for SimTime {
+    fn add_assign(&mut self, rhs: f64) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = f64;
+    fn sub(self, rhs: SimTime) -> f64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_and_ordering() {
+        let a = SimTime::at(1.0);
+        let b = a + 2.5;
+        assert_eq!(b.seconds(), 3.5);
+        assert!(b > a);
+        assert_eq!(b - a, 2.5);
+        assert_eq!(a.max(b), b);
+    }
+
+    #[test]
+    fn add_assign_advances() {
+        let mut t = SimTime::ZERO;
+        t += 1.25;
+        assert_eq!(t.seconds(), 1.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn rejects_nan() {
+        let _ = SimTime::at(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn rejects_negative() {
+        let _ = SimTime::at(-1.0);
+    }
+}

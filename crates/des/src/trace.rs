@@ -1,0 +1,253 @@
+//! Execution timelines: record what every entity was doing when, then
+//! derive utilization curves and text Gantt charts — the observability
+//! layer for simulated runs.
+
+use crate::time::SimTime;
+
+/// One recorded activity interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Span<K> {
+    /// Which entity (worker, link, store) was active.
+    pub entity: usize,
+    /// What it was doing.
+    pub kind: K,
+    /// Activity start.
+    pub start: SimTime,
+    /// Activity end.
+    pub end: SimTime,
+}
+
+/// An append-only log of activity spans.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Timeline<K> {
+    spans: Vec<Span<K>>,
+    n_entities: usize,
+}
+
+impl<K: Copy + PartialEq> Timeline<K> {
+    /// An empty timeline.
+    #[must_use]
+    pub fn new() -> Timeline<K> {
+        Timeline { spans: Vec::new(), n_entities: 0 }
+    }
+
+    /// Record one activity interval.
+    ///
+    /// # Panics
+    /// Panics when `end < start`.
+    pub fn record(&mut self, entity: usize, kind: K, start: SimTime, end: SimTime) {
+        assert!(end >= start, "span ends before it starts");
+        self.n_entities = self.n_entities.max(entity + 1);
+        self.spans.push(Span { entity, kind, start, end });
+    }
+
+    /// All recorded spans, in recording order.
+    #[must_use]
+    pub fn spans(&self) -> &[Span<K>] {
+        &self.spans
+    }
+
+    /// Number of distinct entities seen (max id + 1).
+    #[must_use]
+    pub fn n_entities(&self) -> usize {
+        self.n_entities
+    }
+
+    /// Latest span end, or time zero when empty.
+    #[must_use]
+    pub fn horizon(&self) -> SimTime {
+        self.spans
+            .iter()
+            .map(|s| s.end)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Total busy seconds of one entity (spans of any kind; overlaps are
+    /// counted once — spans for a single sequential entity should not
+    /// overlap, and this clips them defensively).
+    #[must_use]
+    pub fn busy_seconds(&self, entity: usize) -> f64 {
+        let mut spans: Vec<(f64, f64)> = self
+            .spans
+            .iter()
+            .filter(|s| s.entity == entity)
+            .map(|s| (s.start.seconds(), s.end.seconds()))
+            .collect();
+        spans.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut busy = 0.0;
+        let mut cursor = f64::NEG_INFINITY;
+        for (start, end) in spans {
+            let s = start.max(cursor);
+            if end > s {
+                busy += end - s;
+                cursor = end;
+            } else {
+                cursor = cursor.max(end);
+            }
+        }
+        busy
+    }
+
+    /// Fraction of `[0, horizon]` the entity was busy.
+    #[must_use]
+    pub fn utilization(&self, entity: usize) -> f64 {
+        let h = self.horizon().seconds();
+        if h > 0.0 {
+            self.busy_seconds(entity) / h
+        } else {
+            0.0
+        }
+    }
+
+    /// Per-bucket mean utilization across all entities: the cluster-wide
+    /// activity curve with `buckets` samples over the horizon.
+    #[must_use]
+    pub fn utilization_curve(&self, buckets: usize) -> Vec<f64> {
+        let h = self.horizon().seconds();
+        let n = self.n_entities.max(1) as f64;
+        if h <= 0.0 || buckets == 0 {
+            return vec![0.0; buckets];
+        }
+        let width = h / buckets as f64;
+        let mut curve = vec![0.0; buckets];
+        for s in &self.spans {
+            let (a, b) = (s.start.seconds(), s.end.seconds());
+            let first = ((a / width) as usize).min(buckets - 1);
+            let last = ((b / width) as usize).min(buckets - 1);
+            for (i, c) in curve.iter_mut().enumerate().take(last + 1).skip(first) {
+                let lo = i as f64 * width;
+                let hi = lo + width;
+                let overlap = (b.min(hi) - a.max(lo)).max(0.0);
+                *c += overlap / width / n;
+            }
+        }
+        curve
+    }
+
+    /// A text Gantt chart: one row per entity, `cols` columns over the
+    /// horizon, each cell showing the dominant activity via `glyph`.
+    #[must_use]
+    pub fn gantt(&self, cols: usize, glyph: impl Fn(K) -> char) -> String {
+        let h = self.horizon().seconds();
+        if h <= 0.0 || cols == 0 {
+            return String::new();
+        }
+        let width = h / cols as f64;
+        let mut out = String::new();
+        for e in 0..self.n_entities {
+            let mut row = vec![(' ', 0.0); cols];
+            for s in self.spans.iter().filter(|s| s.entity == e) {
+                let (a, b) = (s.start.seconds(), s.end.seconds());
+                let first = ((a / width) as usize).min(cols - 1);
+                let last = ((b / width) as usize).min(cols - 1);
+                for (i, cell) in row.iter_mut().enumerate().take(last + 1).skip(first) {
+                    let lo = i as f64 * width;
+                    let overlap = (b.min(lo + width) - a.max(lo)).max(0.0);
+                    if overlap > cell.1 {
+                        *cell = (glyph(s.kind), overlap);
+                    }
+                }
+            }
+            out.push_str(&format!("{e:>3} |"));
+            out.extend(row.iter().map(|&(c, _)| c));
+            out.push_str("|\n");
+        }
+        out
+    }
+}
+
+impl<K: Copy + PartialEq> Default for Timeline<K> {
+    fn default() -> Self {
+        Timeline::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    enum Kind {
+        Fetch,
+        Compute,
+    }
+
+    fn t(x: f64) -> SimTime {
+        SimTime::at(x)
+    }
+
+    #[test]
+    fn busy_seconds_and_utilization() {
+        let mut tl = Timeline::new();
+        tl.record(0, Kind::Fetch, t(0.0), t(2.0));
+        tl.record(0, Kind::Compute, t(2.0), t(6.0));
+        tl.record(1, Kind::Compute, t(0.0), t(3.0));
+        assert_eq!(tl.horizon(), t(6.0));
+        assert_eq!(tl.busy_seconds(0), 6.0);
+        assert_eq!(tl.busy_seconds(1), 3.0);
+        assert!((tl.utilization(0) - 1.0).abs() < 1e-12);
+        assert!((tl.utilization(1) - 0.5).abs() < 1e-12);
+        assert_eq!(tl.n_entities(), 2);
+    }
+
+    #[test]
+    fn overlapping_spans_count_once() {
+        let mut tl = Timeline::new();
+        tl.record(0, Kind::Fetch, t(0.0), t(4.0));
+        tl.record(0, Kind::Compute, t(2.0), t(6.0));
+        assert_eq!(tl.busy_seconds(0), 6.0);
+    }
+
+    #[test]
+    fn contained_spans_do_not_double_count() {
+        let mut tl = Timeline::new();
+        tl.record(0, Kind::Fetch, t(0.0), t(10.0));
+        tl.record(0, Kind::Compute, t(2.0), t(4.0));
+        tl.record(0, Kind::Compute, t(12.0), t(13.0));
+        assert_eq!(tl.busy_seconds(0), 11.0);
+    }
+
+    #[test]
+    fn utilization_curve_tracks_activity() {
+        let mut tl = Timeline::new();
+        // Two entities: both busy in the first half, idle in the second.
+        tl.record(0, Kind::Compute, t(0.0), t(5.0));
+        tl.record(1, Kind::Compute, t(0.0), t(5.0));
+        tl.record(0, Kind::Compute, t(9.0), t(10.0)); // stretch horizon
+        let curve = tl.utilization_curve(10);
+        assert_eq!(curve.len(), 10);
+        assert!((curve[0] - 1.0).abs() < 1e-9, "{curve:?}");
+        assert!((curve[6] - 0.0).abs() < 1e-9, "{curve:?}");
+        assert!((curve[9] - 0.5).abs() < 1e-9, "{curve:?}");
+    }
+
+    #[test]
+    fn gantt_renders_rows_and_glyphs() {
+        let mut tl = Timeline::new();
+        tl.record(0, Kind::Fetch, t(0.0), t(5.0));
+        tl.record(0, Kind::Compute, t(5.0), t(10.0));
+        tl.record(1, Kind::Compute, t(0.0), t(10.0));
+        let g = tl.gantt(10, |k| if k == Kind::Fetch { 'F' } else { 'C' });
+        let lines: Vec<&str> = g.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("FFFFFCCCCC"), "{g}");
+        assert!(lines[1].contains("CCCCCCCCCC"), "{g}");
+    }
+
+    #[test]
+    fn empty_timeline_is_harmless() {
+        let tl: Timeline<Kind> = Timeline::default();
+        assert_eq!(tl.horizon(), SimTime::ZERO);
+        assert_eq!(tl.utilization(0), 0.0);
+        assert!(tl.gantt(10, |_| 'x').is_empty());
+        assert_eq!(tl.utilization_curve(4), vec![0.0; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ends before")]
+    fn inverted_span_panics() {
+        let mut tl = Timeline::new();
+        tl.record(0, Kind::Fetch, t(2.0), t(1.0));
+    }
+}

@@ -1,0 +1,77 @@
+//! The classic MapReduce programming model (paper §III-A), implemented as
+//! the baseline the Generalized Reduction API is compared against.
+//!
+//! "The map function takes a set of input points and generates a set of
+//! corresponding output (key, value) pairs. The Map-Reduce library then
+//! hashes these intermediate (key, value) pairs and passes them to the
+//! reduce function in such a way that the same keys are always placed on the
+//! same reduce node. ... The Map-Reduce framework also offers programmers an
+//! optional Combine function."
+
+use std::hash::Hash;
+
+/// An application written against the MapReduce API.
+pub trait MapReduceApp: Send + Sync {
+    /// One decoded input record.
+    type Item: Send;
+    /// Intermediate/output key.
+    type Key: Hash + Eq + Ord + Clone + Send;
+    /// Intermediate/output value.
+    type Value: Send;
+
+    /// Size in bytes of one encoded input record.
+    fn unit_size(&self) -> usize;
+
+    /// Decode a chunk's raw bytes into records, appending to `out`.
+    fn decode(&self, chunk: &[u8], out: &mut Vec<Self::Item>);
+
+    /// Emit zero or more `(key, value)` pairs for one record.
+    fn map(&self, item: &Self::Item, emit: &mut dyn FnMut(Self::Key, Self::Value));
+
+    /// Merge the values of one key into the final output value.
+    fn reduce(&self, key: &Self::Key, values: Vec<Self::Value>) -> Self::Value;
+
+    /// Optional combiner applied when a mapper's buffer is flushed: fold a
+    /// key's buffered values into fewer values (usually one). The default is
+    /// the identity (no combiner), i.e. plain MapReduce.
+    fn combine(&self, _key: &Self::Key, values: Vec<Self::Value>) -> Vec<Self::Value> {
+        values
+    }
+
+    /// Whether [`MapReduceApp::combine`] is overridden. Engines use this to
+    /// label runs; correctness does not depend on it.
+    fn has_combiner(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Nop;
+    impl MapReduceApp for Nop {
+        type Item = u8;
+        type Key = u8;
+        type Value = u32;
+        fn unit_size(&self) -> usize {
+            1
+        }
+        fn decode(&self, chunk: &[u8], out: &mut Vec<u8>) {
+            out.extend_from_slice(chunk);
+        }
+        fn map(&self, item: &u8, emit: &mut dyn FnMut(u8, u32)) {
+            emit(*item, 1);
+        }
+        fn reduce(&self, _key: &u8, values: Vec<u32>) -> u32 {
+            values.into_iter().sum()
+        }
+    }
+
+    #[test]
+    fn default_combiner_is_identity() {
+        let app = Nop;
+        assert!(!app.has_combiner());
+        assert_eq!(app.combine(&0, vec![1, 2, 3]), vec![1, 2, 3]);
+    }
+}

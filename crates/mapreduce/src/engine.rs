@@ -1,0 +1,295 @@
+//! A multi-threaded in-memory MapReduce engine: map → (combine) → shuffle →
+//! reduce, with the intermediate-state instrumentation the paper's argument
+//! rests on.
+//!
+//! The Generalized Reduction API "integrates map, combine, and reduce
+//! together while processing each element ... we avoid intermediate memory
+//! overheads" (§III-A). To quantify that claim, this engine counts every
+//! intermediate pair it materializes and reports the peak number buffered at
+//! once; the `genred_vs_mapreduce` bench compares those numbers (and wall
+//! time) against the fused pipeline on identical inputs.
+
+use crate::api::MapReduceApp;
+use parking_lot::Mutex;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Mapper threads.
+    pub mappers: usize,
+    /// Reducer threads (== shuffle partitions).
+    pub reducers: usize,
+    /// Mapper buffer capacity in pairs; reaching it triggers a flush
+    /// (and the combiner, when the app has one).
+    pub buffer_pairs: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig { mappers: 4, reducers: 4, buffer_pairs: 64 * 1024 }
+    }
+}
+
+/// What one run measured.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EngineMetrics {
+    /// Pairs emitted by map before any combining.
+    pub pairs_emitted: u64,
+    /// Pairs that crossed the shuffle (after combining, if any).
+    pub pairs_shuffled: u64,
+    /// Peak pairs buffered across all mappers at any instant — the
+    /// intermediate-memory pressure Generalized Reduction avoids.
+    pub peak_buffered_pairs: usize,
+    /// Seconds in the map(+combine) phase.
+    pub map_time: f64,
+    /// Seconds in the shuffle (group-by-key) phase.
+    pub shuffle_time: f64,
+    /// Seconds in the reduce phase.
+    pub reduce_time: f64,
+}
+
+impl EngineMetrics {
+    /// Total wall time across phases.
+    #[must_use]
+    pub fn total_time(&self) -> f64 {
+        self.map_time + self.shuffle_time + self.reduce_time
+    }
+}
+
+/// One key's emitted or reduced pairs.
+pub type Pairs<A> = Vec<(<A as MapReduceApp>::Key, <A as MapReduceApp>::Value)>;
+
+fn partition_of<K: Hash>(key: &K, reducers: usize) -> usize {
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() as usize) % reducers
+}
+
+/// Run `app` over `chunks` and return `(sorted results, metrics)`.
+///
+/// Results are sorted by key so runs are comparable regardless of thread
+/// interleaving.
+pub fn run_mapreduce<A: MapReduceApp>(
+    app: &A,
+    chunks: &[impl AsRef<[u8]> + Sync],
+    config: EngineConfig,
+) -> (Pairs<A>, EngineMetrics) {
+    let mappers = config.mappers.max(1);
+    let reducers = config.reducers.max(1);
+    let pairs_emitted = AtomicU64::new(0);
+    let buffered_now = AtomicUsize::new(0);
+    let peak_buffered = AtomicUsize::new(0);
+    let next_chunk = AtomicUsize::new(0);
+
+    // ---- Map (+ combine on flush) ----
+    let map_start = Instant::now();
+    // One Vec of partitioned output per mapper; merged at shuffle.
+    let partitioned: Mutex<Vec<Pairs<A>>> =
+        Mutex::new((0..reducers).map(|_| Vec::new()).collect());
+
+    std::thread::scope(|scope| {
+        for _ in 0..mappers {
+            scope.spawn(|| {
+                let mut items: Vec<A::Item> = Vec::new();
+                let mut buffer: HashMap<A::Key, Vec<A::Value>> = HashMap::new();
+                let mut buffered: usize = 0;
+
+                let flush = |buffer: &mut HashMap<A::Key, Vec<A::Value>>,
+                                 buffered: &mut usize| {
+                    if buffer.is_empty() {
+                        return;
+                    }
+                    let mut out: Vec<Vec<(A::Key, A::Value)>> =
+                        (0..reducers).map(|_| Vec::new()).collect();
+                    for (k, vs) in buffer.drain() {
+                        let vs = app.combine(&k, vs);
+                        let p = partition_of(&k, reducers);
+                        out[p].extend(vs.into_iter().map(|v| (k.clone(), v)));
+                    }
+                    buffered_now.fetch_sub(*buffered, Ordering::Relaxed);
+                    *buffered = 0;
+                    let mut global = partitioned.lock();
+                    for (p, vs) in out.into_iter().enumerate() {
+                        global[p].extend(vs);
+                    }
+                };
+
+                loop {
+                    let i = next_chunk.fetch_add(1, Ordering::Relaxed);
+                    let Some(chunk) = chunks.get(i) else { break };
+                    items.clear();
+                    app.decode(chunk.as_ref(), &mut items);
+                    for item in &items {
+                        app.map(item, &mut |k, v| {
+                            pairs_emitted.fetch_add(1, Ordering::Relaxed);
+                            buffer.entry(k).or_default().push(v);
+                            buffered += 1;
+                            let now = buffered_now.fetch_add(1, Ordering::Relaxed) + 1;
+                            peak_buffered.fetch_max(now, Ordering::Relaxed);
+                        });
+                        if buffered >= config.buffer_pairs {
+                            flush(&mut buffer, &mut buffered);
+                        }
+                    }
+                }
+                flush(&mut buffer, &mut buffered);
+            });
+        }
+    });
+    let map_time = map_start.elapsed().as_secs_f64();
+
+    // ---- Shuffle: group each partition by key ----
+    let shuffle_start = Instant::now();
+    let partitioned = partitioned.into_inner();
+    let pairs_shuffled: u64 = partitioned.iter().map(|p| p.len() as u64).sum();
+    let grouped: Vec<HashMap<A::Key, Vec<A::Value>>> = {
+        let mut grouped = Vec::with_capacity(reducers);
+        for part in partitioned {
+            let mut m: HashMap<A::Key, Vec<A::Value>> = HashMap::new();
+            for (k, v) in part {
+                m.entry(k).or_default().push(v);
+            }
+            grouped.push(m);
+        }
+        grouped
+    };
+    let shuffle_time = shuffle_start.elapsed().as_secs_f64();
+
+    // ---- Reduce ----
+    let reduce_start = Instant::now();
+    let outputs: Mutex<Vec<(A::Key, A::Value)>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for part in grouped {
+            scope.spawn(|| {
+                let mut local = Vec::with_capacity(part.len());
+                for (k, vs) in part {
+                    let v = app.reduce(&k, vs);
+                    local.push((k, v));
+                }
+                outputs.lock().extend(local);
+            });
+        }
+    });
+    let mut results = outputs.into_inner();
+    results.sort_by(|a, b| a.0.cmp(&b.0));
+    let reduce_time = reduce_start.elapsed().as_secs_f64();
+
+    let metrics = EngineMetrics {
+        pairs_emitted: pairs_emitted.into_inner(),
+        pairs_shuffled,
+        peak_buffered_pairs: peak_buffered.into_inner(),
+        map_time,
+        shuffle_time,
+        reduce_time,
+    };
+    (results, metrics)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Wordcount over byte "words": each byte is a word.
+    struct ByteCount {
+        with_combiner: bool,
+    }
+
+    impl MapReduceApp for ByteCount {
+        type Item = u8;
+        type Key = u8;
+        type Value = u64;
+        fn unit_size(&self) -> usize {
+            1
+        }
+        fn decode(&self, chunk: &[u8], out: &mut Vec<u8>) {
+            out.extend_from_slice(chunk);
+        }
+        fn map(&self, item: &u8, emit: &mut dyn FnMut(u8, u64)) {
+            emit(*item, 1);
+        }
+        fn reduce(&self, _key: &u8, values: Vec<u64>) -> u64 {
+            values.into_iter().sum()
+        }
+        fn combine(&self, _key: &u8, values: Vec<u64>) -> Vec<u64> {
+            if self.with_combiner {
+                vec![values.into_iter().sum()]
+            } else {
+                values
+            }
+        }
+        fn has_combiner(&self) -> bool {
+            self.with_combiner
+        }
+    }
+
+    fn chunks() -> Vec<Vec<u8>> {
+        // 4 chunks, bytes 0..4 with known counts.
+        vec![vec![0, 1, 2, 3], vec![0, 0, 1, 1], vec![2, 2, 2, 3], vec![3, 3, 3, 3]]
+    }
+
+    fn expected() -> Vec<(u8, u64)> {
+        vec![(0, 3), (1, 3), (2, 4), (3, 6)]
+    }
+
+    #[test]
+    fn wordcount_without_combiner() {
+        let (res, m) = run_mapreduce(&ByteCount { with_combiner: false }, &chunks(), EngineConfig::default());
+        assert_eq!(res, expected());
+        assert_eq!(m.pairs_emitted, 16);
+        assert_eq!(m.pairs_shuffled, 16, "no combiner: every pair crosses the shuffle");
+    }
+
+    #[test]
+    fn combiner_shrinks_shuffle_not_results() {
+        let cfg = EngineConfig { mappers: 2, reducers: 2, buffer_pairs: 4 };
+        let (res, m) = run_mapreduce(&ByteCount { with_combiner: true }, &chunks(), cfg);
+        assert_eq!(res, expected());
+        assert_eq!(m.pairs_emitted, 16);
+        assert!(
+            m.pairs_shuffled < m.pairs_emitted,
+            "combiner must reduce shuffled pairs: {} vs {}",
+            m.pairs_shuffled,
+            m.pairs_emitted
+        );
+    }
+
+    #[test]
+    fn small_buffers_bound_peak_memory() {
+        let big = EngineConfig { mappers: 1, reducers: 1, buffer_pairs: 1 << 20 };
+        let small = EngineConfig { mappers: 1, reducers: 1, buffer_pairs: 4 };
+        let data: Vec<Vec<u8>> = (0..8).map(|_| vec![7u8; 100]).collect();
+        let (_, m_big) = run_mapreduce(&ByteCount { with_combiner: true }, &data, big);
+        let (_, m_small) = run_mapreduce(&ByteCount { with_combiner: true }, &data, small);
+        assert!(m_big.peak_buffered_pairs >= 800);
+        assert!(m_small.peak_buffered_pairs <= 8);
+    }
+
+    #[test]
+    fn single_threaded_and_parallel_agree() {
+        let seq = EngineConfig { mappers: 1, reducers: 1, buffer_pairs: 16 };
+        let par = EngineConfig { mappers: 8, reducers: 4, buffer_pairs: 16 };
+        let (a, _) = run_mapreduce(&ByteCount { with_combiner: false }, &chunks(), seq);
+        let (b, _) = run_mapreduce(&ByteCount { with_combiner: true }, &chunks(), par);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let none: Vec<Vec<u8>> = Vec::new();
+        let (res, m) = run_mapreduce(&ByteCount { with_combiner: false }, &none, EngineConfig::default());
+        assert!(res.is_empty());
+        assert_eq!(m.pairs_emitted, 0);
+    }
+
+    #[test]
+    fn metrics_total_time_sums_phases() {
+        let (_, m) = run_mapreduce(&ByteCount { with_combiner: false }, &chunks(), EngineConfig::default());
+        let total = m.total_time();
+        assert!(total >= m.map_time && total >= m.shuffle_time && total >= m.reduce_time);
+    }
+}

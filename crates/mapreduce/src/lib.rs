@@ -1,0 +1,20 @@
+//! # cloudburst-mapreduce
+//!
+//! The baseline the paper compares Generalized Reduction against: a
+//! multi-threaded in-memory MapReduce engine with the classic
+//! map → (combine) → shuffle → reduce pipeline ([`engine`]) and the
+//! programming interface ([`api`]).
+//!
+//! The engine instruments exactly what the paper's §III-A argument is
+//! about — intermediate `(key, value)` pairs emitted, shuffled and peak-
+//! buffered — so the ablation benches can quantify the fused pipeline's
+//! advantage on identical inputs.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod api;
+pub mod engine;
+
+pub use api::MapReduceApp;
+pub use engine::{run_mapreduce, EngineConfig, EngineMetrics};

@@ -1,0 +1,118 @@
+//! Deterministic performance-variability model.
+//!
+//! The paper observes that "the virtualized environment of EC2 can
+//! occasionally cause variability in performance, which exacerbates
+//! overheads", and counters it with pooling-based load balancing. To let the
+//! experiments exercise (and the tests verify) that behaviour *repeatably*,
+//! jitter comes from a seeded xorshift generator rather than the OS — every
+//! run with the same seed sees the same "EC2 weather".
+
+use serde::{Deserialize, Serialize};
+
+/// A multiplicative slowdown factor stream: each sample is a factor in
+/// `[1.0, 1.0 + amplitude]` by which a nominal duration is stretched.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Jitter {
+    state: u64,
+    amplitude: f64,
+}
+
+impl Jitter {
+    /// A jitter stream with the given seed and amplitude (`0.25` = up to 25%
+    /// slower than nominal).
+    ///
+    /// # Panics
+    /// Panics on negative amplitude.
+    #[must_use]
+    pub fn new(seed: u64, amplitude: f64) -> Jitter {
+        assert!(amplitude >= 0.0, "amplitude must be non-negative");
+        // Avoid the all-zero fixed point of xorshift.
+        Jitter { state: seed | 1, amplitude }
+    }
+
+    /// A stream that never perturbs anything (for the local cluster).
+    #[must_use]
+    pub fn none() -> Jitter {
+        Jitter::new(1, 0.0)
+    }
+
+    /// The configured amplitude.
+    #[must_use]
+    pub fn amplitude(&self) -> f64 {
+        self.amplitude
+    }
+
+    /// Next slowdown factor in `[1, 1 + amplitude]`.
+    pub fn factor(&mut self) -> f64 {
+        1.0 + self.amplitude * self.uniform()
+    }
+
+    /// Stretch a nominal duration by the next factor.
+    pub fn stretch(&mut self, nominal: f64) -> f64 {
+        nominal * self.factor()
+    }
+
+    /// xorshift64*, mapped to `[0, 1)`.
+    fn uniform(&mut self) -> f64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        let bits = x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11;
+        bits as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Jitter::new(42, 0.3);
+        let mut b = Jitter::new(42, 0.3);
+        for _ in 0..100 {
+            assert_eq!(a.factor(), b.factor());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Jitter::new(1, 0.3);
+        let mut b = Jitter::new(2, 0.3);
+        let same = (0..32).filter(|_| a.factor() == b.factor()).count();
+        assert!(same < 4, "streams should decorrelate, {same}/32 equal");
+    }
+
+    #[test]
+    fn factors_stay_in_range() {
+        let mut j = Jitter::new(7, 0.25);
+        for _ in 0..10_000 {
+            let f = j.factor();
+            assert!((1.0..=1.25).contains(&f), "factor {f} out of range");
+        }
+    }
+
+    #[test]
+    fn zero_amplitude_is_identity() {
+        let mut j = Jitter::none();
+        for _ in 0..10 {
+            assert_eq!(j.stretch(3.5), 3.5);
+        }
+    }
+
+    #[test]
+    fn mean_factor_is_near_midpoint() {
+        let mut j = Jitter::new(99, 0.2);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| j.factor()).sum::<f64>() / f64::from(n);
+        assert!((mean - 1.1).abs() < 0.005, "mean {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_amplitude() {
+        let _ = Jitter::new(1, -0.1);
+    }
+}

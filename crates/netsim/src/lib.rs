@@ -1,0 +1,24 @@
+//! # cloudburst-netsim
+//!
+//! The network substrate of the cloudburst framework: link specifications
+//! and transfer-time arithmetic ([`link`]), the two-site topology of the
+//! paper's testbed ([`topology`]), real-time bandwidth enforcement for the
+//! threaded runtime ([`throttle`]), and the deterministic EC2
+//! performance-variability model ([`jitter`]).
+//!
+//! Both runtimes consume the same [`LinkSpec`] arithmetic: the threaded
+//! runtime through [`Throttle`] (which paces real threads), the paper-scale
+//! simulator through closed-form [`LinkSpec::transfer_time`] charges.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod jitter;
+pub mod link;
+pub mod throttle;
+pub mod topology;
+
+pub use jitter::Jitter;
+pub use link::{profiles, LinkSpec};
+pub use throttle::Throttle;
+pub use topology::Topology;

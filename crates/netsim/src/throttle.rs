@@ -1,0 +1,155 @@
+//! Real-time bandwidth/latency enforcement for the threaded runtime.
+//!
+//! The threaded runtime executes on one machine, so "remote" transfers must
+//! be slowed down artificially to exercise the same code paths the paper's
+//! geo-distributed deployment does. [`Throttle`] paces callers against a
+//! shared token bucket so concurrent readers genuinely compete for the
+//! modelled bandwidth, exactly like slaves sharing the S3 egress pipe.
+//!
+//! A global `time_scale` lets tests compress the modelled world (e.g.
+//! `1e-3`: one modelled second = one real millisecond) while preserving every
+//! *ratio* the experiments care about.
+
+use crate::link::LinkSpec;
+use parking_lot::Mutex;
+use std::time::{Duration, Instant};
+
+/// A shared pacing gate enforcing a [`LinkSpec`] in (scaled) real time.
+#[derive(Debug)]
+pub struct Throttle {
+    spec: LinkSpec,
+    /// Multiplier from modelled seconds to real seconds.
+    time_scale: f64,
+    state: Mutex<State>,
+}
+
+#[derive(Debug)]
+struct State {
+    /// Epoch for the token-bucket schedule.
+    start: Instant,
+    /// Time (relative to `start`, in real seconds) until which the link's
+    /// serialization capacity is already reserved.
+    reserved_until: f64,
+}
+
+impl Throttle {
+    /// A throttle enforcing `spec`, with modelled time compressed by
+    /// `time_scale` (1.0 = real time; 1e-3 = 1000x faster).
+    ///
+    /// # Panics
+    /// Panics if `time_scale` is not finite and positive.
+    #[must_use]
+    pub fn new(spec: LinkSpec, time_scale: f64) -> Throttle {
+        assert!(
+            time_scale.is_finite() && time_scale > 0.0,
+            "time_scale must be finite and positive"
+        );
+        Throttle {
+            spec,
+            time_scale,
+            state: Mutex::new(State { start: Instant::now(), reserved_until: 0.0 }),
+        }
+    }
+
+    /// The modelled link.
+    #[must_use]
+    pub fn spec(&self) -> LinkSpec {
+        self.spec
+    }
+
+    /// Block the caller for the (scaled) time a transfer of `bytes` takes,
+    /// *including queueing behind other in-flight transfers*. Returns the
+    /// modelled (unscaled) seconds the transfer took, queueing included.
+    pub fn transfer(&self, bytes: u64) -> f64 {
+        let service_real = self.spec.transfer_time(bytes) * self.time_scale;
+        let (anchor, enqueued_at, wake_at) = {
+            let mut st = self.state.lock();
+            let now = st.start.elapsed().as_secs_f64();
+            // Link capacity is reserved back-to-back, FIFO: a transfer that
+            // arrives while another is in flight queues behind it.
+            let begin = st.reserved_until.max(now);
+            st.reserved_until = begin + service_real;
+            (st.start, now, st.reserved_until)
+        };
+        loop {
+            let now = anchor.elapsed().as_secs_f64();
+            if now >= wake_at {
+                break;
+            }
+            std::thread::sleep(Duration::from_secs_f64((wake_at - now).min(0.05)));
+        }
+        (wake_at - enqueued_at) / self.time_scale
+    }
+
+    /// Block for one request/response round trip plus serialization of
+    /// `bytes` in the response (the shape of a control RPC or ranged GET).
+    /// Returns modelled seconds.
+    pub fn rpc(&self, bytes: u64) -> f64 {
+        // The request leg only pays latency; the response leg is `transfer`.
+        std::thread::sleep(Duration::from_secs_f64(self.spec.latency * self.time_scale));
+        self.spec.latency + self.transfer(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn spec(latency: f64, bw: f64) -> LinkSpec {
+        LinkSpec::new(latency, bw)
+    }
+
+    #[test]
+    fn transfer_takes_modelled_time() {
+        // 1 KB at 1 MB/s with 1 ms latency = ~2 ms modelled; scale 1.0.
+        let t = Throttle::new(spec(1e-3, 1e6), 1.0);
+        let before = Instant::now();
+        let modelled = t.transfer(1000);
+        let real = before.elapsed().as_secs_f64();
+        assert!(modelled >= 2e-3 - 1e-9, "modelled {modelled}");
+        assert!(real >= 1.5e-3, "real {real}");
+    }
+
+    #[test]
+    fn time_scale_compresses_real_time() {
+        // 10 modelled seconds at scale 1e-4 = ~1 ms real.
+        let t = Throttle::new(spec(0.0, 100.0), 1e-4);
+        let before = Instant::now();
+        let modelled = t.transfer(1000); // 10 modelled s
+        let real = before.elapsed().as_secs_f64();
+        assert!(modelled >= 10.0 - 1e-6);
+        assert!(real < 0.5, "real {real} should be ~1ms");
+    }
+
+    #[test]
+    fn concurrent_transfers_share_bandwidth() {
+        // Two 5-modelled-second transfers through one link must take ~10
+        // modelled seconds of link capacity: the second queues.
+        let t = Arc::new(Throttle::new(spec(0.0, 200.0), 1e-3));
+        let before = Instant::now();
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                let t = Arc::clone(&t);
+                s.spawn(move || {
+                    t.transfer(1000) // 5 modelled seconds each
+                });
+            }
+        });
+        let real = before.elapsed().as_secs_f64();
+        // 10 modelled seconds at 1e-3 = 10 ms real, minus scheduling slack.
+        assert!(real >= 8e-3, "two transfers must serialize, took {real}");
+    }
+
+    #[test]
+    fn spec_accessor_returns_configuration() {
+        let s = spec(0.25, 42.0);
+        assert_eq!(Throttle::new(s, 1.0).spec(), s);
+    }
+
+    #[test]
+    #[should_panic(expected = "time_scale")]
+    fn rejects_zero_scale() {
+        let _ = Throttle::new(spec(0.0, 1.0), 0.0);
+    }
+}

@@ -1,0 +1,292 @@
+//! Dollar-cost model for cloud bursting — the extension the authors pursue
+//! in their follow-up work (*"Time and Cost Sensitive Data-Intensive
+//! Computing on Hybrid Clouds"*, cited alongside the paper): given a run's
+//! report, price the EC2 instance-hours, S3 requests and data egress it
+//! consumed, and answer the planning question cloud bursting exists for —
+//! *how many cloud instances must I rent to meet a deadline, and what will
+//! it cost?*
+//!
+//! Prices default to the 2011 us-east rates the paper's experiments paid
+//! (m1.large $0.34/h, hourly billing, $0.01 per 10k GETs, ~$0.10/GB egress).
+
+use crate::model::AppModel;
+use crate::params::SimParams;
+use crate::scenario::simulate;
+use cloudburst_core::{EnvConfig, RunReport, SiteId};
+use serde::{Deserialize, Serialize};
+
+/// A cloud provider's price list.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PricingModel {
+    /// $ per instance-hour (billed in whole hours, as EC2 did in 2011).
+    pub instance_hour: f64,
+    /// Compute cores per rented instance.
+    pub cores_per_instance: u32,
+    /// $ per 10,000 GET requests against object storage.
+    pub per_10k_gets: f64,
+    /// $ per GiB of data leaving the cloud (S3 → the local cluster).
+    pub egress_per_gib: f64,
+    /// Ranged GET requests issued per chunk retrieval (the multi-threaded
+    /// fetcher's connections).
+    pub gets_per_chunk: u64,
+}
+
+impl PricingModel {
+    /// Amazon's 2011 us-east price card for the paper's m1.large setup.
+    #[must_use]
+    pub fn aws_2011() -> PricingModel {
+        PricingModel {
+            instance_hour: 0.34,
+            cores_per_instance: 4,
+            per_10k_gets: 0.01,
+            egress_per_gib: 0.10,
+            gets_per_chunk: 8,
+        }
+    }
+}
+
+/// The priced resources of one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CostReport {
+    /// Instances rented.
+    pub instances: u32,
+    /// Billed instance-hours (whole hours per instance).
+    pub instance_hours: u64,
+    /// $ for compute.
+    pub compute_cost: f64,
+    /// GET requests issued against object storage.
+    pub get_requests: u64,
+    /// $ for requests.
+    pub request_cost: f64,
+    /// Bytes that left the cloud (stolen chunks + reduction objects).
+    pub egress_bytes: u64,
+    /// $ for egress.
+    pub egress_cost: f64,
+}
+
+impl CostReport {
+    /// Total dollars.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.compute_cost + self.request_cost + self.egress_cost
+    }
+}
+
+/// Price a simulated run under `pricing`.
+#[must_use]
+pub fn cost_of(
+    report: &RunReport,
+    env: &EnvConfig,
+    app: &AppModel,
+    pricing: &PricingModel,
+) -> CostReport {
+    let instances = env.cloud_cores.div_ceil(pricing.cores_per_instance.max(1));
+    // 2011 billing: each instance pays for every *started* hour.
+    let hours_each = (report.total_time / 3600.0).ceil().max(1.0) as u64;
+    let instance_hours = u64::from(instances) * hours_each;
+    let compute_cost = instance_hours as f64 * pricing.instance_hour;
+
+    // Every job whose data lives in S3 costs GETs: the cloud's own jobs and
+    // the local cluster's stolen jobs both hit the object store.
+    let s3_jobs: u64 = report
+        .sites
+        .iter()
+        .map(|(&site, s)| if site == SiteId::CLOUD { s.jobs.local } else { s.jobs.stolen })
+        .sum();
+    let get_requests = s3_jobs * pricing.gets_per_chunk;
+    let request_cost = get_requests as f64 / 10_000.0 * pricing.per_10k_gets;
+
+    // Egress: bytes fetched out of the cloud by the local cluster, plus the
+    // reduction objects the cloud ships during global reduction.
+    let stolen_egress = report
+        .sites
+        .get(&SiteId::LOCAL)
+        .map_or(0, |s| s.remote_bytes);
+    let cloud_slaves = u64::from(instances.max(1));
+    let robj_egress = if env.is_hybrid() { cloud_slaves * app.robj_bytes } else { 0 };
+    let egress_bytes = stolen_egress + robj_egress;
+    let egress_cost = egress_bytes as f64 / f64::from(1u32 << 30) * pricing.egress_per_gib;
+
+    CostReport {
+        instances,
+        instance_hours,
+        compute_cost,
+        get_requests,
+        request_cost,
+        egress_bytes,
+        egress_cost,
+    }
+}
+
+/// One option on the time/cost frontier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BurstOption {
+    /// Cloud cores rented (0 = no bursting).
+    pub cloud_cores: u32,
+    /// Simulated completion time, seconds.
+    pub time: f64,
+    /// Priced cloud cost.
+    pub cost: CostReport,
+}
+
+/// Sweep cloud capacity for a fixed local cluster and data split, producing
+/// the time/cost frontier a capacity planner would look at.
+#[must_use]
+pub fn burst_frontier(
+    app: &AppModel,
+    local_cores: u32,
+    local_data_fraction: f64,
+    cloud_core_steps: &[u32],
+    params: &SimParams,
+    pricing: &PricingModel,
+) -> Vec<BurstOption> {
+    let mut out = Vec::with_capacity(cloud_core_steps.len() + 1);
+    let eval = |cloud_cores: u32| {
+        let env = EnvConfig::new(
+            &format!("burst-{cloud_cores}"),
+            local_data_fraction,
+            local_cores,
+            cloud_cores,
+        );
+        let report = simulate(app, &env, params);
+        let cost = cost_of(&report, &env, app, pricing);
+        BurstOption { cloud_cores, time: report.total_time, cost }
+    };
+    if local_cores > 0 {
+        out.push(eval(0));
+    }
+    for &c in cloud_core_steps {
+        if c > 0 {
+            out.push(eval(c));
+        }
+    }
+    out
+}
+
+/// The planning query: the cheapest bursting option that meets `deadline`.
+/// Returns `None` when no candidate meets it.
+#[must_use]
+pub fn provision_for_deadline(
+    app: &AppModel,
+    local_cores: u32,
+    local_data_fraction: f64,
+    deadline: f64,
+    params: &SimParams,
+    pricing: &PricingModel,
+) -> Option<BurstOption> {
+    let steps: Vec<u32> = (0..=6).map(|i| 4 << i).collect(); // 4..=256 cores
+    burst_frontier(app, local_cores, local_data_fraction, &steps, params, pricing)
+        .into_iter()
+        .filter(|o| o.time <= deadline)
+        .min_by(|a, b| {
+            a.cost
+                .total()
+                .total_cmp(&b.cost.total())
+                .then(a.time.total_cmp(&b.time))
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> SimParams {
+        SimParams::paper()
+    }
+
+    #[test]
+    fn centralized_local_run_costs_nothing() {
+        let app = AppModel::knn();
+        let env = EnvConfig::new("env-local", 1.0, 32, 0);
+        let report = simulate(&app, &env, &params());
+        let cost = cost_of(&report, &env, &app, &PricingModel::aws_2011());
+        assert_eq!(cost.instances, 0);
+        assert_eq!(cost.total(), 0.0);
+    }
+
+    #[test]
+    fn hourly_billing_rounds_up() {
+        let app = AppModel::knn();
+        let env = EnvConfig::new("env-cloud", 0.0, 0, 32);
+        let report = simulate(&app, &env, &params());
+        assert!(report.total_time < 3600.0, "a sub-hour run");
+        let cost = cost_of(&report, &env, &app, &PricingModel::aws_2011());
+        // 32 cores / 4 per instance = 8 instances, 1 billed hour each.
+        assert_eq!(cost.instances, 8);
+        assert_eq!(cost.instance_hours, 8);
+        assert!((cost.compute_cost - 8.0 * 0.34).abs() < 1e-9);
+        assert!(cost.get_requests > 0, "cloud jobs hit S3");
+    }
+
+    #[test]
+    fn stealing_incurs_egress() {
+        let app = AppModel::knn();
+        let env = EnvConfig::new("env-17/83", 0.17, 16, 16);
+        let report = simulate(&app, &env, &params());
+        assert!(report.sites[&SiteId::LOCAL].jobs.stolen > 0, "precondition");
+        let cost = cost_of(&report, &env, &app, &PricingModel::aws_2011());
+        assert!(cost.egress_bytes > report.sites[&SiteId::LOCAL].remote_bytes / 2);
+        assert!(cost.egress_cost > 0.0);
+    }
+
+    #[test]
+    fn frontier_time_decreases_with_cloud_cores() {
+        let app = AppModel::kmeans();
+        let frontier = burst_frontier(
+            &app,
+            8,
+            0.5,
+            &[8, 16, 32, 64],
+            &params(),
+            &PricingModel::aws_2011(),
+        );
+        assert_eq!(frontier.len(), 5);
+        for w in frontier.windows(2) {
+            assert!(
+                w[1].time <= w[0].time * 1.02,
+                "more cloud cores should not slow the run: {} -> {}",
+                w[0].time,
+                w[1].time
+            );
+        }
+        // The no-instances option still pays for S3: the local cluster
+        // fetches the cloud-resident half (GETs + egress), just no compute.
+        assert_eq!(frontier[0].cost.compute_cost, 0.0);
+        assert!(frontier[0].cost.egress_cost > 0.0);
+        assert!(frontier[0].cost.request_cost > 0.0);
+    }
+
+    #[test]
+    fn provisioning_meets_feasible_deadlines_cheaply() {
+        let app = AppModel::kmeans();
+        let p = params();
+        let pricing = PricingModel::aws_2011();
+        // Local-only time with 8 cores.
+        let local_only = simulate(&app, &EnvConfig::new("l", 0.5, 8, 0), &p).total_time;
+        let choice = provision_for_deadline(&app, 8, 0.5, local_only * 0.5, &p, &pricing)
+            .expect("bursting must be able to halve the makespan");
+        assert!(choice.time <= local_only * 0.5);
+        assert!(choice.cloud_cores > 0);
+        // A cheaper (fewer-core) option must not also meet the deadline.
+        let frontier = burst_frontier(&app, 8, 0.5, &[4, 8, 16, 32, 64, 128, 256], &p, &pricing);
+        for o in frontier {
+            if o.time <= local_only * 0.5 {
+                assert!(o.cost.total() >= choice.cost.total() - 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn impossible_deadlines_are_reported() {
+        let app = AppModel::kmeans();
+        let choice = provision_for_deadline(
+            &app,
+            8,
+            0.5,
+            1.0, // one second: nothing can do this
+            &params(),
+            &PricingModel::aws_2011(),
+        );
+        assert!(choice.is_none());
+    }
+}

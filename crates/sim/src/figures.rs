@@ -1,0 +1,253 @@
+//! One function per figure/table of the paper's evaluation (§IV).
+//!
+//! | Function | Paper artifact |
+//! |---|---|
+//! | [`fig3`] | Fig. 3(a/b/c): execution-time breakdown over the five environments |
+//! | [`table1`] | Table I: jobs processed per site, stolen jobs |
+//! | [`table2`] | Table II: global reduction, idle times, total slowdown |
+//! | [`fig4`] | Fig. 4(a/b/c): scalability, all data in S3, (m, m) cores |
+//! | [`summary`] | headline numbers: 15.55% average slowdown, 81% scaling |
+
+use crate::model::AppModel;
+use crate::params::SimParams;
+use crate::scenario::simulate;
+use cloudburst_core::config::{paper_envs_even, paper_envs_kmeans, scalability_envs};
+use cloudburst_core::{doubling_efficiency, EnvConfig, RunReport, SiteId};
+
+/// The five evaluation environments for `app` (paper §IV-B): kmeans gets
+/// throughput-equalized cloud core counts (44 centralized / 22 hybrid),
+/// knn and pagerank split 32 cores evenly.
+#[must_use]
+pub fn envs_for(app: &AppModel) -> Vec<EnvConfig> {
+    if app.name == "kmeans" {
+        paper_envs_kmeans(32, 44)
+    } else {
+        paper_envs_even(32)
+    }
+}
+
+/// Fig. 3: one report per environment, in paper order
+/// (env-local, env-cloud, env-50/50, env-33/67, env-17/83).
+#[must_use]
+pub fn fig3(app: &AppModel, params: &SimParams) -> Vec<RunReport> {
+    envs_for(app).iter().map(|e| simulate(app, e, params)).collect()
+}
+
+/// One row of Table I.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Row {
+    /// Application name.
+    pub app: String,
+    /// Environment label (50/50, 33/67, 17/83).
+    pub env: String,
+    /// Jobs processed by the local cluster (total).
+    pub local_jobs: u64,
+    /// Jobs processed by the cloud (total).
+    pub cloud_jobs: u64,
+    /// Jobs the local cluster stole from S3-resident files.
+    pub local_stolen: u64,
+    /// Jobs the cloud stole from cluster-resident files.
+    pub cloud_stolen: u64,
+}
+
+/// Table I: job assignment per application over the three hybrid
+/// environments.
+#[must_use]
+pub fn table1(apps: &[AppModel], params: &SimParams) -> Vec<Table1Row> {
+    let mut rows = Vec::new();
+    for app in apps {
+        for report in fig3(app, params).into_iter().skip(2) {
+            let local = report.sites.get(&SiteId::LOCAL).cloned().unwrap_or_default();
+            let cloud = report.sites.get(&SiteId::CLOUD).cloned().unwrap_or_default();
+            rows.push(Table1Row {
+                app: app.name.clone(),
+                env: report.env.clone(),
+                local_jobs: local.jobs.total(),
+                cloud_jobs: cloud.jobs.total(),
+                local_stolen: local.jobs.stolen,
+                cloud_stolen: cloud.jobs.stolen,
+            });
+        }
+    }
+    rows
+}
+
+/// One row of Table II.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table2Row {
+    /// Application name.
+    pub app: String,
+    /// Environment label.
+    pub env: String,
+    /// Elapsed global-reduction time, seconds.
+    pub global_reduction: f64,
+    /// End-of-run idle time at the local cluster, seconds.
+    pub idle_local: f64,
+    /// End-of-run idle time at the cloud, seconds.
+    pub idle_cloud: f64,
+    /// Total slowdown vs env-local, seconds.
+    pub slowdown: f64,
+    /// Slowdown as a fraction of the env-local total.
+    pub slowdown_ratio: f64,
+}
+
+/// Table II: overheads and slowdowns of the hybrid environments relative to
+/// the env-local baseline.
+#[must_use]
+pub fn table2(apps: &[AppModel], params: &SimParams) -> Vec<Table2Row> {
+    let mut rows = Vec::new();
+    for app in apps {
+        let reports = fig3(app, params);
+        let baseline = &reports[0];
+        for report in &reports[2..] {
+            let idle = |s: SiteId| report.sites.get(&s).map_or(0.0, |x| x.idle);
+            rows.push(Table2Row {
+                app: app.name.clone(),
+                env: report.env.clone(),
+                global_reduction: report.global_reduction,
+                idle_local: idle(SiteId::LOCAL),
+                idle_cloud: idle(SiteId::CLOUD),
+                slowdown: report.slowdown_vs(baseline),
+                slowdown_ratio: report.slowdown_ratio_vs(baseline),
+            });
+        }
+    }
+    rows
+}
+
+/// Fig. 4: scalability sweep — all data in S3, `(m, m)` cores for
+/// `m ∈ {4, 8, 16, 32}`. Returns the reports in sweep order.
+#[must_use]
+pub fn fig4(app: &AppModel, params: &SimParams) -> Vec<RunReport> {
+    scalability_envs(&[4, 8, 16, 32])
+        .iter()
+        .map(|e| simulate(app, e, params))
+        .collect()
+}
+
+/// Per-doubling efficiencies of a Fig. 4 sweep: `t(m) / (2 t(2m))`.
+#[must_use]
+pub fn fig4_efficiencies(reports: &[RunReport]) -> Vec<f64> {
+    reports
+        .windows(2)
+        .map(|w| doubling_efficiency(w[0].total_time, w[1].total_time))
+        .collect()
+}
+
+/// Cumulative efficiencies relative to the smallest configuration — the
+/// percentage labels the paper prints above the Fig. 4 bars:
+/// `E(m) = t(m₀) / (t(m) · m/m₀)` for each configuration after the first.
+#[must_use]
+pub fn fig4_cumulative_efficiencies(reports: &[RunReport]) -> Vec<f64> {
+    let Some(first) = reports.first() else { return Vec::new() };
+    let t0 = first.total_time;
+    reports
+        .iter()
+        .enumerate()
+        .skip(1)
+        .map(|(i, r)| {
+            let scale = (1u32 << i) as f64;
+            if r.total_time > 0.0 {
+                t0 / (r.total_time * scale)
+            } else {
+                0.0
+            }
+        })
+        .collect()
+}
+
+/// The paper's headline numbers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Mean slowdown ratio of cloud bursting vs centralized processing
+    /// across all apps × hybrid environments (paper: 15.55%).
+    pub avg_slowdown_ratio: f64,
+    /// Mean per-doubling scaling efficiency across all apps and steps
+    /// (paper: 81%).
+    pub avg_scaling_efficiency: f64,
+}
+
+/// Compute the headline summary over the full paper trio.
+#[must_use]
+pub fn summary(params: &SimParams) -> Summary {
+    let apps = AppModel::paper_trio();
+    let t2 = table2(&apps, params);
+    let avg_slowdown_ratio = t2.iter().map(|r| r.slowdown_ratio).sum::<f64>() / t2.len() as f64;
+    let mut effs = Vec::new();
+    for app in &apps {
+        effs.extend(fig4_cumulative_efficiencies(&fig4(app, params)));
+    }
+    let avg_scaling_efficiency = effs.iter().sum::<f64>() / effs.len() as f64;
+    Summary { avg_slowdown_ratio, avg_scaling_efficiency }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The DES walks the same 96-job schedule regardless of dataset size,
+    // so tests run the full paper scale (microseconds of CPU).
+    fn fast() -> SimParams {
+        SimParams::paper()
+    }
+
+    #[test]
+    fn fig3_produces_five_reports_in_order() {
+        let reports = fig3(&AppModel::knn(), &fast());
+        assert_eq!(reports.len(), 5);
+        assert_eq!(reports[0].env, "env-local");
+        assert_eq!(reports[4].env, "env-17/83");
+    }
+
+    #[test]
+    fn kmeans_envs_are_equalized() {
+        let envs = envs_for(&AppModel::kmeans());
+        assert_eq!(envs[1].cloud_cores, 44);
+        assert_eq!(envs[2].cloud_cores, 22);
+        let knn_envs = envs_for(&AppModel::knn());
+        assert_eq!(knn_envs[2].cloud_cores, 16);
+    }
+
+    #[test]
+    fn table1_conserves_jobs() {
+        let rows = table1(&[AppModel::knn()], &fast());
+        assert_eq!(rows.len(), 3);
+        for r in &rows {
+            assert_eq!(r.local_jobs + r.cloud_jobs, 96, "{}", r.env);
+        }
+    }
+
+    #[test]
+    fn table2_has_nonnegative_overheads() {
+        let rows = table2(&[AppModel::pagerank()], &fast());
+        for r in &rows {
+            assert!(r.global_reduction > 0.0);
+            assert!(r.idle_local >= 0.0 && r.idle_cloud >= 0.0);
+            // One of the two sites always finishes first.
+            assert!(r.idle_local == 0.0 || r.idle_cloud == 0.0);
+        }
+    }
+
+    #[test]
+    fn fig4_efficiencies_have_three_steps() {
+        let reports = fig4(&AppModel::kmeans(), &fast());
+        assert_eq!(reports.len(), 4);
+        let effs = fig4_efficiencies(&reports);
+        assert_eq!(effs.len(), 3);
+        assert!(effs.iter().all(|&e| e > 0.3 && e <= 1.05), "{effs:?}");
+    }
+
+    #[test]
+    fn summary_reproduces_the_paper_headlines() {
+        // Paper: 15.55% average slowdown, 81% average scaling efficiency.
+        let s = summary(&fast());
+        assert!(
+            s.avg_slowdown_ratio > 0.05 && s.avg_slowdown_ratio < 0.35,
+            "avg slowdown should sit near the paper's 15.55%: {s:?}"
+        );
+        assert!(
+            s.avg_scaling_efficiency > 0.65 && s.avg_scaling_efficiency < 0.95,
+            "avg scaling should sit near the paper's 81%: {s:?}"
+        );
+    }
+}

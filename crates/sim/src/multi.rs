@@ -1,0 +1,583 @@
+//! The multi-site generalization of the cloud-bursting scenario.
+//!
+//! The paper notes the framework "will also be applicable if the data
+//! and/or processing power is spread across two different cloud providers"
+//! — the scheduler is already site-generic; only the two-site scenario
+//! harness wasn't. This module simulates an arbitrary number of sites
+//! (e.g. cluster + AWS + a second provider), each with its own compute
+//! profile and storage, joined by a shared inter-site bulk pipe.
+//!
+//! The two-site [`crate::scenario::simulate`] is a thin wrapper over
+//! [`simulate_multi`], so the calibrated paper numbers and the multi-site
+//! results come from the same engine.
+
+use crate::model::AppModel;
+use crate::params::{ResourceSpec, SimParams};
+use cloudburst_core::{
+    BatchPolicy, Breakdown, ChunkId, DataIndex, JobPool, LayoutParams, LocalJob, MasterPool,
+    RunReport, Seconds, SiteId, SiteStats, Take,
+};
+use cloudburst_des::{EventQueue, Servers, SimTime, Timeline};
+use cloudburst_netsim::Jitter;
+use std::collections::BTreeMap;
+
+/// What a simulated slave is doing at a point in time (timeline kinds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activity {
+    /// Head/master control RPCs.
+    Control,
+    /// Chunk retrieval (including queueing and WAN transfer).
+    Retrieval,
+    /// Local reduction.
+    Compute,
+}
+
+/// One site's compute and storage profile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SiteSpec {
+    /// Site identity.
+    pub site: SiteId,
+    /// Worker cores at the site.
+    pub cores: u32,
+    /// Cores per slave node/instance (one slave processes one chunk at a
+    /// time with all its cores).
+    pub cores_per_slave: u32,
+    /// Multiplier on per-unit compute time relative to a reference core.
+    pub compute_factor: f64,
+    /// Performance-variability amplitude (deterministic).
+    pub jitter: f64,
+    /// The site's storage as seen by one of its slaves.
+    pub store: ResourceSpec,
+    /// Fraction of the dataset's files hosted here (fractions should sum to
+    /// roughly 1 across sites).
+    pub data_fraction: f64,
+}
+
+/// A deployment across any number of sites.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiEnv {
+    /// Display label.
+    pub name: String,
+    /// Per-site profiles (order fixes file placement: earlier sites get
+    /// earlier files).
+    pub sites: Vec<SiteSpec>,
+    /// The shared inter-site bulk pipe for stolen chunks.
+    pub wan: ResourceSpec,
+    /// One-way control latency between the head and a remote master.
+    pub control_latency: f64,
+    /// Single-stream bandwidth for reduction-object exchange.
+    pub robj_stream_bw: f64,
+    /// Memory bandwidth for robj merging.
+    pub merge_bw: f64,
+    /// Jitter seed.
+    pub seed: u64,
+    /// Dataset size in bytes.
+    pub dataset_bytes: u64,
+    /// Number of dataset files.
+    pub n_files: u32,
+    /// Number of chunks (jobs).
+    pub n_chunks: u32,
+    /// Whether the head uses the rate-aware steal condition (the paper's
+    /// "considers the rate of processing"); disable to measure the naive
+    /// locality-greedy policy (the stealing ablation).
+    pub rate_aware_stealing: bool,
+}
+
+impl MultiEnv {
+    /// The paper's two-site deployment, from an [`cloudburst_core::EnvConfig`]
+    /// and the testbed parameters.
+    #[must_use]
+    pub fn two_site(env: &cloudburst_core::EnvConfig, app: &AppModel, params: &SimParams) -> MultiEnv {
+        let mut sites = Vec::new();
+        if env.local_cores > 0 || env.local_data_fraction > 0.0 {
+            sites.push(SiteSpec {
+                site: SiteId::LOCAL,
+                cores: env.local_cores,
+                cores_per_slave: params.local_cores_per_slave,
+                compute_factor: 1.0,
+                jitter: params.local_jitter,
+                store: params.cluster_disk,
+                data_fraction: env.local_data_fraction,
+            });
+        }
+        sites.push(SiteSpec {
+            site: SiteId::CLOUD,
+            cores: env.cloud_cores,
+            cores_per_slave: params.cloud_cores_per_slave,
+            compute_factor: app.cloud_compute_factor,
+            jitter: params.cloud_jitter,
+            store: params.s3,
+            data_fraction: 1.0 - env.local_data_fraction,
+        });
+        MultiEnv {
+            name: env.name.clone(),
+            sites,
+            wan: params.wan_bulk,
+            control_latency: params.control_latency,
+            robj_stream_bw: params.robj_stream_bw,
+            merge_bw: params.merge_bw,
+            seed: params.seed,
+            dataset_bytes: params.dataset_bytes,
+            n_files: params.n_files,
+            n_chunks: params.n_chunks,
+            rate_aware_stealing: true,
+        }
+    }
+
+    /// Files hosted per site, by cumulative rounding of the fractions.
+    fn file_placement(&self) -> Vec<SiteId> {
+        let n = self.n_files;
+        let total: f64 = self.sites.iter().map(|s| s.data_fraction).sum();
+        let mut out = Vec::with_capacity(n as usize);
+        let mut cut_prev = 0u32;
+        let mut cum = 0.0;
+        for (i, s) in self.sites.iter().enumerate() {
+            cum += s.data_fraction / total.max(f64::MIN_POSITIVE);
+            let cut = if i + 1 == self.sites.len() {
+                n
+            } else {
+                ((cum * f64::from(n)).round() as u32).min(n)
+            };
+            for _ in cut_prev..cut {
+                out.push(s.site);
+            }
+            cut_prev = cut;
+        }
+        debug_assert_eq!(out.len(), n as usize);
+        out
+    }
+}
+
+/// Per-site derived slave shape.
+struct SlaveShape {
+    site: SiteId,
+    n_slaves: u32,
+    speed: f64,
+}
+
+/// Simulate one run of `app` across `env`'s sites. Deterministic.
+///
+/// # Panics
+/// Panics when no site has cores, or the layout is degenerate.
+#[must_use]
+pub fn simulate_multi(app: &AppModel, env: &MultiEnv) -> RunReport {
+    run_multi(app, env, None)
+}
+
+/// Like [`simulate_multi`], additionally recording every slave's activity
+/// timeline (control / retrieval / compute spans) for utilization analysis
+/// and Gantt rendering.
+#[must_use]
+pub fn simulate_multi_traced(app: &AppModel, env: &MultiEnv) -> (RunReport, Timeline<Activity>) {
+    let mut timeline = Timeline::new();
+    let report = run_multi(app, env, Some(&mut timeline));
+    (report, timeline)
+}
+
+fn run_multi(app: &AppModel, env: &MultiEnv, mut trace: Option<&mut Timeline<Activity>>) -> RunReport {
+    let placement = env.file_placement();
+    let total_units = app.units_in(env.dataset_bytes).max(u64::from(env.n_chunks));
+    let upc = total_units.div_ceil(u64::from(env.n_chunks));
+    let index = DataIndex::build(
+        total_units,
+        LayoutParams { unit_size: app.unit_size, units_per_chunk: upc, n_files: env.n_files },
+        |f| placement[f.0 as usize],
+    )
+    .expect("valid multi-site layout");
+
+    let batch_policy = BatchPolicy::Adaptive { divisor: 24, min: 1, max: 2 };
+    let mut pool = JobPool::from_index(&index, batch_policy);
+    let chunk_bytes = index.chunks[0].len;
+    let chunk_units = index.chunks[0].n_units;
+
+    let specs: BTreeMap<SiteId, &SiteSpec> = env.sites.iter().map(|s| (s.site, s)).collect();
+    let active: Vec<SlaveShape> = env
+        .sites
+        .iter()
+        .filter(|s| s.cores > 0)
+        .map(|s| {
+            let n_slaves =
+                ((f64::from(s.cores) / f64::from(s.cores_per_slave.max(1))).round() as u32).max(1);
+            SlaveShape { site: s.site, n_slaves, speed: f64::from(s.cores) / f64::from(n_slaves) }
+        })
+        .collect();
+    assert!(!active.is_empty(), "environment has no workers");
+    let head_site = active[0].site;
+
+    // Rate-aware stealing: each active site's end-to-end cost to fetch and
+    // process one remote chunk (worst remote store + WAN + compute).
+    for shape in active.iter().filter(|_| env.rate_aware_stealing) {
+        let spec = specs[&shape.site];
+        let worst_remote_store = env
+            .sites
+            .iter()
+            .filter(|s| s.site != shape.site)
+            .map(|s| s.store.service_time(chunk_bytes))
+            .fold(0.0_f64, f64::max);
+        let cost = env.wan.service_time(chunk_bytes)
+            + worst_remote_store
+            + app.compute_time(chunk_units, spec.compute_factor) / shape.speed;
+        pool.set_steal_cost(shape.site, cost);
+    }
+
+    let mut masters: BTreeMap<SiteId, MasterPool> =
+        active.iter().map(|s| (s.site, MasterPool::new(s.site, 0))).collect();
+    let mut stores: BTreeMap<SiteId, Servers> = env
+        .sites
+        .iter()
+        .map(|s| (s.site, Servers::new(s.store.servers)))
+        .collect();
+    let mut wan = Servers::new(env.wan.servers);
+
+    struct Worker {
+        site: SiteId,
+        speed: f64,
+        factor: f64,
+        processing: Seconds,
+        retrieval: Seconds,
+        control: Seconds,
+        remote_bytes: u64,
+        /// When the worker observed the drained signal (includes the final
+        /// cross-site polling wait).
+        finish: Seconds,
+        /// When the worker finished its last job — the paper's notion of a
+        /// worker going idle.
+        last_done: Seconds,
+        jitter: Jitter,
+        done: bool,
+    }
+    let mut workers: Vec<Worker> = Vec::new();
+    for shape in &active {
+        let spec = specs[&shape.site];
+        for c in 0..shape.n_slaves {
+            workers.push(Worker {
+                site: shape.site,
+                speed: shape.speed,
+                factor: spec.compute_factor,
+                processing: 0.0,
+                retrieval: 0.0,
+                control: 0.0,
+                remote_bytes: 0,
+                finish: 0.0,
+                last_done: 0.0,
+                jitter: Jitter::new(
+                    env.seed ^ (u64::from(shape.site.0) << 32) ^ u64::from(c),
+                    spec.jitter,
+                ),
+                done: false,
+            });
+        }
+    }
+
+    struct Ready {
+        worker: usize,
+        completes: Option<ChunkId>,
+    }
+    enum Pull {
+        Job(LocalJob),
+        PollLater,
+        Finished,
+    }
+
+    let mut queue: EventQueue<Ready> = EventQueue::new();
+    for w in 0..workers.len() {
+        queue.schedule(SimTime::ZERO, Ready { worker: w, completes: None });
+    }
+
+    while let Some((at, ev)) = queue.pop() {
+        let mut now = at.seconds();
+        let w = &mut workers[ev.worker];
+        let site = w.site;
+        if let Some(job) = ev.completes {
+            pool.complete_at(job, site, now);
+        }
+
+        let master = masters.get_mut(&site).expect("active site has a master");
+        let pull = loop {
+            match master.take() {
+                Take::Job(j) => break Pull::Job(j),
+                Take::Drained => break Pull::Finished,
+                Take::NeedRefill => {
+                    let rpc =
+                        if site == head_site { 2e-4 } else { 2.0 * env.control_latency };
+                    if let Some(t) = trace.as_deref_mut() {
+                        t.record(ev.worker, Activity::Control, SimTime::at(now), SimTime::at(now + rpc));
+                    }
+                    now += rpc;
+                    w.control += rpc;
+                    let batch = pool.request_for_at(site, now);
+                    let empty_nonterminal = batch.is_empty() && !batch.terminal;
+                    master.refill(batch);
+                    if empty_nonterminal {
+                        break Pull::PollLater;
+                    }
+                }
+            }
+        };
+        let job = match pull {
+            Pull::Job(j) => j,
+            Pull::PollLater => {
+                queue.schedule(SimTime::at(now + 0.2), Ready { worker: ev.worker, completes: None });
+                continue;
+            }
+            Pull::Finished => {
+                w.finish = now;
+                w.done = true;
+                continue;
+            }
+        };
+
+        let data_site = job.chunk.site;
+        let spec = specs[&data_site];
+        let store = stores.get_mut(&data_site).expect("store for data site");
+        let grant = store.request(SimTime::at(now), spec.store.service_time(job.chunk.len));
+        let mut retr_end = grant.finish.seconds();
+        if data_site != site {
+            let wg = wan.request(
+                SimTime::at(retr_end.max(now)),
+                env.wan.service_time(job.chunk.len),
+            );
+            retr_end = wg.finish.seconds();
+            w.remote_bytes += job.chunk.len;
+        }
+        w.retrieval += retr_end - now;
+
+        let compute = w.jitter.stretch(app.compute_time(job.chunk.n_units, w.factor)) / w.speed;
+        w.processing += compute;
+        w.last_done = retr_end + compute;
+        if let Some(t) = trace.as_deref_mut() {
+            t.record(ev.worker, Activity::Retrieval, SimTime::at(now), SimTime::at(retr_end));
+            t.record(
+                ev.worker,
+                Activity::Compute,
+                SimTime::at(retr_end),
+                SimTime::at(retr_end + compute),
+            );
+        }
+        queue.schedule(
+            SimTime::at(retr_end + compute),
+            Ready { worker: ev.worker, completes: Some(job.chunk.id) },
+        );
+    }
+
+    debug_assert!(pool.all_done(), "simulation ended with unprocessed jobs");
+
+    // A site is "finished" when its last *completion* lands (plus the local
+    // robj combination); the end-of-run polling a drained site does while
+    // the other site works is the paper's inter-cluster **idle** time.
+    let mut site_finish: BTreeMap<SiteId, Seconds> = BTreeMap::new();
+    for shape in &active {
+        let worker_finish = workers
+            .iter()
+            .filter(|w| w.site == shape.site)
+            .map(|w| w.last_done)
+            .fold(0.0_f64, f64::max);
+        let merge = f64::from(shape.n_slaves) * app.robj_bytes as f64 / env.merge_bw;
+        site_finish.insert(shape.site, worker_finish + merge);
+    }
+    let compute_finish = site_finish.values().copied().fold(0.0_f64, f64::max);
+
+    let mut global_reduction = 0.0;
+    for shape in &active {
+        if shape.site != head_site {
+            global_reduction += env.control_latency
+                + 2.0 * f64::from(shape.n_slaves) * app.robj_bytes as f64 / env.robj_stream_bw
+                + f64::from(shape.n_slaves) * app.robj_bytes as f64 / env.merge_bw;
+        }
+    }
+    let total_time = compute_finish + global_reduction;
+
+    let counts = pool.site_counts().clone();
+    let mut report = RunReport {
+        env: env.name.clone(),
+        global_reduction,
+        total_time,
+        ..RunReport::default()
+    };
+    for shape in &active {
+        let site = shape.site;
+        let site_workers: Vec<&Worker> = workers.iter().filter(|w| w.site == site).collect();
+        let n = site_workers.len().max(1) as f64;
+        let fin = site_finish[&site];
+        let mean_proc = site_workers.iter().map(|w| w.processing).sum::<f64>() / n;
+        let mean_retr = site_workers.iter().map(|w| w.retrieval).sum::<f64>() / n;
+        let mean_barrier =
+            site_workers.iter().map(|w| (fin - w.last_done).max(0.0)).sum::<f64>() / n;
+        let mean_control = site_workers.iter().map(|w| w.control).sum::<f64>() / n;
+        let idle = compute_finish - fin;
+        report.sites.insert(
+            site,
+            SiteStats {
+                breakdown: Breakdown {
+                    processing: mean_proc,
+                    retrieval: mean_retr,
+                    sync: mean_barrier + mean_control + idle,
+                },
+                finish_time: fin,
+                idle,
+                jobs: counts.get(&site).copied().unwrap_or_default(),
+                remote_bytes: site_workers.iter().map(|w| w.remote_bytes).sum(),
+            },
+        );
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three providers: the campus cluster plus two clouds with different
+    /// compute/storage profiles.
+    fn three_sites() -> MultiEnv {
+        let p = SimParams::paper();
+        MultiEnv {
+            name: "tri-cloud".into(),
+            sites: vec![
+                SiteSpec {
+                    site: SiteId::LOCAL,
+                    cores: 16,
+                    cores_per_slave: 8,
+                    compute_factor: 1.0,
+                    jitter: p.local_jitter,
+                    store: p.cluster_disk,
+                    data_fraction: 0.2,
+                },
+                SiteSpec {
+                    site: SiteId::CLOUD,
+                    cores: 16,
+                    cores_per_slave: 4,
+                    compute_factor: 1.2,
+                    jitter: p.cloud_jitter,
+                    store: p.s3,
+                    data_fraction: 0.4,
+                },
+                SiteSpec {
+                    site: SiteId(2),
+                    cores: 16,
+                    cores_per_slave: 2,
+                    compute_factor: 1.5,
+                    jitter: 0.2,
+                    store: ResourceSpec { servers: 16, per_channel_bw: 30e6, latency: 80e-3 },
+                    data_fraction: 0.4,
+                },
+            ],
+            wan: p.wan_bulk,
+            control_latency: p.control_latency,
+            robj_stream_bw: p.robj_stream_bw,
+            merge_bw: p.merge_bw,
+            seed: p.seed,
+            dataset_bytes: p.dataset_bytes,
+            n_files: p.n_files,
+            n_chunks: p.n_chunks,
+            rate_aware_stealing: true,
+        }
+    }
+
+    #[test]
+    fn three_site_run_conserves_jobs() {
+        let report = simulate_multi(&AppModel::pagerank(), &three_sites());
+        assert_eq!(report.total_jobs(), 96);
+        assert_eq!(report.sites.len(), 3);
+        assert!(report.total_time > 0.0);
+    }
+
+    #[test]
+    fn three_site_run_is_deterministic() {
+        let a = simulate_multi(&AppModel::knn(), &three_sites());
+        let b = simulate_multi(&AppModel::knn(), &three_sites());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn placement_covers_every_file_proportionally() {
+        let env = three_sites();
+        let placement = env.file_placement();
+        assert_eq!(placement.len(), 32);
+        let count = |s: SiteId| placement.iter().filter(|&&x| x == s).count();
+        // 0.2 / 0.4 / 0.4 of 32 files = 6-7 / 13 / 12-13.
+        assert!((6..=7).contains(&count(SiteId::LOCAL)));
+        assert!((12..=14).contains(&count(SiteId::CLOUD)));
+        assert!((12..=14).contains(&count(SiteId(2))));
+    }
+
+    #[test]
+    fn all_compute_on_one_site_steals_the_rest() {
+        let mut env = three_sites();
+        env.sites[1].cores = 0;
+        env.sites[2].cores = 0;
+        let report = simulate_multi(&AppModel::knn(), &env);
+        let local = &report.sites[&SiteId::LOCAL];
+        assert_eq!(local.jobs.total(), 96);
+        assert!(local.jobs.stolen > 0);
+        assert_eq!(report.sites.len(), 1);
+    }
+
+    #[test]
+    fn global_reduction_scales_with_remote_sites() {
+        let app = AppModel::pagerank();
+        let three = simulate_multi(&app, &three_sites());
+        let mut two = three_sites();
+        two.sites.remove(2);
+        two.sites[0].data_fraction = 0.4;
+        two.sites[1].data_fraction = 0.6;
+        let two = simulate_multi(&app, &two);
+        assert!(
+            three.global_reduction > two.global_reduction,
+            "more remote sites exchange more robjs: {} vs {}",
+            three.global_reduction,
+            two.global_reduction
+        );
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_covers_workers() {
+        let app = AppModel::knn();
+        let env = three_sites();
+        let (report, timeline) = simulate_multi_traced(&app, &env);
+        assert_eq!(report, simulate_multi(&app, &env), "tracing must not perturb the run");
+        // Every slave recorded activity: 16/8 + 16/4 + 16/2 = 2+4+8 = 14.
+        assert_eq!(timeline.n_entities(), 14);
+        for e in 0..timeline.n_entities() {
+            assert!(timeline.busy_seconds(e) > 0.0, "slave {e} never worked");
+        }
+        // The trace horizon ends near the compute finish: the drained side's
+        // final poll ticks may run slightly past the last completion.
+        assert!(timeline.horizon().seconds() <= report.total_time + 0.5);
+        // Retrieval + compute span time equals the reported mean-per-slave
+        // times × slave counts exactly (control/polling spans excluded).
+        let work_spans: f64 = timeline
+            .spans()
+            .iter()
+            .filter(|s| s.kind != Activity::Control)
+            .map(|s| s.end - s.start)
+            .sum();
+        let slaves_of = |site: SiteId| match site.0 {
+            0 => 2.0, // 16 cores / 8 per node
+            1 => 4.0, // 16 / 4
+            _ => 8.0, // 16 / 2
+        };
+        let reported: f64 = report
+            .sites
+            .iter()
+            .map(|(&site, s)| {
+                (s.breakdown.processing + s.breakdown.retrieval) * slaves_of(site)
+            })
+            .sum();
+        assert!(
+            (work_spans - reported).abs() < reported * 1e-9,
+            "spans {work_spans} vs reported {reported}"
+        );
+    }
+
+    #[test]
+    fn two_site_wrapper_matches_scenario() {
+        // The delegated two-site path must reproduce the calibrated results.
+        let app = AppModel::kmeans();
+        let env = cloudburst_core::EnvConfig::new("env-33/67", 0.33, 16, 22);
+        let params = SimParams::paper();
+        let via_multi = simulate_multi(&app, &MultiEnv::two_site(&env, &app, &params));
+        let via_scenario = crate::scenario::simulate(&app, &env, &params);
+        assert_eq!(via_multi, via_scenario);
+    }
+}

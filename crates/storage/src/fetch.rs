@@ -1,0 +1,179 @@
+//! Multi-threaded chunk retrieval (paper §III-B): "Each slave retrieves
+//! jobs using multiple retrieval threads, to capitalize on the fast network
+//! interconnects in the cluster."
+//!
+//! A chunk is split into `threads` byte ranges fetched concurrently and
+//! reassembled in order. Against the simulated S3 this recovers most of the
+//! gap between one connection's bandwidth and the aggregate host cap; against
+//! local stores it degrades gracefully to a single sequential read.
+
+use crate::store::ChunkStore;
+use bytes::{Bytes, BytesMut};
+use cloudburst_core::{ByteSize, ChunkMeta, FileId};
+use std::io;
+
+/// Retrieval configuration for one slave.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FetchConfig {
+    /// Concurrent range requests per chunk.
+    pub threads: u32,
+    /// Ranges smaller than this are not split further.
+    pub min_range: ByteSize,
+}
+
+impl Default for FetchConfig {
+    fn default() -> Self {
+        FetchConfig { threads: 4, min_range: 64 * 1024 }
+    }
+}
+
+impl FetchConfig {
+    /// Sequential fetching (one range per chunk).
+    #[must_use]
+    pub fn sequential() -> FetchConfig {
+        FetchConfig { threads: 1, min_range: 1 }
+    }
+
+    /// The byte ranges `(offset, len)` a read of `[offset, offset+len)` is
+    /// split into: contiguous, non-empty, ascending.
+    #[must_use]
+    pub fn split(&self, offset: ByteSize, len: ByteSize) -> Vec<(ByteSize, ByteSize)> {
+        if len == 0 {
+            return Vec::new();
+        }
+        let max_parts = len.div_ceil(self.min_range.max(1));
+        let parts = u64::from(self.threads.max(1)).min(max_parts);
+        let base = len / parts;
+        let extra = len % parts;
+        let mut ranges = Vec::with_capacity(parts as usize);
+        let mut at = offset;
+        for i in 0..parts {
+            let this = base + u64::from(i < extra);
+            ranges.push((at, this));
+            at += this;
+        }
+        ranges
+    }
+}
+
+/// Fetch `len` bytes of `file` at `offset` using up to `config.threads`
+/// concurrent range reads, returning the reassembled bytes.
+pub fn fetch_range<S: ChunkStore + ?Sized>(
+    store: &S,
+    file: FileId,
+    offset: ByteSize,
+    len: ByteSize,
+    config: FetchConfig,
+) -> io::Result<Bytes> {
+    let ranges = config.split(offset, len);
+    match ranges.len() {
+        0 => Ok(Bytes::new()),
+        1 => store.read(file, offset, len),
+        _ => {
+            let mut parts: Vec<io::Result<Bytes>> = Vec::new();
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = ranges
+                    .iter()
+                    .map(|&(o, l)| scope.spawn(move || store.read(file, o, l)))
+                    .collect();
+                parts = handles.into_iter().map(|h| h.join().expect("fetch thread panicked")).collect();
+            });
+            let mut out = BytesMut::with_capacity(len as usize);
+            for part in parts {
+                out.extend_from_slice(&part?);
+            }
+            Ok(out.freeze())
+        }
+    }
+}
+
+/// Fetch one chunk described by its metadata.
+pub fn fetch_chunk<S: ChunkStore + ?Sized>(
+    store: &S,
+    chunk: &ChunkMeta,
+    config: FetchConfig,
+) -> io::Result<Bytes> {
+    fetch_range(store, chunk.file, chunk.offset, chunk.len, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::MemStore;
+    use cloudburst_core::SiteId;
+
+    fn pattern(n: usize) -> Bytes {
+        Bytes::from((0..n).map(|i| (i % 251) as u8).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn split_covers_range_contiguously() {
+        let cfg = FetchConfig { threads: 4, min_range: 10 };
+        let ranges = cfg.split(100, 103);
+        assert_eq!(ranges.len(), 4);
+        assert_eq!(ranges[0], (100, 26));
+        let mut at = 100;
+        let mut total = 0;
+        for (o, l) in ranges {
+            assert_eq!(o, at);
+            assert!(l > 0);
+            at += l;
+            total += l;
+        }
+        assert_eq!(total, 103);
+    }
+
+    #[test]
+    fn split_respects_min_range() {
+        let cfg = FetchConfig { threads: 8, min_range: 50 };
+        // 120 bytes / min 50 -> at most 3 parts despite 8 threads.
+        assert_eq!(cfg.split(0, 120).len(), 3);
+        // Tiny range -> single part.
+        assert_eq!(cfg.split(0, 10).len(), 1);
+    }
+
+    #[test]
+    fn split_empty_range_is_empty() {
+        assert!(FetchConfig::default().split(5, 0).is_empty());
+    }
+
+    #[test]
+    fn parallel_fetch_reassembles_in_order() {
+        let data = pattern(10_000);
+        let store = MemStore::new(SiteId::LOCAL, vec![data.clone()]);
+        let cfg = FetchConfig { threads: 7, min_range: 100 };
+        let got = fetch_range(&store, FileId(0), 123, 7_531, cfg).unwrap();
+        assert_eq!(got, data.slice(123..123 + 7_531));
+    }
+
+    #[test]
+    fn sequential_config_uses_single_read() {
+        let data = pattern(1000);
+        let store = MemStore::new(SiteId::LOCAL, vec![data.clone()]);
+        let got = fetch_range(&store, FileId(0), 0, 1000, FetchConfig::sequential()).unwrap();
+        assert_eq!(got, data);
+    }
+
+    #[test]
+    fn fetch_chunk_uses_chunk_metadata() {
+        let data = pattern(4096);
+        let store = MemStore::new(SiteId::LOCAL, vec![data.clone()]);
+        let chunk = ChunkMeta {
+            id: cloudburst_core::ChunkId(0),
+            file: FileId(0),
+            offset: 512,
+            len: 1024,
+            n_units: 256,
+            site: SiteId::LOCAL,
+        };
+        let got = fetch_chunk(&store, &chunk, FetchConfig::default()).unwrap();
+        assert_eq!(got, data.slice(512..1536));
+    }
+
+    #[test]
+    fn errors_propagate_from_any_range() {
+        let store = MemStore::new(SiteId::LOCAL, vec![pattern(100)]);
+        let cfg = FetchConfig { threads: 4, min_range: 1 };
+        assert!(fetch_range(&store, FileId(0), 50, 100, cfg).is_err());
+    }
+}

@@ -1,0 +1,146 @@
+//! A filesystem-backed store: the dataset's files live on disk as
+//! `data-<n>.bin` inside one directory, matching the paper's dedicated
+//! storage node holding the 32 dataset files.
+
+use crate::store::{check_range, no_such_file, ChunkStore};
+use bytes::Bytes;
+use cloudburst_core::{ByteSize, FileId, SiteId};
+use std::fs::File;
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Name of the `n`-th dataset file inside a store directory.
+#[must_use]
+pub fn file_name(n: u32) -> String {
+    format!("data-{n:05}.bin")
+}
+
+/// A directory of dataset files, opened per read (stores are shared across
+/// threads and `File` seeks are stateful, so each read opens its own handle;
+/// the OS page cache makes this cheap).
+#[derive(Debug, Clone)]
+pub struct FileStore {
+    site: SiteId,
+    dir: PathBuf,
+    lens: Vec<ByteSize>,
+}
+
+impl FileStore {
+    /// Open a store over the `data-*.bin` files in `dir`.
+    pub fn open(site: SiteId, dir: impl AsRef<Path>) -> io::Result<FileStore> {
+        let dir = dir.as_ref().to_path_buf();
+        let mut lens = Vec::new();
+        loop {
+            let path = dir.join(file_name(lens.len() as u32));
+            match std::fs::metadata(&path) {
+                Ok(m) => lens.push(m.len()),
+                Err(e) if e.kind() == io::ErrorKind::NotFound => break,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(FileStore { site, dir, lens })
+    }
+
+    /// Create a store directory by writing `files` as `data-*.bin`.
+    pub fn create(site: SiteId, dir: impl AsRef<Path>, files: &[Bytes]) -> io::Result<FileStore> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        for (n, data) in files.iter().enumerate() {
+            let mut f = File::create(dir.join(file_name(n as u32)))?;
+            f.write_all(data)?;
+        }
+        FileStore::open(site, dir)
+    }
+
+    /// The backing directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path(&self, file: FileId) -> PathBuf {
+        self.dir.join(file_name(file.0))
+    }
+}
+
+impl ChunkStore for FileStore {
+    fn site(&self) -> SiteId {
+        self.site
+    }
+
+    fn read(&self, file: FileId, offset: ByteSize, len: ByteSize) -> io::Result<Bytes> {
+        let file_len = *self.lens.get(file.0 as usize).ok_or_else(|| no_such_file(file))?;
+        check_range(file, file_len, offset, len)?;
+        let mut f = File::open(self.path(file))?;
+        f.seek(SeekFrom::Start(offset))?;
+        let mut buf = vec![0u8; len as usize];
+        f.read_exact(&mut buf)?;
+        Ok(Bytes::from(buf))
+    }
+
+    fn file_len(&self, file: FileId) -> io::Result<ByteSize> {
+        self.lens.get(file.0 as usize).copied().ok_or_else(|| no_such_file(file))
+    }
+
+    fn n_files(&self) -> usize {
+        self.lens.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir()
+            .join("cloudburst-tests")
+            .join(format!("filestore-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn create_then_read_back() {
+        let dir = tmpdir("roundtrip");
+        let files = vec![Bytes::from_static(b"abcdef"), Bytes::from_static(b"XYZ")];
+        let s = FileStore::create(SiteId::LOCAL, &dir, &files).unwrap();
+        assert_eq!(s.n_files(), 2);
+        assert_eq!(s.read(FileId(0), 2, 3).unwrap(), Bytes::from_static(b"cde"));
+        assert_eq!(s.read(FileId(1), 0, 3).unwrap(), Bytes::from_static(b"XYZ"));
+        assert_eq!(s.file_len(FileId(1)).unwrap(), 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reopen_discovers_files() {
+        let dir = tmpdir("reopen");
+        let files = vec![Bytes::from_static(b"12345678")];
+        let _ = FileStore::create(SiteId::CLOUD, &dir, &files).unwrap();
+        let s = FileStore::open(SiteId::CLOUD, &dir).unwrap();
+        assert_eq!(s.n_files(), 1);
+        assert_eq!(s.site(), SiteId::CLOUD);
+        assert_eq!(s.read(FileId(0), 4, 4).unwrap(), Bytes::from_static(b"5678"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn out_of_range_and_missing_file_errors() {
+        let dir = tmpdir("errors");
+        let s = FileStore::create(SiteId::LOCAL, &dir, &[Bytes::from_static(b"ab")]).unwrap();
+        assert_eq!(
+            s.read(FileId(0), 1, 5).unwrap_err().kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+        assert_eq!(s.read(FileId(7), 0, 1).unwrap_err().kind(), io::ErrorKind::NotFound);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_directory_is_empty_store() {
+        let dir = tmpdir("empty");
+        std::fs::create_dir_all(&dir).unwrap();
+        let s = FileStore::open(SiteId::LOCAL, &dir).unwrap();
+        assert_eq!(s.n_files(), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,222 @@
+//! On-disk format for the data index ("A data index file is generated after
+//! analyzing the data set").
+//!
+//! The workspace's only approved serialization dependency is `serde` without
+//! a format crate, so the index uses a small hand-rolled little-endian
+//! binary format:
+//!
+//! ```text
+//! magic   b"CBIX"                     4 bytes
+//! version u16                         currently 1
+//! params  unit_size u32, units_per_chunk u64, n_files u32
+//! n_files u32, then per file:  site u16, len u64, n_chunks u32, chunk ids u32...
+//! n_chunks u32, then per chunk: file u32, offset u64, len u64, n_units u64, site u16
+//! crc     u32 (FNV-1a over everything before it)
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use cloudburst_core::{ChunkId, ChunkMeta, DataIndex, FileId, FileMeta, LayoutParams, SiteId};
+use std::io::{self, ErrorKind};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"CBIX";
+const VERSION: u16 = 1;
+
+fn fnv1a(data: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for &b in data {
+        h ^= u32::from(b);
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+fn err(msg: impl Into<String>) -> io::Error {
+    io::Error::new(ErrorKind::InvalidData, msg.into())
+}
+
+/// Serialize an index to its binary format.
+#[must_use]
+pub fn encode_index(index: &DataIndex) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64 + index.chunks.len() * 34);
+    buf.put_slice(MAGIC);
+    buf.put_u16_le(VERSION);
+    buf.put_u32_le(index.params.unit_size);
+    buf.put_u64_le(index.params.units_per_chunk);
+    buf.put_u32_le(index.params.n_files);
+    buf.put_u32_le(index.files.len() as u32);
+    for f in &index.files {
+        buf.put_u16_le(f.site.0);
+        buf.put_u64_le(f.len);
+        buf.put_u32_le(f.chunks.len() as u32);
+        for c in &f.chunks {
+            buf.put_u32_le(c.0);
+        }
+    }
+    buf.put_u32_le(index.chunks.len() as u32);
+    for c in &index.chunks {
+        buf.put_u32_le(c.file.0);
+        buf.put_u64_le(c.offset);
+        buf.put_u64_le(c.len);
+        buf.put_u64_le(c.n_units);
+        buf.put_u16_le(c.site.0);
+    }
+    let crc = fnv1a(&buf);
+    buf.put_u32_le(crc);
+    buf.freeze()
+}
+
+/// Parse an index from its binary format, verifying magic, version, checksum
+/// and internal consistency.
+pub fn decode_index(data: &[u8]) -> io::Result<DataIndex> {
+    if data.len() < MAGIC.len() + 2 + 4 {
+        return Err(err("index file truncated"));
+    }
+    let (body, crc_bytes) = data.split_at(data.len() - 4);
+    let stored_crc = u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes"));
+    if fnv1a(body) != stored_crc {
+        return Err(err("index checksum mismatch"));
+    }
+    let mut buf = body;
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(err("bad magic: not a cloudburst index"));
+    }
+    let version = buf.get_u16_le();
+    if version != VERSION {
+        return Err(err(format!("unsupported index version {version}")));
+    }
+    let check = |cond: bool, what: &str| if cond { Ok(()) } else { Err(err(format!("truncated {what}"))) };
+
+    check(buf.remaining() >= 16, "params")?;
+    let params = LayoutParams {
+        unit_size: buf.get_u32_le(),
+        units_per_chunk: buf.get_u64_le(),
+        n_files: buf.get_u32_le(),
+    };
+    check(buf.remaining() >= 4, "file count")?;
+    let n_files = buf.get_u32_le() as usize;
+    let mut files = Vec::with_capacity(n_files.min(1 << 20));
+    for i in 0..n_files {
+        check(buf.remaining() >= 14, "file record")?;
+        let site = SiteId(buf.get_u16_le());
+        let len = buf.get_u64_le();
+        let n_chunks = buf.get_u32_le() as usize;
+        check(buf.remaining() >= n_chunks * 4, "file chunk list")?;
+        let chunks = (0..n_chunks).map(|_| ChunkId(buf.get_u32_le())).collect();
+        files.push(FileMeta { id: FileId(i as u32), site, len, chunks });
+    }
+    check(buf.remaining() >= 4, "chunk count")?;
+    let n_chunks = buf.get_u32_le() as usize;
+    let mut chunks = Vec::with_capacity(n_chunks.min(1 << 24));
+    for i in 0..n_chunks {
+        check(buf.remaining() >= 30, "chunk record")?;
+        chunks.push(ChunkMeta {
+            id: ChunkId(i as u32),
+            file: FileId(buf.get_u32_le()),
+            offset: buf.get_u64_le(),
+            len: buf.get_u64_le(),
+            n_units: buf.get_u64_le(),
+            site: SiteId(buf.get_u16_le()),
+        });
+    }
+    if buf.has_remaining() {
+        return Err(err("trailing bytes after index"));
+    }
+    let index = DataIndex { params, files, chunks };
+    index.validate().map_err(err)?;
+    Ok(index)
+}
+
+/// Write an index to a file.
+pub fn write_index(index: &DataIndex, path: impl AsRef<Path>) -> io::Result<()> {
+    std::fs::write(path, encode_index(index))
+}
+
+/// Read an index from a file.
+pub fn read_index(path: impl AsRef<Path>) -> io::Result<DataIndex> {
+    decode_index(&std::fs::read(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_index() -> DataIndex {
+        DataIndex::build(
+            1000,
+            LayoutParams { unit_size: 16, units_per_chunk: 64, n_files: 4 },
+            |f| if f.0 % 2 == 0 { SiteId::LOCAL } else { SiteId::CLOUD },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let idx = sample_index();
+        let bytes = encode_index(&idx);
+        let back = decode_index(&bytes).unwrap();
+        assert_eq!(back, idx);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("cbix-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("dataset.idx");
+        let idx = sample_index();
+        write_index(&idx, &path).unwrap();
+        assert_eq!(read_index(&path).unwrap(), idx);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupted_byte_fails_checksum() {
+        let mut bytes = encode_index(&sample_index()).to_vec();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        let e = decode_index(&bytes).unwrap_err();
+        assert!(e.to_string().contains("checksum"));
+    }
+
+    #[test]
+    fn truncation_fails_cleanly() {
+        let bytes = encode_index(&sample_index());
+        for cut in [0, 3, 10, bytes.len() - 5] {
+            assert!(decode_index(&bytes[..cut]).is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn wrong_magic_rejected() {
+        let mut bytes = encode_index(&sample_index()).to_vec();
+        bytes[0] = b'X';
+        // Fix up the checksum so the magic check is what trips.
+        let body_len = bytes.len() - 4;
+        let crc = fnv1a(&bytes[..body_len]);
+        bytes[body_len..].copy_from_slice(&crc.to_le_bytes());
+        let e = decode_index(&bytes).unwrap_err();
+        assert!(e.to_string().contains("magic"));
+    }
+
+    #[test]
+    fn unsupported_version_rejected() {
+        let mut bytes = encode_index(&sample_index()).to_vec();
+        bytes[4] = 9; // version low byte
+        let body_len = bytes.len() - 4;
+        let crc = fnv1a(&bytes[..body_len]);
+        bytes[body_len..].copy_from_slice(&crc.to_le_bytes());
+        let e = decode_index(&bytes).unwrap_err();
+        assert!(e.to_string().contains("version"));
+    }
+
+    #[test]
+    fn decoded_index_is_validated() {
+        // Encode a structurally broken index; decode must reject it.
+        let mut idx = sample_index();
+        idx.chunks[0].len += 16;
+        let bytes = encode_index(&idx);
+        assert!(decode_index(&bytes).is_err());
+    }
+}

@@ -1,0 +1,33 @@
+//! # cloudburst-storage
+//!
+//! The storage substrate of the cloudburst framework:
+//!
+//! * the [`ChunkStore`] ranged-read abstraction every slave retrieves
+//!   through ([`store`]);
+//! * backends: in-memory ([`mem`]), on-disk ([`mod@file`]), and the simulated
+//!   Amazon S3 with per-connection limits, a connection cap, and an
+//!   aggregate bandwidth pipe ([`s3sim`]);
+//! * multi-threaded ranged retrieval, the paper's "multiple retrieval
+//!   threads" optimization ([`fetch`]);
+//! * the data organizer that cuts a dataset into files/chunks/units, places
+//!   files across sites and emits the index ([`organizer`]);
+//! * the binary on-disk index format ([`index_io`]).
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod fetch;
+pub mod file;
+pub mod index_io;
+pub mod mem;
+pub mod organizer;
+pub mod s3sim;
+pub mod store;
+
+pub use fetch::{fetch_chunk, fetch_range, FetchConfig};
+pub use file::FileStore;
+pub use index_io::{decode_index, encode_index, read_index, write_index};
+pub use mem::MemStore;
+pub use organizer::{fraction_placement, organize, reassemble, Organized, SiteStore};
+pub use s3sim::{S3Config, S3Metrics, S3SimStore};
+pub use store::ChunkStore;

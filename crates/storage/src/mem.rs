@@ -1,0 +1,109 @@
+//! An in-memory store: the backend for tests and for datasets generated on
+//! the fly by the examples.
+
+use crate::store::{check_range, no_such_file, ChunkStore};
+use bytes::Bytes;
+use cloudburst_core::{ByteSize, FileId, SiteId};
+use std::io;
+
+/// An immutable in-memory file set.
+#[derive(Debug, Clone)]
+pub struct MemStore {
+    site: SiteId,
+    files: Vec<Bytes>,
+}
+
+impl MemStore {
+    /// A store at `site` holding `files` (index = `FileId.0`).
+    #[must_use]
+    pub fn new(site: SiteId, files: Vec<Bytes>) -> MemStore {
+        MemStore { site, files }
+    }
+
+    /// An empty store (useful as the "other" site in single-site setups).
+    #[must_use]
+    pub fn empty(site: SiteId) -> MemStore {
+        MemStore { site, files: Vec::new() }
+    }
+
+    /// Total bytes across files.
+    #[must_use]
+    pub fn total_bytes(&self) -> ByteSize {
+        self.files.iter().map(|f| f.len() as ByteSize).sum()
+    }
+
+    fn file(&self, file: FileId) -> io::Result<&Bytes> {
+        self.files.get(file.0 as usize).ok_or_else(|| no_such_file(file))
+    }
+}
+
+impl ChunkStore for MemStore {
+    fn site(&self) -> SiteId {
+        self.site
+    }
+
+    fn read(&self, file: FileId, offset: ByteSize, len: ByteSize) -> io::Result<Bytes> {
+        let data = self.file(file)?;
+        check_range(file, data.len() as ByteSize, offset, len)?;
+        // Bytes::slice is zero-copy: workers share the backing allocation.
+        Ok(data.slice(offset as usize..(offset + len) as usize))
+    }
+
+    fn file_len(&self, file: FileId) -> io::Result<ByteSize> {
+        Ok(self.file(file)?.len() as ByteSize)
+    }
+
+    fn n_files(&self) -> usize {
+        self.files.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> MemStore {
+        MemStore::new(
+            SiteId::LOCAL,
+            vec![Bytes::from_static(b"hello world"), Bytes::from_static(b"0123456789")],
+        )
+    }
+
+    #[test]
+    fn reads_exact_ranges() {
+        let s = store();
+        assert_eq!(s.read(FileId(0), 0, 5).unwrap(), Bytes::from_static(b"hello"));
+        assert_eq!(s.read(FileId(1), 3, 4).unwrap(), Bytes::from_static(b"3456"));
+        assert_eq!(s.read(FileId(0), 11, 0).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn read_beyond_end_fails() {
+        let e = store().read(FileId(0), 6, 10).unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn missing_file_fails() {
+        let e = store().read(FileId(5), 0, 1).unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::NotFound);
+    }
+
+    #[test]
+    fn metadata_accessors() {
+        let s = store();
+        assert_eq!(s.site(), SiteId::LOCAL);
+        assert_eq!(s.n_files(), 2);
+        assert_eq!(s.file_len(FileId(0)).unwrap(), 11);
+        assert_eq!(s.total_bytes(), 21);
+        assert_eq!(MemStore::empty(SiteId::CLOUD).n_files(), 0);
+    }
+
+    #[test]
+    fn slices_share_backing_storage() {
+        let s = store();
+        let a = s.read(FileId(0), 0, 5).unwrap();
+        let b = s.read(FileId(0), 0, 5).unwrap();
+        assert_eq!(a.as_ptr(), b.as_ptr(), "zero-copy reads expected");
+    }
+}

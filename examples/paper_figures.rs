@@ -1,0 +1,56 @@
+//! Regenerate a slice of the paper's evaluation from the paper-scale
+//! simulator (full regeneration: `cargo run --release -p cloudburst-bench
+//! --bin repro`).
+//!
+//! This example reproduces Fig. 3(a) (knn across the five environments) and
+//! the headline summary, and prints ASCII stacked bars so the shape is
+//! visible at a glance.
+//!
+//! ```text
+//! cargo run --release --example paper_figures
+//! ```
+
+use cloudburst_sim::figures::{fig3, summary};
+use cloudburst_sim::{AppModel, SimParams};
+
+fn bar(len: f64, ch: char) -> String {
+    std::iter::repeat_n(ch, len.round().max(0.0) as usize).collect()
+}
+
+fn main() {
+    let params = SimParams::paper();
+    let app = AppModel::knn();
+    let reports = fig3(&app, &params);
+
+    println!("Figure 3(a) — knn execution time over five environments");
+    println!("  (12 GB dataset, 96 jobs, 32 files; P=processing R=retrieval S=sync)\n");
+    let max_total = reports.iter().map(|r| r.total_time).fold(0.0_f64, f64::max);
+    let scale = 60.0 / max_total;
+    for r in &reports {
+        let b = r.overall_breakdown();
+        println!(
+            "  {:<10} |{}{}{}| {:.1}s",
+            r.env,
+            bar(b.processing * scale, 'P'),
+            bar(b.retrieval * scale, 'R'),
+            bar(b.sync * scale, 'S'),
+            r.total_time
+        );
+    }
+    let base = reports[0].total_time;
+    println!("\n  slowdowns vs env-local:");
+    for r in &reports[2..] {
+        println!("    {:<10} {:+.1}%", r.env, 100.0 * (r.total_time - base) / base);
+    }
+
+    let s = summary(&params);
+    println!("\nHeadline summary over all three applications:");
+    println!(
+        "  avg slowdown of bursting vs centralized: {:.2}%   (paper: 15.55%)",
+        100.0 * s.avg_slowdown_ratio
+    );
+    println!(
+        "  avg scaling efficiency:                  {:.1}%   (paper: 81%)",
+        100.0 * s.avg_scaling_efficiency
+    );
+}

@@ -1,0 +1,77 @@
+//! The paper's motivating scenario (§I–II): *urgent computation under batch
+//! queues*. "In 2007, the ratio between wait time and execution time was
+//! nearly 4 for the Jaguar supercomputer" — a user whose data sits at a
+//! supercomputing center can either submit a batch job and wait, or burst
+//! the computation to on-demand cloud resources immediately.
+//!
+//! The example quantifies that trade for kmeans over the paper-scale
+//! testbed: response time and dollar cost of (a) waiting for the local
+//! queue, (b) bursting half the cores to EC2, (c) going all-cloud now.
+//!
+//! ```text
+//! cargo run --release --example urgent_bursting
+//! ```
+
+use cloudburst_core::EnvConfig;
+use cloudburst_sim::{cost_of, provision_for_deadline, simulate, AppModel, PricingModel, SimParams};
+
+fn main() {
+    let params = SimParams::paper();
+    let pricing = PricingModel::aws_2011();
+    let app = AppModel::kmeans();
+    // All data at the supercomputing center; 32 local cores once scheduled.
+    let wait_ratio = 4.0; // Jaguar 2007: wait ≈ 4x execution
+
+    println!("urgent kmeans over 12 GB hosted at the supercomputing center\n");
+
+    // (a) Submit to the batch queue and wait.
+    let local = simulate(&app, &EnvConfig::new("queued-local", 1.0, 32, 0), &params);
+    let queued_response = local.total_time * (1.0 + wait_ratio);
+    println!(
+        "(a) batch queue : {:>7.0}s response ({:.0}s wait + {:.0}s execution), $0.00",
+        queued_response,
+        local.total_time * wait_ratio,
+        local.total_time
+    );
+
+    // (b) Burst: half the cores appear immediately on EC2, data is pulled
+    //     from the center on demand (work stealing does the movement).
+    let burst_env = EnvConfig::new("burst-16/16", 1.0, 16, 16);
+    let burst = simulate(&app, &burst_env, &params);
+    let burst_cost = cost_of(&burst, &burst_env, &app, &pricing);
+    println!(
+        "(b) burst 16+16 : {:>7.0}s response (no queue), ${:.2}",
+        burst.total_time,
+        burst_cost.total()
+    );
+
+    // (c) All-cloud right now: rent enough EC2 to start immediately.
+    let cloud_env = EnvConfig::new("all-cloud-44", 1.0, 0, 44);
+    let cloud = simulate(&app, &cloud_env, &params);
+    let cloud_cost = cost_of(&cloud, &cloud_env, &app, &pricing);
+    println!(
+        "(c) all-cloud 44: {:>7.0}s response (no queue), ${:.2}",
+        cloud.total_time,
+        cloud_cost.total()
+    );
+
+    assert!(burst.total_time < queued_response, "bursting must beat the queue");
+    assert!(cloud.total_time < queued_response);
+
+    // The planning question: meet a 10-minute deadline as cheaply as
+    // possible, with the 16 immediately-free local cores plus rentals.
+    let deadline = 600.0;
+    println!("\ncheapest way to finish within {deadline:.0}s using 16 free local cores + rentals:");
+    match provision_for_deadline(&app, 16, 1.0, deadline, &params, &pricing) {
+        Some(o) => println!(
+            "  rent {} cloud cores -> {:.0}s for ${:.2} ({} instances, {} GETs, {:.1} MB egress)",
+            o.cloud_cores,
+            o.time,
+            o.cost.total(),
+            o.cost.instances,
+            o.cost.get_requests,
+            o.cost.egress_bytes as f64 / 1e6
+        ),
+        None => println!("  no rental size meets the deadline"),
+    }
+}

@@ -1,0 +1,505 @@
+//! `cloudburst` — command-line front end for the framework.
+//!
+//! ```text
+//! cloudburst generate <app> --out <file> [--units N] [--seed S] [app options]
+//! cloudburst organize --data <file> --unit-size N --out <dir>
+//!                     [--chunk-units N] [--files N] [--local-frac F]
+//! cloudburst info     --org <dir>
+//! cloudburst run      <app> --org <dir> [--local-cores N] [--cloud-cores N]
+//!                     [--retry N] [--time-scale F] [app options]
+//! cloudburst simulate [artifact]
+//! ```
+//!
+//! `organize` lays a raw dataset out as on-disk stores (`<dir>/local/`,
+//! `<dir>/cloud/`) plus the binary index (`<dir>/dataset.idx`); `run` then
+//! executes any of the bundled applications over it with the threaded
+//! cloud-bursting runtime. `simulate` regenerates the paper's evaluation
+//! artifacts (same as the `repro` binary).
+
+use bytes::Bytes;
+use cloudburst::prelude::*;
+use cloudburst_apps::gen;
+use cloudburst_apps::kmeans::KMeans;
+use cloudburst_apps::knn::Knn;
+use cloudburst_apps::pagerank::PageRank;
+use cloudburst_cluster::FaultPolicy;
+use cloudburst_storage::{read_index, write_index, SiteStore};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+const DIM: usize = 4;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("generate") => cmd_generate(&args[1..]),
+        Some("organize") => cmd_organize(&args[1..]),
+        Some("info") => cmd_info(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
+        Some("simulate") => cmd_simulate(&args[1..]),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print_usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}` (try `cloudburst help`)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn print_usage() {
+    println!(
+        "cloudburst — data-intensive computing with cloud bursting
+
+USAGE:
+  cloudburst generate <knn|kmeans|pagerank|wordcount> --out FILE
+             [--units N] [--seed S] [--pages N] [--clusters K] [--vocab V]
+  cloudburst organize --data FILE --unit-size N --out DIR
+             [--chunk-units N] [--files N] [--local-frac F]
+  cloudburst info --org DIR
+  cloudburst run <knn|kmeans|pagerank|wordcount> --org DIR
+             [--local-cores N] [--cloud-cores N] [--retry N] [--time-scale F]
+             [--k K] [--pages N] [--iterations I] [--damping D]
+  cloudburst simulate [fig3a|fig3b|fig3c|fig4a|fig4b|fig4c|table1|table2|summary|all]
+
+EXAMPLE:
+  cloudburst generate kmeans --out /tmp/points.bin --units 200000
+  cloudburst organize --data /tmp/points.bin --unit-size 16 \\
+             --out /tmp/organized --local-frac 0.33
+  cloudburst run kmeans --org /tmp/organized --local-cores 4 --cloud-cores 4"
+    );
+}
+
+/// Minimal `--flag value` parser: returns the value after `flag`.
+fn opt<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn opt_parse<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> Result<T, String> {
+    match opt(args, flag) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("invalid value `{v}` for {flag}")),
+    }
+}
+
+fn required<'a>(args: &'a [String], flag: &str) -> Result<&'a str, String> {
+    opt(args, flag).ok_or_else(|| format!("missing required option {flag}"))
+}
+
+// ---------------------------------------------------------------------------
+// generate
+// ---------------------------------------------------------------------------
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let app = args.first().ok_or("generate: missing application name")?;
+    let out = PathBuf::from(required(args, "--out")?);
+    let units: u32 = opt_parse(args, "--units", 100_000)?;
+    let seed: u64 = opt_parse(args, "--seed", 42)?;
+    let (data, unit_size) = match app.as_str() {
+        "knn" => (gen::gen_id_points::<DIM>(units, seed), 4 + 4 * DIM),
+        "kmeans" => {
+            let k: usize = opt_parse(args, "--clusters", 8)?;
+            let (data, _) = gen::gen_clustered_points::<DIM>(units, k, 0.03, seed);
+            (data, 4 * DIM)
+        }
+        "pagerank" => {
+            let pages: u32 = opt_parse(args, "--pages", units / 20 + 2)?;
+            (gen::gen_edges(pages, units, seed), 8)
+        }
+        "wordcount" => {
+            let vocab: u32 = opt_parse(args, "--vocab", 10_000)?;
+            (gen::gen_words(units, vocab, seed), 16)
+        }
+        other => return Err(format!("unknown application `{other}`")),
+    };
+    std::fs::write(&out, &data).map_err(|e| format!("writing {}: {e}", out.display()))?;
+    println!(
+        "wrote {} ({} units of {} bytes, {} bytes total)",
+        out.display(),
+        data.len() / unit_size,
+        unit_size,
+        data.len()
+    );
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// organize
+// ---------------------------------------------------------------------------
+
+fn cmd_organize(args: &[String]) -> Result<(), String> {
+    let data_path = PathBuf::from(required(args, "--data")?);
+    let out = PathBuf::from(required(args, "--out")?);
+    let unit_size: u32 = required(args, "--unit-size")?
+        .parse()
+        .map_err(|_| "invalid --unit-size")?;
+    let chunk_units: u64 = opt_parse(args, "--chunk-units", 4096)?;
+    let n_files: u32 = opt_parse(args, "--files", 8)?;
+    let local_frac: f64 = opt_parse(args, "--local-frac", 0.5)?;
+
+    let raw = std::fs::read(&data_path).map_err(|e| format!("reading {}: {e}", data_path.display()))?;
+    let data = Bytes::from(raw);
+    let params = LayoutParams { unit_size, units_per_chunk: chunk_units, n_files };
+    let org = organize(&data, params, &mut fraction_placement(local_frac, n_files))?;
+
+    std::fs::create_dir_all(&out).map_err(|e| e.to_string())?;
+    for (site, name) in [(SiteId::LOCAL, "local"), (SiteId::CLOUD, "cloud")] {
+        let dir = out.join(name);
+        write_site_store(&org.store(site), site, &dir, &org.index)?;
+    }
+    write_index(&org.index, out.join("dataset.idx")).map_err(|e| e.to_string())?;
+    println!(
+        "organized {} bytes into {} chunks / {} files ({:.0}% local) under {}",
+        data.len(),
+        org.index.n_chunks(),
+        org.index.files.len(),
+        100.0 * org.index.byte_fraction_at(SiteId::LOCAL),
+        out.display()
+    );
+    Ok(())
+}
+
+/// Persist a site's files to `dir` using the global `data-<fileid>.bin`
+/// naming so `FileStore` can address them by global file id.
+fn write_site_store(
+    store: &SiteStore,
+    _site: SiteId,
+    dir: &Path,
+    index: &DataIndex,
+) -> Result<(), String> {
+    std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+    use cloudburst_storage::ChunkStore as _;
+    for fid in store.file_ids() {
+        let len = index.file(fid).len;
+        let bytes = store.read(fid, 0, len).map_err(|e| e.to_string())?;
+        let path = dir.join(cloudburst_storage::file::file_name(fid.0));
+        std::fs::write(path, &bytes).map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+/// A `FileStore`-like view over a site directory holding a *subset* of the
+/// global files (addressed by global file id).
+fn open_site_dir(site: SiteId, dir: &Path, index: &DataIndex) -> Result<SiteStore, String> {
+    let mut store = SiteStore::new(site);
+    for f in &index.files {
+        if f.site != site {
+            continue;
+        }
+        let path = dir.join(cloudburst_storage::file::file_name(f.id.0));
+        let bytes = std::fs::read(&path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+        if bytes.len() as u64 != f.len {
+            return Err(format!(
+                "{}: expected {} bytes per the index, found {}",
+                path.display(),
+                f.len,
+                bytes.len()
+            ));
+        }
+        store.insert(f.id, Bytes::from(bytes));
+    }
+    Ok(store)
+}
+
+// ---------------------------------------------------------------------------
+// info
+// ---------------------------------------------------------------------------
+
+fn cmd_info(args: &[String]) -> Result<(), String> {
+    let org = PathBuf::from(required(args, "--org")?);
+    let index = read_index(org.join("dataset.idx")).map_err(|e| e.to_string())?;
+    println!("index: {}", org.join("dataset.idx").display());
+    println!("  unit size      : {} bytes", index.params.unit_size);
+    println!("  units per chunk: {}", index.params.units_per_chunk);
+    println!("  total units    : {}", index.total_units());
+    println!("  total bytes    : {}", index.total_bytes());
+    println!("  chunks (jobs)  : {}", index.n_chunks());
+    println!("  files          : {}", index.files.len());
+    for (site, n) in index.chunks_per_site() {
+        println!(
+            "  {site:<6}: {n} chunks, {:.1}% of bytes",
+            100.0 * index.byte_fraction_at(site)
+        );
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// run
+// ---------------------------------------------------------------------------
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let app = args.first().ok_or("run: missing application name")?.clone();
+    let org_dir = PathBuf::from(required(args, "--org")?);
+    let local_cores: u32 = opt_parse(args, "--local-cores", 2)?;
+    let cloud_cores: u32 = opt_parse(args, "--cloud-cores", 2)?;
+    let retry: u8 = opt_parse(args, "--retry", 0)?;
+    let time_scale: f64 = opt_parse(args, "--time-scale", 1e-4)?;
+
+    let index = read_index(org_dir.join("dataset.idx")).map_err(|e| e.to_string())?;
+    // Guard against running an application over a dataset organized with a
+    // different record size — decoding would silently produce garbage.
+    let expected_unit: u32 = match app.as_str() {
+        "knn" => (4 + 4 * DIM) as u32,
+        "kmeans" => (4 * DIM) as u32,
+        "pagerank" => 8,
+        "wordcount" => 16,
+        other => return Err(format!("unknown application `{other}`")),
+    };
+    if index.params.unit_size != expected_unit {
+        return Err(format!(
+            "dataset has {}-byte units but `{app}` expects {}-byte records              (was it generated for a different application?)",
+            index.params.unit_size, expected_unit
+        ));
+    }
+    let local_frac = index.byte_fraction_at(SiteId::LOCAL);
+    let mut stores: BTreeMap<SiteId, Arc<dyn ChunkStore>> = BTreeMap::new();
+    for (site, name) in [(SiteId::LOCAL, "local"), (SiteId::CLOUD, "cloud")] {
+        if index.chunks_per_site().get(&site).copied().unwrap_or(0) > 0 {
+            let store = open_site_dir(site, &org_dir.join(name), &index)?;
+            stores.insert(site, Arc::new(store));
+        }
+    }
+
+    let env = EnvConfig::new(
+        &format!("cli-({local_cores},{cloud_cores})"),
+        local_frac,
+        local_cores,
+        cloud_cores,
+    );
+    let mut config = RuntimeConfig::new(env, time_scale);
+    if retry > 0 {
+        config.fault_policy = FaultPolicy::Retry { max_attempts: retry };
+    }
+
+    match app.as_str() {
+        "wordcount" => {
+            let out = run_hybrid(&WordCount, &index, stores, &config).map_err(|e| e.to_string())?;
+            let mut counts: Vec<(String, u64)> = out.result.as_string_counts().into_iter().collect();
+            counts.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            println!("total words: {}", out.result.total());
+            for (w, c) in counts.iter().take(10) {
+                println!("  {w:<16} {c}");
+            }
+            print_report(&out.report);
+        }
+        "knn" => {
+            let k: usize = opt_parse(args, "--k", 10)?;
+            let knn = Knn::<DIM>::new([0.5; DIM], k);
+            let out = run_hybrid(&knn, &index, stores, &config).map_err(|e| e.to_string())?;
+            println!("{k} nearest neighbors of {:?}:", knn.query);
+            for n in out.result.0.into_sorted() {
+                println!("  point {:<10} dist² {:.6}", n.id, n.dist2());
+            }
+            print_report(&out.report);
+        }
+        "kmeans" => {
+            let k: usize = opt_parse(args, "--k", 8)?;
+            let iterations: usize = opt_parse(args, "--iterations", 10)?;
+            let mut centroids: Vec<[f64; DIM]> =
+                (0..k).map(|i| [(i as f64 + 0.5) / k as f64; DIM]).collect();
+            let mut last_report = None;
+            for iter in 1..=iterations {
+                let km = KMeans::new(centroids.clone());
+                let out = run_hybrid(&km, &index, stores.clone(), &config).map_err(|e| e.to_string())?;
+                centroids = out.result.new_centroids(&centroids);
+                println!("iteration {iter}: {:.3}s", out.report.total_time);
+                last_report = Some(out.report);
+            }
+            println!("final centroids:");
+            for c in &centroids {
+                println!(
+                    "  [{}]",
+                    c.iter().map(|x| format!("{x:.4}")).collect::<Vec<_>>().join(", ")
+                );
+            }
+            if let Some(r) = last_report {
+                print_report(&r);
+            }
+        }
+        "pagerank" => {
+            let iterations: usize = opt_parse(args, "--iterations", 10)?;
+            let damping: f64 = opt_parse(args, "--damping", 0.85)?;
+            // Page count: one past the largest id seen in the edge list.
+            let n_pages = max_page(&index, &stores)? + 1;
+            let all_edges = read_all(&index, &stores)?;
+            let outdeg = PageRank::outdegrees(&all_edges, n_pages as usize);
+            let mut ranks = vec![1.0 / f64::from(n_pages); n_pages as usize];
+            let mut last_report = None;
+            for iter in 1..=iterations {
+                let pr = PageRank::new(&ranks, &outdeg, damping);
+                let out = run_hybrid(&pr, &index, stores.clone(), &config).map_err(|e| e.to_string())?;
+                ranks = pr.next_ranks(&out.result);
+                println!(
+                    "iteration {iter}: {:.3}s (robj {} bytes)",
+                    out.report.total_time,
+                    out.result.byte_size()
+                );
+                last_report = Some(out.report);
+            }
+            let mut top: Vec<(usize, f64)> = ranks.iter().copied().enumerate().collect();
+            top.sort_by(|a, b| b.1.total_cmp(&a.1));
+            println!("top pages:");
+            for (p, r) in top.iter().take(10) {
+                println!("  page {p:<8} rank {r:.6}");
+            }
+            if let Some(r) = last_report {
+                print_report(&r);
+            }
+        }
+        other => return Err(format!("unknown application `{other}`")),
+    }
+    Ok(())
+}
+
+fn print_report(report: &RunReport) {
+    println!("--- run report ({}) ---", report.env);
+    for (site, s) in &report.sites {
+        println!(
+            "  {site}: {} jobs ({} stolen) | proc {:.3}s retr {:.3}s sync {:.3}s | {} remote bytes",
+            s.jobs.total(),
+            s.jobs.stolen,
+            s.breakdown.processing,
+            s.breakdown.retrieval,
+            s.breakdown.sync,
+            s.remote_bytes
+        );
+    }
+    println!(
+        "  global reduction {:.4}s | total {:.3}s",
+        report.global_reduction, report.total_time
+    );
+}
+
+fn read_all(
+    index: &DataIndex,
+    stores: &BTreeMap<SiteId, Arc<dyn ChunkStore>>,
+) -> Result<Bytes, String> {
+    let mut out = Vec::with_capacity(index.total_bytes() as usize);
+    for f in &index.files {
+        let store = stores.get(&f.site).ok_or_else(|| format!("no store for {}", f.site))?;
+        let bytes = store.read(f.id, 0, f.len).map_err(|e| e.to_string())?;
+        out.extend_from_slice(&bytes);
+    }
+    Ok(Bytes::from(out))
+}
+
+fn max_page(
+    index: &DataIndex,
+    stores: &BTreeMap<SiteId, Arc<dyn ChunkStore>>,
+) -> Result<u32, String> {
+    let mut max = 0u32;
+    let all = read_all(index, stores)?;
+    for rec in all.chunks_exact(8) {
+        let e = cloudburst_apps::units::Edge::decode(rec);
+        max = max.max(e.src).max(e.dst);
+    }
+    Ok(max)
+}
+
+// ---------------------------------------------------------------------------
+// simulate
+// ---------------------------------------------------------------------------
+
+fn cmd_simulate(args: &[String]) -> Result<(), String> {
+    run_simulation(args.first().map_or("all", String::as_str))
+}
+
+/// Regenerate paper artifacts in-process (shares code with the dedicated
+/// `repro` binary in `cloudburst-bench`).
+fn run_simulation(artifact: &str) -> Result<(), String> {
+    use cloudburst_sim::figures::{
+        fig3, fig4, fig4_cumulative_efficiencies, summary, table1, table2,
+    };
+    use cloudburst_sim::{AppModel, SimParams};
+    let params = SimParams::paper();
+    let apps = AppModel::paper_trio();
+    let pick = |c: char| match c {
+        'a' => AppModel::knn(),
+        'b' => AppModel::kmeans(),
+        _ => AppModel::pagerank(),
+    };
+    let fig3_print = |app: &AppModel| {
+        println!("\nFigure 3 ({}):", app.name);
+        for r in fig3(app, &params) {
+            let b = r.overall_breakdown();
+            println!(
+                "  {:<10} proc {:>7.1}s retr {:>7.1}s sync {:>6.1}s total {:>7.1}s",
+                r.env, b.processing, b.retrieval, b.sync, r.total_time
+            );
+        }
+    };
+    let fig4_print = |app: &AppModel| {
+        println!("\nFigure 4 ({}):", app.name);
+        let reports = fig4(app, &params);
+        for r in &reports {
+            println!("  {:<8} total {:>7.1}s", r.env, r.total_time);
+        }
+        let effs: Vec<String> = fig4_cumulative_efficiencies(&reports)
+            .iter()
+            .map(|e| format!("{:.1}%", 100.0 * e))
+            .collect();
+        println!("  efficiency vs (4,4): {}", effs.join("  "));
+    };
+    match artifact {
+        "fig3a" | "fig3b" | "fig3c" => fig3_print(&pick(artifact.chars().last().unwrap())),
+        "fig4a" | "fig4b" | "fig4c" => fig4_print(&pick(artifact.chars().last().unwrap())),
+        "table1" => {
+            for r in table1(&apps, &params) {
+                println!(
+                    "{:<9} {:<10} local {:>3} cloud {:>3} stolen {:>3}/{:<3}",
+                    r.app, r.env, r.local_jobs, r.cloud_jobs, r.local_stolen, r.cloud_stolen
+                );
+            }
+        }
+        "table2" => {
+            for r in table2(&apps, &params) {
+                println!(
+                    "{:<9} {:<10} gr {:>6.2}s idle {:>6.1}/{:<6.1}s slowdown {:>5.1}%",
+                    r.app,
+                    r.env,
+                    r.global_reduction,
+                    r.idle_local,
+                    r.idle_cloud,
+                    100.0 * r.slowdown_ratio
+                );
+            }
+        }
+        "summary" => {
+            let s = summary(&params);
+            println!(
+                "avg slowdown {:.2}% (paper 15.55%) | avg scaling {:.1}% (paper 81%)",
+                100.0 * s.avg_slowdown_ratio,
+                100.0 * s.avg_scaling_efficiency
+            );
+        }
+        "all" => {
+            for app in &apps {
+                fig3_print(app);
+            }
+            for app in &apps {
+                fig4_print(app);
+            }
+            let s = summary(&params);
+            println!(
+                "\navg slowdown {:.2}% (paper 15.55%) | avg scaling {:.1}% (paper 81%)",
+                100.0 * s.avg_slowdown_ratio,
+                100.0 * s.avg_scaling_efficiency
+            );
+        }
+        other => return Err(format!("unknown artifact `{other}`")),
+    }
+    Ok(())
+}

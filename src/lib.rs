@@ -1,0 +1,75 @@
+//! # cloudburst
+//!
+//! A framework for data-intensive computing with **cloud bursting** — a Rust
+//! reproduction of Bicer, Chiu & Agrawal, *"A Framework for Data-Intensive
+//! Computing with Cloud Bursting"* (SC 2011).
+//!
+//! Cloud bursting runs Map-Reduce-style analysis over a dataset that is
+//! **split between an in-house cluster and cloud storage**, using compute
+//! at both ends. Applications are written against the *Generalized
+//! Reduction* API — a MapReduce variant that fuses map, combine and reduce
+//! into a single `proc(e)` step over a mergeable reduction object — and the
+//! middleware owns everything else: data organization (files → chunks →
+//! units), locality-aware job assignment, inter-cluster work stealing,
+//! remote retrieval, and the global reduction.
+//!
+//! ## Crates
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`core`] | Generalized Reduction API, combiners, data layout, job pool + stealing policy, stats |
+//! | [`storage`] | chunk stores (memory / disk / simulated S3), parallel range retrieval, data organizer, index format |
+//! | [`netsim`] | link models, real-time throttling, deterministic EC2 jitter |
+//! | [`cluster`] | the threaded runtime: head / masters / slaves over channels |
+//! | [`mapreduce`] | the MapReduce baseline engine (map/combine/shuffle/reduce) |
+//! | [`apps`] | k-NN, k-means, PageRank, wordcount + dataset generators |
+//! | [`des`] | deterministic discrete-event simulation engine |
+//! | [`sim`] | paper-scale scenario + every figure/table of the evaluation |
+//!
+//! ## Quickstart
+//!
+//! See `examples/quickstart.rs`; the short version:
+//!
+//! ```
+//! use cloudburst::prelude::*;
+//! use std::collections::BTreeMap;
+//! use std::sync::Arc;
+//!
+//! // 1. Generate a dataset and organize it across the two sites.
+//! let data = cloudburst_apps::gen::gen_words(4_000, 64, 7);
+//! let params = LayoutParams { unit_size: 16, units_per_chunk: 256, n_files: 8 };
+//! let org = organize(&data, params, &mut fraction_placement(0.5, 8)).unwrap();
+//!
+//! // 2. Pick an environment: half the cores local, half in the cloud.
+//! let env = EnvConfig::new("env-50/50", 0.5, 2, 2);
+//! let config = RuntimeConfig::new(env, 1e-6);
+//!
+//! // 3. Run the reduction across both sites.
+//! let stores: BTreeMap<SiteId, Arc<dyn ChunkStore>> = org
+//!     .stores
+//!     .iter()
+//!     .map(|(&s, st)| (s, Arc::new(st.clone()) as Arc<dyn ChunkStore>))
+//!     .collect();
+//! let out = run_hybrid(&WordCount, &org.index, stores, &config).unwrap();
+//! assert_eq!(out.result.total(), 4_000);
+//! ```
+
+pub use cloudburst_apps as apps;
+pub use cloudburst_cluster as cluster;
+pub use cloudburst_core as core;
+pub use cloudburst_des as des;
+pub use cloudburst_mapreduce as mapreduce;
+pub use cloudburst_netsim as netsim;
+pub use cloudburst_sim as sim;
+pub use cloudburst_storage as storage;
+
+/// The most common imports for writing and running an application.
+pub mod prelude {
+    pub use cloudburst_apps::wordcount::WordCount;
+    pub use cloudburst_cluster::{run_hybrid, RunOutcome, RuntimeConfig};
+    pub use cloudburst_core::{
+        global_reduce, reduce_serial, DataIndex, EnvConfig, LayoutParams, Merge, Reduction,
+        ReductionObject, RunReport, SiteId,
+    };
+    pub use cloudburst_storage::{fraction_placement, organize, ChunkStore, FetchConfig};
+}

@@ -1,0 +1,136 @@
+//! End-to-end integration: every application, executed by the full threaded
+//! cloud-bursting runtime over organized two-site data, must reproduce its
+//! serial oracle exactly (knn/kmeans/wordcount) or to floating-point
+//! reassociation error (pagerank).
+
+use cloudburst_apps::gen::{gen_clustered_points, gen_edges, gen_id_points, gen_words};
+use cloudburst_apps::kmeans::{kmeans_oracle, KMeans};
+use cloudburst_apps::knn::{knn_oracle, Knn};
+use cloudburst_apps::pagerank::PageRank;
+use cloudburst_apps::wordcount::{wordcount_oracle, WordCount};
+use cloudburst_cluster::{run_hybrid, RunOutcome, RuntimeConfig};
+use cloudburst_core::{DataIndex, EnvConfig, LayoutParams, Reduction, SiteId};
+use cloudburst_storage::{fraction_placement, organize, ChunkStore, FetchConfig};
+use bytes::Bytes;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+fn hybrid_setup(
+    data: &Bytes,
+    unit_size: u32,
+    local_frac: f64,
+) -> (DataIndex, BTreeMap<SiteId, Arc<dyn ChunkStore>>) {
+    let n_files = 6;
+    let units = data.len() as u64 / u64::from(unit_size);
+    let upc = (units / 18).max(1);
+    let params = LayoutParams { unit_size, units_per_chunk: upc, n_files };
+    let org = organize(data, params, &mut fraction_placement(local_frac, n_files)).unwrap();
+    let stores = org
+        .stores
+        .iter()
+        .map(|(&s, st)| (s, Arc::new(st.clone()) as Arc<dyn ChunkStore>))
+        .collect();
+    (org.index, stores)
+}
+
+fn run<R: Reduction>(
+    app: &R,
+    data: &Bytes,
+    unit_size: u32,
+    local_frac: f64,
+    env: EnvConfig,
+) -> RunOutcome<R::RObj> {
+    let (index, stores) = hybrid_setup(data, unit_size, local_frac);
+    let mut config = RuntimeConfig::new(env, 1e-6);
+    config.fetch = FetchConfig { threads: 2, min_range: 256 };
+    run_hybrid(app, &index, stores, &config).expect("hybrid run")
+}
+
+#[test]
+fn knn_end_to_end_matches_oracle() {
+    const D: usize = 4;
+    let data = gen_id_points::<D>(6_000, 101);
+    let app = Knn::<D>::new([0.3, 0.7, 0.5, 0.2], 12);
+    let env = EnvConfig::new("env-33/67", 0.33, 3, 3);
+    let out = run(&app, &data, (4 + 4 * D) as u32, 0.33, env);
+    let expect = knn_oracle::<D>(&data, &app.query, 12);
+    assert_eq!(out.result.0.into_sorted(), expect);
+    assert_eq!(out.report.total_jobs(), out.head.completions);
+    assert!(out.report.total_jobs() >= 18);
+}
+
+#[test]
+fn kmeans_end_to_end_matches_oracle() {
+    const D: usize = 3;
+    let (data, _) = gen_clustered_points::<D>(5_000, 5, 0.05, 33);
+    let centroids: Vec<[f64; D]> = (0..5).map(|i| [(f64::from(i) + 0.5) / 5.0; D]).collect();
+    let app = KMeans::new(centroids.clone());
+    let env = EnvConfig::new("env-50/50", 0.5, 2, 2);
+    let out = run(&app, &data, (4 * D) as u32, 0.5, env);
+    let oracle = kmeans_oracle::<D>(&data, &centroids);
+    assert_eq!(out.result.counts, oracle.counts);
+    for (a, b) in out.result.sums.iter().zip(&oracle.sums) {
+        assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+    }
+}
+
+#[test]
+fn pagerank_end_to_end_matches_oracle() {
+    let n_pages = 400;
+    let data = gen_edges(n_pages, 4_000, 55);
+    let outdeg = PageRank::outdegrees(&data, n_pages as usize);
+    let ranks = vec![1.0 / f64::from(n_pages); n_pages as usize];
+    let app = PageRank::new(&ranks, &outdeg, 0.85);
+    let env = EnvConfig::new("env-17/83", 0.17, 3, 3);
+    let out = run(&app, &data, 8, 0.17, env);
+    // Oracle mass via serial reduction.
+    let serial = cloudburst_core::reduce_serial(&app, [data.as_ref()]);
+    for (a, b) in out.result.0.iter().zip(&serial.0) {
+        assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+    }
+    let next = app.next_ranks(&out.result);
+    assert!((next.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn wordcount_end_to_end_matches_oracle() {
+    let data = gen_words(8_000, 120, 77);
+    let env = EnvConfig::new("env-cloud", 0.0, 0, 4);
+    let out = run(&WordCount, &data, 16, 0.0, env);
+    assert_eq!(out.result.as_string_counts(), wordcount_oracle(&data));
+    // Centralized cloud: a single site, nothing stolen.
+    assert_eq!(out.report.sites.len(), 1);
+    assert_eq!(out.report.total_stolen(), 0);
+}
+
+#[test]
+fn same_result_across_all_five_paper_environments() {
+    const D: usize = 4;
+    let data = gen_id_points::<D>(4_000, 5);
+    let app = Knn::<D>::new([0.5; D], 8);
+    let expect = knn_oracle::<D>(&data, &app.query, 8);
+    let envs = [
+        ("env-local", 1.0, 4, 0),
+        ("env-cloud", 0.0, 0, 4),
+        ("env-50/50", 0.5, 2, 2),
+        ("env-33/67", 0.33, 2, 2),
+        ("env-17/83", 0.17, 2, 2),
+    ];
+    for (name, frac, lc, cc) in envs {
+        let env = EnvConfig::new(name, frac, lc, cc);
+        let out = run(&app, &data, (4 + 4 * D) as u32, frac, env);
+        assert_eq!(out.result.0.items(), expect.as_slice(), "{name} diverged");
+    }
+}
+
+#[test]
+fn head_counts_agree_with_site_reports() {
+    let data = gen_words(4_000, 40, 3);
+    let env = EnvConfig::new("env-33/67", 0.33, 2, 2);
+    let out = run(&WordCount, &data, 16, 0.33, env);
+    for (site, stats) in &out.report.sites {
+        let head = out.head.counts.get(site).copied().unwrap_or_default();
+        assert_eq!(stats.jobs, head, "{site} count mismatch");
+    }
+    assert_eq!(out.head.completions, out.report.total_jobs());
+}

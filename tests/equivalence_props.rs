@@ -1,0 +1,105 @@
+//! Cross-paradigm equivalence properties: for arbitrary datasets and
+//! chunkings, the Generalized Reduction pipeline, the MapReduce baseline,
+//! and the serial oracle must compute the same answers — the correctness
+//! backbone of the paper's §III-A comparison.
+
+use cloudburst_apps::gen::{gen_edges, gen_id_points, gen_words};
+use cloudburst_apps::knn::{knn_oracle, Knn};
+use cloudburst_apps::pagerank::PageRank;
+use cloudburst_apps::units::{Edge, IdPoint, Word};
+use cloudburst_apps::wordcount::{wordcount_oracle, WordCount};
+use cloudburst_core::reduce_serial;
+use cloudburst_mapreduce::{run_mapreduce, EngineConfig};
+use proptest::prelude::*;
+
+/// Split `data` into chunks of `chunk_units` records.
+fn chunked(data: &[u8], unit: usize, chunk_units: usize) -> Vec<&[u8]> {
+    data.chunks(unit * chunk_units.max(1)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn wordcount_three_ways_agree(
+        n in 10u32..2000,
+        vocab in 1u32..100,
+        seed in 0u64..1000,
+        chunk_units in 1usize..300,
+        mappers in 1usize..6,
+        reducers in 1usize..6,
+        buffer in 1usize..512,
+    ) {
+        let data = gen_words(n, vocab, seed);
+        let oracle = wordcount_oracle(&data);
+
+        // Generalized reduction over arbitrary chunking.
+        let robj = reduce_serial(&WordCount, chunked(&data, Word::SIZE, chunk_units));
+        prop_assert_eq!(robj.as_string_counts(), oracle.clone());
+
+        // MapReduce with arbitrary engine shape.
+        let cfg = EngineConfig { mappers, reducers, buffer_pairs: buffer };
+        let (res, metrics) = run_mapreduce(&WordCount, &chunked(&data, Word::SIZE, chunk_units), cfg);
+        prop_assert_eq!(res.len(), oracle.len());
+        for (w, c) in res {
+            prop_assert_eq!(oracle[w.as_str()], c);
+        }
+        prop_assert_eq!(metrics.pairs_emitted, u64::from(n));
+        // The combiner can only shrink the shuffle.
+        prop_assert!(metrics.pairs_shuffled <= metrics.pairs_emitted);
+    }
+
+    #[test]
+    fn knn_genred_matches_oracle_for_any_query(
+        n in 20u32..1500,
+        seed in 0u64..1000,
+        k in 1usize..20,
+        q in prop::array::uniform4(0.0f32..1.0),
+        chunk_units in 1usize..200,
+    ) {
+        let data = gen_id_points::<4>(n, seed);
+        let app = Knn::<4>::new(q, k);
+        let robj = reduce_serial(&app, chunked(&data, IdPoint::<4>::SIZE, chunk_units));
+        let expect = knn_oracle::<4>(&data, &q, k);
+        prop_assert_eq!(robj.0.into_sorted(), expect);
+    }
+
+    #[test]
+    fn pagerank_mass_is_conserved_for_any_graph(
+        n_pages in 2u32..200,
+        extra_edges in 0u32..2000,
+        seed in 0u64..1000,
+        damping in 0.5f64..0.95,
+        chunk_units in 1usize..500,
+    ) {
+        let data = gen_edges(n_pages, n_pages + extra_edges, seed);
+        let outdeg = PageRank::outdegrees(&data, n_pages as usize);
+        let ranks = vec![1.0 / f64::from(n_pages); n_pages as usize];
+        let app = PageRank::new(&ranks, &outdeg, damping);
+        let mass = reduce_serial(&app, chunked(&data, Edge::SIZE, chunk_units));
+        let next = app.next_ranks(&mass);
+        // Stochasticity: the rank vector stays a probability distribution.
+        prop_assert!((next.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(next.iter().all(|&r| r > 0.0));
+    }
+
+    #[test]
+    fn mapreduce_engine_shape_never_changes_results(
+        n in 10u32..800,
+        seed in 0u64..100,
+    ) {
+        let data = gen_words(n, 30, seed);
+        let chunks = chunked(&data, Word::SIZE, 64);
+        let (a, _) = run_mapreduce(
+            &WordCount,
+            &chunks,
+            EngineConfig { mappers: 1, reducers: 1, buffer_pairs: 1 },
+        );
+        let (b, _) = run_mapreduce(
+            &WordCount,
+            &chunks,
+            EngineConfig { mappers: 8, reducers: 5, buffer_pairs: 4096 },
+        );
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,113 @@
+//! Property tests for the paper-scale simulator: for *any* environment
+//! configuration (core counts, data skew) and cost-model perturbation, the
+//! simulated schedule conserves jobs, never invents negative times, keeps
+//! accounting identities, and is a deterministic function of its inputs.
+
+use cloudburst_core::EnvConfig;
+use cloudburst_sim::{simulate, AppModel, SimParams};
+use proptest::prelude::*;
+
+fn arb_env() -> impl Strategy<Value = EnvConfig> {
+    (0.0f64..=1.0, 0u32..33, 0u32..33)
+        .prop_filter("at least one core", |(_, l, c)| l + c > 0)
+        .prop_map(|(frac, l, c)| EnvConfig::new("prop", frac, l, c))
+}
+
+fn arb_app() -> impl Strategy<Value = AppModel> {
+    (0usize..3, 1.0f64..4.0, 10e-9f64..50e-6).prop_map(|(which, cloud_factor, cpu)| {
+        let mut app = match which {
+            0 => AppModel::knn(),
+            1 => AppModel::kmeans(),
+            _ => AppModel::pagerank(),
+        };
+        app.cloud_compute_factor = cloud_factor;
+        app.compute_per_unit = cpu;
+        app
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_job_processed_exactly_once(app in arb_app(), env in arb_env()) {
+        let params = SimParams::paper();
+        let report = simulate(&app, &env, &params);
+        prop_assert_eq!(report.total_jobs(), u64::from(params.n_chunks));
+    }
+
+    #[test]
+    fn times_are_finite_and_consistent(app in arb_app(), env in arb_env()) {
+        let report = simulate(&app, &env, &SimParams::paper());
+        prop_assert!(report.total_time.is_finite() && report.total_time > 0.0);
+        prop_assert!(report.global_reduction >= 0.0);
+        for (site, s) in &report.sites {
+            prop_assert!(s.finish_time > 0.0, "{site}");
+            prop_assert!(s.idle >= 0.0, "{site}");
+            prop_assert!(s.breakdown.processing >= 0.0);
+            prop_assert!(s.breakdown.retrieval >= 0.0);
+            prop_assert!(s.breakdown.sync >= 0.0);
+            prop_assert!(
+                s.finish_time <= report.total_time + 1e-9,
+                "{site} finished after the run ended"
+            );
+        }
+        // At most one site can have end-of-run idle time.
+        let idles = report.sites.values().filter(|s| s.idle > 1e-9).count();
+        prop_assert!(idles <= 1, "two sites idle simultaneously");
+    }
+
+    #[test]
+    fn simulation_is_a_pure_function(app in arb_app(), env in arb_env()) {
+        let params = SimParams::paper();
+        prop_assert_eq!(simulate(&app, &env, &params), simulate(&app, &env, &params));
+    }
+
+    #[test]
+    fn centralized_runs_never_steal(app in arb_app(), local in prop::bool::ANY, cores in 1u32..33) {
+        let env = if local {
+            EnvConfig::new("env-local", 1.0, cores, 0)
+        } else {
+            EnvConfig::new("env-cloud", 0.0, 0, cores)
+        };
+        let report = simulate(&app, &env, &SimParams::paper());
+        prop_assert_eq!(report.total_stolen(), 0);
+        prop_assert_eq!(report.sites.len(), 1);
+    }
+
+    #[test]
+    fn remote_bytes_match_stolen_jobs(app in arb_app(), env in arb_env()) {
+        let params = SimParams::paper();
+        let report = simulate(&app, &env, &params);
+        let chunk_bytes = params.dataset_bytes / u64::from(params.n_chunks);
+        for (site, s) in &report.sites {
+            // Every stolen job fetched roughly one chunk remotely (the last
+            // chunk may be short).
+            prop_assert!(
+                s.remote_bytes <= s.jobs.stolen * (chunk_bytes + u64::from(app.unit_size)),
+                "{site}: {} bytes for {} stolen jobs",
+                s.remote_bytes,
+                s.jobs.stolen
+            );
+            if s.jobs.stolen > 0 {
+                prop_assert!(s.remote_bytes > 0, "{site} stole without fetching");
+            }
+        }
+    }
+
+    #[test]
+    fn more_cores_never_slow_a_centralized_run(
+        app in arb_app(),
+        cores in 1u32..16,
+    ) {
+        let params = SimParams::paper();
+        let small = simulate(&app, &EnvConfig::new("s", 1.0, cores, 0), &params);
+        let big = simulate(&app, &EnvConfig::new("b", 1.0, cores * 2, 0), &params);
+        prop_assert!(
+            big.total_time <= small.total_time * 1.05,
+            "doubling cores slowed the run: {} -> {}",
+            small.total_time,
+            big.total_time
+        );
+    }
+}

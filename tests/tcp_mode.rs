@@ -1,0 +1,134 @@
+//! End-to-end tests of the TCP deployment mode: the same workloads as the
+//! channel runtime, with the head ↔ master control plane over loopback
+//! sockets. Results must match the serial oracles exactly and the two
+//! deployment modes must agree.
+
+use cloudburst_apps::gen::{gen_id_points, gen_words};
+use cloudburst_apps::knn::{knn_oracle, Knn};
+use cloudburst_apps::wordcount::{wordcount_oracle, WordCount};
+use cloudburst_cluster::{run_hybrid, run_hybrid_tcp, RuntimeConfig};
+use cloudburst_core::{DataIndex, EnvConfig, LayoutParams, SiteId};
+use cloudburst_storage::{fraction_placement, organize, ChunkStore, FetchConfig};
+use bytes::Bytes;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+fn setup(
+    data: &Bytes,
+    unit_size: u32,
+    frac: f64,
+) -> (DataIndex, BTreeMap<SiteId, Arc<dyn ChunkStore>>) {
+    let params = LayoutParams { unit_size, units_per_chunk: 256, n_files: 6 };
+    let org = organize(data, params, &mut fraction_placement(frac, 6)).unwrap();
+    let stores = org
+        .stores
+        .iter()
+        .map(|(&s, st)| (s, Arc::new(st.clone()) as Arc<dyn ChunkStore>))
+        .collect();
+    (org.index, stores)
+}
+
+fn config(env: EnvConfig) -> RuntimeConfig {
+    let mut c = RuntimeConfig::new(env, 1e-6);
+    c.fetch = FetchConfig { threads: 2, min_range: 256 };
+    c
+}
+
+#[test]
+fn tcp_wordcount_matches_oracle() {
+    let data = gen_words(6_000, 80, 31);
+    let (index, stores) = setup(&data, 16, 0.5);
+    let env = EnvConfig::new("tcp-50/50", 0.5, 2, 2);
+    let out = run_hybrid_tcp(&WordCount, &index, stores, &config(env)).expect("tcp run");
+    assert_eq!(out.result.as_string_counts(), wordcount_oracle(&data));
+    assert_eq!(out.head.completions, index.n_chunks() as u64);
+}
+
+#[test]
+fn tcp_and_channel_modes_agree() {
+    const D: usize = 4;
+    let data = gen_id_points::<D>(4_000, 17);
+    let app = Knn::<D>::new([0.4, 0.6, 0.2, 0.8], 9);
+    let (index, stores) = setup(&data, (4 + 4 * D) as u32, 0.33);
+    let env = EnvConfig::new("compare", 0.33, 2, 2);
+    let via_tcp =
+        run_hybrid_tcp(&app, &index, stores.clone(), &config(env.clone())).expect("tcp");
+    let via_chan = run_hybrid(&app, &index, stores, &config(env)).expect("channels");
+    assert_eq!(via_tcp.result.0.items(), via_chan.result.0.items());
+    assert_eq!(via_tcp.result.0.items(), knn_oracle::<D>(&data, &app.query, 9).as_slice());
+    // Job accounting conserves across modes (assignment may differ).
+    assert_eq!(via_tcp.head.completions, via_chan.head.completions);
+}
+
+#[test]
+fn tcp_mode_steals_across_the_wire() {
+    // All data cloud-hosted, compute on both sides: the local site's steals
+    // are negotiated entirely over the TCP control plane.
+    let data = gen_words(6_000, 40, 7);
+    let (index, stores) = setup(&data, 16, 0.0);
+    let env = EnvConfig::new("tcp-steal", 0.0, 2, 2);
+    let out = run_hybrid_tcp(&WordCount, &index, stores, &config(env)).expect("tcp run");
+    assert_eq!(out.result.total(), 6_000);
+    let local = &out.report.sites[&SiteId::LOCAL];
+    assert!(local.jobs.stolen > 0, "local site must steal over TCP");
+    assert!(out.head.requests > 0);
+}
+
+#[test]
+fn tcp_mode_single_site() {
+    let data = gen_words(2_000, 20, 3);
+    let (index, stores) = setup(&data, 16, 1.0);
+    let env = EnvConfig::new("tcp-local", 1.0, 3, 0);
+    let out = run_hybrid_tcp(&WordCount, &index, stores, &config(env)).expect("tcp run");
+    assert_eq!(out.result.as_string_counts(), wordcount_oracle(&data));
+    assert_eq!(out.report.sites.len(), 1);
+}
+
+#[test]
+fn tcp_mode_retry_policy_works() {
+    use cloudburst_cluster::FaultPolicy;
+    use cloudburst_core::{ByteSize, FileId};
+    use std::io;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    struct Flaky {
+        inner: Arc<dyn ChunkStore>,
+        fails_left: AtomicU64,
+    }
+    impl ChunkStore for Flaky {
+        fn site(&self) -> SiteId {
+            self.inner.site()
+        }
+        fn read(&self, file: FileId, offset: ByteSize, len: ByteSize) -> io::Result<Bytes> {
+            if self
+                .fails_left
+                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+                .is_ok()
+            {
+                return Err(io::Error::new(io::ErrorKind::ConnectionReset, "flaky"));
+            }
+            self.inner.read(file, offset, len)
+        }
+        fn file_len(&self, file: FileId) -> io::Result<ByteSize> {
+            self.inner.file_len(file)
+        }
+        fn n_files(&self) -> usize {
+            self.inner.n_files()
+        }
+    }
+
+    let data = gen_words(4_000, 30, 5);
+    let (index, mut stores) = setup(&data, 16, 0.5);
+    let cloud = stores.remove(&SiteId::CLOUD).unwrap();
+    stores.insert(
+        SiteId::CLOUD,
+        Arc::new(Flaky { inner: cloud, fails_left: AtomicU64::new(2) }),
+    );
+    let env = EnvConfig::new("tcp-flaky", 0.5, 2, 2);
+    let mut cfg = config(env);
+    cfg.fault_policy = FaultPolicy::Retry { max_attempts: 5 };
+    let out = run_hybrid_tcp(&WordCount, &index, stores, &cfg).expect("retries over TCP");
+    assert_eq!(out.result.as_string_counts(), wordcount_oracle(&data));
+    assert!(out.head.failures >= 1);
+    assert_eq!(out.head.abandoned, 0);
+}
