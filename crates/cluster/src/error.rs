@@ -1,6 +1,6 @@
 //! Error type for the threaded runtime.
 
-use cloudburst_core::SiteId;
+use cloudburst_core::{AbandonedJob, SiteId};
 use std::fmt;
 use std::io;
 
@@ -20,8 +20,9 @@ pub enum RunError {
     /// The run finished but some jobs were permanently abandoned after
     /// exhausting their retry attempts — the result would be partial.
     Incomplete {
-        /// Number of abandoned jobs.
-        abandoned: u64,
+        /// The abandoned chunks, each with the site whose failure (or
+        /// death) doomed it.
+        abandoned: Vec<AbandonedJob>,
     },
 }
 
@@ -34,7 +35,16 @@ impl fmt::Display for RunError {
             RunError::WorkerPanic(m) => write!(f, "runtime thread panicked: {m}"),
             RunError::NothingProcessed => write!(f, "no data was processed"),
             RunError::Incomplete { abandoned } => {
-                write!(f, "run incomplete: {abandoned} jobs abandoned after retries")
+                write!(f, "run incomplete: {} jobs abandoned after retries", abandoned.len())?;
+                // Name the first few victims — enough to start debugging
+                // without flooding the terminal on a mass failure.
+                for a in abandoned.iter().take(8) {
+                    write!(f, "\n  {a}")?;
+                }
+                if abandoned.len() > 8 {
+                    write!(f, "\n  … and {} more", abandoned.len() - 8)?;
+                }
+                Ok(())
             }
         }
     }
@@ -58,6 +68,7 @@ impl From<io::Error> for RunError {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cloudburst_core::ChunkId;
 
     #[test]
     fn display_is_informative() {
@@ -73,5 +84,33 @@ mod tests {
     fn io_errors_convert() {
         let e: RunError = io::Error::other("x").into();
         assert!(matches!(e, RunError::Io(_)));
+    }
+
+    #[test]
+    fn incomplete_lists_abandoned_chunks_and_sites() {
+        let e = RunError::Incomplete {
+            abandoned: vec![
+                AbandonedJob { chunk: ChunkId(3), last_site: Some(SiteId::CLOUD) },
+                AbandonedJob { chunk: ChunkId(9), last_site: None },
+            ],
+        };
+        let s = e.to_string();
+        assert!(s.contains("2 jobs abandoned"));
+        assert!(s.contains("chunk3"));
+        assert!(s.contains("cloud"));
+        assert!(s.contains("chunk9"));
+        assert!(s.contains("never assigned"));
+    }
+
+    #[test]
+    fn incomplete_truncates_long_lists() {
+        let abandoned: Vec<AbandonedJob> = (0..20)
+            .map(|i| AbandonedJob { chunk: ChunkId(i), last_site: Some(SiteId::LOCAL) })
+            .collect();
+        let s = RunError::Incomplete { abandoned }.to_string();
+        assert!(s.contains("20 jobs abandoned"));
+        assert!(s.contains("chunk7"));
+        assert!(!s.contains("chunk8"), "only the first 8 are listed");
+        assert!(s.contains("and 12 more"));
     }
 }

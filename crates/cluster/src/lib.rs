@@ -24,7 +24,8 @@ pub mod runtime;
 pub mod wire;
 
 pub use error::RunError;
+pub use head::{run_head, run_head_with, CancelBoard, HeadOptions};
 pub use protocol::{HeadMsg, HeadReport, MasterMsg};
 pub use router::{Fetched, StoreRouter};
 pub use net::{run_hybrid_tcp, serve_head};
-pub use runtime::{run_hybrid, FaultPolicy, RunOutcome, RuntimeConfig};
+pub use runtime::{run_hybrid, FaultPolicy, FtConfig, RunOutcome, RuntimeConfig};

@@ -7,6 +7,12 @@
 //! process (as in the paper, where slaves and master share a cluster), and
 //! the data plane goes through the usual [`StoreRouter`].
 //!
+//! Fault tolerance maps naturally onto the transport: any frame from a
+//! master doubles as its liveness beacon (idle masters send explicit ping
+//! frames), the head's per-connection read timeout is the death detector,
+//! and an EOF without an orderly `Bye` — a crashed or revoked site — gets
+//! the site evacuated and its work re-homed to the survivors.
+//!
 //! [`run_hybrid_tcp`] is a drop-in alternative to
 //! [`run_hybrid`](crate::runtime::run_hybrid) that binds a loopback head
 //! server and connects one control socket per site.
@@ -14,20 +20,45 @@
 use crate::error::RunError;
 use crate::protocol::{HeadReport, MasterMsg};
 use crate::router::StoreRouter;
-use crate::runtime::{run_slave, panic_msg, ReportSink, RunOutcome, RuntimeConfig, FaultPolicy};
-use crate::wire::{read_from_master, read_grant, write_grant, write_to_head, MasterToHead};
-use cloudburst_core::{
-    global_reduce, Breakdown, DataIndex, JobPool, MasterPool, Merge, Reduction, ReductionObject,
-    RunReport, SiteId, SiteStats, Take,
+use crate::runtime::{
+    panic_msg, run_slave, FaultPolicy, ReportSink, RunOutcome, RuntimeConfig, SlaveCtx,
 };
-use cloudburst_storage::ChunkStore;
+use crate::wire::{
+    read_ack, read_from_master, read_grant, write_ack, write_grant, write_to_head, MasterToHead,
+};
+use cloudburst_core::{
+    global_reduce, Breakdown, DataIndex, FaultPlan, HeartbeatConfig, JobPool, MasterPool, Merge,
+    Reduction, ReductionObject, RunReport, SiteId, SiteStats, Take,
+};
+use cloudburst_storage::{ChaosStore, ChunkStore};
 use crossbeam::channel::{unbounded, Receiver};
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, VecDeque};
-use std::io::{self, BufReader, BufWriter, Write};
+use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Fault-tolerance options for the TCP head. [`Default`] reproduces the
+/// classic fault-oblivious server.
+pub struct TcpHeadOptions {
+    /// Per-connection read timeout (`timeout`); a connection silent past it
+    /// is declared dead and its site evacuated. Masters beacon at
+    /// `interval` with ping frames.
+    pub heartbeat: Option<HeartbeatConfig>,
+    /// Origin of the head's clock for lease deadlines.
+    pub epoch: Instant,
+    /// Run the lease reaper and treat connection failures as site deaths
+    /// (evacuate) instead of run-fatal errors.
+    pub ft_active: bool,
+}
+
+impl Default for TcpHeadOptions {
+    fn default() -> TcpHeadOptions {
+        TcpHeadOptions { heartbeat: None, epoch: Instant::now(), ft_active: false }
+    }
+}
 
 /// Serve the head's control protocol to exactly `n_masters` connections,
 /// then return the head's report. Each connection gets its own thread; the
@@ -38,71 +69,272 @@ pub fn serve_head(
     pool: JobPool,
     n_masters: usize,
 ) -> io::Result<HeadReport> {
+    serve_head_with(listener, pool, n_masters, &TcpHeadOptions::default())
+}
+
+/// [`serve_head`] with the fault-tolerance machinery of `options`: a lease
+/// reaper thread over the shared pool, per-connection death detection, and
+/// site evacuation on unclean disconnects.
+pub fn serve_head_with(
+    listener: &TcpListener,
+    pool: JobPool,
+    n_masters: usize,
+    options: &TcpHeadOptions,
+) -> io::Result<HeadReport> {
     let shared = Arc::new(Mutex::new((pool, HeadReport::default())));
+    let done = Arc::new(AtomicBool::new(false));
+    let reaper = options.ft_active.then(|| {
+        let shared = Arc::clone(&shared);
+        let done = Arc::clone(&done);
+        let epoch = options.epoch;
+        std::thread::spawn(move || {
+            while !done.load(Ordering::Relaxed) {
+                {
+                    let mut guard = shared.lock();
+                    let now = epoch.elapsed().as_secs_f64();
+                    guard.0.reap_expired(now);
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        })
+    });
     let mut handles = Vec::with_capacity(n_masters);
     for _ in 0..n_masters {
         let (stream, _addr) = listener.accept()?;
         let shared = Arc::clone(&shared);
-        handles.push(std::thread::spawn(move || serve_one_master(stream, &shared)));
+        let conn = ConnOptions {
+            heartbeat: options.heartbeat,
+            epoch: options.epoch,
+            ft_active: options.ft_active,
+        };
+        handles.push(std::thread::spawn(move || serve_one_master(stream, &shared, &conn)));
     }
+    let mut first_err = None;
     for h in handles {
-        h.join()
-            .map_err(|_| io::Error::other("head handler panicked"))??;
+        match h.join() {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => first_err = first_err.or(Some(e)),
+            Err(_) => {
+                first_err = first_err.or_else(|| Some(io::Error::other("head handler panicked")));
+            }
+        }
     }
-    let (pool, mut report) = Arc::try_unwrap(shared)
+    done.store(true, Ordering::Relaxed);
+    if let Some(r) = reaper {
+        let _ = r.join();
+    }
+    if let Some(e) = first_err {
+        return Err(e);
+    }
+    let (mut pool, mut report) = Arc::try_unwrap(shared)
         .map_err(|_| io::Error::other("head state still shared"))?
         .into_inner();
+    // A dead site can strand work when every surviving master drained and
+    // disconnected before its jobs were re-homed: record it as abandoned so
+    // the runtime reports a partial result instead of a silent one.
+    if !pool.all_done() && !pool.dead_sites().is_empty() {
+        pool.abandon_unfinished();
+    }
     report.counts = pool.site_counts().clone();
     report.abandoned = pool.abandoned() as u64;
+    report.faults = pool.faults().clone();
+    report.dead_sites = pool.dead_sites();
     Ok(report)
 }
 
 type SharedHead = Mutex<(JobPool, HeadReport)>;
 
-fn serve_one_master(stream: TcpStream, shared: &SharedHead) -> io::Result<()> {
+struct ConnOptions {
+    heartbeat: Option<HeartbeatConfig>,
+    epoch: Instant,
+    ft_active: bool,
+}
+
+fn serve_one_master(stream: TcpStream, shared: &SharedHead, conn: &ConnOptions) -> io::Result<()> {
     stream.set_nodelay(true)?;
+    if let Some(hb) = conn.heartbeat {
+        // The read timeout IS the death detector: any frame (pings included)
+        // resets it; silence past the heartbeat timeout errors the read.
+        stream.set_read_timeout(Some(Duration::from_secs_f64(hb.timeout.max(1e-3))))?;
+    }
+    let mut site: Option<SiteId> = None;
+    let result = serve_conn(stream, shared, conn, &mut site);
+    match result {
+        Ok(true) => Ok(()),
+        Ok(false) | Err(_) if conn.ft_active => {
+            // Unclean EOF, read timeout, or a mid-frame error: the master is
+            // gone without a goodbye. Declare its site dead and re-home its
+            // work; the run itself continues on the survivors.
+            if let Some(site) = site {
+                shared.lock().0.evacuate(site);
+            }
+            Ok(())
+        }
+        // Fault tolerance off: EOF without Bye is how the classic protocol
+        // ends anyway, and real errors are run-fatal.
+        Ok(false) => Ok(()),
+        Err(e) => Err(e),
+    }
+}
+
+/// Serve one connection until `Bye` (returns `Ok(true)`), EOF without `Bye`
+/// (`Ok(false)`), or an I/O error (read timeout included).
+fn serve_conn(
+    stream: TcpStream,
+    shared: &SharedHead,
+    conn: &ConnOptions,
+    site_slot: &mut Option<SiteId>,
+) -> io::Result<bool> {
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
     while let Some(msg) = read_from_master(&mut reader)? {
+        let now = conn.epoch.elapsed().as_secs_f64();
         match msg {
             MasterToHead::Request { site } => {
+                *site_slot = Some(site);
                 let batch = {
                     let mut guard = shared.lock();
                     guard.1.requests += 1;
-                    guard.0.request_for(site)
+                    guard.0.request_for_at(site, now)
                 };
                 write_grant(&mut writer, &batch)?;
             }
-            MasterToHead::Complete { job, site } => {
-                let mut guard = shared.lock();
-                guard.1.completions += 1;
-                guard.0.complete(job, site);
+            MasterToHead::Complete { job, site, want_ack } => {
+                *site_slot = Some(site);
+                let merged = {
+                    let mut guard = shared.lock();
+                    let outcome = guard.0.complete_at(job, site, now);
+                    if outcome.is_merged() {
+                        guard.1.completions += 1;
+                    }
+                    outcome.is_merged()
+                };
+                if want_ack {
+                    write_ack(&mut writer, merged)?;
+                }
             }
             MasterToHead::Failed { job, site } => {
+                *site_slot = Some(site);
                 let mut guard = shared.lock();
                 guard.1.failures += 1;
                 guard.0.fail(job, site);
             }
-            MasterToHead::Bye => break,
+            MasterToHead::Ping { site } => {
+                *site_slot = Some(site);
+            }
+            MasterToHead::Bye => {
+                writer.flush()?;
+                return Ok(true);
+            }
         }
     }
-    writer.flush()
+    writer.flush()?;
+    Ok(false)
+}
+
+/// A transport wrapper that severs all I/O once the chaos plan declares the
+/// site dead — the TCP-mode analogue of pulling the site's uplink.
+struct ChaosTransport<T> {
+    inner: T,
+    site: SiteId,
+    chaos: Option<Arc<FaultPlan>>,
+    epoch: Instant,
+}
+
+impl<T> ChaosTransport<T> {
+    fn new(inner: T, site: SiteId, chaos: Option<Arc<FaultPlan>>, epoch: Instant) -> Self {
+        ChaosTransport { inner, site, chaos, epoch }
+    }
+
+    fn check(&self) -> io::Result<()> {
+        let dead = self
+            .chaos
+            .as_deref()
+            .is_some_and(|p| p.site_dead(self.site, self.epoch.elapsed().as_secs_f64()));
+        if dead {
+            Err(io::Error::new(io::ErrorKind::ConnectionReset, "chaos: site uplink severed"))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl<T: Read> Read for ChaosTransport<T> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.check()?;
+        self.inner.read(buf)
+    }
+}
+
+impl<T: Write> Write for ChaosTransport<T> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.check()?;
+        self.inner.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.check()?;
+        self.inner.flush()
+    }
+}
+
+/// Per-master fault-tolerance context for the TCP deployment mode.
+struct TcpMasterFt {
+    heartbeat: Option<HeartbeatConfig>,
+    chaos: Option<Arc<FaultPlan>>,
+    epoch: Instant,
+}
+
+impl TcpMasterFt {
+    fn site_dead(&self, site: SiteId) -> bool {
+        self.chaos
+            .as_deref()
+            .is_some_and(|p| p.site_dead(site, self.epoch.elapsed().as_secs_f64()))
+    }
 }
 
 /// The master side of the control connection plus the local slave-facing
 /// loop: serve slaves from the site pool, refilling over TCP, forwarding
-/// completion/failure reports upstream.
+/// completion/failure reports upstream (with the head's merge verdict
+/// relayed back when a slave asked for an ack).
 fn run_tcp_master(
     site: SiteId,
     low_watermark: usize,
     control_latency_real: f64,
     rx: &Receiver<MasterMsg>,
     stream: TcpStream,
+    ft: TcpMasterFt,
 ) -> io::Result<MasterPool> {
-    stream.set_nodelay(true)?;
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream);
     let mut pool = MasterPool::new(site, low_watermark);
+    let result = tcp_master_loop(site, low_watermark, control_latency_real, rx, stream, &ft, &mut pool);
+    match result {
+        // A chaos-revoked site dies mid-conversation by design; its broken
+        // socket is the failure signal the head is meant to see, not a
+        // run-fatal error in this process.
+        Err(_) if ft.site_dead(site) => Ok(pool),
+        Err(e) => Err(e),
+        Ok(()) => Ok(pool),
+    }
+}
+
+fn tcp_master_loop(
+    site: SiteId,
+    _low_watermark: usize,
+    control_latency_real: f64,
+    rx: &Receiver<MasterMsg>,
+    stream: TcpStream,
+    ft: &TcpMasterFt,
+    pool: &mut MasterPool,
+) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(ChaosTransport::new(
+        stream.try_clone()?,
+        site,
+        ft.chaos.clone(),
+        ft.epoch,
+    ));
+    let mut writer =
+        BufWriter::new(ChaosTransport::new(stream, site, ft.chaos.clone(), ft.epoch));
 
     fn refill(
         pool: &mut MasterPool,
@@ -119,6 +351,18 @@ fn run_tcp_master(
         Ok(())
     }
 
+    // Any frame doubles as a liveness beacon; explicit pings cover idle
+    // stretches. `last_sent` tracks the last time anything went upstream.
+    let mut last_sent = Instant::now();
+    let tick = ft
+        .heartbeat
+        .map_or(Duration::from_millis(50), |h| Duration::from_secs_f64((h.interval / 2.0).max(1e-4)));
+    // Pacing for polling an empty head: capped exponential backoff instead
+    // of a fixed short period.
+    const POLL_MIN: Duration = Duration::from_micros(100);
+    const POLL_CAP: Duration = Duration::from_millis(5);
+    let mut idle_wait = POLL_MIN;
+
     // Slaves blocked on empty non-terminal grants must not stop the master
     // from forwarding its other slaves' completion reports — the head can
     // only mark the pool terminal once it has seen those completions. So
@@ -127,30 +371,48 @@ fn run_tcp_master(
     let mut waiting: VecDeque<crossbeam::channel::Sender<Take>> = VecDeque::new();
     let mut disconnected = false;
     while !(disconnected && waiting.is_empty()) {
-        let msg = if waiting.is_empty() {
-            match rx.recv() {
-                Ok(m) => Some(m),
-                Err(_) => {
-                    disconnected = true;
-                    None
-                }
+        if ft.site_dead(site) {
+            // Simulated spot revocation: vanish without a Bye. The dropped
+            // socket is the head's cue to evacuate this site.
+            return Ok(());
+        }
+        if let Some(hb) = ft.heartbeat {
+            if last_sent.elapsed().as_secs_f64() >= hb.interval {
+                write_to_head(&mut writer, &MasterToHead::Ping { site })?;
+                last_sent = Instant::now();
             }
-        } else {
-            match rx.recv_timeout(Duration::from_micros(200)) {
-                Ok(m) => Some(m),
-                Err(crossbeam::channel::RecvTimeoutError::Timeout) => None,
-                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
-                    disconnected = true;
-                    None
+        }
+        let wait = if waiting.is_empty() { tick } else { idle_wait };
+        let msg = match rx.recv_timeout(wait) {
+            Ok(m) => {
+                idle_wait = POLL_MIN;
+                Some(m)
+            }
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                if !waiting.is_empty() {
+                    idle_wait = (idle_wait * 2).min(POLL_CAP);
                 }
+                None
+            }
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                disconnected = true;
+                None
             }
         };
         match msg {
-            Some(MasterMsg::Complete { job }) => {
-                write_to_head(&mut writer, &MasterToHead::Complete { job, site })?;
+            Some(MasterMsg::Complete { job, reply }) => {
+                let want_ack = reply.is_some();
+                write_to_head(&mut writer, &MasterToHead::Complete { job, site, want_ack })?;
+                last_sent = Instant::now();
+                if let Some(reply) = reply {
+                    // Lockstep: the ack frame is the next head→master frame.
+                    let merged = read_ack(&mut reader)?;
+                    let _ = reply.send(merged);
+                }
             }
             Some(MasterMsg::Failed { job }) => {
                 write_to_head(&mut writer, &MasterToHead::Failed { job, site })?;
+                last_sent = Instant::now();
             }
             Some(MasterMsg::GetJob { reply }) => waiting.push_back(reply),
             None => {}
@@ -161,8 +423,10 @@ fn run_tcp_master(
                 Take::Job(j) => {
                     let _ = reply.send(Take::Job(j));
                     waiting.pop_front();
+                    idle_wait = POLL_MIN;
                     if pool.needs_refill() {
-                        refill(&mut pool, site, control_latency_real, &mut writer, &mut reader)?;
+                        refill(pool, site, control_latency_real, &mut writer, &mut reader)?;
+                        last_sent = Instant::now();
                     }
                 }
                 Take::Drained => {
@@ -170,18 +434,26 @@ fn run_tcp_master(
                     waiting.pop_front();
                 }
                 Take::NeedRefill => {
-                    refill(&mut pool, site, control_latency_real, &mut writer, &mut reader)?;
+                    refill(pool, site, control_latency_real, &mut writer, &mut reader)?;
+                    last_sent = Instant::now();
                     if pool.queued() == 0 && !pool.is_drained() {
                         // Nothing to hand out yet: go back to the mailbox
-                        // (the recv_timeout above paces the polling).
+                        // (the backed-off recv_timeout above paces polling).
                         break;
                     }
                 }
             }
         }
     }
+    // All slaves hung up. Granted-but-undispatched jobs would stay assigned
+    // at the head forever (and without leases nothing reaps them), stalling
+    // the surviving sites that poll for the work — hand the queue back as
+    // failures so the head requeues it before the orderly goodbye.
+    for job in pool.drain_queued() {
+        write_to_head(&mut writer, &MasterToHead::Failed { job: job.chunk.id, site })?;
+    }
     write_to_head(&mut writer, &MasterToHead::Bye)?;
-    Ok(pool)
+    Ok(())
 }
 
 /// [`run_hybrid`](crate::runtime::run_hybrid) with the head ↔ master control
@@ -212,11 +484,28 @@ pub fn run_hybrid_tcp<R: Reduction>(
     }
     let head_site = active[0].0;
 
-    let router = StoreRouter::new(stores, &config.topology, config.fetch, config.time_scale);
+    let chaos = config.ft.chaos.clone().filter(|p| !p.is_empty());
+    let stores: BTreeMap<SiteId, Arc<dyn ChunkStore>> = match &chaos {
+        Some(plan) if plan.storage_error_rate > 0.0 => stores
+            .into_iter()
+            .map(|(s, st)| (s, Arc::new(ChaosStore::new(st, plan.clone())) as Arc<dyn ChunkStore>))
+            .collect(),
+        _ => stores,
+    };
+    let mut router = StoreRouter::new(stores, &config.topology, config.fetch, config.time_scale);
+    if let Some(retry) = config.ft.retry {
+        router.set_retry(retry);
+    }
     let mut pool = JobPool::from_index(index, config.batch_policy);
     if let FaultPolicy::Retry { max_attempts } = config.fault_policy {
         pool.set_max_attempts(max_attempts);
     }
+    if let Some(lease) = config.ft.lease {
+        pool.set_lease(lease);
+    }
+    pool.set_speculation(config.ft.speculate);
+    let ft_active = config.ft.active();
+
     let listener = TcpListener::bind("127.0.0.1:0")?;
     let head_addr: SocketAddr = listener.local_addr()?;
     let n_masters = active.len();
@@ -234,13 +523,17 @@ pub fn run_hybrid_tcp<R: Reduction>(
     let mut head_result: Option<Result<HeadReport, RunError>> = None;
 
     std::thread::scope(|scope| {
-        let head_handle =
-            scope.spawn(move || serve_head(&listener, pool, n_masters).map_err(RunError::Io));
+        let head_options =
+            TcpHeadOptions { heartbeat: config.ft.heartbeat, epoch, ft_active };
+        let head_handle = scope.spawn(move || {
+            serve_head_with(&listener, pool, n_masters, &head_options).map_err(RunError::Io)
+        });
 
         let coordinators: Vec<_> = active
             .iter()
             .map(|&(site, cores)| {
                 let router = &router;
+                let chaos = chaos.clone();
                 scope.spawn(move || -> Result<SiteOutcome<R::RObj>, RunError> {
                     let control_latency = config.topology.link(site.0, head_site.0).latency;
                     let (master_tx, master_rx) = unbounded::<MasterMsg>();
@@ -250,29 +543,40 @@ pub fn run_hybrid_tcp<R: Reduction>(
                         Vec::new();
                     let mut master_result: Option<io::Result<MasterPool>> = None;
                     std::thread::scope(|site_scope| {
-                        let master = site_scope.spawn(|| {
-                            run_tcp_master(
-                                site,
-                                config.low_watermark,
-                                control_latency * config.time_scale,
-                                &master_rx,
-                                stream,
-                            )
+                        let master = site_scope.spawn({
+                            let chaos = chaos.clone();
+                            || {
+                                run_tcp_master(
+                                    site,
+                                    config.low_watermark,
+                                    control_latency * config.time_scale,
+                                    &master_rx,
+                                    stream,
+                                    TcpMasterFt { heartbeat: config.ft.heartbeat, chaos, epoch },
+                                )
+                            }
                         });
                         let handles: Vec<_> = (0..cores)
-                            .map(|_| {
+                            .map(|worker| {
                                 let master_tx = master_tx.clone();
                                 site_scope.spawn({
                                     let master_tx_for_reports = master_tx.clone();
+                                    let ctx = SlaveCtx {
+                                        site,
+                                        worker,
+                                        cancel: None, // TCP mode relies on dedup alone
+                                        chaos: chaos.clone(),
+                                        ack_gated: ft_active,
+                                        epoch,
+                                    };
                                     move || {
                                         run_slave(
                                             app,
-                                            site,
+                                            ctx,
                                             &master_tx,
                                             &ReportSink::Master(&master_tx_for_reports),
                                             router,
                                             config,
-                                            epoch,
                                         )
                                     }
                                 })
@@ -303,8 +607,13 @@ pub fn run_hybrid_tcp<R: Reduction>(
                         robjs.push(robj);
                         slaves.push(stats);
                     }
+                    // A chaos-revoked site loses its accumulated results;
+                    // the head re-runs its jobs at the survivors.
+                    let revoked = chaos
+                        .as_deref()
+                        .is_some_and(|p| p.site_dead(site, epoch.elapsed().as_secs_f64()));
                     let merge_start = Instant::now();
-                    let robj = global_reduce(robjs);
+                    let robj = if revoked { None } else { global_reduce(robjs) };
                     let local_merge = merge_start.elapsed().as_secs_f64();
                     let finish = epoch.elapsed().as_secs_f64();
                     Ok(SiteOutcome { site, robj, slaves, local_merge, finish })
@@ -329,7 +638,14 @@ pub fn run_hybrid_tcp<R: Reduction>(
         outcomes.push(o?);
     }
     if head.abandoned > 0 {
-        return Err(RunError::Incomplete { abandoned: head.abandoned });
+        return Err(RunError::Incomplete { abandoned: head.faults.abandoned_jobs.clone() });
+    }
+    // Fencing: a site the head declared dead had all its work requeued, so
+    // merging its robj anyway would double-count every re-executed job.
+    for o in &mut outcomes {
+        if head.dead_sites.contains(&o.site) {
+            o.robj = None;
+        }
     }
 
     // Global reduction (same accounting as the in-process runtime).
@@ -359,6 +675,7 @@ pub fn run_hybrid_tcp<R: Reduction>(
         env: config.env.name.clone(),
         global_reduction,
         total_time,
+        faults: head.faults.clone(),
         ..RunReport::default()
     };
     for o in &outcomes {
@@ -381,6 +698,7 @@ pub fn run_hybrid_tcp<R: Reduction>(
                 idle,
                 jobs: head.counts.get(&o.site).copied().unwrap_or_default(),
                 remote_bytes: o.slaves.iter().map(|s| s.remote_bytes).sum(),
+                retries: o.slaves.iter().map(|s| s.retries).sum(),
             },
         );
     }

@@ -7,8 +7,15 @@
 //! [`StoreRouter`](crate::router::StoreRouter), and reduction objects are
 //! merged at site level and charged explicitly against the inter-site link
 //! during global reduction.
+//!
+//! When fault tolerance is on, completions become a *request/response*:
+//! the reporter attaches a reply channel and the head answers whether the
+//! result was merged (first completion of the chunk) or must be discarded
+//! (duplicate from a preempted, reaped, or evacuated execution). Masters
+//! additionally emit [`HeadMsg::Heartbeat`] beacons so the head can detect
+//! a silently dead site.
 
-use cloudburst_core::{ChunkId, JobBatch, SiteId, SiteJobCounts, Take};
+use cloudburst_core::{ChunkId, FaultCounters, JobBatch, SiteId, SiteJobCounts, Take};
 use crossbeam::channel::Sender;
 use std::collections::BTreeMap;
 
@@ -27,6 +34,11 @@ pub enum HeadMsg {
         job: ChunkId,
         /// The site that processed it.
         site: SiteId,
+        /// When present, the head answers whether the result was merged
+        /// (`true`) or is a duplicate to discard (`false`). Fire-and-forget
+        /// (`None`) is only sound with fault tolerance off, when no
+        /// duplicate can exist.
+        reply: Option<Sender<bool>>,
     },
     /// A slave failed to process one job (retrieval error, crash); the head
     /// requeues it for reassignment or abandons it after too many attempts.
@@ -34,6 +46,20 @@ pub enum HeadMsg {
         /// The failed job.
         job: ChunkId,
         /// The site that failed it.
+        site: SiteId,
+    },
+    /// A site master's liveness beacon. A site that stays silent past the
+    /// heartbeat timeout is declared dead and evacuated.
+    Heartbeat {
+        /// The beaconing site.
+        site: SiteId,
+    },
+    /// A site master's orderly goodbye. With liveness tracking on, a site
+    /// that joined but hangs up without one is treated as crashed: the head
+    /// evacuates it when the channel drains, so its merged-then-lost results
+    /// are re-queued (or reported abandoned) instead of silently missing.
+    Bye {
+        /// The departing site.
         site: SiteId,
     },
 }
@@ -50,6 +76,9 @@ pub enum MasterMsg {
     Complete {
         /// The finished job.
         job: ChunkId,
+        /// When present, the master forwards the head's merge/discard
+        /// verdict back to the slave (see [`HeadMsg::Complete`]).
+        reply: Option<Sender<bool>>,
     },
     /// A slave reports a failed job (TCP deployment mode).
     Failed {
@@ -66,10 +95,16 @@ pub struct HeadReport {
     pub counts: BTreeMap<SiteId, SiteJobCounts>,
     /// Batch requests served.
     pub requests: u64,
-    /// Completions recorded.
+    /// Completions *merged* (each chunk exactly once; duplicates are
+    /// counted in [`HeadReport::faults`] instead).
     pub completions: u64,
     /// Failure reports received.
     pub failures: u64,
     /// Jobs permanently abandoned after exhausting their retry attempts.
     pub abandoned: u64,
+    /// Fault-path accounting: lease expiries, evacuations, speculative
+    /// grants, deduplicated completions, abandoned-job detail.
+    pub faults: FaultCounters,
+    /// Sites declared dead and evacuated during the run.
+    pub dead_sites: Vec<SiteId>,
 }

@@ -11,7 +11,7 @@ use crate::error::RunError;
 use bytes::Bytes;
 use cloudburst_core::{ChunkMeta, SiteId};
 use cloudburst_netsim::{Throttle, Topology};
-use cloudburst_storage::{fetch_chunk, ChunkStore, FetchConfig};
+use cloudburst_storage::{fetch_chunk_with_retry, ChunkStore, FetchConfig, RetryPolicy};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -22,6 +22,9 @@ pub struct Fetched {
     pub bytes: Bytes,
     /// Whether the read crossed sites.
     pub remote: bool,
+    /// Transient storage failures absorbed below the chunk level (each a
+    /// single range re-read, never a whole-chunk restart).
+    pub retries: u64,
 }
 
 /// The runtime's view of every site's storage plus the links between sites.
@@ -29,6 +32,7 @@ pub struct StoreRouter {
     stores: BTreeMap<SiteId, Arc<dyn ChunkStore>>,
     wan: BTreeMap<(SiteId, SiteId), Arc<Throttle>>,
     fetch: FetchConfig,
+    retry: RetryPolicy,
 }
 
 impl StoreRouter {
@@ -51,7 +55,17 @@ impl StoreRouter {
                 }
             }
         }
-        StoreRouter { stores, wan, fetch }
+        StoreRouter {
+            stores,
+            wan,
+            fetch,
+            retry: RetryPolicy { max_retries: 0, ..RetryPolicy::default() },
+        }
+    }
+
+    /// Set the transient-failure retry policy applied to every range read.
+    pub fn set_retry(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
     }
 
     /// The retrieval configuration slaves use.
@@ -72,14 +86,14 @@ impl StoreRouter {
             .stores
             .get(&chunk.site)
             .ok_or(RunError::NoStoreForSite(chunk.site))?;
-        let bytes = fetch_chunk(store.as_ref(), chunk, self.fetch)?;
+        let (bytes, retries) = fetch_chunk_with_retry(store.as_ref(), chunk, self.fetch, &self.retry)?;
         let remote = chunk.site != reader;
         if remote {
             if let Some(throttle) = self.wan.get(&(reader, chunk.site)) {
                 throttle.transfer(bytes.len() as u64);
             }
         }
-        Ok(Fetched { bytes, remote })
+        Ok(Fetched { bytes, remote, retries })
     }
 }
 
@@ -143,5 +157,36 @@ mod tests {
     #[test]
     fn sites_lists_registered_stores() {
         assert_eq!(router(1.0).sites(), vec![SiteId::LOCAL, SiteId::CLOUD]);
+    }
+
+    #[test]
+    fn transient_store_faults_are_absorbed_and_counted() {
+        use cloudburst_core::FaultPlan;
+        use cloudburst_storage::ChaosStore;
+        // The chaos store remembers attempts per range, so each half of the
+        // test gets a fresh router over a fresh store.
+        let fresh = || {
+            let plan = FaultPlan {
+                storage_error_rate: 1.0,
+                storage_max_consecutive: 1,
+                ..FaultPlan::seeded(7)
+            };
+            let inner: Arc<dyn ChunkStore> =
+                Arc::new(MemStore::new(SiteId::LOCAL, vec![Bytes::from(vec![5u8; 256])]));
+            let mut stores: BTreeMap<SiteId, Arc<dyn ChunkStore>> = BTreeMap::new();
+            stores.insert(SiteId::LOCAL, Arc::new(ChaosStore::new(inner, Arc::new(plan))));
+            StoreRouter::new(stores, &Topology::new(), FetchConfig::sequential(), 1e-3)
+        };
+
+        // Without a retry policy the injected fault surfaces as an error.
+        let r = fresh();
+        assert!(r.fetch(SiteId::LOCAL, &chunk(SiteId::LOCAL, 256)).is_err());
+
+        // With one, the fetch succeeds and reports the absorbed retries.
+        let mut r = fresh();
+        r.set_retry(RetryPolicy { max_retries: 3, base: 0.0, cap: 0.0, seed: 0 });
+        let f = r.fetch(SiteId::LOCAL, &chunk(SiteId::LOCAL, 256)).unwrap();
+        assert_eq!(f.bytes, Bytes::from(vec![5u8; 256]));
+        assert!(f.retries > 0);
     }
 }

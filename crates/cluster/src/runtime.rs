@@ -7,18 +7,23 @@
 //! the reduction-object exchange during global reduction. The paper-scale
 //! numbers come from `cloudburst-sim`; this runtime demonstrates the
 //! middleware end to end on real data.
+//!
+//! Fault tolerance ([`FtConfig`]) layers job leases, heartbeat-driven site
+//! evacuation, speculative re-execution, storage retries, and deterministic
+//! chaos injection on top without touching the fault-free fast path.
 
 use crate::error::RunError;
-use crate::head::run_head;
+use crate::head::{run_head_with, CancelBoard, HeadOptions};
 use crate::protocol::{HeadMsg, HeadReport, MasterMsg};
 use crate::router::StoreRouter;
 use cloudburst_core::{
-    global_reduce, BatchPolicy, Breakdown, DataIndex, EnvConfig, JobPool, MasterPool, Merge,
-    Reduction, ReductionObject, RunReport, Seconds, SiteId, SiteStats, Take,
+    global_reduce, BatchPolicy, Breakdown, DataIndex, EnvConfig, FaultPlan, HeartbeatConfig,
+    JobPool, LeaseConfig, MasterPool, Merge, Reduction, ReductionObject, RunReport, Seconds,
+    SiteId, SiteStats, Take,
 };
 use cloudburst_netsim::Topology;
-use cloudburst_storage::{ChunkStore, FetchConfig};
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use cloudburst_storage::{ChaosStore, ChunkStore, FetchConfig, RetryPolicy};
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -37,6 +42,49 @@ pub enum FaultPolicy {
         /// Attempts per job before it is abandoned.
         max_attempts: u8,
     },
+}
+
+/// The fault-tolerance subsystem's knobs. [`Default`] turns everything off,
+/// which reproduces the classic fault-oblivious runtime exactly.
+#[derive(Debug, Clone, Default)]
+pub struct FtConfig {
+    /// Grant jobs under deadlines sized from observed per-site rates; the
+    /// head reaps expired leases and requeues the jobs.
+    pub lease: Option<LeaseConfig>,
+    /// Hand idle sites speculative copies of tail stragglers (first
+    /// completion wins, the loser is cancelled and deduplicated).
+    pub speculate: bool,
+    /// Masters beacon at `interval`; the head evacuates a site silent past
+    /// `timeout`. Both are *real* seconds, independent of `time_scale`.
+    pub heartbeat: Option<HeartbeatConfig>,
+    /// Retry transient storage failures below the chunk level with capped
+    /// exponential backoff.
+    pub retry: Option<RetryPolicy>,
+    /// Deterministic fault injection: storage errors, worker slowdowns and
+    /// crashes, a site outage. The same plan replays the same faults.
+    pub chaos: Option<Arc<FaultPlan>>,
+}
+
+impl FtConfig {
+    /// Leases, speculation, heartbeats, and storage retries all on with
+    /// their defaults; no chaos.
+    #[must_use]
+    pub fn enabled() -> FtConfig {
+        FtConfig {
+            lease: Some(LeaseConfig::default()),
+            speculate: true,
+            heartbeat: Some(HeartbeatConfig::default()),
+            retry: Some(RetryPolicy::default()),
+            chaos: None,
+        }
+    }
+
+    /// Whether any fault-tolerance machinery (and therefore completion
+    /// acking and result dedup) is active.
+    #[must_use]
+    pub fn active(&self) -> bool {
+        self.lease.is_some() || self.speculate || self.heartbeat.is_some() || self.chaos.is_some()
+    }
 }
 
 /// Everything configurable about a run.
@@ -58,6 +106,8 @@ pub struct RuntimeConfig {
     pub time_scale: f64,
     /// Failure handling.
     pub fault_policy: FaultPolicy,
+    /// Fault-tolerance subsystem (off by default).
+    pub ft: FtConfig,
 }
 
 impl RuntimeConfig {
@@ -74,6 +124,7 @@ impl RuntimeConfig {
             topology: Topology::paper_testbed(),
             time_scale,
             fault_policy: FaultPolicy::FailFast,
+            ft: FtConfig::default(),
         }
     }
 }
@@ -98,6 +149,36 @@ pub(crate) struct SlaveStats {
     pub(crate) finish: Seconds,
     pub(crate) remote_bytes: u64,
     pub(crate) jobs: u64,
+    pub(crate) retries: u64,
+}
+
+/// Per-slave fault-tolerance context threaded through [`run_slave`].
+pub(crate) struct SlaveCtx {
+    /// The slave's site.
+    pub(crate) site: SiteId,
+    /// The slave's index within its site (chaos plans target it by this).
+    pub(crate) worker: u32,
+    /// Revoked executions to abort early (channel mode only).
+    pub(crate) cancel: Option<CancelBoard>,
+    /// The fault-injection plan, if any.
+    pub(crate) chaos: Option<Arc<FaultPlan>>,
+    /// When true, a completion must be acked as *merged* by the head before
+    /// the scratch object folds into the worker accumulator.
+    pub(crate) ack_gated: bool,
+    /// Shared run clock origin.
+    pub(crate) epoch: Instant,
+}
+
+impl SlaveCtx {
+    fn site_dead(&self) -> bool {
+        self.chaos
+            .as_deref()
+            .is_some_and(|p| p.site_dead(self.site, self.epoch.elapsed().as_secs_f64()))
+    }
+
+    fn revoked(&self, chunk: cloudburst_core::ChunkId) -> bool {
+        self.cancel.as_ref().is_some_and(|b| b.is_revoked(chunk))
+    }
 }
 
 /// Execute `app` over the dataset described by `index`, with per-site
@@ -132,11 +213,32 @@ pub fn run_hybrid<R: Reduction>(
     // the baselines see no inter-cluster control traffic.
     let head_site = active[0].0;
 
-    let router = StoreRouter::new(stores, &config.topology, config.fetch, config.time_scale);
+    let chaos = config.ft.chaos.clone().filter(|p| !p.is_empty());
+    let stores = match &chaos {
+        // Storage faults are injected between the router and the backends,
+        // so every site's reads draw from the same seeded schedule.
+        Some(plan) if plan.storage_error_rate > 0.0 => stores
+            .into_iter()
+            .map(|(s, st)| (s, Arc::new(ChaosStore::new(st, plan.clone())) as Arc<dyn ChunkStore>))
+            .collect(),
+        _ => stores,
+    };
+    let mut router = StoreRouter::new(stores, &config.topology, config.fetch, config.time_scale);
+    if let Some(retry) = config.ft.retry {
+        router.set_retry(retry);
+    }
+
     let mut pool = JobPool::from_index(index, config.batch_policy);
     if let FaultPolicy::Retry { max_attempts } = config.fault_policy {
         pool.set_max_attempts(max_attempts);
     }
+    if let Some(lease) = config.ft.lease {
+        pool.set_lease(lease);
+    }
+    pool.set_speculation(config.ft.speculate);
+    let ft_active = config.ft.active();
+    let cancel = ft_active.then(CancelBoard::new);
+
     let (head_tx, head_rx) = unbounded::<HeadMsg>();
     let epoch = Instant::now();
 
@@ -152,13 +254,22 @@ pub fn run_hybrid<R: Reduction>(
     let mut head_result: Option<Result<HeadReport, RunError>> = None;
 
     std::thread::scope(|scope| {
-        let head_handle = scope.spawn(move || run_head(pool, head_rx));
+        let head_options = HeadOptions {
+            heartbeat: config.ft.heartbeat,
+            cancel: cancel.clone(),
+            epoch,
+            tick: config.ft.heartbeat.map_or(0.005, |h| (h.interval / 2.0).min(0.005)),
+            n_sites: active.len(),
+        };
+        let head_handle = scope.spawn(move || run_head_with(pool, head_rx, head_options));
 
         let coordinators: Vec<_> = active
             .iter()
             .map(|&(site, cores)| {
                 let head_tx = head_tx.clone();
                 let router = &router;
+                let chaos = chaos.clone();
+                let cancel = cancel.clone();
                 scope.spawn(move || -> Result<SiteOutcome<R::RObj>, RunError> {
                     // Control-plane latency between this site's master and
                     // the head (zero when co-located).
@@ -169,6 +280,7 @@ pub fn run_hybrid<R: Reduction>(
                     std::thread::scope(|site_scope| {
                         let master = site_scope.spawn({
                             let head_tx = head_tx.clone();
+                            let chaos = chaos.clone();
                             move || {
                                 run_master(
                                     site,
@@ -176,22 +288,30 @@ pub fn run_hybrid<R: Reduction>(
                                     control_latency * config.time_scale,
                                     &master_rx,
                                     &head_tx,
+                                    MasterFt { heartbeat: config.ft.heartbeat, chaos, epoch },
                                 )
                             }
                         });
                         let handles: Vec<_> = (0..cores)
-                            .map(|_| {
+                            .map(|worker| {
                                 let master_tx = master_tx.clone();
                                 let head_tx = head_tx.clone();
+                                let ctx = SlaveCtx {
+                                    site,
+                                    worker,
+                                    cancel: cancel.clone(),
+                                    chaos: chaos.clone(),
+                                    ack_gated: ft_active,
+                                    epoch,
+                                };
                                 site_scope.spawn(move || {
                                     run_slave(
                                         app,
-                                        site,
+                                        ctx,
                                         &master_tx,
                                         &ReportSink::Head(&head_tx),
                                         router,
                                         config,
-                                        epoch,
                                     )
                                 })
                             })
@@ -214,10 +334,17 @@ pub fn run_hybrid<R: Reduction>(
                         robjs.push(robj);
                         slaves.push(stats);
                     }
+                    // A site taken down by the chaos plan loses everything
+                    // it accumulated: its reduction object never reaches
+                    // global reduction (the head evacuates and re-runs its
+                    // jobs at surviving sites).
+                    let revoked = chaos
+                        .as_deref()
+                        .is_some_and(|p| p.site_dead(site, epoch.elapsed().as_secs_f64()));
                     // Local combination: fold this site's worker objects into
                     // one before the inter-site exchange.
                     let merge_start = Instant::now();
-                    let robj = global_reduce(robjs);
+                    let robj = if revoked { None } else { global_reduce(robjs) };
                     let local_merge = merge_start.elapsed().as_secs_f64();
                     let finish = epoch.elapsed().as_secs_f64();
                     Ok(SiteOutcome { site, robj, slaves, local_merge, finish })
@@ -247,7 +374,15 @@ pub fn run_hybrid<R: Reduction>(
         outcomes.push(o?);
     }
     if head.abandoned > 0 {
-        return Err(RunError::Incomplete { abandoned: head.abandoned });
+        return Err(RunError::Incomplete { abandoned: head.faults.abandoned_jobs.clone() });
+    }
+    // Fencing: a site the head declared dead had all its work requeued, so
+    // merging its robj anyway (it may be a live site whose heartbeats were
+    // merely delayed) would double-count every re-executed job.
+    for o in &mut outcomes {
+        if head.dead_sites.contains(&o.site) {
+            o.robj = None;
+        }
     }
 
     // ---- Global reduction phase (head collects and merges robjs) ----
@@ -280,6 +415,7 @@ pub fn run_hybrid<R: Reduction>(
         env: config.env.name.clone(),
         global_reduction,
         total_time,
+        faults: head.faults.clone(),
         ..RunReport::default()
     };
     for o in &outcomes {
@@ -308,20 +444,39 @@ pub fn run_hybrid<R: Reduction>(
                 idle,
                 jobs: head.counts.get(&o.site).copied().unwrap_or_default(),
                 remote_bytes: o.slaves.iter().map(|s| s.remote_bytes).sum(),
+                retries: o.slaves.iter().map(|s| s.retries).sum(),
             },
         );
     }
     Ok(RunOutcome { result, report, head })
 }
 
+/// Fault-tolerance context for one site master.
+struct MasterFt {
+    heartbeat: Option<HeartbeatConfig>,
+    chaos: Option<Arc<FaultPlan>>,
+    epoch: Instant,
+}
+
+impl MasterFt {
+    fn site_dead(&self, site: SiteId) -> bool {
+        self.chaos
+            .as_deref()
+            .is_some_and(|p| p.site_dead(site, self.epoch.elapsed().as_secs_f64()))
+    }
+}
+
 /// The master loop: serve slaves from the site pool, refilling from the head
-/// (paying the control-plane latency) when the pool runs low.
+/// (paying the control-plane latency) when the pool runs low. With
+/// heartbeats on it beacons liveness between requests; with a chaos outage
+/// scheduled it vanishes abruptly when the site's hour arrives.
 fn run_master(
     site: SiteId,
     low_watermark: usize,
     control_latency_real: f64,
     rx: &Receiver<MasterMsg>,
     head_tx: &Sender<HeadMsg>,
+    ft: MasterFt,
 ) -> MasterPool {
     let mut pool = MasterPool::new(site, low_watermark);
     let refill = |pool: &mut MasterPool| {
@@ -337,7 +492,36 @@ fn run_master(
         pool.refill(batch);
         true
     };
-    for msg in rx.iter() {
+    let mut last_beat = Instant::now();
+    let beat = |last: &mut Instant| {
+        if let Some(hb) = ft.heartbeat {
+            if last.elapsed().as_secs_f64() >= hb.interval {
+                let _ = head_tx.send(HeadMsg::Heartbeat { site });
+                *last = Instant::now();
+            }
+        }
+    };
+    let tick = ft
+        .heartbeat
+        .map_or(Duration::from_millis(50), |h| Duration::from_secs_f64((h.interval / 2.0).max(1e-4)));
+    // Idle polling against an empty head backs off exponentially from
+    // 100 µs to a cap, instead of hammering a fixed short period.
+    const POLL_MIN: Duration = Duration::from_micros(100);
+    const POLL_CAP: Duration = Duration::from_millis(5);
+    let mut idle_wait = POLL_MIN;
+    loop {
+        if ft.site_dead(site) {
+            // Simulated spot revocation: no goodbye, no final report. The
+            // head notices via the missed heartbeats (channel mode) or the
+            // broken connection (TCP mode).
+            break;
+        }
+        beat(&mut last_beat);
+        let msg = match rx.recv_timeout(tick) {
+            Ok(msg) => msg,
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => break,
+        };
         let reply = match msg {
             MasterMsg::GetJob { reply } => reply,
             // Completion reports only flow through masters in the TCP
@@ -346,6 +530,9 @@ fn run_master(
             MasterMsg::Complete { .. } | MasterMsg::Failed { .. } => continue,
         };
         let take = loop {
+            if ft.site_dead(site) {
+                break Take::Drained;
+            }
             match pool.take() {
                 Take::NeedRefill => {
                     if !refill(&mut pool) {
@@ -353,11 +540,17 @@ fn run_master(
                     }
                     if pool.queued() == 0 && !pool.is_drained() {
                         // Nothing pending at the head, but in-flight jobs
-                        // may yet fail and be requeued: poll with backoff.
-                        std::thread::sleep(Duration::from_micros(200));
+                        // may yet fail and be requeued: poll with capped
+                        // exponential backoff.
+                        beat(&mut last_beat);
+                        std::thread::sleep(idle_wait);
+                        idle_wait = (idle_wait * 2).min(POLL_CAP);
                     }
                 }
-                other => break other,
+                other => {
+                    idle_wait = POLL_MIN;
+                    break other;
+                }
             }
         };
         let served_job = matches!(take, Take::Job(_));
@@ -367,6 +560,20 @@ fn run_master(
         if served_job && pool.needs_refill() {
             refill(&mut pool);
         }
+    }
+    // All slaves hung up. Any granted-but-undispatched job would stay
+    // assigned at the head forever (classic mode has no lease reaper),
+    // deadlocking the surviving sites that poll for it — hand the queue
+    // back as failures so the head requeues the jobs. A chaos-dead site
+    // skips this: vanishing with its grants is the scenario, and the
+    // head's evacuation (or lease reaping) recovers them.
+    if !ft.site_dead(site) {
+        for job in pool.drain_queued() {
+            let _ = head_tx.send(HeadMsg::Failed { job: job.chunk.id, site });
+        }
+        // The orderly goodbye: a site that vanishes without one is treated
+        // as crashed and evacuated when liveness tracking is on.
+        let _ = head_tx.send(HeadMsg::Bye { site });
     }
     pool
 }
@@ -382,15 +589,32 @@ pub(crate) enum ReportSink<'a> {
 }
 
 impl ReportSink<'_> {
-    fn complete(&self, job: cloudburst_core::ChunkId, site: SiteId) {
-        match self {
+    /// Report a completion. With `want_ack` the call blocks for the head's
+    /// merge/discard verdict and returns it; without, it is fire-and-forget
+    /// and optimistically returns `true`.
+    fn complete(&self, job: cloudburst_core::ChunkId, site: SiteId, want_ack: bool) -> bool {
+        if !want_ack {
+            match self {
+                ReportSink::Head(tx) => {
+                    let _ = tx.send(HeadMsg::Complete { job, site, reply: None });
+                }
+                ReportSink::Master(tx) => {
+                    let _ = tx.send(MasterMsg::Complete { job, reply: None });
+                }
+            }
+            return true;
+        }
+        let (ack_tx, ack_rx) = bounded(1);
+        let sent = match self {
             ReportSink::Head(tx) => {
-                let _ = tx.send(HeadMsg::Complete { job, site });
+                tx.send(HeadMsg::Complete { job, site, reply: Some(ack_tx) }).is_ok()
             }
             ReportSink::Master(tx) => {
-                let _ = tx.send(MasterMsg::Complete { job });
+                tx.send(MasterMsg::Complete { job, reply: Some(ack_tx) }).is_ok()
             }
-        }
+        };
+        // A torn-down control plane can no longer merge anything: discard.
+        sent && ack_rx.recv().unwrap_or(false)
     }
 
     fn fail(&self, job: cloudburst_core::ChunkId, site: SiteId) {
@@ -410,17 +634,26 @@ impl ReportSink<'_> {
 /// worker's reduction object.
 pub(crate) fn run_slave<R: Reduction>(
     app: &R,
-    site: SiteId,
+    ctx: SlaveCtx,
     master_tx: &Sender<MasterMsg>,
     reports: &ReportSink<'_>,
     router: &StoreRouter,
     config: &RuntimeConfig,
-    epoch: Instant,
 ) -> Result<(R::RObj, SlaveStats), RunError> {
+    let site = ctx.site;
     let mut robj = app.make_robj();
     let mut stats = SlaveStats::default();
     let mut items: Vec<R::Item> = Vec::new();
-    loop {
+    let crash_after = ctx.chaos.as_deref().and_then(|p| p.crash_after(site, ctx.worker));
+    let slowdown = ctx.chaos.as_deref().map_or(0.0, |p| p.worker_delay(site, ctx.worker));
+    let mut taken: u64 = 0;
+    'jobs: loop {
+        if ctx.site_dead() {
+            // The site just lost power: stop mid-run without reporting. The
+            // accumulated robj is discarded by the coordinator; the head
+            // re-runs everything this site was credited with.
+            break;
+        }
         let (rtx, rrx) = bounded(1);
         if master_tx.send(MasterMsg::GetJob { reply: rtx }).is_err() {
             break;
@@ -431,6 +664,13 @@ pub(crate) fn run_slave<R: Reduction>(
             Take::Drained => break,
             Take::NeedRefill => unreachable!("master resolves refills internally"),
         };
+        taken += 1;
+        if crash_after.is_some_and(|k| taken > k) {
+            // Simulated worker crash: the job it just pulled leaks — only
+            // the head's lease reaper can recover it. Prior completed work
+            // stays valid (it was already merged and acked).
+            break;
+        }
 
         // Whatever goes wrong below — retrieval error or a panic inside the
         // application's decode/reduce — the in-flight job must be reported
@@ -452,16 +692,18 @@ pub(crate) fn run_slave<R: Reduction>(
             }
         };
         stats.retrieval += fetch_start.elapsed().as_secs_f64();
+        stats.retries += fetched.retries;
         if fetched.remote {
             stats.remote_bytes += fetched.bytes.len() as u64;
         }
 
         let proc_start = Instant::now();
-        // Under the retry policy, fold the chunk into a scratch object and
-        // merge only on success, so a mid-chunk panic cannot leave a
-        // partially-applied job in the worker's accumulator (the job will
-        // be re-executed elsewhere in full).
-        let isolate = matches!(config.fault_policy, FaultPolicy::Retry { .. });
+        // Under the retry policy (or any FT machinery), fold the chunk into
+        // a scratch object and merge only on success/ack, so a mid-chunk
+        // panic cannot leave a partially-applied job in the worker's
+        // accumulator and a deduplicated completion is never double-merged.
+        let isolate =
+            ctx.ack_gated || matches!(config.fault_policy, FaultPolicy::Retry { .. });
         let processed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             items.clear();
             app.decode(&fetched.bytes, &mut items);
@@ -478,25 +720,49 @@ pub(crate) fn run_slave<R: Reduction>(
                 None
             }
         }));
-        match processed {
-            Ok(scratch) => {
-                if let Some(scratch) = scratch {
-                    robj.merge(scratch);
-                }
-            }
+        let scratch = match processed {
+            Ok(scratch) => scratch,
             Err(p) => {
                 // The items buffer may hold garbage from the aborted decode.
                 items.clear();
                 fail_job(RunError::WorkerPanic(panic_msg(&*p)))?;
                 continue;
             }
-        }
+        };
         stats.processing += proc_start.elapsed().as_secs_f64();
         stats.jobs += 1;
 
-        reports.complete(job.chunk.id, site);
+        if slowdown > 0.0 {
+            // Simulated straggler: crawl through the injected delay in
+            // small steps so a cancellation (our lease was reaped, or a
+            // speculative copy won) or the site's death aborts the wait.
+            let step = Duration::from_micros(500);
+            let until = Instant::now() + Duration::from_secs_f64(slowdown);
+            while Instant::now() < until {
+                if ctx.site_dead() {
+                    break 'jobs;
+                }
+                if ctx.revoked(job.chunk.id) {
+                    continue 'jobs; // lost the race: drop the result silently
+                }
+                std::thread::sleep(step);
+            }
+        }
+        if ctx.site_dead() {
+            break;
+        }
+        if ctx.revoked(job.chunk.id) {
+            continue;
+        }
+
+        let merged = reports.complete(job.chunk.id, site, ctx.ack_gated);
+        if merged {
+            if let Some(scratch) = scratch {
+                robj.merge(scratch);
+            }
+        }
     }
-    stats.finish = epoch.elapsed().as_secs_f64();
+    stats.finish = ctx.epoch.elapsed().as_secs_f64();
     Ok((robj, stats))
 }
 
@@ -673,5 +939,63 @@ mod tests {
         }
         let b = out.report.overall_breakdown();
         assert!(b.total() >= out.report.global_reduction);
+    }
+
+    #[test]
+    fn ft_machinery_preserves_results() {
+        // Leases, speculation, heartbeats, acked completions, and storage
+        // retries all on — with no faults injected, the answer and the job
+        // accounting must match the fault-oblivious run exactly.
+        let units = 4096;
+        let (index, stores) = setup(units, 0.5, 4);
+        let env = EnvConfig::new("ft-quiet", 0.5, 3, 3);
+        let mut config = fast_config(env);
+        config.fault_policy = FaultPolicy::Retry { max_attempts: 4 };
+        config.ft = FtConfig {
+            lease: Some(LeaseConfig::default()),
+            speculate: true,
+            // Generous timeout: a loaded test machine must not evacuate a
+            // site that is merely slow to schedule threads.
+            heartbeat: Some(HeartbeatConfig { interval: 0.02, timeout: 10.0 }),
+            retry: Some(RetryPolicy::default()),
+            chaos: None,
+        };
+        let out = run_hybrid(&SumApp, &index, stores, &config).unwrap();
+        assert_eq!(out.result.0, expected_sum(units));
+        assert!(out.head.dead_sites.is_empty());
+        assert_eq!(out.head.abandoned, 0);
+        assert_eq!(out.report.total_jobs(), index.n_chunks() as u64);
+    }
+
+    #[test]
+    fn chaos_worker_crash_is_recovered_by_lease_reaping() {
+        // One cloud worker crashes after two jobs, leaking its third. Only
+        // the lease reaper can recover it; the run must still be exact.
+        let units = 2048;
+        let (index, stores) = setup(units, 0.5, 4);
+        let env = EnvConfig::new("crashy", 0.5, 2, 2);
+        let mut config = fast_config(env);
+        config.fault_policy = FaultPolicy::Retry { max_attempts: 5 };
+        let plan = FaultPlan {
+            worker_crash: vec![cloudburst_core::WorkerCrash {
+                site: SiteId::CLOUD,
+                worker: 0,
+                after_jobs: 2,
+            }],
+            ..FaultPlan::seeded(11)
+        };
+        config.ft = FtConfig {
+            lease: Some(LeaseConfig { base: 0.05, min: 0.05, max: 0.2, multiplier: 8.0 }),
+            speculate: false,
+            heartbeat: None,
+            retry: None,
+            chaos: Some(Arc::new(plan)),
+        };
+        let out = run_hybrid(&SumApp, &index, stores, &config).unwrap();
+        assert_eq!(out.result.0, expected_sum(units));
+        assert!(
+            out.head.faults.lease_expiries > 0,
+            "the leaked job must come back via the reaper"
+        );
     }
 }

@@ -2,8 +2,13 @@
 //!
 //! The control plane is small and fixed-shape, so the codec is hand-rolled
 //! little-endian (the workspace ships no serde format crate): one tag byte,
-//! fixed fields, and chunk metadata in the same 30-byte record layout as
-//! the on-disk index. Used by [`crate::net`] to run the protocol over TCP.
+//! fixed fields, and chunk metadata in the same record layout as the
+//! on-disk index. Used by [`crate::net`] to run the protocol over TCP.
+//!
+//! The decoder is hardened against a malicious or corrupted peer: length
+//! prefixes are capped before any allocation, unknown tags are rejected,
+//! and truncation surfaces as an error — garbage bytes can never panic or
+//! balloon memory.
 
 use bytes::{Buf, BufMut, BytesMut};
 use cloudburst_core::{ByteSize, ChunkId, ChunkMeta, FileId, JobBatch, SiteId};
@@ -23,12 +28,21 @@ pub enum MasterToHead {
         job: ChunkId,
         /// Processing site.
         site: SiteId,
+        /// When set, the head must answer with an ack frame carrying its
+        /// merge/discard verdict (fault-tolerant mode).
+        want_ack: bool,
     },
     /// Report a failed job.
     Failed {
         /// The failed job.
         job: ChunkId,
         /// Reporting site.
+        site: SiteId,
+    },
+    /// Liveness beacon (fault-tolerant mode): resets the head's
+    /// per-connection silence clock without requesting anything.
+    Ping {
+        /// Beaconing site.
         site: SiteId,
     },
     /// Orderly goodbye: the master is done.
@@ -40,6 +54,13 @@ const TAG_COMPLETE: u8 = 2;
 const TAG_FAILED: u8 = 3;
 const TAG_BYE: u8 = 4;
 const TAG_GRANT: u8 = 5;
+const TAG_ACK: u8 = 6;
+const TAG_PING: u8 = 7;
+
+/// The most jobs a single grant frame may carry. Real grants are tens of
+/// jobs; the cap bounds the decode allocation at ~2 MiB so a hostile length
+/// prefix cannot balloon memory.
+pub const MAX_GRANT_JOBS: usize = 1 << 16;
 
 fn err(msg: &str) -> io::Error {
     io::Error::new(ErrorKind::InvalidData, msg)
@@ -54,14 +75,19 @@ pub fn encode_to_head(msg: &MasterToHead) -> Vec<u8> {
             buf.put_u8(TAG_REQUEST);
             buf.put_u16_le(site.0);
         }
-        MasterToHead::Complete { job, site } => {
+        MasterToHead::Complete { job, site, want_ack } => {
             buf.put_u8(TAG_COMPLETE);
             buf.put_u32_le(job.0);
             buf.put_u16_le(site.0);
+            buf.put_u8(u8::from(want_ack));
         }
         MasterToHead::Failed { job, site } => {
             buf.put_u8(TAG_FAILED);
             buf.put_u32_le(job.0);
+            buf.put_u16_le(site.0);
+        }
+        MasterToHead::Ping { site } => {
+            buf.put_u8(TAG_PING);
             buf.put_u16_le(site.0);
         }
         MasterToHead::Bye => buf.put_u8(TAG_BYE),
@@ -79,21 +105,29 @@ pub fn read_from_master(r: &mut impl Read) -> io::Result<Option<MasterToHead>> {
         Err(e) => return Err(e),
     }
     let msg = match tag[0] {
-        TAG_REQUEST => {
+        TAG_REQUEST | TAG_PING => {
             let mut b = [0u8; 2];
             r.read_exact(&mut b)?;
-            MasterToHead::Request { site: SiteId(u16::from_le_bytes(b)) }
+            let site = SiteId(u16::from_le_bytes(b));
+            if tag[0] == TAG_REQUEST {
+                MasterToHead::Request { site }
+            } else {
+                MasterToHead::Ping { site }
+            }
         }
-        TAG_COMPLETE | TAG_FAILED => {
+        TAG_COMPLETE => {
+            let mut b = [0u8; 7];
+            r.read_exact(&mut b)?;
+            let job = ChunkId(u32::from_le_bytes(b[0..4].try_into().expect("job id")));
+            let site = SiteId(u16::from_le_bytes(b[4..6].try_into().expect("site id")));
+            MasterToHead::Complete { job, site, want_ack: b[6] != 0 }
+        }
+        TAG_FAILED => {
             let mut b = [0u8; 6];
             r.read_exact(&mut b)?;
             let job = ChunkId(u32::from_le_bytes(b[0..4].try_into().expect("job id")));
             let site = SiteId(u16::from_le_bytes(b[4..6].try_into().expect("site id")));
-            if tag[0] == TAG_COMPLETE {
-                MasterToHead::Complete { job, site }
-            } else {
-                MasterToHead::Failed { job, site }
-            }
+            MasterToHead::Failed { job, site }
         }
         TAG_BYE => MasterToHead::Bye,
         other => return Err(err(&format!("unknown control tag {other}"))),
@@ -142,8 +176,8 @@ pub fn read_grant(r: &mut impl Read) -> io::Result<JobBatch> {
     let stolen = head[1] != 0;
     let terminal = head[2] != 0;
     let n = u32::from_le_bytes(head[3..7].try_into().expect("count")) as usize;
-    if n > 1 << 20 {
-        return Err(err("grant unreasonably large"));
+    if n > MAX_GRANT_JOBS {
+        return Err(err("grant length prefix unreasonably large"));
     }
     let mut body = vec![0u8; n * 34];
     r.read_exact(&mut body)?;
@@ -160,6 +194,23 @@ pub fn read_grant(r: &mut impl Read) -> io::Result<JobBatch> {
         });
     }
     Ok(JobBatch { jobs, stolen, terminal })
+}
+
+/// Write a completion ack (head → master, fault-tolerant mode): was the
+/// reported result merged (`true`) or is it a duplicate to discard?
+pub fn write_ack(w: &mut impl Write, merged: bool) -> io::Result<()> {
+    w.write_all(&[TAG_ACK, u8::from(merged)])?;
+    w.flush()
+}
+
+/// Read a completion ack from a stream.
+pub fn read_ack(r: &mut impl Read) -> io::Result<bool> {
+    let mut b = [0u8; 2];
+    r.read_exact(&mut b)?;
+    if b[0] != TAG_ACK {
+        return Err(err(&format!("expected ack, got tag {}", b[0])));
+    }
+    Ok(b[1] != 0)
 }
 
 #[cfg(test)]
@@ -182,8 +233,10 @@ mod tests {
     fn control_messages_roundtrip() {
         let msgs = [
             MasterToHead::Request { site: SiteId::CLOUD },
-            MasterToHead::Complete { job: ChunkId(42), site: SiteId::LOCAL },
+            MasterToHead::Complete { job: ChunkId(42), site: SiteId::LOCAL, want_ack: false },
+            MasterToHead::Complete { job: ChunkId(43), site: SiteId::LOCAL, want_ack: true },
             MasterToHead::Failed { job: ChunkId(7), site: SiteId(3) },
+            MasterToHead::Ping { site: SiteId::CLOUD },
             MasterToHead::Bye,
         ];
         let mut stream = Vec::new();
@@ -211,6 +264,18 @@ mod tests {
     }
 
     #[test]
+    fn acks_roundtrip() {
+        for merged in [false, true] {
+            let mut bytes = Vec::new();
+            write_ack(&mut bytes, merged).unwrap();
+            assert_eq!(read_ack(&mut Cursor::new(bytes)).unwrap(), merged);
+        }
+        // A grant where an ack is expected is rejected.
+        let grant = encode_grant(&JobBatch::empty(false));
+        assert!(read_ack(&mut Cursor::new(grant)).is_err());
+    }
+
+    #[test]
     fn truncated_grant_errors() {
         let batch = JobBatch { jobs: vec![chunk(1), chunk(2)], stolen: false, terminal: false };
         let bytes = encode_grant(&batch);
@@ -218,6 +283,19 @@ mod tests {
             let mut cursor = Cursor::new(&bytes[..cut]);
             assert!(read_grant(&mut cursor).is_err(), "cut {cut}");
         }
+    }
+
+    #[test]
+    fn huge_grant_length_prefix_is_rejected_before_allocation() {
+        // A hostile frame claiming u32::MAX jobs must error out, not
+        // attempt a 100+ GiB allocation.
+        let mut bytes = vec![TAG_GRANT, 0, 0];
+        bytes.extend(u32::MAX.to_le_bytes());
+        assert!(read_grant(&mut Cursor::new(bytes)).is_err());
+
+        let mut just_over = vec![TAG_GRANT, 0, 0];
+        just_over.extend(((MAX_GRANT_JOBS + 1) as u32).to_le_bytes());
+        assert!(read_grant(&mut Cursor::new(just_over)).is_err());
     }
 
     #[test]

@@ -1,0 +1,47 @@
+//! Frame-decoding robustness: a head node reads frames from remote site
+//! masters over the wire, so arbitrary garbage bytes must never panic the
+//! decoder, allocate unboundedly, or loop — every malformed input has to
+//! come back as a clean `io::Error` (or clean EOF).
+
+use cloudburst_cluster::wire::{read_ack, read_from_master, read_grant};
+use proptest::prelude::*;
+use std::io::Cursor;
+
+proptest! {
+    #[test]
+    fn garbage_never_panics_the_master_frame_decoder(
+        bytes in prop::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let mut cur = Cursor::new(bytes);
+        // Decode as many frames as the buffer yields. Errors and EOF are
+        // fine; panics and runaway allocations are not. Every successful
+        // decode consumes at least the tag byte, so this terminates.
+        while let Ok(Some(_)) = read_from_master(&mut cur) {}
+    }
+
+    #[test]
+    fn garbage_never_panics_the_grant_decoder(
+        bytes in prop::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let _ = read_grant(&mut Cursor::new(bytes));
+    }
+
+    #[test]
+    fn garbage_never_panics_the_ack_decoder(
+        bytes in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let _ = read_ack(&mut Cursor::new(bytes));
+    }
+
+    #[test]
+    fn every_tag_with_a_corrupt_body_errors_cleanly(
+        tag in any::<u8>(),
+        body in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let mut buf = vec![tag];
+        buf.extend(&body);
+        let _ = read_from_master(&mut Cursor::new(&buf[..]));
+        let _ = read_grant(&mut Cursor::new(&buf[..]));
+        let _ = read_ack(&mut Cursor::new(&buf[..]));
+    }
+}

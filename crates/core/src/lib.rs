@@ -21,7 +21,10 @@
 //!   per-site master pool ([`master`]);
 //! * the experiment **environment configurations** ([`config`]) and the
 //!   **statistics model** matching the paper's figures and tables
-//!   ([`stats`]).
+//!   ([`stats`]);
+//! * the **failure model** ([`fault`]): job leases, heartbeat liveness and
+//!   the deterministic chaos-injection plan shared by the threaded runtime,
+//!   the TCP deployment and the simulator.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -29,6 +32,7 @@
 pub mod closure;
 pub mod combiners;
 pub mod config;
+pub mod fault;
 pub mod index;
 pub mod layout;
 pub mod master;
@@ -39,6 +43,11 @@ pub mod types;
 
 pub use closure::{from_fns, FnReduction};
 pub use config::EnvConfig;
+pub use fault::{
+    AbandonedJob, FaultCounters, FaultPlan, HeartbeatConfig, LeaseConfig, SiteOutage, SlowWorker,
+    WorkerCrash,
+};
+pub use pool::Completion;
 pub use index::DataIndex;
 pub use layout::{ChunkMeta, FileMeta, LayoutParams};
 pub use master::{LocalJob, MasterPool, Take};

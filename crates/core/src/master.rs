@@ -126,6 +126,13 @@ impl MasterPool {
         self.drained && self.queue.is_empty()
     }
 
+    /// Remove and return every queued-but-undispatched job, so a master
+    /// shutting down early (all its slaves gone) can hand them back to the
+    /// head instead of stranding them in the assigned state forever.
+    pub fn drain_queued(&mut self) -> Vec<LocalJob> {
+        self.queue.drain(..).collect()
+    }
+
     /// Number of head refill requests issued so far.
     #[must_use]
     pub fn refill_count(&self) -> u64 {

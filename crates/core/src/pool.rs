@@ -10,27 +10,84 @@
 //!    "from files which the minimum number of nodes are currently
 //!    processing", minimizing file contention between clusters.
 //!
+//! On top of assignment the pool owns the fault-tolerance state machine:
+//!
+//! * every grant is a **lease** — when [`LeaseConfig`] is enabled the job
+//!   carries a deadline sized from the site's observed job duration, and
+//!   [`JobPool::reap_expired`] reclaims silent jobs for reassignment;
+//! * a job may have up to two **concurrent assignees** (the original plus a
+//!   speculative re-execution of a tail straggler); the first completion
+//!   wins and [`Completion`] tells the caller which executions to cancel;
+//! * duplicate, late and zombie completions are **deduplicated** so each
+//!   chunk merges into the global reduction object *exactly once*;
+//! * [`JobPool::evacuate`] handles whole-site death (spot revocation): it
+//!   revokes the site's in-flight jobs *and* re-queues the jobs whose
+//!   results died in the site's unreduced robj.
+//!
 //! The pool is pure single-threaded logic: the threaded runtime wraps it in a
 //! mutex, the discrete-event simulator drives it directly. This guarantees
 //! both runtimes execute the *same* policy.
 
+use crate::fault::{AbandonedJob, FaultCounters, LeaseConfig};
 use crate::index::DataIndex;
 use crate::layout::ChunkMeta;
 use crate::types::{ChunkId, FileId, SiteId};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// Largest batch ever granted for cross-site (stolen) jobs.
 pub const STEAL_BATCH_MAX: usize = 2;
+
+/// Most concurrent executions of one job (original + one speculative copy).
+pub const MAX_ASSIGNEES: usize = 2;
 
 /// Lifecycle of one job.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum JobState {
     Pending,
-    Assigned(SiteId),
+    /// One or more sites hold a lease on the job (see `Pool::assignees`).
+    Assigned,
     Done(SiteId),
     /// Permanently given up after exhausting retry attempts.
     Abandoned,
+}
+
+/// One live lease on a job.
+#[derive(Debug, Clone, Copy)]
+struct Assignee {
+    site: SiteId,
+    /// Pool-clock time of the grant (for straggler ordering).
+    assigned_at: f64,
+    /// Pool-clock time after which the lease may be reaped.
+    deadline: f64,
+}
+
+/// What happened to a completion report — the dedup verdict.
+///
+/// The runtimes acknowledge completions with this, and only `Merged`
+/// completions may fold a worker's scratch result into its site robj; that
+/// is what makes "each chunk reduced exactly once" hold under retries,
+/// speculation and evacuation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Completion {
+    /// First completion of the chunk: the result must be merged. Any other
+    /// site listed in `preempted` held a now-revoked lease on the same job
+    /// and should abort its redundant execution.
+    Merged {
+        /// Sites whose concurrent executions of this job just lost the race.
+        preempted: Vec<SiteId>,
+    },
+    /// The chunk was already merged (or the reporter was already declared
+    /// dead); the result must be discarded.
+    Duplicate,
+}
+
+impl Completion {
+    /// True when the result was accepted for merging.
+    #[must_use]
+    pub fn is_merged(&self) -> bool {
+        matches!(self, Completion::Merged { .. })
+    }
 }
 
 /// A batch of jobs granted to one site.
@@ -128,6 +185,11 @@ impl SiteJobCounts {
 pub struct JobPool {
     chunks: Vec<ChunkMeta>,
     state: Vec<JobState>,
+    /// Live leases per job (at most [`MAX_ASSIGNEES`]).
+    assignees: Vec<Vec<Assignee>>,
+    /// Sites whose lease on the job was revoked (failed, reaped or
+    /// evacuated) — their eventual reports are stale, not protocol errors.
+    past: Vec<Vec<SiteId>>,
     /// Pending chunks per file, front = lowest id (physical order).
     pending_by_file: Vec<VecDeque<ChunkId>>,
     file_site: Vec<SiteId>,
@@ -156,6 +218,16 @@ pub struct JobPool {
     failures: BTreeMap<SiteId, u64>,
     /// Jobs currently assigned to each processing site.
     assigned_to: BTreeMap<SiteId, usize>,
+    /// Lease sizing; `None` disables deadlines (infinite leases).
+    lease: Option<LeaseConfig>,
+    /// Whether tail stragglers may be speculatively re-executed.
+    speculate: bool,
+    /// Exponentially-weighted mean job duration per site (lease sizing).
+    ewma_dur: BTreeMap<SiteId, f64>,
+    /// Sites declared dead and evacuated.
+    dead_sites: BTreeSet<SiteId>,
+    /// Fault-path accounting for the run report.
+    faults: FaultCounters,
 }
 
 impl JobPool {
@@ -168,24 +240,32 @@ impl JobPool {
         for c in &index.chunks {
             pending_by_file[c.file.0 as usize].push_back(c.id);
         }
+        let n = index.chunks.len();
         JobPool {
             chunks: index.chunks.clone(),
-            state: vec![JobState::Pending; index.chunks.len()],
+            state: vec![JobState::Pending; n],
+            assignees: vec![Vec::new(); n],
+            past: vec![Vec::new(); n],
             pending_by_file,
             file_site: index.files.iter().map(|f| f.site).collect(),
             readers: vec![0; n_files],
-            pending_total: index.chunks.len(),
+            pending_total: n,
             done_total: 0,
             batch_policy,
             counts: BTreeMap::new(),
             steal_cost: BTreeMap::new(),
             rate_completed: BTreeMap::new(),
             now: 0.0,
-            attempts: vec![0; index.chunks.len()],
+            attempts: vec![0; n],
             max_attempts: 3,
             abandoned_total: 0,
             failures: BTreeMap::new(),
             assigned_to: BTreeMap::new(),
+            lease: None,
+            speculate: false,
+            ewma_dur: BTreeMap::new(),
+            dead_sites: BTreeSet::new(),
+            faults: FaultCounters::default(),
         }
     }
 
@@ -193,6 +273,17 @@ impl JobPool {
     /// (default 3; minimum 1).
     pub fn set_max_attempts(&mut self, n: u8) {
         self.max_attempts = n.max(1);
+    }
+
+    /// Enable job leases: grants carry deadlines sized by `config` and
+    /// [`JobPool::reap_expired`] reclaims expired ones.
+    pub fn set_lease(&mut self, config: LeaseConfig) {
+        self.lease = Some(config);
+    }
+
+    /// Enable or disable speculative re-execution of tail stragglers.
+    pub fn set_speculation(&mut self, on: bool) {
+        self.speculate = on;
     }
 
     /// Enable rate-aware stealing for `site` (paper abstract: "Our
@@ -244,10 +335,40 @@ impl JobPool {
         self.abandoned_total
     }
 
+    /// The abandoned jobs with the site that last failed each.
+    #[must_use]
+    pub fn abandoned_jobs(&self) -> &[AbandonedJob] {
+        &self.faults.abandoned_jobs
+    }
+
     /// Failure reports per site.
     #[must_use]
     pub fn failure_counts(&self) -> &BTreeMap<SiteId, u64> {
         &self.failures
+    }
+
+    /// Fault-path accounting so far.
+    #[must_use]
+    pub fn faults(&self) -> &FaultCounters {
+        &self.faults
+    }
+
+    /// Sites that have been declared dead and evacuated.
+    #[must_use]
+    pub fn dead_sites(&self) -> Vec<SiteId> {
+        self.dead_sites.iter().copied().collect()
+    }
+
+    /// Whether `site` has been evacuated.
+    #[must_use]
+    pub fn is_dead(&self, site: SiteId) -> bool {
+        self.dead_sites.contains(&site)
+    }
+
+    /// Sites currently holding a lease on `job` (test/diagnostic aid).
+    #[must_use]
+    pub fn assignees_of(&self, job: ChunkId) -> Vec<SiteId> {
+        self.assignees[job.0 as usize].iter().map(|a| a.site).collect()
     }
 
     /// The empty grant, terminal only when no work can ever appear again.
@@ -274,6 +395,9 @@ impl JobPool {
     /// batch when no pending jobs remain anywhere (or stealing would not
     /// pay off).
     pub fn request(&mut self, site: SiteId) -> JobBatch {
+        if self.dead_sites.contains(&site) {
+            return self.empty_grant();
+        }
         let want = self.batch_policy.batch_size(self.pending_total);
         // Phase 1: local jobs, consecutive within one file.
         if let Some(file) = self.pick_local_file(site) {
@@ -291,43 +415,192 @@ impl JobPool {
         self.empty_grant()
     }
 
+    /// Whether `site` ever held (or still holds) a lease on job `i`, or
+    /// finished it — i.e. a report from `site` is stale rather than a
+    /// protocol violation.
+    fn knows_site(&self, i: usize, site: SiteId) -> bool {
+        self.assignees[i].iter().any(|a| a.site == site)
+            || self.past[i].contains(&site)
+            || self.state[i] == JobState::Done(site)
+    }
+
+    /// Drop `site`'s live lease on job `i`, fixing the reader and in-flight
+    /// accounting. Returns false when `site` held no lease.
+    fn release_assignee(&mut self, i: usize, site: SiteId) -> bool {
+        let Some(pos) = self.assignees[i].iter().position(|a| a.site == site) else {
+            return false;
+        };
+        self.assignees[i].remove(pos);
+        self.readers[self.chunks[i].file.0 as usize] -= 1;
+        *self.assigned_to.entry(site).or_insert(1) -= 1;
+        true
+    }
+
+    /// Put job `i` back on its file's pending queue, in physical order so
+    /// consecutive-batch grants stay consecutive.
+    fn requeue(&mut self, i: usize) {
+        self.state[i] = JobState::Pending;
+        self.pending_total += 1;
+        let job = self.chunks[i].id;
+        let q = &mut self.pending_by_file[self.chunks[i].file.0 as usize];
+        let pos = q.partition_point(|&c| c < job);
+        q.insert(pos, job);
+    }
+
+    /// Permanently give up on job `i`.
+    fn abandon(&mut self, i: usize, last_site: Option<SiteId>) {
+        self.state[i] = JobState::Abandoned;
+        self.abandoned_total += 1;
+        self.faults.abandoned_jobs.push(AbandonedJob { chunk: self.chunks[i].id, last_site });
+    }
+
     /// Report that `site` failed to process `job` (retrieval error, worker
     /// crash). The job returns to the pending pool for reassignment — to any
     /// site — unless it has exhausted its attempts, in which case it is
-    /// permanently abandoned. Returns `true` when the job was requeued.
+    /// permanently abandoned. Stale reports (the lease was already reaped,
+    /// the site evacuated, or another execution already finished the job)
+    /// are ignored. Returns `true` unless the job was abandoned.
     ///
     /// # Panics
-    /// Panics if the job was not assigned to `site`.
+    /// Panics if `site` never held a lease on the job.
     pub fn fail(&mut self, job: ChunkId, site: SiteId) -> bool {
         let i = job.0 as usize;
-        assert_eq!(
-            self.state[i],
-            JobState::Assigned(site),
+        if self.release_assignee(i, site) {
+            *self.failures.entry(site).or_insert(0) += 1;
+            self.attempts[i] = self.attempts[i].saturating_add(1);
+            self.past[i].push(site);
+            if self.assignees[i].is_empty() {
+                if self.attempts[i] >= self.max_attempts {
+                    self.abandon(i, Some(site));
+                    return false;
+                }
+                self.requeue(i);
+            }
+            return true;
+        }
+        assert!(
+            self.knows_site(i, site),
             "{job} failed by {site} but not assigned to it"
         );
-        let file = self.chunks[i].file.0 as usize;
-        self.readers[file] -= 1;
-        *self.assigned_to.entry(site).or_insert(1) -= 1;
-        *self.failures.entry(site).or_insert(0) += 1;
-        self.attempts[i] += 1;
-        if self.attempts[i] >= self.max_attempts {
-            self.state[i] = JobState::Abandoned;
-            self.abandoned_total += 1;
-            return false;
+        true // stale report from a reaped/preempted/evacuated execution
+    }
+
+    /// Reclaim every lease whose deadline has passed: the silent execution
+    /// is written off (its site moves to the job's past, so a late result is
+    /// still accepted) and the job is re-queued once no live lease remains.
+    /// Jobs that exhaust their attempts through expiries are abandoned.
+    ///
+    /// Returns the reaped `(job, site)` pairs so the caller can cancel the
+    /// orphaned executions. No-op while leases are disabled.
+    pub fn reap_expired(&mut self, now: f64) -> Vec<(ChunkId, SiteId)> {
+        self.now = self.now.max(now);
+        if self.lease.is_none() {
+            return Vec::new();
         }
-        self.state[i] = JobState::Pending;
-        self.pending_total += 1;
-        // Re-insert in physical order so consecutive-batch grants stay
-        // consecutive.
-        let q = &mut self.pending_by_file[file];
-        let pos = q.partition_point(|&c| c < job);
-        q.insert(pos, job);
-        true
+        let mut reaped = Vec::new();
+        for i in 0..self.state.len() {
+            if self.state[i] != JobState::Assigned {
+                continue;
+            }
+            let expired: Vec<SiteId> = self.assignees[i]
+                .iter()
+                .filter(|a| a.deadline <= now)
+                .map(|a| a.site)
+                .collect();
+            for site in expired {
+                self.release_assignee(i, site);
+                self.past[i].push(site);
+                self.faults.lease_expiries += 1;
+                self.attempts[i] = self.attempts[i].saturating_add(1);
+                reaped.push((self.chunks[i].id, site));
+            }
+            if self.state[i] == JobState::Assigned && self.assignees[i].is_empty() {
+                if self.attempts[i] >= self.max_attempts {
+                    self.abandon(i, self.past[i].last().copied());
+                } else {
+                    self.requeue(i);
+                }
+            }
+        }
+        reaped
+    }
+
+    /// Declare `site` dead and evacuate it (idempotent). Its in-flight
+    /// leases are revoked and, because a site's completed results live in
+    /// its not-yet-reduced robj, its **completed** jobs are re-queued for
+    /// re-execution too. The site gets only empty grants from now on, and
+    /// its late reports are treated as stale.
+    pub fn evacuate(&mut self, site: SiteId) {
+        if !self.dead_sites.insert(site) {
+            return;
+        }
+        for i in 0..self.state.len() {
+            let state = self.state[i];
+            match state {
+                JobState::Assigned if self.release_assignee(i, site) => {
+                    self.past[i].push(site);
+                    self.faults.evacuated_jobs += 1;
+                    if self.assignees[i].is_empty() {
+                        self.requeue(i);
+                    }
+                }
+                JobState::Done(s) if s == site => {
+                    // The merged result died with the site's robj.
+                    self.done_total -= 1;
+                    let entry = self.counts.entry(site).or_default();
+                    if self.chunks[i].site == site {
+                        entry.local -= 1;
+                    } else {
+                        entry.stolen -= 1;
+                    }
+                    if let Some(r) = self.rate_completed.get_mut(&site) {
+                        *r = r.saturating_sub(1);
+                    }
+                    self.past[i].push(site);
+                    self.faults.lost_results += 1;
+                    self.requeue(i);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Abandon every unfinished job (used when the run must end — e.g. every
+    /// site able to reach the data is gone). Each job records the site that
+    /// last held it, when any.
+    pub fn abandon_unfinished(&mut self) {
+        for i in 0..self.state.len() {
+            match self.state[i] {
+                JobState::Pending => {
+                    let job = self.chunks[i].id;
+                    let q = &mut self.pending_by_file[self.chunks[i].file.0 as usize];
+                    if let Some(pos) = q.iter().position(|&c| c == job) {
+                        q.remove(pos);
+                    }
+                    self.pending_total -= 1;
+                    let last = self.past[i].last().copied();
+                    self.abandon(i, last);
+                }
+                JobState::Assigned => {
+                    let holders: Vec<SiteId> =
+                        self.assignees[i].iter().map(|a| a.site).collect();
+                    for site in &holders {
+                        self.release_assignee(i, *site);
+                        self.past[i].push(*site);
+                    }
+                    self.abandon(i, holders.last().copied());
+                }
+                _ => {}
+            }
+        }
     }
 
     /// The rate-aware steal condition: worth stealing only while the owner
     /// site's pending backlog outlasts the thief's end-to-end steal cost.
     fn steal_pays_off(&self, thief: SiteId, owner: SiteId) -> bool {
+        if self.dead_sites.contains(&owner) {
+            return true; // a dead owner will never drain its own backlog
+        }
         let cost = self.steal_cost.get(&thief).copied().unwrap_or(0.0);
         if cost <= 0.0 || self.now <= 0.0 {
             return true; // rate awareness disabled or no signal yet
@@ -360,29 +633,98 @@ impl JobPool {
         self.request_for(site)
     }
 
-    /// [`JobPool::complete`] with the caller's clock.
-    pub fn complete_at(&mut self, job: ChunkId, site: SiteId, now: f64) {
+    /// [`JobPool::complete`] with the caller's clock, feeding the rate and
+    /// job-duration estimators on accepted completions.
+    pub fn complete_at(&mut self, job: ChunkId, site: SiteId, now: f64) -> Completion {
         self.now = self.now.max(now);
-        *self.rate_completed.entry(site).or_insert(0) += 1;
-        self.complete(job, site);
+        let sample = self.assignees[job.0 as usize]
+            .iter()
+            .find(|a| a.site == site)
+            .map(|a| (now - a.assigned_at).max(0.0));
+        let outcome = self.complete(job, site);
+        if outcome.is_merged() {
+            *self.rate_completed.entry(site).or_insert(0) += 1;
+            if let Some(d) = sample {
+                let e = self.ewma_dur.entry(site).or_insert(d);
+                *e = 0.8 * *e + 0.2 * d;
+            }
+        }
+        outcome
     }
 
     /// Mark one job finished. `site` is the site that processed it.
     ///
+    /// Exactly one completion per chunk returns [`Completion::Merged`];
+    /// every other report — from a preempted speculative copy, a reaped
+    /// lease that was since re-executed, or an evacuated site — returns
+    /// [`Completion::Duplicate`]. A *late* completion from a reaped lease
+    /// whose job has not been re-completed yet is still accepted (the
+    /// original worker won after all).
+    ///
     /// # Panics
-    /// Panics if the job was not assigned to `site` — a protocol violation.
-    pub fn complete(&mut self, job: ChunkId, site: SiteId) {
+    /// Panics if `site` never held a lease on the job — a protocol
+    /// violation.
+    pub fn complete(&mut self, job: ChunkId, site: SiteId) -> Completion {
         let i = job.0 as usize;
-        assert_eq!(
-            self.state[i],
-            JobState::Assigned(site),
+        assert!(
+            self.knows_site(i, site),
             "{job} completed by {site} but not assigned to it"
         );
+        // A dead site's report is always discarded: its robj will never be
+        // globally reduced, so merging there would lose the result.
+        if self.dead_sites.contains(&site) {
+            self.faults.duplicate_completions += 1;
+            return Completion::Duplicate;
+        }
+        match self.state[i] {
+            JobState::Done(_) | JobState::Abandoned => {
+                self.faults.duplicate_completions += 1;
+                Completion::Duplicate
+            }
+            JobState::Assigned => {
+                if self.release_assignee(i, site) {
+                    // Live lease: first finisher wins; revoke the rest.
+                    let preempted: Vec<SiteId> =
+                        self.assignees[i].iter().map(|a| a.site).collect();
+                    for s in &preempted {
+                        self.release_assignee(i, *s);
+                        self.past[i].push(*s);
+                    }
+                    self.finish(i, site);
+                    Completion::Merged { preempted }
+                } else {
+                    // Reaped lease finished late, racing a re-execution that
+                    // is still running: accept the result, cancel the rerun.
+                    let preempted: Vec<SiteId> =
+                        self.assignees[i].iter().map(|a| a.site).collect();
+                    for s in &preempted {
+                        self.release_assignee(i, *s);
+                        self.past[i].push(*s);
+                    }
+                    self.faults.late_completions += 1;
+                    self.finish(i, site);
+                    Completion::Merged { preempted }
+                }
+            }
+            JobState::Pending => {
+                // Reaped lease finished before the job was re-granted:
+                // accept the result and withdraw the pending re-execution.
+                let q = &mut self.pending_by_file[self.chunks[i].file.0 as usize];
+                if let Some(pos) = q.iter().position(|&c| c == job) {
+                    q.remove(pos);
+                }
+                self.pending_total -= 1;
+                self.faults.late_completions += 1;
+                self.finish(i, site);
+                Completion::Merged { preempted: Vec::new() }
+            }
+        }
+    }
+
+    /// Common completion bookkeeping once the dedup verdict is `Merged`.
+    fn finish(&mut self, i: usize, site: SiteId) {
         self.state[i] = JobState::Done(site);
         self.done_total += 1;
-        let file = self.chunks[i].file.0 as usize;
-        self.readers[file] -= 1;
-        *self.assigned_to.entry(site).or_insert(1) -= 1;
         let entry = self.counts.entry(site).or_default();
         if self.chunks[i].site == site {
             entry.local += 1;
@@ -435,23 +777,73 @@ impl JobPool {
         JobBatch { jobs, stolen, terminal: false }
     }
 
+    /// The lease deadline for a fresh grant to `site` at the current clock.
+    fn deadline_for(&self, site: SiteId) -> f64 {
+        match self.lease {
+            Some(cfg) => self.now + cfg.lease_for(self.ewma_dur.get(&site).copied()),
+            None => f64::INFINITY,
+        }
+    }
+
     /// Record that `batch` is now owned by `site`. Split from `request` so
     /// the policy methods stay pure; `request_for` combines both.
     fn assign_to(&mut self, batch: &JobBatch, site: SiteId) {
+        let deadline = self.deadline_for(site);
         for j in &batch.jobs {
             let i = j.id.0 as usize;
             debug_assert_eq!(self.state[i], JobState::Pending);
-            self.state[i] = JobState::Assigned(site);
+            self.state[i] = JobState::Assigned;
+            self.assignees[i].push(Assignee { site, assigned_at: self.now, deadline });
             self.readers[j.file.0 as usize] += 1;
             self.pending_total -= 1;
             *self.assigned_to.entry(site).or_insert(0) += 1;
         }
     }
 
-    /// Request a batch for `site` and record the assignment.
+    /// The straggler to speculatively re-execute for an otherwise-idle
+    /// `site`: the oldest in-flight job with a single live lease held by a
+    /// *different* site. Cross-site only — a second copy behind the same
+    /// master shares the straggler's fate too often to pay off.
+    fn pick_speculation_target(&self, site: SiteId) -> Option<usize> {
+        (0..self.state.len())
+            .filter(|&i| self.state[i] == JobState::Assigned)
+            .filter(|&i| {
+                !self.assignees[i].is_empty()
+                    && self.assignees[i].len() < MAX_ASSIGNEES
+                    && self.assignees[i].iter().all(|a| a.site != site)
+            })
+            .min_by(|&a, &b| {
+                let ta = self.assignees[a][0].assigned_at;
+                let tb = self.assignees[b][0].assigned_at;
+                ta.partial_cmp(&tb).unwrap().then(self.chunks[a].id.cmp(&self.chunks[b].id))
+            })
+    }
+
+    /// Request a batch for `site` and record the assignment. When the pool
+    /// has nothing pending but stragglers are in flight and speculation is
+    /// enabled, the idle site is handed a speculative copy of the oldest
+    /// straggler instead of an empty poll — first completion wins.
     pub fn request_for(&mut self, site: SiteId) -> JobBatch {
         let batch = self.request(site);
         self.assign_to(&batch, site);
+        if batch.is_empty()
+            && !batch.terminal
+            && self.speculate
+            && !self.dead_sites.contains(&site)
+        {
+            if let Some(i) = self.pick_speculation_target(site) {
+                let deadline = self.deadline_for(site);
+                self.assignees[i].push(Assignee { site, assigned_at: self.now, deadline });
+                self.readers[self.chunks[i].file.0 as usize] += 1;
+                *self.assigned_to.entry(site).or_insert(0) += 1;
+                self.faults.speculative_grants += 1;
+                return JobBatch {
+                    jobs: vec![self.chunks[i]],
+                    stolen: self.chunks[i].site != site,
+                    terminal: false,
+                };
+            }
+        }
         batch
     }
 }
@@ -670,6 +1062,8 @@ mod fault_tests {
         }
         assert!(p.all_done(), "abandoned jobs count toward completion");
         assert_eq!(p.abandoned(), 1);
+        assert_eq!(p.abandoned_jobs().len(), 1);
+        assert_eq!(p.abandoned_jobs()[0].last_site, Some(SiteId::LOCAL));
         assert!(p.request_for(SiteId::LOCAL).terminal);
     }
 
@@ -691,5 +1085,181 @@ mod fault_tests {
     fn failing_unassigned_job_panics() {
         let mut p = pool(2, 3);
         p.fail(ChunkId(0), SiteId::LOCAL);
+    }
+}
+
+#[cfg(test)]
+mod lease_tests {
+    use super::*;
+    use crate::fault::LeaseConfig;
+    use crate::index::DataIndex;
+    use crate::layout::LayoutParams;
+
+    fn pool(n_chunks: u64) -> JobPool {
+        // One file so consecutive-batch grants can cover any request size.
+        let idx = DataIndex::build(
+            n_chunks * 2,
+            LayoutParams { unit_size: 1, units_per_chunk: 2, n_files: 1 },
+            |_| SiteId::LOCAL,
+        )
+        .unwrap();
+        JobPool::from_index(&idx, BatchPolicy::Fixed(2))
+    }
+
+    fn short_lease() -> LeaseConfig {
+        LeaseConfig { base: 1.0, multiplier: 4.0, min: 0.5, max: 10.0 }
+    }
+
+    #[test]
+    fn expired_lease_is_reaped_and_requeued() {
+        let mut p = pool(1);
+        p.set_lease(short_lease());
+        let b = p.request_for_at(SiteId::LOCAL, 0.0);
+        assert_eq!(b.len(), 1);
+        assert!(p.reap_expired(0.5).is_empty(), "lease still live");
+        let reaped = p.reap_expired(1.5);
+        assert_eq!(reaped, vec![(b.jobs[0].id, SiteId::LOCAL)]);
+        assert_eq!(p.pending(), 1, "job back in the pool");
+        assert_eq!(p.faults().lease_expiries, 1);
+        // Re-grant to another site; the grant must be the same chunk.
+        let b2 = p.request_for_at(SiteId::CLOUD, 2.0);
+        assert_eq!(b2.jobs[0].id, b.jobs[0].id);
+        assert!(p.complete(b2.jobs[0].id, SiteId::CLOUD).is_merged());
+    }
+
+    #[test]
+    fn late_completion_after_reap_still_merges_exactly_once() {
+        let mut p = pool(1);
+        p.set_lease(short_lease());
+        let b = p.request_for_at(SiteId::LOCAL, 0.0);
+        let job = b.jobs[0].id;
+        p.reap_expired(5.0);
+        // The written-off worker finishes after all, before any re-grant.
+        assert!(p.complete_at(job, SiteId::LOCAL, 5.1).is_merged());
+        assert_eq!(p.faults().late_completions, 1);
+        assert!(p.all_done());
+        assert_eq!(p.pending(), 0, "pending re-execution withdrawn");
+        // Nothing left to grant.
+        assert!(p.request_for_at(SiteId::CLOUD, 5.2).terminal);
+    }
+
+    #[test]
+    fn late_completion_races_rerun_and_rerun_is_preempted() {
+        let mut p = pool(1);
+        p.set_lease(short_lease());
+        let b = p.request_for_at(SiteId::LOCAL, 0.0);
+        let job = b.jobs[0].id;
+        p.reap_expired(5.0);
+        let b2 = p.request_for_at(SiteId::CLOUD, 5.0);
+        assert_eq!(b2.jobs[0].id, job, "reaped job re-granted");
+        // Original worker reports first: accepted; rerun preempted.
+        match p.complete_at(job, SiteId::LOCAL, 5.5) {
+            Completion::Merged { preempted } => assert_eq!(preempted, vec![SiteId::CLOUD]),
+            Completion::Duplicate => panic!("late completion must merge"),
+        }
+        // The rerun's own report is now a duplicate.
+        assert_eq!(p.complete_at(job, SiteId::CLOUD, 6.0), Completion::Duplicate);
+        assert_eq!(p.completed(), 1);
+        assert_eq!(p.faults().duplicate_completions, 1);
+    }
+
+    #[test]
+    fn speculative_copy_first_completion_wins() {
+        let mut p = pool(2);
+        p.set_lease(short_lease());
+        p.set_speculation(true);
+        let b = p.request_for_at(SiteId::LOCAL, 0.0);
+        assert_eq!(b.len(), 2);
+        p.complete_at(b.jobs[1].id, SiteId::LOCAL, 0.2);
+        // Cloud polls with nothing pending: granted a speculative copy of
+        // the straggler.
+        let spec = p.request_for_at(SiteId::CLOUD, 0.3);
+        assert_eq!(spec.len(), 1);
+        assert_eq!(spec.jobs[0].id, b.jobs[0].id);
+        assert!(spec.stolen);
+        assert_eq!(p.faults().speculative_grants, 1);
+        assert_eq!(p.assignees_of(b.jobs[0].id), vec![SiteId::LOCAL, SiteId::CLOUD]);
+        // No third copy.
+        assert!(p.request_for_at(SiteId::CLOUD, 0.4).is_empty());
+        // Speculative copy finishes first; the straggler is preempted.
+        match p.complete_at(b.jobs[0].id, SiteId::CLOUD, 0.5) {
+            Completion::Merged { preempted } => assert_eq!(preempted, vec![SiteId::LOCAL]),
+            Completion::Duplicate => panic!("first completion must merge"),
+        }
+        // The straggler eventually reports: duplicate, merged exactly once.
+        assert_eq!(p.complete_at(b.jobs[0].id, SiteId::LOCAL, 9.0), Completion::Duplicate);
+        assert!(p.all_done());
+        assert_eq!(p.completed(), 2);
+    }
+
+    #[test]
+    fn evacuation_requeues_in_flight_and_done_jobs() {
+        let mut p = pool(4);
+        let b1 = p.request_for(SiteId::CLOUD); // 2 jobs in flight at cloud
+        p.complete(b1.jobs[0].id, SiteId::CLOUD); // 1 done at cloud
+        let done_at_cloud = b1.jobs[0].id;
+        let inflight_at_cloud = b1.jobs[1].id;
+        let b2 = p.request_for(SiteId::LOCAL);
+        assert_eq!(b2.len(), 2);
+        p.evacuate(SiteId::CLOUD);
+        p.evacuate(SiteId::CLOUD); // idempotent
+        // Both the in-flight job and the done-but-unreduced job come back.
+        assert_eq!(p.faults().evacuated_jobs, 1);
+        assert_eq!(p.faults().lost_results, 1);
+        assert_eq!(p.completed(), 0);
+        assert_eq!(p.pending(), 2);
+        assert!(p.is_dead(SiteId::CLOUD));
+        // The dead site polls: empty, and its zombie reports are discarded.
+        assert!(p.request_for(SiteId::CLOUD).is_empty());
+        assert_eq!(p.complete(inflight_at_cloud, SiteId::CLOUD), Completion::Duplicate);
+        // The survivor finishes its own grant and the re-queued jobs.
+        for j in &b2.jobs {
+            assert!(p.complete(j.id, SiteId::LOCAL).is_merged());
+        }
+        while !p.all_done() {
+            let b = p.request_for(SiteId::LOCAL);
+            for j in &b.jobs {
+                assert!(p.complete(j.id, SiteId::LOCAL).is_merged());
+            }
+        }
+        assert_eq!(p.completed(), 4);
+        assert_eq!(p.abandoned(), 0);
+        let seen_again = p.site_counts()[&SiteId::LOCAL];
+        assert_eq!(seen_again.total(), 4);
+        // The lost result was re-executed by the survivor, so the dead
+        // site's counts are fully rolled back.
+        assert!(p.site_counts()[&SiteId::CLOUD].total() == 0);
+        assert_eq!(p.assignees_of(done_at_cloud), Vec::<SiteId>::new());
+    }
+
+    #[test]
+    fn abandon_unfinished_records_last_sites() {
+        let mut p = pool(2);
+        let b = p.request_for(SiteId::LOCAL);
+        assert_eq!(b.len(), 2);
+        p.evacuate(SiteId::LOCAL);
+        assert_eq!(p.pending(), 2);
+        p.abandon_unfinished();
+        assert!(p.all_done());
+        assert_eq!(p.abandoned(), 2);
+        for a in p.abandoned_jobs() {
+            assert_eq!(a.last_site, Some(SiteId::LOCAL));
+        }
+    }
+
+    #[test]
+    fn leases_scale_with_observed_duration() {
+        let mut p = pool(8);
+        p.set_lease(LeaseConfig { base: 100.0, multiplier: 2.0, min: 0.1, max: 1000.0 });
+        let b = p.request_for_at(SiteId::LOCAL, 0.0);
+        for j in &b.jobs {
+            p.complete_at(j.id, SiteId::LOCAL, 1.0); // ~1s jobs observed
+        }
+        let b2 = p.request_for_at(SiteId::LOCAL, 1.0);
+        // With ~1s EWMA and multiplier 2, the lease is ~2s, far below base:
+        // jobs granted now must be reapable shortly after, not in 100s.
+        assert!(p.reap_expired(1.5).is_empty());
+        let reaped = p.reap_expired(10.0);
+        assert_eq!(reaped.len(), b2.len());
     }
 }

@@ -6,6 +6,7 @@
 //! slowdown** vs. the centralized baseline; Table I reports per-site job
 //! counts including stolen jobs.
 
+use crate::fault::FaultCounters;
 use crate::pool::SiteJobCounts;
 use crate::types::{Seconds, SiteId};
 use serde::{Deserialize, Serialize};
@@ -67,6 +68,9 @@ pub struct SiteStats {
     pub jobs: SiteJobCounts,
     /// Bytes fetched from remote storage by this site's workers.
     pub remote_bytes: u64,
+    /// Transient storage-read failures this site's workers absorbed by
+    /// retrying below the chunk level (never surfaced to the head).
+    pub retries: u64,
 }
 
 /// The complete result record for one run — one bar of Fig. 3/4 plus its
@@ -81,6 +85,9 @@ pub struct RunReport {
     pub global_reduction: Seconds,
     /// End-to-end execution time.
     pub total_time: Seconds,
+    /// Fault-tolerance accounting: lease expiries, evacuations, speculative
+    /// re-executions, deduplicated completions. All-zero on a clean run.
+    pub faults: FaultCounters,
 }
 
 impl RunReport {
@@ -128,6 +135,13 @@ impl RunReport {
     #[must_use]
     pub fn total_stolen(&self) -> u64 {
         self.sites.values().map(|s| s.jobs.stolen).sum()
+    }
+
+    /// Total transient storage-read retries absorbed below the chunk level
+    /// across sites.
+    #[must_use]
+    pub fn total_retries(&self) -> u64 {
+        self.sites.values().map(|s| s.retries).sum()
     }
 }
 

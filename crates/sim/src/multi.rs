@@ -14,8 +14,8 @@
 use crate::model::AppModel;
 use crate::params::{ResourceSpec, SimParams};
 use cloudburst_core::{
-    BatchPolicy, Breakdown, ChunkId, DataIndex, JobPool, LayoutParams, LocalJob, MasterPool,
-    RunReport, Seconds, SiteId, SiteStats, Take,
+    BatchPolicy, Breakdown, ChunkId, DataIndex, FaultPlan, JobPool, LayoutParams, LeaseConfig,
+    LocalJob, MasterPool, RunReport, Seconds, SiteId, SiteStats, Take,
 };
 use cloudburst_des::{EventQueue, Servers, SimTime, Timeline};
 use cloudburst_netsim::Jitter;
@@ -81,6 +81,11 @@ pub struct MultiEnv {
     /// "considers the rate of processing"); disable to measure the naive
     /// locality-greedy policy (the stealing ablation).
     pub rate_aware_stealing: bool,
+    /// Deterministic fault injection: site outages, worker crashes, and
+    /// straggler slowdowns are replayed in virtual time, so Table-II-style
+    /// overheads can be re-derived under failure. `None` (or an empty plan)
+    /// simulates a clean run.
+    pub chaos: Option<FaultPlan>,
 }
 
 impl MultiEnv {
@@ -121,6 +126,7 @@ impl MultiEnv {
             n_files: params.n_files,
             n_chunks: params.n_chunks,
             rate_aware_stealing: true,
+            chaos: None,
         }
     }
 
@@ -190,6 +196,20 @@ fn run_multi(app: &AppModel, env: &MultiEnv, mut trace: Option<&mut Timeline<Act
     let chunk_bytes = index.chunks[0].len;
     let chunk_units = index.chunks[0].n_units;
 
+    // Fault injection happens in virtual time: the plan's clock is the
+    // simulation clock, so replays are exactly reproducible.
+    let chaos = env.chaos.as_ref().filter(|p| !p.is_empty());
+    if let Some(plan) = chaos {
+        if !plan.worker_crash.is_empty() {
+            // A crashed worker leaks the job it held; only lease reaping
+            // can recover it.
+            pool.set_lease(LeaseConfig::default());
+        }
+        if !plan.slow_workers.is_empty() {
+            pool.set_speculation(true);
+        }
+    }
+
     let specs: BTreeMap<SiteId, &SiteSpec> = env.sites.iter().map(|s| (s.site, s)).collect();
     let active: Vec<SlaveShape> = env
         .sites
@@ -245,6 +265,11 @@ fn run_multi(app: &AppModel, env: &MultiEnv, mut trace: Option<&mut Timeline<Act
         last_done: Seconds,
         jitter: Jitter,
         done: bool,
+        /// Injected per-job slowdown (straggler model).
+        delay: Seconds,
+        /// Crash after taking this many jobs (the job in hand leaks).
+        crash_after: Option<u64>,
+        taken: u64,
     }
     let mut workers: Vec<Worker> = Vec::new();
     for shape in &active {
@@ -265,6 +290,9 @@ fn run_multi(app: &AppModel, env: &MultiEnv, mut trace: Option<&mut Timeline<Act
                     spec.jitter,
                 ),
                 done: false,
+                delay: chaos.map_or(0.0, |p| p.worker_delay(shape.site, c)),
+                crash_after: chaos.and_then(|p| p.crash_after(shape.site, c)),
+                taken: 0,
             });
         }
     }
@@ -286,8 +314,23 @@ fn run_multi(app: &AppModel, env: &MultiEnv, mut trace: Option<&mut Timeline<Act
 
     while let Some((at, ev)) = queue.pop() {
         let mut now = at.seconds();
+        if let Some(plan) = chaos {
+            if let Some(o) = plan.site_outage {
+                if now >= o.at {
+                    pool.evacuate(o.site); // idempotent after the first call
+                }
+            }
+            for _ in pool.reap_expired(now) {}
+        }
         let w = &mut workers[ev.worker];
         let site = w.site;
+        if chaos.is_some_and(|p| p.site_dead(site, now)) {
+            // The site just lost power: the in-flight completion dies with
+            // the site's robj; evacuation above re-homes its jobs.
+            w.finish = now;
+            w.done = true;
+            continue;
+        }
         if let Some(job) = ev.completes {
             pool.complete_at(job, site, now);
         }
@@ -326,6 +369,14 @@ fn run_multi(app: &AppModel, env: &MultiEnv, mut trace: Option<&mut Timeline<Act
                 continue;
             }
         };
+        w.taken += 1;
+        if w.crash_after.is_some_and(|k| w.taken > k) {
+            // Simulated worker crash: the job it just pulled leaks — the
+            // lease reaper recovers it once the deadline passes.
+            w.finish = now;
+            w.done = true;
+            continue;
+        }
 
         let data_site = job.chunk.site;
         let spec = specs[&data_site];
@@ -342,7 +393,8 @@ fn run_multi(app: &AppModel, env: &MultiEnv, mut trace: Option<&mut Timeline<Act
         }
         w.retrieval += retr_end - now;
 
-        let compute = w.jitter.stretch(app.compute_time(job.chunk.n_units, w.factor)) / w.speed;
+        let compute =
+            w.jitter.stretch(app.compute_time(job.chunk.n_units, w.factor)) / w.speed + w.delay;
         w.processing += compute;
         w.last_done = retr_end + compute;
         if let Some(t) = trace.as_deref_mut() {
@@ -392,6 +444,7 @@ fn run_multi(app: &AppModel, env: &MultiEnv, mut trace: Option<&mut Timeline<Act
         env: env.name.clone(),
         global_reduction,
         total_time,
+        faults: pool.faults().clone(),
         ..RunReport::default()
     };
     for shape in &active {
@@ -417,6 +470,7 @@ fn run_multi(app: &AppModel, env: &MultiEnv, mut trace: Option<&mut Timeline<Act
                 idle,
                 jobs: counts.get(&site).copied().unwrap_or_default(),
                 remote_bytes: site_workers.iter().map(|w| w.remote_bytes).sum(),
+                retries: 0,
             },
         );
     }
@@ -471,6 +525,7 @@ mod tests {
             n_files: p.n_files,
             n_chunks: p.n_chunks,
             rate_aware_stealing: true,
+            chaos: None,
         }
     }
 
@@ -568,6 +623,54 @@ mod tests {
             (work_spans - reported).abs() < reported * 1e-9,
             "spans {work_spans} vs reported {reported}"
         );
+    }
+
+    #[test]
+    fn site_outage_is_evacuated_and_work_is_rehomed() {
+        use cloudburst_core::SiteOutage;
+        let mut env = three_sites();
+        env.chaos = Some(FaultPlan {
+            site_outage: Some(SiteOutage { site: SiteId(2), at: 1.0 }),
+            ..FaultPlan::seeded(11)
+        });
+        let report = simulate_multi(&AppModel::knn(), &env);
+        // Every chunk still merges exactly once, at a surviving site.
+        assert_eq!(report.total_jobs(), 96);
+        let recovered = report.faults.evacuated_jobs + report.faults.lost_results;
+        assert!(recovered > 0, "the outage must have interrupted something");
+        assert_eq!(report.faults.abandoned_jobs.len(), 0);
+    }
+
+    #[test]
+    fn crashed_worker_leaks_its_job_until_the_lease_reaper_recovers_it() {
+        use cloudburst_core::WorkerCrash;
+        let mut env = three_sites();
+        env.chaos = Some(FaultPlan {
+            worker_crash: vec![WorkerCrash { site: SiteId::CLOUD, worker: 0, after_jobs: 1 }],
+            ..FaultPlan::seeded(12)
+        });
+        let report = simulate_multi(&AppModel::knn(), &env);
+        assert_eq!(report.total_jobs(), 96);
+        assert!(report.faults.lease_expiries > 0, "the leaked job must be reaped");
+    }
+
+    #[test]
+    fn chaos_replay_is_deterministic() {
+        use cloudburst_core::{SiteOutage, SlowWorker};
+        let mut env = three_sites();
+        env.chaos = Some(FaultPlan {
+            site_outage: Some(SiteOutage { site: SiteId(2), at: 2.0 }),
+            slow_workers: vec![SlowWorker {
+                site: SiteId::CLOUD,
+                worker: 1,
+                delay_per_job: 50.0,
+            }],
+            ..FaultPlan::seeded(13)
+        });
+        let a = simulate_multi(&AppModel::knn(), &env);
+        let b = simulate_multi(&AppModel::knn(), &env);
+        assert_eq!(a, b, "a seeded fault plan must replay byte-identically");
+        assert!(!a.faults.is_quiet());
     }
 
     #[test]

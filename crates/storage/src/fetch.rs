@@ -7,6 +7,7 @@
 //! gap between one connection's bandwidth and the aggregate host cap; against
 //! local stores it degrades gracefully to a single sequential read.
 
+use crate::retry::{read_with_retry, RetryPolicy};
 use crate::store::ChunkStore;
 use bytes::{Bytes, BytesMut};
 use cloudburst_core::{ByteSize, ChunkMeta, FileId};
@@ -65,24 +66,43 @@ pub fn fetch_range<S: ChunkStore + ?Sized>(
     len: ByteSize,
     config: FetchConfig,
 ) -> io::Result<Bytes> {
+    let no_retry = RetryPolicy { max_retries: 0, ..RetryPolicy::default() };
+    fetch_range_with_retry(store, file, offset, len, config, &no_retry).map(|(b, _)| b)
+}
+
+/// [`fetch_range`] with transient-failure retries *below* the chunk level:
+/// each concurrent range read independently retries per `retry`, so one
+/// reset connection re-reads only its own range, not the whole chunk.
+/// Returns the reassembled bytes and the total retries absorbed.
+pub fn fetch_range_with_retry<S: ChunkStore + ?Sized>(
+    store: &S,
+    file: FileId,
+    offset: ByteSize,
+    len: ByteSize,
+    config: FetchConfig,
+    retry: &RetryPolicy,
+) -> io::Result<(Bytes, u64)> {
     let ranges = config.split(offset, len);
     match ranges.len() {
-        0 => Ok(Bytes::new()),
-        1 => store.read(file, offset, len),
+        0 => Ok((Bytes::new(), 0)),
+        1 => read_with_retry(store, file, offset, len, retry),
         _ => {
-            let mut parts: Vec<io::Result<Bytes>> = Vec::new();
+            let mut parts: Vec<io::Result<(Bytes, u64)>> = Vec::new();
             std::thread::scope(|scope| {
                 let handles: Vec<_> = ranges
                     .iter()
-                    .map(|&(o, l)| scope.spawn(move || store.read(file, o, l)))
+                    .map(|&(o, l)| scope.spawn(move || read_with_retry(store, file, o, l, retry)))
                     .collect();
                 parts = handles.into_iter().map(|h| h.join().expect("fetch thread panicked")).collect();
             });
             let mut out = BytesMut::with_capacity(len as usize);
+            let mut retries = 0;
             for part in parts {
-                out.extend_from_slice(&part?);
+                let (bytes, r) = part?;
+                out.extend_from_slice(&bytes);
+                retries += r;
             }
-            Ok(out.freeze())
+            Ok((out.freeze(), retries))
         }
     }
 }
@@ -94,6 +114,17 @@ pub fn fetch_chunk<S: ChunkStore + ?Sized>(
     config: FetchConfig,
 ) -> io::Result<Bytes> {
     fetch_range(store, chunk.file, chunk.offset, chunk.len, config)
+}
+
+/// Fetch one chunk with below-chunk transient-failure retries; returns the
+/// bytes and the retries absorbed.
+pub fn fetch_chunk_with_retry<S: ChunkStore + ?Sized>(
+    store: &S,
+    chunk: &ChunkMeta,
+    config: FetchConfig,
+    retry: &RetryPolicy,
+) -> io::Result<(Bytes, u64)> {
+    fetch_range_with_retry(store, chunk.file, chunk.offset, chunk.len, config, retry)
 }
 
 #[cfg(test)]

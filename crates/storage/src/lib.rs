@@ -11,23 +11,32 @@
 //!   threads" optimization ([`fetch`]);
 //! * the data organizer that cuts a dataset into files/chunks/units, places
 //!   files across sites and emits the index ([`organizer`]);
-//! * the binary on-disk index format ([`index_io`]).
+//! * the binary on-disk index format ([`index_io`]);
+//! * transient-error classification and capped exponential backoff with
+//!   deterministic jitter for range reads ([`retry`]);
+//! * seeded, replayable fault injection over any store ([`chaos`]).
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod chaos;
 pub mod fetch;
 pub mod file;
 pub mod index_io;
 pub mod mem;
 pub mod organizer;
+pub mod retry;
 pub mod s3sim;
 pub mod store;
 
-pub use fetch::{fetch_chunk, fetch_range, FetchConfig};
+pub use chaos::ChaosStore;
+pub use fetch::{
+    fetch_chunk, fetch_chunk_with_retry, fetch_range, fetch_range_with_retry, FetchConfig,
+};
 pub use file::FileStore;
 pub use index_io::{decode_index, encode_index, read_index, write_index};
 pub use mem::MemStore;
 pub use organizer::{fraction_placement, organize, reassemble, Organized, SiteStore};
+pub use retry::{is_transient, read_with_retry, RetryPolicy};
 pub use s3sim::{S3Config, S3Metrics, S3SimStore};
 pub use store::ChunkStore;

@@ -60,6 +60,7 @@ fn main() {
         n_files: p.n_files,
         n_chunks: p.n_chunks,
         rate_aware_stealing: true,
+        chaos: None,
     };
 
     println!(

@@ -66,14 +66,29 @@ USAGE:
   cloudburst info --org DIR
   cloudburst run <knn|kmeans|pagerank|wordcount> --org DIR
              [--local-cores N] [--cloud-cores N] [--retry N] [--time-scale F]
+             [--ft] [--chaos SPEC]
              [--k K] [--pages N] [--iterations I] [--damping D]
   cloudburst simulate [fig3a|fig3b|fig3c|fig4a|fig4b|fig4c|table1|table2|summary|all]
+
+FAULT TOLERANCE:
+  --ft           enable leases, speculation, heartbeats and storage retries
+  --chaos SPEC   inject deterministic faults (implies --ft). SPEC is a
+                 comma-separated list of clauses:
+                   seed=N            rng seed for storage faults (default 0)
+                   storage=RATE      transient storage error rate (0.0-1.0)
+                   outage=SITE@T     kill SITE (local|cloud|N) T seconds in
+                   slow=SITE:W:SECS  delay worker W at SITE per job
+                   crash=SITE:W:N    crash worker W at SITE after N jobs
+                   hb=I:T            heartbeat interval/timeout in seconds
+                                     (shorten to recover outages in short runs)
 
 EXAMPLE:
   cloudburst generate kmeans --out /tmp/points.bin --units 200000
   cloudburst organize --data /tmp/points.bin --unit-size 16 \\
              --out /tmp/organized --local-frac 0.33
-  cloudburst run kmeans --org /tmp/organized --local-cores 4 --cloud-cores 4"
+  cloudburst run kmeans --org /tmp/organized --local-cores 4 --cloud-cores 4
+  cloudburst run wordcount --org /tmp/organized \\
+             --chaos 'storage=0.05,outage=cloud@1.0'"
     );
 }
 
@@ -283,6 +298,22 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     if retry > 0 {
         config.fault_policy = FaultPolicy::Retry { max_attempts: retry };
     }
+    let chaos_spec = opt(args, "--chaos");
+    if args.iter().any(|a| a == "--ft") || chaos_spec.is_some() {
+        config.ft = cloudburst_cluster::FtConfig::enabled();
+    }
+    if let Some(spec) = chaos_spec {
+        let (plan, hb) = parse_chaos(spec)?;
+        config.ft.chaos = Some(Arc::new(plan));
+        if let Some(hb) = hb {
+            config.ft.heartbeat = Some(hb);
+        }
+        // Chaos without a retry budget would abort on the first injected
+        // fault, defeating the point of the demonstration.
+        if config.fault_policy == FaultPolicy::FailFast {
+            config.fault_policy = FaultPolicy::Retry { max_attempts: 3 };
+        }
+    }
 
     match app.as_str() {
         "wordcount" => {
@@ -364,6 +395,78 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Parse a `--chaos` spec — comma-separated `key=value` clauses layered over
+/// an empty seeded plan, e.g. `seed=7,storage=0.05,outage=cloud@1.5`. The
+/// optional `hb=INTERVAL:TIMEOUT` clause tunes the heartbeat detector so an
+/// outage can be demonstrated to recover within a short run.
+fn parse_chaos(
+    spec: &str,
+) -> Result<(cloudburst_core::FaultPlan, Option<cloudburst_core::HeartbeatConfig>), String> {
+    use cloudburst_core::{FaultPlan, HeartbeatConfig, SiteOutage, SlowWorker, WorkerCrash};
+    fn site(s: &str) -> Result<SiteId, String> {
+        match s {
+            "local" => Ok(SiteId::LOCAL),
+            "cloud" => Ok(SiteId::CLOUD),
+            n => n.parse().map(SiteId).map_err(|_| format!("unknown site `{n}`")),
+        }
+    }
+    fn num<T: std::str::FromStr>(v: &str, what: &str) -> Result<T, String> {
+        v.parse().map_err(|_| format!("invalid {what} `{v}` in --chaos"))
+    }
+    fn triple(v: &str) -> Result<(&str, &str, &str), String> {
+        let mut it = v.splitn(3, ':');
+        match (it.next(), it.next(), it.next()) {
+            (Some(a), Some(b), Some(c)) => Ok((a, b, c)),
+            _ => Err(format!("chaos clause `{v}` wants SITE:WORKER:VALUE")),
+        }
+    }
+    let mut plan = FaultPlan::seeded(0);
+    let mut hb = None;
+    for clause in spec.split(',').filter(|c| !c.is_empty()) {
+        let (key, val) = clause
+            .split_once('=')
+            .ok_or_else(|| format!("chaos clause `{clause}` is not key=value"))?;
+        match key {
+            "seed" => plan.seed = num(val, "seed")?,
+            "storage" => plan.storage_error_rate = num(val, "storage error rate")?,
+            "outage" => {
+                let (s, at) = val
+                    .split_once('@')
+                    .ok_or_else(|| format!("outage clause `{val}` wants SITE@SECONDS"))?;
+                plan.site_outage =
+                    Some(SiteOutage { site: site(s)?, at: num(at, "outage time")? });
+            }
+            "slow" => {
+                let (s, w, d) = triple(val)?;
+                plan.slow_workers.push(SlowWorker {
+                    site: site(s)?,
+                    worker: num(w, "worker index")?,
+                    delay_per_job: num(d, "delay")?,
+                });
+            }
+            "crash" => {
+                let (s, w, n) = triple(val)?;
+                plan.worker_crash.push(WorkerCrash {
+                    site: site(s)?,
+                    worker: num(w, "worker index")?,
+                    after_jobs: num(n, "job count")?,
+                });
+            }
+            "hb" => {
+                let (i, t) = val
+                    .split_once(':')
+                    .ok_or_else(|| format!("hb clause `{val}` wants INTERVAL:TIMEOUT"))?;
+                hb = Some(HeartbeatConfig {
+                    interval: num(i, "heartbeat interval")?,
+                    timeout: num(t, "heartbeat timeout")?,
+                });
+            }
+            other => return Err(format!("unknown chaos clause `{other}`")),
+        }
+    }
+    Ok((plan, hb))
+}
+
 fn print_report(report: &RunReport) {
     println!("--- run report ({}) ---", report.env);
     for (site, s) in &report.sites {
@@ -381,6 +484,21 @@ fn print_report(report: &RunReport) {
         "  global reduction {:.4}s | total {:.3}s",
         report.global_reduction, report.total_time
     );
+    let f = &report.faults;
+    if !f.is_quiet() || report.total_retries() > 0 {
+        println!(
+            "  faults: {} lease expiries | {} evacuated | {} lost results | \
+             {} speculative | {} duplicates | {} late | {} abandoned | {} storage retries",
+            f.lease_expiries,
+            f.evacuated_jobs,
+            f.lost_results,
+            f.speculative_grants,
+            f.duplicate_completions,
+            f.late_completions,
+            f.abandoned_jobs.len(),
+            report.total_retries()
+        );
+    }
 }
 
 fn read_all(
