@@ -114,11 +114,7 @@ impl Merge for Grid2D {
     /// # Panics
     /// Panics when grid shapes differ.
     fn merge(&mut self, other: Self) {
-        assert_eq!(
-            (self.width, self.height),
-            (other.width, other.height),
-            "grid shape mismatch"
-        );
+        assert_eq!((self.width, self.height), (other.width, other.height), "grid shape mismatch");
         for (a, b) in self.counts.iter_mut().zip(other.counts) {
             *a += b;
         }
@@ -192,9 +188,7 @@ impl MapReduceApp for Gridding {
     }
 
     fn reduce(&self, _key: &u32, values: Vec<(u64, f64)>) -> (u64, f64) {
-        values
-            .into_iter()
-            .fold((0, 0.0), |(c, s), (dc, ds)| (c + dc, s + ds))
+        values.into_iter().fold((0, 0.0), |(c, s), (dc, ds)| (c + dc, s + ds))
     }
 
     fn combine(&self, key: &u32, values: Vec<(u64, f64)>) -> Vec<(u64, f64)> {
@@ -220,7 +214,11 @@ pub fn gen_samples(n: u32, hotspots: u32, seed: u64) -> bytes::Bytes {
             let (cx, cy) = centers[(i / 4) as usize % centers.len()];
             let dx = (rng.gen::<f32>() - 0.5) * 0.1;
             let dy = (rng.gen::<f32>() - 0.5) * 0.1;
-            ((cx + dx).clamp(0.0, 0.999), (cy + dy).clamp(0.0, 0.999), 30.0 + rng.gen::<f32>() * 5.0)
+            (
+                (cx + dx).clamp(0.0, 0.999),
+                (cy + dy).clamp(0.0, 0.999),
+                30.0 + rng.gen::<f32>() * 5.0,
+            )
         } else {
             (rng.gen(), rng.gen(), 10.0 + rng.gen::<f32>() * 5.0)
         };
@@ -295,9 +293,7 @@ mod tests {
         let data = gen_samples(40_000, 1, 11);
         let grid = gridding_oracle(&data, 10, 10);
         // The warmest cell mean should be far above the background (~12.5).
-        let best = (0..100)
-            .filter_map(|c| grid.cell_mean(c))
-            .fold(f64::MIN, f64::max);
+        let best = (0..100).filter_map(|c| grid.cell_mean(c)).fold(f64::MIN, f64::max);
         assert!(best > 20.0, "hotspot mean {best}");
     }
 

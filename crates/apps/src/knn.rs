@@ -136,10 +136,8 @@ impl<const D: usize> MapReduceApp for Knn<D> {
 pub fn knn_oracle<const D: usize>(data: &[u8], query: &[f32; D], k: usize) -> Vec<Neighbor> {
     let mut pts = Vec::new();
     decode_all(data, IdPoint::<D>::SIZE, &mut pts, IdPoint::<D>::decode);
-    let mut all: Vec<Neighbor> = pts
-        .iter()
-        .map(|p| Neighbor::new(dist2_f32(&p.coords, query), p.id))
-        .collect();
+    let mut all: Vec<Neighbor> =
+        pts.iter().map(|p| Neighbor::new(dist2_f32(&p.coords, query), p.id)).collect();
     all.sort_unstable();
     all.truncate(k);
     all

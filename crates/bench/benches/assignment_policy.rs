@@ -7,12 +7,12 @@
 //! (a) consecutive batches of 8 and (b) single-job grants, plus the raw
 //! pool-operation throughput of the head's scheduler.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use cloudburst_apps::gen::gen_words;
 use cloudburst_apps::wordcount::WordCount;
 use cloudburst_cluster::{run_hybrid, RuntimeConfig};
 use cloudburst_core::{BatchPolicy, DataIndex, EnvConfig, JobPool, LayoutParams, SiteId};
 use cloudburst_storage::{organize, ChunkStore, FetchConfig, FileStore};
+use criterion::{criterion_group, criterion_main, Criterion};
 use std::collections::BTreeMap;
 use std::hint::black_box;
 use std::path::PathBuf;

@@ -7,13 +7,13 @@
 //! measures wall time for all three pipelines on the same chunks, and the
 //! setup prints the intermediate-pair counts that explain the gap.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cloudburst_apps::gen::{gen_clustered_points, gen_words};
 use cloudburst_apps::kmeans::KMeans;
 use cloudburst_apps::units::{Point, Word};
 use cloudburst_apps::wordcount::WordCount;
 use cloudburst_core::{global_reduce, reduce_serial, Reduction};
 use cloudburst_mapreduce::{run_mapreduce, EngineConfig, MapReduceApp};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 /// Generalized reduction with the same worker parallelism as the MapReduce
@@ -69,9 +69,7 @@ fn bench_wordcount(c: &mut Criterion) {
     );
 
     let mut g = c.benchmark_group("wordcount_400k");
-    g.bench_function("genred_serial", |b| {
-        b.iter(|| black_box(reduce_serial(&WordCount, &chunks)))
-    });
+    g.bench_function("genred_serial", |b| b.iter(|| black_box(reduce_serial(&WordCount, &chunks))));
     g.bench_function("genred_4workers", |b| {
         b.iter(|| black_box(reduce_parallel(&WordCount, &chunks, 4)))
     });

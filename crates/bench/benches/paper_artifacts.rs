@@ -2,11 +2,16 @@
 //! regenerates the artifact from the paper-scale simulator (the same code
 //! path as `cargo run -p cloudburst-bench --bin repro`) and reports how long
 //! regeneration takes. Shape assertions run once up front so a regression
-//! in the *reproduction* (not just its speed) fails loudly.
+//! in the *reproduction* (not just its speed) fails loudly, and the vetted
+//! numbers are written out as `BENCH_paper.json` (at the workspace root;
+//! override with `BENCH_PAPER_OUT`) through the same
+//! [`report_to_json`] serialization the CLI's `--stats-out` uses, so
+//! plotting scripts consume exactly the figures the assertions checked.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use cloudburst_core::{report_to_json, Json};
 use cloudburst_sim::figures::{fig3, fig4, fig4_cumulative_efficiencies, summary, table1, table2};
 use cloudburst_sim::{AppModel, SimParams};
+use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 /// The paper-shape checks: who wins, roughly by what factor, where the
@@ -41,9 +46,77 @@ fn assert_shapes(params: &SimParams) {
     assert!((0.65..0.95).contains(&s.avg_scaling_efficiency), "{s:?}");
 }
 
+/// Serialize every figure and table as one JSON document via the telemetry
+/// stats path and write it where `BENCH_PAPER_OUT` points (default:
+/// `BENCH_paper.json` at the workspace root).
+fn write_bench_artifact(params: &SimParams) {
+    let mut fig3_rows = Vec::new();
+    let mut fig4_rows = Vec::new();
+    for app in AppModel::paper_trio() {
+        for report in fig3(&app, params) {
+            fig3_rows.push(report_to_json(&report).field("app", Json::Str(app.name.clone())));
+        }
+        let reports = fig4(&app, params);
+        let effs = fig4_cumulative_efficiencies(&reports);
+        for (report, eff) in reports.iter().zip(effs) {
+            fig4_rows.push(
+                report_to_json(report)
+                    .field("app", Json::Str(app.name.clone()))
+                    .field("scaling_efficiency", Json::F64(eff)),
+            );
+        }
+    }
+    let apps = AppModel::paper_trio();
+    let t1 = table1(&apps, params)
+        .into_iter()
+        .map(|r| {
+            Json::obj()
+                .field("app", Json::Str(r.app))
+                .field("env", Json::Str(r.env))
+                .field("local_jobs", Json::U64(r.local_jobs))
+                .field("cloud_jobs", Json::U64(r.cloud_jobs))
+                .field("local_stolen", Json::U64(r.local_stolen))
+                .field("cloud_stolen", Json::U64(r.cloud_stolen))
+        })
+        .collect();
+    let t2 = table2(&apps, params)
+        .into_iter()
+        .map(|r| {
+            Json::obj()
+                .field("app", Json::Str(r.app))
+                .field("env", Json::Str(r.env))
+                .field("global_reduction", Json::F64(r.global_reduction))
+                .field("idle_local", Json::F64(r.idle_local))
+                .field("idle_cloud", Json::F64(r.idle_cloud))
+                .field("slowdown", Json::F64(r.slowdown))
+                .field("slowdown_ratio", Json::F64(r.slowdown_ratio))
+        })
+        .collect();
+    let s = summary(params);
+    let doc = Json::obj()
+        .field("fig3", Json::Arr(fig3_rows))
+        .field("fig4", Json::Arr(fig4_rows))
+        .field("table1", Json::Arr(t1))
+        .field("table2", Json::Arr(t2))
+        .field(
+            "summary",
+            Json::obj()
+                .field("avg_slowdown_ratio", Json::F64(s.avg_slowdown_ratio))
+                .field("avg_scaling_efficiency", Json::F64(s.avg_scaling_efficiency)),
+        );
+    let out = std::env::var("BENCH_PAPER_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_paper.json").to_owned()
+    });
+    let mut text = doc.to_text();
+    text.push('\n');
+    std::fs::write(&out, text).expect("write BENCH_paper.json");
+    eprintln!("wrote figure data to {out}");
+}
+
 fn bench_artifacts(c: &mut Criterion) {
     let params = SimParams::paper();
     assert_shapes(&params);
+    write_bench_artifact(&params);
 
     let mut g = c.benchmark_group("paper");
     for app in AppModel::paper_trio() {

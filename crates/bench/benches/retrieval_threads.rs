@@ -4,10 +4,10 @@
 //! optimization matter — plus the local-store case where it must not hurt.
 
 use bytes::Bytes;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cloudburst_core::{FileId, SiteId};
 use cloudburst_netsim::LinkSpec;
 use cloudburst_storage::{fetch_range, FetchConfig, MemStore, S3Config, S3SimStore};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn s3(bytes_per_file: usize, time_scale: f64) -> S3SimStore<MemStore> {
@@ -33,9 +33,7 @@ fn bench_s3_fetch(c: &mut Criterion) {
     for threads in [1u32, 2, 4, 8] {
         g.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
             let cfg = FetchConfig { threads: t, min_range: 128 * 1024 };
-            b.iter(|| {
-                black_box(fetch_range(&store, FileId(0), 0, chunk, cfg).expect("fetch"))
-            })
+            b.iter(|| black_box(fetch_range(&store, FileId(0), 0, chunk, cfg).expect("fetch")))
         });
     }
     g.finish();
@@ -50,9 +48,7 @@ fn bench_local_fetch(c: &mut Criterion) {
     for threads in [1u32, 4] {
         g.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
             let cfg = FetchConfig { threads: t, min_range: 128 * 1024 };
-            b.iter(|| {
-                black_box(fetch_range(&store, FileId(0), 0, chunk, cfg).expect("fetch"))
-            })
+            b.iter(|| black_box(fetch_range(&store, FileId(0), 0, chunk, cfg).expect("fetch")))
         });
     }
     g.finish();

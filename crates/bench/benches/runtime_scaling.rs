@@ -4,12 +4,12 @@
 //! centralized comparison at fixed aggregate cores (the Fig. 3 shape on
 //! real execution).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use cloudburst_apps::gen::gen_words;
 use cloudburst_apps::wordcount::WordCount;
 use cloudburst_cluster::{run_hybrid, RuntimeConfig};
 use cloudburst_core::{DataIndex, EnvConfig, LayoutParams, SiteId};
 use cloudburst_storage::{fraction_placement, organize, ChunkStore, FetchConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::collections::BTreeMap;
 use std::hint::black_box;
 use std::sync::Arc;
@@ -39,20 +39,15 @@ fn bench_worker_scaling(c: &mut Criterion) {
     g.throughput(Throughput::Elements(u64::from(n_words)));
     g.sample_size(15);
     for per_site in [1u32, 2, 4] {
-        g.bench_with_input(
-            BenchmarkId::new("cores_per_site", per_site),
-            &per_site,
-            |b, &m| {
-                let env = EnvConfig::new("scale", 0.5, m, m);
-                let cfg = config(env);
-                b.iter(|| {
-                    let out =
-                        run_hybrid(&WordCount, &index, stores.clone(), &cfg).expect("run");
-                    assert_eq!(out.result.total(), u64::from(n_words));
-                    black_box(out.report.total_time)
-                })
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("cores_per_site", per_site), &per_site, |b, &m| {
+            let env = EnvConfig::new("scale", 0.5, m, m);
+            let cfg = config(env);
+            b.iter(|| {
+                let out = run_hybrid(&WordCount, &index, stores.clone(), &cfg).expect("run");
+                assert_eq!(out.result.total(), u64::from(n_words));
+                black_box(out.report.total_time)
+            })
+        });
     }
     g.finish();
 }

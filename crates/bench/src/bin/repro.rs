@@ -113,8 +113,15 @@ fn print_table2(apps: &[AppModel], params: &SimParams) {
         "{:<10} {:<11} {:>10} {:>11} {:>11} {:>10} {:>9}",
         "app", "env", "glob.red.", "idle local", "idle cloud", "slowdown", "ratio"
     );
-    for Table2Row { app, env, global_reduction, idle_local, idle_cloud, slowdown, slowdown_ratio } in
-        table2(apps, params)
+    for Table2Row {
+        app,
+        env,
+        global_reduction,
+        idle_local,
+        idle_cloud,
+        slowdown,
+        slowdown_ratio,
+    } in table2(apps, params)
     {
         println!(
             "{app:<10} {env:<11} {global_reduction:>10.2} {idle_local:>11.1} {idle_cloud:>11.1} {slowdown:>10.1} {:>8.1}%",
@@ -137,10 +144,8 @@ fn print_fig4(app: &AppModel, params: &SimParams) {
             r.env, b.processing, b.retrieval, b.sync, r.total_time
         );
     }
-    let effs: Vec<String> = fig4_efficiencies(&reports)
-        .iter()
-        .map(|e| format!("{:.1}%", 100.0 * e))
-        .collect();
+    let effs: Vec<String> =
+        fig4_efficiencies(&reports).iter().map(|e| format!("{:.1}%", 100.0 * e)).collect();
     println!("per-doubling efficiency: {}", effs.join("  "));
     let cums: Vec<String> = fig4_cumulative_efficiencies(&reports)
         .iter()
@@ -151,7 +156,9 @@ fn print_fig4(app: &AppModel, params: &SimParams) {
 
 fn print_cost(apps: &[AppModel], params: &SimParams) {
     let pricing = PricingModel::aws_2011();
-    println!("\n=== Bursting time/cost frontier (8 local cores, 50% data local, AWS 2011 prices) ===");
+    println!(
+        "\n=== Bursting time/cost frontier (8 local cores, 50% data local, AWS 2011 prices) ==="
+    );
     println!(
         "{:<10} {:>11} {:>10} {:>10} {:>9} {:>9} {:>9}",
         "app", "cloud cores", "time (s)", "compute $", "GETs $", "egress $", "total $"
@@ -174,7 +181,9 @@ fn print_cost(apps: &[AppModel], params: &SimParams) {
 
 fn print_ablation(params: &SimParams) {
     use cloudburst_sim::figures::envs_for;
-    println!("\n=== Ablation — rate-aware stealing (paper: \"considers the rate of processing\") ===");
+    println!(
+        "\n=== Ablation — rate-aware stealing (paper: \"considers the rate of processing\") ==="
+    );
     println!("hybrid total seconds, naive locality-greedy stealing vs rate-aware:\n");
     println!("{:<10} {:<11} {:>10} {:>12} {:>9}", "app", "env", "naive (s)", "rate-aware", "saved");
     for app in AppModel::paper_trio() {
@@ -202,7 +211,9 @@ fn print_trace(params: &SimParams) {
     let app = AppModel::knn();
     let env = cloudburst_core::EnvConfig::new("env-17/83", 0.17, 16, 16);
     let (report, timeline) = simulate_multi_traced(&app, &MultiEnv::two_site(&env, &app, params));
-    println!("\n=== Activity trace — knn env-17/83 (rows 0-1: cluster nodes, 2-5: EC2 instances) ===");
+    println!(
+        "\n=== Activity trace — knn env-17/83 (rows 0-1: cluster nodes, 2-5: EC2 instances) ==="
+    );
     println!("legend: c = control RPC, R = retrieval, P = processing, blank = idle\n");
     print!(
         "{}",
@@ -229,6 +240,12 @@ fn print_trace(params: &SimParams) {
 fn print_summary(params: &SimParams) {
     let s = summary(params);
     println!("\n=== Headline summary (paper: 15.55% avg slowdown, 81% scaling) ===");
-    println!("average slowdown of cloud bursting vs centralized: {:.2}%", 100.0 * s.avg_slowdown_ratio);
-    println!("average per-doubling scaling efficiency:           {:.1}%", 100.0 * s.avg_scaling_efficiency);
+    println!(
+        "average slowdown of cloud bursting vs centralized: {:.2}%",
+        100.0 * s.avg_slowdown_ratio
+    );
+    println!(
+        "average per-doubling scaling efficiency:           {:.1}%",
+        100.0 * s.avg_scaling_efficiency
+    );
 }

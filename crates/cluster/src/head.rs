@@ -80,7 +80,13 @@ pub struct HeadOptions {
 
 impl Default for HeadOptions {
     fn default() -> HeadOptions {
-        HeadOptions { heartbeat: None, cancel: None, epoch: Instant::now(), tick: 0.005, n_sites: 0 }
+        HeadOptions {
+            heartbeat: None,
+            cancel: None,
+            epoch: Instant::now(),
+            tick: 0.005,
+            n_sites: 0,
+        }
     }
 }
 
@@ -121,10 +127,7 @@ pub fn run_head_with(mut pool: JobPool, rx: Receiver<HeadMsg>, options: HeadOpti
                 pool.evacuate(site);
             }
         }
-        if options.n_sites > 0
-            && !pool.all_done()
-            && pool.dead_sites().len() >= options.n_sites
-        {
+        if options.n_sites > 0 && !pool.all_done() && pool.dead_sites().len() >= options.n_sites {
             // Every site is dead: nobody is left to drain the backlog, so
             // abandon it — the empty grants turn terminal and the run ends
             // with an explicit incomplete report instead of a hang.
@@ -306,12 +309,8 @@ mod tests {
             let batch = brx.recv().unwrap();
             for j in &batch.jobs {
                 let (ack_tx, ack_rx) = bounded(1);
-                tx.send(HeadMsg::Complete {
-                    job: j.id,
-                    site: SiteId::LOCAL,
-                    reply: Some(ack_tx),
-                })
-                .unwrap();
+                tx.send(HeadMsg::Complete { job: j.id, site: SiteId::LOCAL, reply: Some(ack_tx) })
+                    .unwrap();
                 assert!(ack_rx.recv().unwrap(), "survivor completions must merge");
                 done += 1;
             }
@@ -362,11 +361,8 @@ mod tests {
         let mut p = pool_one_file(2);
         // Tiny max lease: every grant expires almost immediately.
         p.set_lease(LeaseConfig { base: 0.01, min: 0.01, max: 0.01, ..LeaseConfig::default() });
-        let options = HeadOptions {
-            cancel: Some(board.clone()),
-            tick: 0.002,
-            ..HeadOptions::default()
-        };
+        let options =
+            HeadOptions { cancel: Some(board.clone()), tick: 0.002, ..HeadOptions::default() };
         let head = std::thread::spawn(move || run_head_with(p, rx, options));
 
         let (btx, brx) = bounded(1);

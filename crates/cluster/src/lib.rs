@@ -19,13 +19,14 @@ pub mod error;
 pub mod head;
 pub mod net;
 pub mod protocol;
+mod report;
 pub mod router;
 pub mod runtime;
 pub mod wire;
 
 pub use error::RunError;
 pub use head::{run_head, run_head_with, CancelBoard, HeadOptions};
+pub use net::{run_hybrid_tcp, serve_head};
 pub use protocol::{HeadMsg, HeadReport, MasterMsg};
 pub use router::{Fetched, StoreRouter};
-pub use net::{run_hybrid_tcp, serve_head};
 pub use runtime::{run_hybrid, FaultPolicy, FtConfig, RunOutcome, RuntimeConfig};

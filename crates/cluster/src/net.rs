@@ -19,6 +19,7 @@
 
 use crate::error::RunError;
 use crate::protocol::{HeadReport, MasterMsg};
+use crate::report::{assemble_report, SiteOutcome};
 use crate::router::StoreRouter;
 use crate::runtime::{
     panic_msg, run_slave, FaultPolicy, ReportSink, RunOutcome, RuntimeConfig, SlaveCtx,
@@ -27,8 +28,8 @@ use crate::wire::{
     read_ack, read_from_master, read_grant, write_ack, write_grant, write_to_head, MasterToHead,
 };
 use cloudburst_core::{
-    global_reduce, Breakdown, DataIndex, FaultPlan, HeartbeatConfig, JobPool, MasterPool, Merge,
-    Reduction, ReductionObject, RunReport, SiteId, SiteStats, Take,
+    global_reduce, secs_to_ns, DataIndex, Event, EventKind, FaultPlan, HeartbeatConfig, JobPool,
+    MasterPool, Merge, Reduction, ReductionObject, SiteId, Take, Telemetry,
 };
 use cloudburst_storage::{ChaosStore, ChunkStore};
 use crossbeam::channel::{unbounded, Receiver};
@@ -283,13 +284,12 @@ struct TcpMasterFt {
     heartbeat: Option<HeartbeatConfig>,
     chaos: Option<Arc<FaultPlan>>,
     epoch: Instant,
+    telemetry: Telemetry,
 }
 
 impl TcpMasterFt {
     fn site_dead(&self, site: SiteId) -> bool {
-        self.chaos
-            .as_deref()
-            .is_some_and(|p| p.site_dead(site, self.epoch.elapsed().as_secs_f64()))
+        self.chaos.as_deref().is_some_and(|p| p.site_dead(site, self.epoch.elapsed().as_secs_f64()))
     }
 }
 
@@ -306,7 +306,8 @@ fn run_tcp_master(
     ft: TcpMasterFt,
 ) -> io::Result<MasterPool> {
     let mut pool = MasterPool::new(site, low_watermark);
-    let result = tcp_master_loop(site, low_watermark, control_latency_real, rx, stream, &ft, &mut pool);
+    let result =
+        tcp_master_loop(site, low_watermark, control_latency_real, rx, stream, &ft, &mut pool);
     match result {
         // A chaos-revoked site dies mid-conversation by design; its broken
         // socket is the failure signal the head is meant to see, not a
@@ -327,14 +328,9 @@ fn tcp_master_loop(
     pool: &mut MasterPool,
 ) -> io::Result<()> {
     stream.set_nodelay(true)?;
-    let mut reader = BufReader::new(ChaosTransport::new(
-        stream.try_clone()?,
-        site,
-        ft.chaos.clone(),
-        ft.epoch,
-    ));
-    let mut writer =
-        BufWriter::new(ChaosTransport::new(stream, site, ft.chaos.clone(), ft.epoch));
+    let mut reader =
+        BufReader::new(ChaosTransport::new(stream.try_clone()?, site, ft.chaos.clone(), ft.epoch));
+    let mut writer = BufWriter::new(ChaosTransport::new(stream, site, ft.chaos.clone(), ft.epoch));
 
     fn refill(
         pool: &mut MasterPool,
@@ -354,9 +350,9 @@ fn tcp_master_loop(
     // Any frame doubles as a liveness beacon; explicit pings cover idle
     // stretches. `last_sent` tracks the last time anything went upstream.
     let mut last_sent = Instant::now();
-    let tick = ft
-        .heartbeat
-        .map_or(Duration::from_millis(50), |h| Duration::from_secs_f64((h.interval / 2.0).max(1e-4)));
+    let tick = ft.heartbeat.map_or(Duration::from_millis(50), |h| {
+        Duration::from_secs_f64((h.interval / 2.0).max(1e-4))
+    });
     // Pacing for polling an empty head: capped exponential backoff instead
     // of a fixed short period.
     const POLL_MIN: Duration = Duration::from_micros(100);
@@ -379,6 +375,10 @@ fn tcp_master_loop(
         if let Some(hb) = ft.heartbeat {
             if last_sent.elapsed().as_secs_f64() >= hb.interval {
                 write_to_head(&mut writer, &MasterToHead::Ping { site })?;
+                ft.telemetry.emit(
+                    Event::at(ft.epoch.elapsed().as_nanos() as u64, EventKind::Heartbeat)
+                        .site(site),
+                );
                 last_sent = Instant::now();
             }
         }
@@ -468,12 +468,8 @@ pub fn run_hybrid_tcp<R: Reduction>(
     stores: BTreeMap<SiteId, Arc<dyn ChunkStore>>,
     config: &RuntimeConfig,
 ) -> Result<RunOutcome<R::RObj>, RunError> {
-    let active: Vec<(SiteId, u32)> = config
-        .env
-        .active_sites()
-        .into_iter()
-        .map(|s| (s, config.env.cores_at(s)))
-        .collect();
+    let active: Vec<(SiteId, u32)> =
+        config.env.active_sites().into_iter().map(|s| (s, config.env.cores_at(s))).collect();
     if active.is_empty() {
         return Err(RunError::NoWorkers);
     }
@@ -504,6 +500,7 @@ pub fn run_hybrid_tcp<R: Reduction>(
         pool.set_lease(lease);
     }
     pool.set_speculation(config.ft.speculate);
+    pool.set_sink(config.telemetry.clone());
     let ft_active = config.ft.active();
 
     let listener = TcpListener::bind("127.0.0.1:0")?;
@@ -511,20 +508,11 @@ pub fn run_hybrid_tcp<R: Reduction>(
     let n_masters = active.len();
     let epoch = Instant::now();
 
-    struct SiteOutcome<O> {
-        site: SiteId,
-        robj: Option<O>,
-        slaves: Vec<crate::runtime::SlaveStats>,
-        local_merge: f64,
-        finish: f64,
-    }
-
     let mut site_outcomes: Vec<Result<SiteOutcome<R::RObj>, RunError>> = Vec::new();
     let mut head_result: Option<Result<HeadReport, RunError>> = None;
 
     std::thread::scope(|scope| {
-        let head_options =
-            TcpHeadOptions { heartbeat: config.ft.heartbeat, epoch, ft_active };
+        let head_options = TcpHeadOptions { heartbeat: config.ft.heartbeat, epoch, ft_active };
         let head_handle = scope.spawn(move || {
             serve_head_with(&listener, pool, n_masters, &head_options).map_err(RunError::Io)
         });
@@ -552,7 +540,12 @@ pub fn run_hybrid_tcp<R: Reduction>(
                                     control_latency * config.time_scale,
                                     &master_rx,
                                     stream,
-                                    TcpMasterFt { heartbeat: config.ft.heartbeat, chaos, epoch },
+                                    TcpMasterFt {
+                                        heartbeat: config.ft.heartbeat,
+                                        chaos,
+                                        epoch,
+                                        telemetry: config.telemetry.clone(),
+                                    },
                                 )
                             }
                         });
@@ -568,6 +561,7 @@ pub fn run_hybrid_tcp<R: Reduction>(
                                         chaos: chaos.clone(),
                                         ack_gated: ft_active,
                                         epoch,
+                                        telemetry: config.telemetry.clone(),
                                     };
                                     move || {
                                         run_slave(
@@ -591,11 +585,7 @@ pub fn run_hybrid_tcp<R: Reduction>(
                             })
                             .collect();
                         master_result = Some(
-                            master
-                                .join()
-                                .unwrap_or_else(|p| Err(io::Error::other(
-                                    panic_msg(&p),
-                                ))),
+                            master.join().unwrap_or_else(|p| Err(io::Error::other(panic_msg(&p)))),
                         );
                     });
                     master_result.expect("master joined")?;
@@ -614,8 +604,20 @@ pub fn run_hybrid_tcp<R: Reduction>(
                         .is_some_and(|p| p.site_dead(site, epoch.elapsed().as_secs_f64()));
                     let merge_start = Instant::now();
                     let robj = if revoked { None } else { global_reduce(robjs) };
-                    let local_merge = merge_start.elapsed().as_secs_f64();
+                    let merge_dur = merge_start.elapsed();
+                    let local_merge = merge_dur.as_secs_f64();
                     let finish = epoch.elapsed().as_secs_f64();
+                    config.telemetry.emit(
+                        Event::span(
+                            merge_start.saturating_duration_since(epoch).as_nanos() as u64,
+                            merge_dur.as_nanos() as u64,
+                            EventKind::SiteMerged,
+                        )
+                        .site(site),
+                    );
+                    config
+                        .telemetry
+                        .emit(Event::at(secs_to_ns(finish), EventKind::SiteFinished).site(site));
                     Ok(SiteOutcome { site, robj, slaves, local_merge, finish })
                 })
             })
@@ -625,11 +627,8 @@ pub fn run_hybrid_tcp<R: Reduction>(
             .into_iter()
             .map(|h| h.join().unwrap_or_else(|p| Err(RunError::WorkerPanic(panic_msg(&p)))))
             .collect();
-        head_result = Some(
-            head_handle
-                .join()
-                .unwrap_or_else(|p| Err(RunError::WorkerPanic(panic_msg(&p)))),
-        );
+        head_result =
+            Some(head_handle.join().unwrap_or_else(|p| Err(RunError::WorkerPanic(panic_msg(&p)))));
     });
 
     let head = head_result.expect("head joined in scope")?;
@@ -649,7 +648,6 @@ pub fn run_hybrid_tcp<R: Reduction>(
     }
 
     // Global reduction (same accounting as the in-process runtime).
-    let compute_finish = outcomes.iter().map(|o| o.finish).fold(0.0_f64, f64::max);
     let gr_start = Instant::now();
     let mut final_robj: Option<R::RObj> = None;
     for o in &mut outcomes {
@@ -667,41 +665,18 @@ pub fn run_hybrid_tcp<R: Reduction>(
             }
         });
     }
-    let global_reduction = gr_start.elapsed().as_secs_f64();
+    let gr_dur = gr_start.elapsed();
+    let global_reduction = gr_dur.as_secs_f64();
     let total_time = epoch.elapsed().as_secs_f64();
+    config.telemetry.emit(Event::span(
+        gr_start.saturating_duration_since(epoch).as_nanos() as u64,
+        gr_dur.as_nanos() as u64,
+        EventKind::GlobalReduction,
+    ));
+    config.telemetry.emit(Event::at(secs_to_ns(total_time), EventKind::RunFinished));
     let result = final_robj.ok_or(RunError::NothingProcessed)?;
 
-    let mut report = RunReport {
-        env: config.env.name.clone(),
-        global_reduction,
-        total_time,
-        faults: head.faults.clone(),
-        ..RunReport::default()
-    };
-    for o in &outcomes {
-        let n = o.slaves.len().max(1) as f64;
-        let site_compute_finish = o.slaves.iter().map(|s| s.finish).fold(0.0_f64, f64::max);
-        let mean_proc = o.slaves.iter().map(|s| s.processing).sum::<f64>() / n;
-        let mean_retr = o.slaves.iter().map(|s| s.retrieval).sum::<f64>() / n;
-        let mean_barrier =
-            o.slaves.iter().map(|s| site_compute_finish - s.finish).sum::<f64>() / n;
-        let idle = compute_finish - o.finish;
-        report.sites.insert(
-            o.site,
-            SiteStats {
-                breakdown: Breakdown {
-                    processing: mean_proc,
-                    retrieval: mean_retr,
-                    sync: mean_barrier + o.local_merge + idle,
-                },
-                finish_time: o.finish,
-                idle,
-                jobs: head.counts.get(&o.site).copied().unwrap_or_default(),
-                remote_bytes: o.slaves.iter().map(|s| s.remote_bytes).sum(),
-                retries: o.slaves.iter().map(|s| s.retries).sum(),
-            },
-        );
-    }
+    let report = assemble_report(&config.env.name, &outcomes, &head, global_reduction, total_time);
     Ok(RunOutcome { result, report, head })
 }
 

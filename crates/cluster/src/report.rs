@@ -1,0 +1,70 @@
+//! End-of-run report assembly shared by the channel and TCP runtimes.
+//!
+//! Both [`run_hybrid`](crate::runtime::run_hybrid) and
+//! [`run_hybrid_tcp`](crate::net::run_hybrid_tcp) collect one
+//! [`SiteOutcome`] per site and hand them here; the paper's time
+//! decomposition itself lives in [`cloudburst_core::assemble_sites`], the
+//! same function the telemetry aggregator uses, so the two runtimes and the
+//! event-derived report can never drift apart.
+
+use crate::protocol::HeadReport;
+use crate::runtime::SlaveStats;
+use cloudburst_core::{assemble_sites, RunReport, Seconds, SiteId, SiteSample, SlaveSample};
+use std::collections::BTreeMap;
+
+/// One site's end-of-run state, as collected by a runtime coordinator.
+pub(crate) struct SiteOutcome<O> {
+    /// The site these measurements belong to.
+    pub(crate) site: SiteId,
+    /// The site's locally combined reduction object (`None` when the site
+    /// was revoked or fenced off as dead).
+    pub(crate) robj: Option<O>,
+    /// Per-slave measurements.
+    pub(crate) slaves: Vec<SlaveStats>,
+    /// Seconds spent folding the workers' objects into one.
+    pub(crate) local_merge: Seconds,
+    /// Run-clock time at which the site finished everything.
+    pub(crate) finish: Seconds,
+}
+
+/// Assemble the paper-shaped report from the coordinators' measurements and
+/// the head's authoritative job/fault accounting.
+pub(crate) fn assemble_report<O>(
+    env: &str,
+    outcomes: &[SiteOutcome<O>],
+    head: &HeadReport,
+    global_reduction: Seconds,
+    total_time: Seconds,
+) -> RunReport {
+    let samples: BTreeMap<SiteId, SiteSample> = outcomes
+        .iter()
+        .map(|o| {
+            (
+                o.site,
+                SiteSample {
+                    slaves: o
+                        .slaves
+                        .iter()
+                        .map(|s| SlaveSample {
+                            processing: s.processing,
+                            retrieval: s.retrieval,
+                            finish: s.finish,
+                        })
+                        .collect(),
+                    local_merge: o.local_merge,
+                    finish: o.finish,
+                    jobs: head.counts.get(&o.site).copied().unwrap_or_default(),
+                    remote_bytes: o.slaves.iter().map(|s| s.remote_bytes).sum(),
+                    retries: o.slaves.iter().map(|s| s.retries).sum(),
+                },
+            )
+        })
+        .collect();
+    RunReport {
+        env: env.to_owned(),
+        sites: assemble_sites(&samples),
+        global_reduction,
+        total_time,
+        faults: head.faults.clone(),
+    }
+}

@@ -82,11 +82,9 @@ impl StoreRouter {
 
     /// Fetch `chunk` on behalf of a worker at `reader`.
     pub fn fetch(&self, reader: SiteId, chunk: &ChunkMeta) -> Result<Fetched, RunError> {
-        let store = self
-            .stores
-            .get(&chunk.site)
-            .ok_or(RunError::NoStoreForSite(chunk.site))?;
-        let (bytes, retries) = fetch_chunk_with_retry(store.as_ref(), chunk, self.fetch, &self.retry)?;
+        let store = self.stores.get(&chunk.site).ok_or(RunError::NoStoreForSite(chunk.site))?;
+        let (bytes, retries) =
+            fetch_chunk_with_retry(store.as_ref(), chunk, self.fetch, &self.retry)?;
         let remote = chunk.site != reader;
         if remote {
             if let Some(throttle) = self.wan.get(&(reader, chunk.site)) {

@@ -15,11 +15,12 @@
 use crate::error::RunError;
 use crate::head::{run_head_with, CancelBoard, HeadOptions};
 use crate::protocol::{HeadMsg, HeadReport, MasterMsg};
+use crate::report::{assemble_report, SiteOutcome};
 use crate::router::StoreRouter;
 use cloudburst_core::{
-    global_reduce, BatchPolicy, Breakdown, DataIndex, EnvConfig, FaultPlan, HeartbeatConfig,
-    JobPool, LeaseConfig, MasterPool, Merge, Reduction, ReductionObject, RunReport, Seconds,
-    SiteId, SiteStats, Take,
+    global_reduce, secs_to_ns, BatchPolicy, DataIndex, EnvConfig, Event, EventKind, FaultPlan,
+    HeartbeatConfig, JobPool, LeaseConfig, MasterPool, Merge, Reduction, ReductionObject,
+    RunReport, Seconds, SiteId, Take, Telemetry,
 };
 use cloudburst_netsim::Topology;
 use cloudburst_storage::{ChaosStore, ChunkStore, FetchConfig, RetryPolicy};
@@ -108,6 +109,9 @@ pub struct RuntimeConfig {
     pub fault_policy: FaultPolicy,
     /// Fault-tolerance subsystem (off by default).
     pub ft: FtConfig,
+    /// Event sink for the run (off by default): the pool, the masters, and
+    /// every slave emit typed, timestamped events through this handle.
+    pub telemetry: Telemetry,
 }
 
 impl RuntimeConfig {
@@ -125,6 +129,7 @@ impl RuntimeConfig {
             time_scale,
             fault_policy: FaultPolicy::FailFast,
             ft: FtConfig::default(),
+            telemetry: Telemetry::off(),
         }
     }
 }
@@ -167,6 +172,8 @@ pub(crate) struct SlaveCtx {
     pub(crate) ack_gated: bool,
     /// Shared run clock origin.
     pub(crate) epoch: Instant,
+    /// Event sink for this slave's job/fetch/processing spans.
+    pub(crate) telemetry: Telemetry,
 }
 
 impl SlaveCtx {
@@ -178,6 +185,11 @@ impl SlaveCtx {
 
     fn revoked(&self, chunk: cloudburst_core::ChunkId) -> bool {
         self.cancel.as_ref().is_some_and(|b| b.is_revoked(chunk))
+    }
+
+    /// Nanoseconds of run clock at `at` (saturating at the epoch).
+    fn ns_at(&self, at: Instant) -> u64 {
+        at.saturating_duration_since(self.epoch).as_nanos() as u64
     }
 }
 
@@ -193,12 +205,8 @@ pub fn run_hybrid<R: Reduction>(
     stores: BTreeMap<SiteId, Arc<dyn ChunkStore>>,
     config: &RuntimeConfig,
 ) -> Result<RunOutcome<R::RObj>, RunError> {
-    let active: Vec<(SiteId, u32)> = config
-        .env
-        .active_sites()
-        .into_iter()
-        .map(|s| (s, config.env.cores_at(s)))
-        .collect();
+    let active: Vec<(SiteId, u32)> =
+        config.env.active_sites().into_iter().map(|s| (s, config.env.cores_at(s))).collect();
     if active.is_empty() {
         return Err(RunError::NoWorkers);
     }
@@ -236,19 +244,12 @@ pub fn run_hybrid<R: Reduction>(
         pool.set_lease(lease);
     }
     pool.set_speculation(config.ft.speculate);
+    pool.set_sink(config.telemetry.clone());
     let ft_active = config.ft.active();
     let cancel = ft_active.then(CancelBoard::new);
 
     let (head_tx, head_rx) = unbounded::<HeadMsg>();
     let epoch = Instant::now();
-
-    struct SiteOutcome<O> {
-        site: SiteId,
-        robj: Option<O>,
-        slaves: Vec<SlaveStats>,
-        local_merge: Seconds,
-        finish: Seconds,
-    }
 
     let mut site_outcomes: Vec<Result<SiteOutcome<R::RObj>, RunError>> = Vec::new();
     let mut head_result: Option<Result<HeadReport, RunError>> = None;
@@ -288,7 +289,12 @@ pub fn run_hybrid<R: Reduction>(
                                     control_latency * config.time_scale,
                                     &master_rx,
                                     &head_tx,
-                                    MasterFt { heartbeat: config.ft.heartbeat, chaos, epoch },
+                                    MasterFt {
+                                        heartbeat: config.ft.heartbeat,
+                                        chaos,
+                                        epoch,
+                                        telemetry: config.telemetry.clone(),
+                                    },
                                 )
                             }
                         });
@@ -303,6 +309,7 @@ pub fn run_hybrid<R: Reduction>(
                                     chaos: chaos.clone(),
                                     ack_gated: ft_active,
                                     epoch,
+                                    telemetry: config.telemetry.clone(),
                                 };
                                 site_scope.spawn(move || {
                                     run_slave(
@@ -320,7 +327,8 @@ pub fn run_hybrid<R: Reduction>(
                         results = handles
                             .into_iter()
                             .map(|h| {
-                                h.join().unwrap_or_else(|p| Err(RunError::WorkerPanic(panic_msg(&p))))
+                                h.join()
+                                    .unwrap_or_else(|p| Err(RunError::WorkerPanic(panic_msg(&p))))
                             })
                             .collect();
                         // Master exits once all its slaves hung up.
@@ -345,8 +353,20 @@ pub fn run_hybrid<R: Reduction>(
                     // one before the inter-site exchange.
                     let merge_start = Instant::now();
                     let robj = if revoked { None } else { global_reduce(robjs) };
-                    let local_merge = merge_start.elapsed().as_secs_f64();
+                    let merge_dur = merge_start.elapsed();
+                    let local_merge = merge_dur.as_secs_f64();
                     let finish = epoch.elapsed().as_secs_f64();
+                    config.telemetry.emit(
+                        Event::span(
+                            merge_start.saturating_duration_since(epoch).as_nanos() as u64,
+                            merge_dur.as_nanos() as u64,
+                            EventKind::SiteMerged,
+                        )
+                        .site(site),
+                    );
+                    config
+                        .telemetry
+                        .emit(Event::at(secs_to_ns(finish), EventKind::SiteFinished).site(site));
                     Ok(SiteOutcome { site, robj, slaves, local_merge, finish })
                 })
             })
@@ -358,11 +378,7 @@ pub fn run_hybrid<R: Reduction>(
             .collect();
         // All masters and slaves are done; let the head drain and exit.
         drop(head_tx);
-        head_result = Some(
-            head_handle
-                .join()
-                .map_err(|p| RunError::WorkerPanic(panic_msg(&p))),
-        );
+        head_result = Some(head_handle.join().map_err(|p| RunError::WorkerPanic(panic_msg(&p))));
     });
 
     let head = head_result.expect("head joined in scope")?;
@@ -386,7 +402,6 @@ pub fn run_hybrid<R: Reduction>(
     }
 
     // ---- Global reduction phase (head collects and merges robjs) ----
-    let compute_finish = outcomes.iter().map(|o| o.finish).fold(0.0_f64, f64::max);
     let gr_start = Instant::now();
     let mut final_robj: Option<R::RObj> = None;
     for o in &mut outcomes {
@@ -406,48 +421,18 @@ pub fn run_hybrid<R: Reduction>(
             }
         });
     }
-    let global_reduction = gr_start.elapsed().as_secs_f64();
+    let gr_dur = gr_start.elapsed();
+    let global_reduction = gr_dur.as_secs_f64();
     let total_time = epoch.elapsed().as_secs_f64();
+    config.telemetry.emit(Event::span(
+        gr_start.saturating_duration_since(epoch).as_nanos() as u64,
+        gr_dur.as_nanos() as u64,
+        EventKind::GlobalReduction,
+    ));
+    config.telemetry.emit(Event::at(secs_to_ns(total_time), EventKind::RunFinished));
     let result = final_robj.ok_or(RunError::NothingProcessed)?;
 
-    // ---- Assemble the paper-shaped report ----
-    let mut report = RunReport {
-        env: config.env.name.clone(),
-        global_reduction,
-        total_time,
-        faults: head.faults.clone(),
-        ..RunReport::default()
-    };
-    for o in &outcomes {
-        let n = o.slaves.len().max(1) as f64;
-        let site_compute_finish =
-            o.slaves.iter().map(|s| s.finish).fold(0.0_f64, f64::max);
-        let mean_proc = o.slaves.iter().map(|s| s.processing).sum::<f64>() / n;
-        let mean_retr = o.slaves.iter().map(|s| s.retrieval).sum::<f64>() / n;
-        // Intra-site barrier: the average wait for the slowest sibling.
-        let mean_barrier = o
-            .slaves
-            .iter()
-            .map(|s| site_compute_finish - s.finish)
-            .sum::<f64>()
-            / n;
-        let idle = compute_finish - o.finish;
-        report.sites.insert(
-            o.site,
-            SiteStats {
-                breakdown: Breakdown {
-                    processing: mean_proc,
-                    retrieval: mean_retr,
-                    sync: mean_barrier + o.local_merge + idle,
-                },
-                finish_time: o.finish,
-                idle,
-                jobs: head.counts.get(&o.site).copied().unwrap_or_default(),
-                remote_bytes: o.slaves.iter().map(|s| s.remote_bytes).sum(),
-                retries: o.slaves.iter().map(|s| s.retries).sum(),
-            },
-        );
-    }
+    let report = assemble_report(&config.env.name, &outcomes, &head, global_reduction, total_time);
     Ok(RunOutcome { result, report, head })
 }
 
@@ -456,13 +441,12 @@ struct MasterFt {
     heartbeat: Option<HeartbeatConfig>,
     chaos: Option<Arc<FaultPlan>>,
     epoch: Instant,
+    telemetry: Telemetry,
 }
 
 impl MasterFt {
     fn site_dead(&self, site: SiteId) -> bool {
-        self.chaos
-            .as_deref()
-            .is_some_and(|p| p.site_dead(site, self.epoch.elapsed().as_secs_f64()))
+        self.chaos.as_deref().is_some_and(|p| p.site_dead(site, self.epoch.elapsed().as_secs_f64()))
     }
 }
 
@@ -497,13 +481,17 @@ fn run_master(
         if let Some(hb) = ft.heartbeat {
             if last.elapsed().as_secs_f64() >= hb.interval {
                 let _ = head_tx.send(HeadMsg::Heartbeat { site });
+                ft.telemetry.emit(
+                    Event::at(ft.epoch.elapsed().as_nanos() as u64, EventKind::Heartbeat)
+                        .site(site),
+                );
                 *last = Instant::now();
             }
         }
     };
-    let tick = ft
-        .heartbeat
-        .map_or(Duration::from_millis(50), |h| Duration::from_secs_f64((h.interval / 2.0).max(1e-4)));
+    let tick = ft.heartbeat.map_or(Duration::from_millis(50), |h| {
+        Duration::from_secs_f64((h.interval / 2.0).max(1e-4))
+    });
     // Idle polling against an empty head backs off exponentially from
     // 100 µs to a cap, instead of hammering a fixed short period.
     const POLL_MIN: Duration = Duration::from_micros(100);
@@ -664,6 +652,12 @@ pub(crate) fn run_slave<R: Reduction>(
             Take::Drained => break,
             Take::NeedRefill => unreachable!("master resolves refills internally"),
         };
+        ctx.telemetry.emit(
+            Event::at(ctx.ns_at(Instant::now()), EventKind::JobStarted { stolen: job.stolen })
+                .site(site)
+                .worker(ctx.worker)
+                .chunk(job.chunk.id),
+        );
         taken += 1;
         if crash_after.is_some_and(|k| taken > k) {
             // Simulated worker crash: the job it just pulled leaks — only
@@ -691,19 +685,44 @@ pub(crate) fn run_slave<R: Reduction>(
                 continue;
             }
         };
-        stats.retrieval += fetch_start.elapsed().as_secs_f64();
+        let fetch_dur = fetch_start.elapsed();
+        stats.retrieval += fetch_dur.as_secs_f64();
         stats.retries += fetched.retries;
         if fetched.remote {
             stats.remote_bytes += fetched.bytes.len() as u64;
         }
+        if fetched.retries > 0 {
+            ctx.telemetry.emit(
+                Event::at(
+                    ctx.ns_at(Instant::now()),
+                    EventKind::StorageRetry { retries: fetched.retries },
+                )
+                .site(site)
+                .worker(ctx.worker)
+                .chunk(job.chunk.id),
+            );
+        }
+        ctx.telemetry.emit(
+            Event::span(
+                ctx.ns_at(fetch_start),
+                fetch_dur.as_nanos() as u64,
+                EventKind::ChunkFetched {
+                    bytes: fetched.bytes.len() as u64,
+                    remote: fetched.remote,
+                    retries: fetched.retries,
+                },
+            )
+            .site(site)
+            .worker(ctx.worker)
+            .chunk(job.chunk.id),
+        );
 
         let proc_start = Instant::now();
         // Under the retry policy (or any FT machinery), fold the chunk into
         // a scratch object and merge only on success/ack, so a mid-chunk
         // panic cannot leave a partially-applied job in the worker's
         // accumulator and a deduplicated completion is never double-merged.
-        let isolate =
-            ctx.ack_gated || matches!(config.fault_policy, FaultPolicy::Retry { .. });
+        let isolate = ctx.ack_gated || matches!(config.fault_policy, FaultPolicy::Retry { .. });
         let processed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             items.clear();
             app.decode(&fetched.bytes, &mut items);
@@ -729,8 +748,15 @@ pub(crate) fn run_slave<R: Reduction>(
                 continue;
             }
         };
-        stats.processing += proc_start.elapsed().as_secs_f64();
+        let proc_dur = proc_start.elapsed();
+        stats.processing += proc_dur.as_secs_f64();
         stats.jobs += 1;
+        ctx.telemetry.emit(
+            Event::span(ctx.ns_at(proc_start), proc_dur.as_nanos() as u64, EventKind::JobProcessed)
+                .site(site)
+                .worker(ctx.worker)
+                .chunk(job.chunk.id),
+        );
 
         if slowdown > 0.0 {
             // Simulated straggler: crawl through the injected delay in
@@ -763,6 +789,9 @@ pub(crate) fn run_slave<R: Reduction>(
         }
     }
     stats.finish = ctx.epoch.elapsed().as_secs_f64();
+    ctx.telemetry.emit(
+        Event::at(secs_to_ns(stats.finish), EventKind::SlaveFinished).site(site).worker(ctx.worker),
+    );
     Ok((robj, stats))
 }
 
@@ -968,6 +997,64 @@ mod tests {
     }
 
     #[test]
+    fn event_stream_rederives_the_legacy_report() {
+        use cloudburst_core::{derive_report, Recorder};
+
+        // A run with the whole FT stack on (leases, speculation, heartbeats,
+        // acked completions) so the event stream covers grants, steals,
+        // heartbeats, and completions — then the aggregator must rebuild the
+        // exact job counts and fault counters, and the time decomposition
+        // within float-conversion noise.
+        let units = 4096;
+        let (index, stores) = setup(units, 0.5, 4);
+        let env = EnvConfig::new("telemetry-eq", 0.5, 3, 3);
+        let mut config = fast_config(env);
+        config.fault_policy = FaultPolicy::Retry { max_attempts: 4 };
+        config.ft = FtConfig {
+            lease: Some(LeaseConfig::default()),
+            speculate: true,
+            heartbeat: Some(HeartbeatConfig { interval: 0.02, timeout: 10.0 }),
+            retry: Some(RetryPolicy::default()),
+            chaos: None,
+        };
+        let rec = Arc::new(Recorder::new());
+        config.telemetry = Telemetry::to(rec.clone());
+        let out = run_hybrid(&SumApp, &index, stores, &config).unwrap();
+        assert_eq!(out.result.0, expected_sum(units));
+
+        let events = rec.take();
+        assert!(!events.is_empty(), "an attached sink must see the run");
+        let derived = derive_report(&events, &out.report.env);
+
+        // Discrete facts are exact.
+        assert_eq!(derived.faults, out.report.faults);
+        assert_eq!(derived.sites.len(), out.report.sites.len());
+        for (site, legacy) in &out.report.sites {
+            let d = &derived.sites[site];
+            assert_eq!(d.jobs, legacy.jobs, "{site} job counts");
+            assert_eq!(d.remote_bytes, legacy.remote_bytes, "{site} remote bytes");
+            assert_eq!(d.retries, legacy.retries, "{site} retries");
+        }
+
+        // Times go through a seconds → integer-nanoseconds → seconds round
+        // trip on the event path; everything else about the arithmetic is
+        // the same `assemble_sites` call, so the agreement is tight.
+        let close = |a: f64, b: f64, what: &str| {
+            assert!((a - b).abs() < 1e-6, "{what}: derived {a} vs legacy {b}");
+        };
+        for (site, legacy) in &out.report.sites {
+            let d = &derived.sites[site];
+            close(d.breakdown.processing, legacy.breakdown.processing, "processing");
+            close(d.breakdown.retrieval, legacy.breakdown.retrieval, "retrieval");
+            close(d.breakdown.sync, legacy.breakdown.sync, "sync");
+            close(d.finish_time, legacy.finish_time, "finish_time");
+            close(d.idle, legacy.idle, "idle");
+        }
+        close(derived.global_reduction, out.report.global_reduction, "global_reduction");
+        close(derived.total_time, out.report.total_time, "total_time");
+    }
+
+    #[test]
     fn chaos_worker_crash_is_recovered_by_lease_reaping() {
         // One cloud worker crashes after two jobs, leaking its third. Only
         // the lease reaper can recover it; the run must still be exact.
@@ -993,9 +1080,6 @@ mod tests {
         };
         let out = run_hybrid(&SumApp, &index, stores, &config).unwrap();
         assert_eq!(out.result.0, expected_sum(units));
-        assert!(
-            out.head.faults.lease_expiries > 0,
-            "the leaked job must come back via the reaper"
-        );
+        assert!(out.head.faults.lease_expiries > 0, "the leaked job must come back via the reaper");
     }
 }

@@ -253,11 +253,7 @@ mod tests {
     #[test]
     fn grants_roundtrip() {
         for (n, stolen, terminal) in [(0usize, false, true), (1, true, false), (5, false, false)] {
-            let batch = JobBatch {
-                jobs: (0..n as u32).map(chunk).collect(),
-                stolen,
-                terminal,
-            };
+            let batch = JobBatch { jobs: (0..n as u32).map(chunk).collect(), stolen, terminal };
             let mut cursor = Cursor::new(encode_grant(&batch));
             assert_eq!(read_grant(&mut cursor).unwrap(), batch);
         }

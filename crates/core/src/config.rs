@@ -35,11 +35,13 @@ impl EnvConfig {
     /// # Panics
     /// Panics if the fraction is outside `[0, 1]` or no cores are given.
     #[must_use]
-    pub fn new(name: &str, local_data_fraction: f64, local_cores: u32, cloud_cores: u32) -> EnvConfig {
-        assert!(
-            (0.0..=1.0).contains(&local_data_fraction),
-            "data fraction must be within [0, 1]"
-        );
+    pub fn new(
+        name: &str,
+        local_data_fraction: f64,
+        local_cores: u32,
+        cloud_cores: u32,
+    ) -> EnvConfig {
+        assert!((0.0..=1.0).contains(&local_data_fraction), "data fraction must be within [0, 1]");
         assert!(local_cores + cloud_cores > 0, "need at least one core");
         EnvConfig { name: name.to_owned(), local_data_fraction, local_cores, cloud_cores }
     }
@@ -114,10 +116,7 @@ pub fn paper_envs_kmeans(local_total: u32, cloud_equalized: u32) -> Vec<EnvConfi
 /// cores for each `m` in `steps`.
 #[must_use]
 pub fn scalability_envs(steps: &[u32]) -> Vec<EnvConfig> {
-    steps
-        .iter()
-        .map(|&m| EnvConfig::new(&format!("({m},{m})"), 0.0, m, m))
-        .collect()
+    steps.iter().map(|&m| EnvConfig::new(&format!("({m},{m})"), 0.0, m, m)).collect()
 }
 
 #[cfg(test)]
@@ -156,14 +155,8 @@ mod tests {
 
     #[test]
     fn active_sites_reflect_core_placement() {
-        assert_eq!(
-            EnvConfig::new("x", 1.0, 4, 0).active_sites(),
-            vec![SiteId::LOCAL]
-        );
-        assert_eq!(
-            EnvConfig::new("x", 0.0, 0, 4).active_sites(),
-            vec![SiteId::CLOUD]
-        );
+        assert_eq!(EnvConfig::new("x", 1.0, 4, 0).active_sites(), vec![SiteId::LOCAL]);
+        assert_eq!(EnvConfig::new("x", 0.0, 0, 4).active_sites(), vec![SiteId::CLOUD]);
         assert_eq!(
             EnvConfig::new("x", 0.5, 4, 4).active_sites(),
             vec![SiteId::LOCAL, SiteId::CLOUD]

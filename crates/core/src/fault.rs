@@ -246,6 +246,14 @@ pub struct FaultCounters {
     pub lost_results: u64,
     /// Speculative re-executions granted for straggler jobs.
     pub speculative_grants: u64,
+    /// Speculative executions whose result won the completion race and was
+    /// the one merged.
+    #[serde(default)]
+    pub speculative_wins: u64,
+    /// Speculative executions released without merging — preempted by the
+    /// original worker, reaped, evacuated, or failed.
+    #[serde(default)]
+    pub speculative_losses: u64,
     /// Completions rejected because another execution already merged the
     /// chunk (or the reporter was already declared dead).
     pub duplicate_completions: u64,
@@ -264,6 +272,8 @@ impl FaultCounters {
             && self.evacuated_jobs == 0
             && self.lost_results == 0
             && self.speculative_grants == 0
+            && self.speculative_wins == 0
+            && self.speculative_losses == 0
             && self.duplicate_completions == 0
             && self.late_completions == 0
             && self.abandoned_jobs.is_empty()

@@ -209,11 +209,13 @@ mod tests {
     #[test]
     fn placement_controls_site_fractions() {
         // 8 files, first 4 local, last 4 cloud -> 50/50 split by bytes.
-        let idx = DataIndex::build(
-            64,
-            params(8, 2, 8),
-            |f| if f.0 < 4 { SiteId::LOCAL } else { SiteId::CLOUD },
-        )
+        let idx = DataIndex::build(64, params(8, 2, 8), |f| {
+            if f.0 < 4 {
+                SiteId::LOCAL
+            } else {
+                SiteId::CLOUD
+            }
+        })
         .unwrap();
         assert!((idx.byte_fraction_at(SiteId::LOCAL) - 0.5).abs() < 1e-9);
         assert!((idx.byte_fraction_at(SiteId::CLOUD) - 0.5).abs() < 1e-9);

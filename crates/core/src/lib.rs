@@ -24,7 +24,12 @@
 //!   ([`stats`]);
 //! * the **failure model** ([`fault`]): job leases, heartbeat liveness and
 //!   the deterministic chaos-injection plan shared by the threaded runtime,
-//!   the TCP deployment and the simulator.
+//!   the TCP deployment and the simulator;
+//! * the **telemetry layer** ([`telemetry`]): a typed event taxonomy with a
+//!   lock-cheap sink trait, JSONL / Chrome-trace exporters, and an
+//!   aggregator that re-derives the paper-shaped statistics from the event
+//!   stream — plus the dependency-free JSON value ([`json`]) the exporters
+//!   and the `--stats-out` artifacts are written with.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -34,11 +39,13 @@ pub mod combiners;
 pub mod config;
 pub mod fault;
 pub mod index;
+pub mod json;
 pub mod layout;
 pub mod master;
 pub mod pool;
 pub mod reduction;
 pub mod stats;
+pub mod telemetry;
 pub mod types;
 
 pub use closure::{from_fns, FnReduction};
@@ -47,11 +54,19 @@ pub use fault::{
     AbandonedJob, FaultCounters, FaultPlan, HeartbeatConfig, LeaseConfig, SiteOutage, SlowWorker,
     WorkerCrash,
 };
-pub use pool::Completion;
 pub use index::DataIndex;
+pub use json::Json;
 pub use layout::{ChunkMeta, FileMeta, LayoutParams};
 pub use master::{LocalJob, MasterPool, Take};
+pub use pool::Completion;
 pub use pool::{BatchPolicy, JobBatch, JobPool, SiteJobCounts};
 pub use reduction::{global_reduce, reduce_serial, Merge, Reduction, ReductionObject};
-pub use stats::{doubling_efficiency, Breakdown, RunReport, SiteStats};
+pub use stats::{
+    assemble_sites, doubling_efficiency, report_to_json, Breakdown, RunReport, SiteSample,
+    SiteStats, SlaveSample,
+};
+pub use telemetry::{
+    chrome_trace, derive_report, events_to_jsonl, ns_to_secs, secs_to_ns, ConsoleSink, Event,
+    EventKind, EventSink, LogLevel, Recorder, Telemetry,
+};
 pub use types::{ByteSize, ChunkId, FileId, JobId, NodeId, Seconds, SiteId};

@@ -31,6 +31,7 @@
 use crate::fault::{AbandonedJob, FaultCounters, LeaseConfig};
 use crate::index::DataIndex;
 use crate::layout::ChunkMeta;
+use crate::telemetry::{secs_to_ns, Event, EventKind, Telemetry};
 use crate::types::{ChunkId, FileId, SiteId};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
@@ -60,6 +61,9 @@ struct Assignee {
     assigned_at: f64,
     /// Pool-clock time after which the lease may be reaped.
     deadline: f64,
+    /// True for a speculative copy of an in-flight straggler (win/loss
+    /// accounting needs to know which execution was the gamble).
+    speculative: bool,
 }
 
 /// What happened to a completion report — the dedup verdict.
@@ -228,6 +232,10 @@ pub struct JobPool {
     dead_sites: BTreeSet<SiteId>,
     /// Fault-path accounting for the run report.
     faults: FaultCounters,
+    /// Telemetry sink: every grant, completion verdict, reap, evacuation and
+    /// abandonment is emitted here, stamped with the pool clock. Disabled by
+    /// default (a single branch per would-be event).
+    sink: Telemetry,
 }
 
 impl JobPool {
@@ -266,7 +274,22 @@ impl JobPool {
             ewma_dur: BTreeMap::new(),
             dead_sites: BTreeSet::new(),
             faults: FaultCounters::default(),
+            sink: Telemetry::off(),
         }
+    }
+
+    /// Attach a telemetry sink: pool-side events (grants, steals,
+    /// speculative launches, completion verdicts, reaps, evacuations,
+    /// abandonments) are emitted to it, timestamped with the pool clock.
+    /// Because all three runtimes — channel, TCP, and the discrete-event
+    /// simulator — drive this same pool, one sink covers them all.
+    pub fn set_sink(&mut self, sink: Telemetry) {
+        self.sink = sink;
+    }
+
+    /// The pool clock as an event timestamp.
+    fn now_ns(&self) -> u64 {
+        secs_to_ns(self.now)
     }
 
     /// Set how many processing attempts a job gets before being abandoned
@@ -379,10 +402,7 @@ impl JobPool {
     /// True when the pool still has unassigned jobs hosted at `site`.
     #[must_use]
     pub fn has_local_pending(&self, site: SiteId) -> bool {
-        self.pending_by_file
-            .iter()
-            .zip(&self.file_site)
-            .any(|(q, &s)| s == site && !q.is_empty())
+        self.pending_by_file.iter().zip(&self.file_site).any(|(q, &s)| s == site && !q.is_empty())
     }
 
     /// Per-site processed/stolen counts (Table I data).
@@ -425,15 +445,25 @@ impl JobPool {
     }
 
     /// Drop `site`'s live lease on job `i`, fixing the reader and in-flight
-    /// accounting. Returns false when `site` held no lease.
-    fn release_assignee(&mut self, i: usize, site: SiteId) -> bool {
-        let Some(pos) = self.assignees[i].iter().position(|a| a.site == site) else {
-            return false;
-        };
-        self.assignees[i].remove(pos);
+    /// accounting. Returns the released lease, `None` when `site` held no
+    /// lease.
+    fn release_assignee(&mut self, i: usize, site: SiteId) -> Option<Assignee> {
+        let pos = self.assignees[i].iter().position(|a| a.site == site)?;
+        let released = self.assignees[i].remove(pos);
         self.readers[self.chunks[i].file.0 as usize] -= 1;
         *self.assigned_to.entry(site).or_insert(1) -= 1;
-        true
+        Some(released)
+    }
+
+    /// Account (and emit) a speculative execution that was released without
+    /// its result merging: preempted, reaped, evacuated, failed, abandoned.
+    fn speculation_lost(&mut self, i: usize, site: SiteId) {
+        self.faults.speculative_losses += 1;
+        self.sink.emit(
+            Event::at(self.now_ns(), EventKind::SpeculationResolved { won: false })
+                .site(site)
+                .chunk(self.chunks[i].id),
+        );
     }
 
     /// Put job `i` back on its file's pending queue, in physical order so
@@ -452,6 +482,11 @@ impl JobPool {
         self.state[i] = JobState::Abandoned;
         self.abandoned_total += 1;
         self.faults.abandoned_jobs.push(AbandonedJob { chunk: self.chunks[i].id, last_site });
+        let mut e = Event::at(self.now_ns(), EventKind::JobAbandoned).chunk(self.chunks[i].id);
+        if let Some(site) = last_site {
+            e = e.site(site);
+        }
+        self.sink.emit(e);
     }
 
     /// Report that `site` failed to process `job` (retrieval error, worker
@@ -465,10 +500,14 @@ impl JobPool {
     /// Panics if `site` never held a lease on the job.
     pub fn fail(&mut self, job: ChunkId, site: SiteId) -> bool {
         let i = job.0 as usize;
-        if self.release_assignee(i, site) {
+        if let Some(released) = self.release_assignee(i, site) {
             *self.failures.entry(site).or_insert(0) += 1;
             self.attempts[i] = self.attempts[i].saturating_add(1);
             self.past[i].push(site);
+            self.sink.emit(Event::at(self.now_ns(), EventKind::JobFailed).site(site).chunk(job));
+            if released.speculative {
+                self.speculation_lost(i, site);
+            }
             if self.assignees[i].is_empty() {
                 if self.attempts[i] >= self.max_attempts {
                     self.abandon(i, Some(site));
@@ -478,10 +517,7 @@ impl JobPool {
             }
             return true;
         }
-        assert!(
-            self.knows_site(i, site),
-            "{job} failed by {site} but not assigned to it"
-        );
+        assert!(self.knows_site(i, site), "{job} failed by {site} but not assigned to it");
         true // stale report from a reaped/preempted/evacuated execution
     }
 
@@ -502,16 +538,24 @@ impl JobPool {
             if self.state[i] != JobState::Assigned {
                 continue;
             }
-            let expired: Vec<SiteId> = self.assignees[i]
+            let expired: Vec<(SiteId, bool)> = self.assignees[i]
                 .iter()
                 .filter(|a| a.deadline <= now)
-                .map(|a| a.site)
+                .map(|a| (a.site, a.speculative))
                 .collect();
-            for site in expired {
+            for (site, speculative) in expired {
                 self.release_assignee(i, site);
                 self.past[i].push(site);
                 self.faults.lease_expiries += 1;
                 self.attempts[i] = self.attempts[i].saturating_add(1);
+                self.sink.emit(
+                    Event::at(self.now_ns(), EventKind::LeaseReaped)
+                        .site(site)
+                        .chunk(self.chunks[i].id),
+                );
+                if speculative {
+                    self.speculation_lost(i, site);
+                }
                 reaped.push((self.chunks[i].id, site));
             }
             if self.state[i] == JobState::Assigned && self.assignees[i].is_empty() {
@@ -534,12 +578,22 @@ impl JobPool {
         if !self.dead_sites.insert(site) {
             return;
         }
+        self.sink.emit(Event::at(self.now_ns(), EventKind::SiteEvacuated).site(site));
         for i in 0..self.state.len() {
             let state = self.state[i];
             match state {
-                JobState::Assigned if self.release_assignee(i, site) => {
+                JobState::Assigned => {
+                    let Some(released) = self.release_assignee(i, site) else { continue };
                     self.past[i].push(site);
                     self.faults.evacuated_jobs += 1;
+                    self.sink.emit(
+                        Event::at(self.now_ns(), EventKind::JobEvacuated)
+                            .site(site)
+                            .chunk(self.chunks[i].id),
+                    );
+                    if released.speculative {
+                        self.speculation_lost(i, site);
+                    }
                     if self.assignees[i].is_empty() {
                         self.requeue(i);
                     }
@@ -547,17 +601,23 @@ impl JobPool {
                 JobState::Done(s) if s == site => {
                     // The merged result died with the site's robj.
                     self.done_total -= 1;
+                    let stolen = self.chunks[i].site != site;
                     let entry = self.counts.entry(site).or_default();
-                    if self.chunks[i].site == site {
-                        entry.local -= 1;
-                    } else {
+                    if stolen {
                         entry.stolen -= 1;
+                    } else {
+                        entry.local -= 1;
                     }
                     if let Some(r) = self.rate_completed.get_mut(&site) {
                         *r = r.saturating_sub(1);
                     }
                     self.past[i].push(site);
                     self.faults.lost_results += 1;
+                    self.sink.emit(
+                        Event::at(self.now_ns(), EventKind::LostResult { stolen })
+                            .site(site)
+                            .chunk(self.chunks[i].id),
+                    );
                     self.requeue(i);
                 }
                 _ => {}
@@ -582,13 +642,16 @@ impl JobPool {
                     self.abandon(i, last);
                 }
                 JobState::Assigned => {
-                    let holders: Vec<SiteId> =
-                        self.assignees[i].iter().map(|a| a.site).collect();
-                    for site in &holders {
-                        self.release_assignee(i, *site);
-                        self.past[i].push(*site);
+                    let holders: Vec<(SiteId, bool)> =
+                        self.assignees[i].iter().map(|a| (a.site, a.speculative)).collect();
+                    for &(site, speculative) in &holders {
+                        self.release_assignee(i, site);
+                        self.past[i].push(site);
+                        if speculative {
+                            self.speculation_lost(i, site);
+                        }
                     }
-                    self.abandon(i, holders.last().copied());
+                    self.abandon(i, holders.last().map(|&(s, _)| s));
                 }
                 _ => {}
             }
@@ -666,45 +729,51 @@ impl JobPool {
     /// violation.
     pub fn complete(&mut self, job: ChunkId, site: SiteId) -> Completion {
         let i = job.0 as usize;
-        assert!(
-            self.knows_site(i, site),
-            "{job} completed by {site} but not assigned to it"
-        );
+        assert!(self.knows_site(i, site), "{job} completed by {site} but not assigned to it");
+        let stolen = self.chunks[i].site != site;
         // A dead site's report is always discarded: its robj will never be
         // globally reduced, so merging there would lose the result.
         if self.dead_sites.contains(&site) {
-            self.faults.duplicate_completions += 1;
-            return Completion::Duplicate;
+            return self.duplicate_completion(job, site, stolen);
         }
         match self.state[i] {
-            JobState::Done(_) | JobState::Abandoned => {
-                self.faults.duplicate_completions += 1;
-                Completion::Duplicate
-            }
+            JobState::Done(_) | JobState::Abandoned => self.duplicate_completion(job, site, stolen),
             JobState::Assigned => {
-                if self.release_assignee(i, site) {
-                    // Live lease: first finisher wins; revoke the rest.
-                    let preempted: Vec<SiteId> =
-                        self.assignees[i].iter().map(|a| a.site).collect();
-                    for s in &preempted {
-                        self.release_assignee(i, *s);
-                        self.past[i].push(*s);
+                // Live lease: first finisher wins; revoke the rest. A reaped
+                // lease finishing late while a re-execution still runs wins
+                // the same way — accept the result, cancel the rerun.
+                let winner = self.release_assignee(i, site);
+                let losers: Vec<(SiteId, bool)> =
+                    self.assignees[i].iter().map(|a| (a.site, a.speculative)).collect();
+                for &(s, speculative) in &losers {
+                    self.release_assignee(i, s);
+                    self.past[i].push(s);
+                    if speculative {
+                        self.speculation_lost(i, s);
                     }
-                    self.finish(i, site);
-                    Completion::Merged { preempted }
-                } else {
-                    // Reaped lease finished late, racing a re-execution that
-                    // is still running: accept the result, cancel the rerun.
-                    let preempted: Vec<SiteId> =
-                        self.assignees[i].iter().map(|a| a.site).collect();
-                    for s in &preempted {
-                        self.release_assignee(i, *s);
-                        self.past[i].push(*s);
-                    }
-                    self.faults.late_completions += 1;
-                    self.finish(i, site);
-                    Completion::Merged { preempted }
                 }
+                let late = winner.is_none();
+                if late {
+                    self.faults.late_completions += 1;
+                }
+                self.finish(i, site);
+                self.sink.emit(
+                    Event::at(
+                        self.now_ns(),
+                        EventKind::JobCompleted { merged: true, late, stolen },
+                    )
+                    .site(site)
+                    .chunk(job),
+                );
+                if winner.is_some_and(|w| w.speculative) {
+                    self.faults.speculative_wins += 1;
+                    self.sink.emit(
+                        Event::at(self.now_ns(), EventKind::SpeculationResolved { won: true })
+                            .site(site)
+                            .chunk(job),
+                    );
+                }
+                Completion::Merged { preempted: losers.into_iter().map(|(s, _)| s).collect() }
             }
             JobState::Pending => {
                 // Reaped lease finished before the job was re-granted:
@@ -716,9 +785,31 @@ impl JobPool {
                 self.pending_total -= 1;
                 self.faults.late_completions += 1;
                 self.finish(i, site);
+                self.sink.emit(
+                    Event::at(
+                        self.now_ns(),
+                        EventKind::JobCompleted { merged: true, late: true, stolen },
+                    )
+                    .site(site)
+                    .chunk(job),
+                );
                 Completion::Merged { preempted: Vec::new() }
             }
         }
+    }
+
+    /// Account (and emit) a completion report that must be discarded.
+    fn duplicate_completion(&mut self, job: ChunkId, site: SiteId, stolen: bool) -> Completion {
+        self.faults.duplicate_completions += 1;
+        self.sink.emit(
+            Event::at(
+                self.now_ns(),
+                EventKind::JobCompleted { merged: false, late: false, stolen },
+            )
+            .site(site)
+            .chunk(job),
+        );
+        Completion::Duplicate
     }
 
     /// Common completion bookkeeping once the dedup verdict is `Merged`.
@@ -793,10 +884,23 @@ impl JobPool {
             let i = j.id.0 as usize;
             debug_assert_eq!(self.state[i], JobState::Pending);
             self.state[i] = JobState::Assigned;
-            self.assignees[i].push(Assignee { site, assigned_at: self.now, deadline });
+            self.assignees[i].push(Assignee {
+                site,
+                assigned_at: self.now,
+                deadline,
+                speculative: false,
+            });
             self.readers[j.file.0 as usize] += 1;
             self.pending_total -= 1;
             *self.assigned_to.entry(site).or_insert(0) += 1;
+            self.sink.emit(
+                Event::at(
+                    self.now_ns(),
+                    EventKind::JobGranted { stolen: batch.stolen, speculative: false },
+                )
+                .site(site)
+                .chunk(j.id),
+            );
         }
     }
 
@@ -826,17 +930,30 @@ impl JobPool {
     pub fn request_for(&mut self, site: SiteId) -> JobBatch {
         let batch = self.request(site);
         self.assign_to(&batch, site);
-        if batch.is_empty()
-            && !batch.terminal
-            && self.speculate
-            && !self.dead_sites.contains(&site)
+        if batch.is_empty() && !batch.terminal && self.speculate && !self.dead_sites.contains(&site)
         {
             if let Some(i) = self.pick_speculation_target(site) {
                 let deadline = self.deadline_for(site);
-                self.assignees[i].push(Assignee { site, assigned_at: self.now, deadline });
+                self.assignees[i].push(Assignee {
+                    site,
+                    assigned_at: self.now,
+                    deadline,
+                    speculative: true,
+                });
                 self.readers[self.chunks[i].file.0 as usize] += 1;
                 *self.assigned_to.entry(site).or_insert(0) += 1;
                 self.faults.speculative_grants += 1;
+                self.sink.emit(
+                    Event::at(
+                        self.now_ns(),
+                        EventKind::JobGranted {
+                            stolen: self.chunks[i].site != site,
+                            speculative: true,
+                        },
+                    )
+                    .site(site)
+                    .chunk(self.chunks[i].id),
+                );
                 return JobBatch {
                     jobs: vec![self.chunks[i]],
                     stolen: self.chunks[i].site != site,
@@ -856,16 +973,16 @@ mod tests {
     fn index(n_files: u32, chunks_per_file: u64, split: impl Fn(FileId) -> SiteId) -> DataIndex {
         let upc = 4;
         let total = u64::from(n_files) * chunks_per_file * upc;
-        DataIndex::build(
-            total,
-            LayoutParams { unit_size: 8, units_per_chunk: upc, n_files },
-            split,
-        )
-        .unwrap()
+        DataIndex::build(total, LayoutParams { unit_size: 8, units_per_chunk: upc, n_files }, split)
+            .unwrap()
     }
 
     fn half_split(f: FileId) -> SiteId {
-        if f.0 < 2 { SiteId::LOCAL } else { SiteId::CLOUD }
+        if f.0 < 2 {
+            SiteId::LOCAL
+        } else {
+            SiteId::CLOUD
+        }
     }
 
     #[test]
@@ -1190,6 +1307,69 @@ mod lease_tests {
         assert_eq!(p.complete_at(b.jobs[0].id, SiteId::LOCAL, 9.0), Completion::Duplicate);
         assert!(p.all_done());
         assert_eq!(p.completed(), 2);
+        // The gamble paid off; the preempted straggler was not speculative.
+        assert_eq!(p.faults().speculative_wins, 1);
+        assert_eq!(p.faults().speculative_losses, 0);
+    }
+
+    #[test]
+    fn speculation_losses_are_counted_and_pool_events_tell_the_story() {
+        use crate::telemetry::Recorder;
+        use std::sync::Arc;
+
+        let rec = Arc::new(Recorder::new());
+        let mut p = pool(2);
+        p.set_sink(Telemetry::to(rec.clone()));
+        p.set_lease(short_lease());
+        p.set_speculation(true);
+        let b = p.request_for_at(SiteId::LOCAL, 0.0);
+        p.complete_at(b.jobs[1].id, SiteId::LOCAL, 0.2);
+        let spec = p.request_for_at(SiteId::CLOUD, 0.3);
+        assert_eq!(spec.len(), 1);
+        // This time the straggler beats its speculative copy: the copy is
+        // preempted and the gamble is written off as a loss.
+        assert!(p.complete_at(b.jobs[0].id, SiteId::LOCAL, 0.4).is_merged());
+        assert_eq!(p.faults().speculative_wins, 0);
+        assert_eq!(p.faults().speculative_losses, 1);
+
+        let events = rec.take();
+        let grants: Vec<bool> = events
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::JobGranted { speculative, .. } => Some(speculative),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(grants, vec![false, false, true]);
+        assert!(events.iter().any(|e| matches!(
+            e.kind,
+            EventKind::SpeculationResolved { won: false }
+        ) && e.site == Some(SiteId::CLOUD)
+            && e.chunk == Some(b.jobs[0].id)));
+        let completions = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::JobCompleted { merged: true, .. }))
+            .count();
+        assert_eq!(completions, 2);
+        // Pool events carry the virtual clock, scaled to nanoseconds.
+        assert!(events.windows(2).all(|w| w[0].at_ns <= w[1].at_ns));
+        assert_eq!(events.last().unwrap().at_ns, secs_to_ns(0.4));
+    }
+
+    #[test]
+    fn reaping_a_speculative_lease_counts_a_loss() {
+        let mut p = pool(2);
+        p.set_lease(short_lease());
+        p.set_speculation(true);
+        let b = p.request_for_at(SiteId::LOCAL, 0.0);
+        p.complete_at(b.jobs[1].id, SiteId::LOCAL, 0.2);
+        let spec = p.request_for_at(SiteId::CLOUD, 0.3);
+        assert_eq!(spec.len(), 1);
+        // Both leases expire; only the speculative one counts as a loss.
+        let reaped = p.reap_expired(1000.0);
+        assert_eq!(reaped.len(), 2);
+        assert_eq!(p.faults().speculative_losses, 1);
+        assert_eq!(p.faults().speculative_wins, 0);
     }
 
     #[test]
@@ -1203,7 +1383,7 @@ mod lease_tests {
         assert_eq!(b2.len(), 2);
         p.evacuate(SiteId::CLOUD);
         p.evacuate(SiteId::CLOUD); // idempotent
-        // Both the in-flight job and the done-but-unreduced job come back.
+                                   // Both the in-flight job and the done-but-unreduced job come back.
         assert_eq!(p.faults().evacuated_jobs, 1);
         assert_eq!(p.faults().lost_results, 1);
         assert_eq!(p.completed(), 0);

@@ -84,7 +84,10 @@ pub trait Reduction: Send + Sync {
 
 /// Sequentially process a whole dataset (all chunks, in order) on one core —
 /// the reference oracle used by tests and the centralized baseline.
-pub fn reduce_serial<R: Reduction>(app: &R, chunks: impl IntoIterator<Item = impl AsRef<[u8]>>) -> R::RObj {
+pub fn reduce_serial<R: Reduction>(
+    app: &R,
+    chunks: impl IntoIterator<Item = impl AsRef<[u8]>>,
+) -> R::RObj {
     let mut robj = app.make_robj();
     let mut items = Vec::new();
     for chunk in chunks {

@@ -7,6 +7,7 @@
 //! counts including stolen jobs.
 
 use crate::fault::FaultCounters;
+use crate::json::Json;
 use crate::pool::SiteJobCounts;
 use crate::types::{Seconds, SiteId};
 use serde::{Deserialize, Serialize};
@@ -157,6 +158,140 @@ pub fn doubling_efficiency(t_small: Seconds, t_double: Seconds) -> f64 {
     }
 }
 
+/// Raw per-slave measurements feeding [`assemble_sites`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SlaveSample {
+    /// Seconds the slave spent in the reduction layer.
+    pub processing: Seconds,
+    /// Seconds the slave spent retrieving chunks.
+    pub retrieval: Seconds,
+    /// Run-clock time at which the slave processed its last job and exited.
+    pub finish: Seconds,
+}
+
+/// Raw per-site measurements feeding [`assemble_sites`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SiteSample {
+    /// One sample per slave thread at the site.
+    pub slaves: Vec<SlaveSample>,
+    /// Seconds the site spent combining its workers' objects into one.
+    pub local_merge: Seconds,
+    /// Run-clock time at which the site finished everything, local
+    /// combination included.
+    pub finish: Seconds,
+    /// Jobs the site was credited with (local vs stolen).
+    pub jobs: SiteJobCounts,
+    /// Bytes the site's workers fetched from remote storage.
+    pub remote_bytes: u64,
+    /// Transient storage-read failures absorbed below the chunk level.
+    pub retries: u64,
+}
+
+/// Assemble per-site [`SiteStats`] from raw samples — the single place the
+/// paper's time decomposition is computed.
+///
+/// Per site: `processing` and `retrieval` are per-core means; `sync` is the
+/// mean intra-site barrier (waiting for the slowest sibling slave) plus the
+/// local combination plus the end-of-run idle wait for the slowest *site*.
+/// Both threaded runtimes and the telemetry aggregator
+/// ([`crate::telemetry::derive_report`]) call this, which is what makes the
+/// event-derived report provably equal to the live accumulators.
+#[must_use]
+pub fn assemble_sites(samples: &BTreeMap<SiteId, SiteSample>) -> BTreeMap<SiteId, SiteStats> {
+    let compute_finish = samples.values().map(|s| s.finish).fold(0.0_f64, f64::max);
+    let mut sites = BTreeMap::new();
+    for (&site, sample) in samples {
+        let n = sample.slaves.len().max(1) as f64;
+        let site_compute_finish = sample.slaves.iter().map(|s| s.finish).fold(0.0_f64, f64::max);
+        let mean_proc = sample.slaves.iter().map(|s| s.processing).sum::<f64>() / n;
+        let mean_retr = sample.slaves.iter().map(|s| s.retrieval).sum::<f64>() / n;
+        // Intra-site barrier: the average wait for the slowest sibling.
+        let mean_barrier =
+            sample.slaves.iter().map(|s| site_compute_finish - s.finish).sum::<f64>() / n;
+        let idle = compute_finish - sample.finish;
+        sites.insert(
+            site,
+            SiteStats {
+                breakdown: Breakdown {
+                    processing: mean_proc,
+                    retrieval: mean_retr,
+                    sync: mean_barrier + sample.local_merge + idle,
+                },
+                finish_time: sample.finish,
+                idle,
+                jobs: sample.jobs,
+                remote_bytes: sample.remote_bytes,
+                retries: sample.retries,
+            },
+        );
+    }
+    sites
+}
+
+/// Serialize a [`Breakdown`] as a JSON object.
+#[must_use]
+pub fn breakdown_to_json(b: &Breakdown) -> Json {
+    Json::obj()
+        .field("processing", Json::F64(b.processing))
+        .field("retrieval", Json::F64(b.retrieval))
+        .field("sync", Json::F64(b.sync))
+}
+
+/// Serialize [`FaultCounters`] as a JSON object.
+#[must_use]
+pub fn faults_to_json(f: &FaultCounters) -> Json {
+    let abandoned = f
+        .abandoned_jobs
+        .iter()
+        .map(|a| {
+            Json::obj()
+                .field("chunk", Json::U64(u64::from(a.chunk.0)))
+                .field("last_site", a.last_site.map_or(Json::Null, |s| Json::Str(s.to_string())))
+        })
+        .collect();
+    Json::obj()
+        .field("lease_expiries", Json::U64(f.lease_expiries))
+        .field("evacuated_jobs", Json::U64(f.evacuated_jobs))
+        .field("lost_results", Json::U64(f.lost_results))
+        .field("speculative_grants", Json::U64(f.speculative_grants))
+        .field("speculative_wins", Json::U64(f.speculative_wins))
+        .field("speculative_losses", Json::U64(f.speculative_losses))
+        .field("duplicate_completions", Json::U64(f.duplicate_completions))
+        .field("late_completions", Json::U64(f.late_completions))
+        .field("abandoned", Json::Arr(abandoned))
+}
+
+/// Serialize a full [`RunReport`] as machine-readable JSON — the payload of
+/// the CLI's `--stats-out` and the bench figure artifacts.
+#[must_use]
+pub fn report_to_json(r: &RunReport) -> Json {
+    let sites = r
+        .sites
+        .iter()
+        .map(|(site, s)| {
+            Json::obj()
+                .field("site", Json::Str(site.to_string()))
+                .field("breakdown", breakdown_to_json(&s.breakdown))
+                .field("finish_time", Json::F64(s.finish_time))
+                .field("idle", Json::F64(s.idle))
+                .field("jobs_local", Json::U64(s.jobs.local))
+                .field("jobs_stolen", Json::U64(s.jobs.stolen))
+                .field("remote_bytes", Json::U64(s.remote_bytes))
+                .field("retries", Json::U64(s.retries))
+        })
+        .collect();
+    Json::obj()
+        .field("env", Json::Str(r.env.clone()))
+        .field("total_time", Json::F64(r.total_time))
+        .field("global_reduction", Json::F64(r.global_reduction))
+        .field("overall", breakdown_to_json(&r.overall_breakdown()))
+        .field("total_jobs", Json::U64(r.total_jobs()))
+        .field("total_stolen", Json::U64(r.total_stolen()))
+        .field("total_retries", Json::U64(r.total_retries()))
+        .field("sites", Json::Arr(sites))
+        .field("faults", faults_to_json(&r.faults))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -230,5 +365,91 @@ mod tests {
         // 81% efficiency: doubling cores gives 1.62x speedup.
         assert!((doubling_efficiency(10.0, 10.0 / 1.62) - 0.81).abs() < 1e-12);
         assert_eq!(doubling_efficiency(10.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn assemble_sites_computes_the_paper_decomposition() {
+        let mut samples = BTreeMap::new();
+        samples.insert(
+            SiteId::LOCAL,
+            SiteSample {
+                slaves: vec![
+                    SlaveSample { processing: 4.0, retrieval: 1.0, finish: 8.0 },
+                    SlaveSample { processing: 6.0, retrieval: 3.0, finish: 10.0 },
+                ],
+                local_merge: 0.5,
+                finish: 10.5,
+                jobs: SiteJobCounts { local: 5, stolen: 1 },
+                remote_bytes: 256,
+                retries: 2,
+            },
+        );
+        samples.insert(
+            SiteId::CLOUD,
+            SiteSample {
+                slaves: vec![SlaveSample { processing: 2.0, retrieval: 9.0, finish: 11.0 }],
+                local_merge: 0.0,
+                finish: 12.0,
+                jobs: SiteJobCounts { local: 4, stolen: 0 },
+                remote_bytes: 0,
+                retries: 0,
+            },
+        );
+        let sites = assemble_sites(&samples);
+        let local = &sites[&SiteId::LOCAL];
+        assert!((local.breakdown.processing - 5.0).abs() < 1e-12, "mean over 2 slaves");
+        assert!((local.breakdown.retrieval - 2.0).abs() < 1e-12);
+        // barrier = ((10-8)+(10-10))/2 = 1.0; idle = 12 - 10.5 = 1.5.
+        assert!((local.idle - 1.5).abs() < 1e-12);
+        assert!((local.breakdown.sync - (1.0 + 0.5 + 1.5)).abs() < 1e-12);
+        let cloud = &sites[&SiteId::CLOUD];
+        assert_eq!(cloud.idle, 0.0, "slowest site never idles");
+        assert_eq!(cloud.jobs.total(), 4);
+    }
+
+    #[test]
+    fn assemble_sites_tolerates_a_slaveless_site() {
+        let mut samples = BTreeMap::new();
+        samples.insert(SiteId::LOCAL, SiteSample { finish: 1.0, ..SiteSample::default() });
+        let sites = assemble_sites(&samples);
+        assert_eq!(sites[&SiteId::LOCAL].breakdown.processing, 0.0);
+    }
+
+    #[test]
+    fn report_json_round_trips_and_carries_the_tables() {
+        let mut r = RunReport {
+            env: "env-50/50".into(),
+            global_reduction: 0.25,
+            total_time: 12.5,
+            ..RunReport::default()
+        };
+        r.faults.lease_expiries = 3;
+        r.faults.abandoned_jobs.push(crate::fault::AbandonedJob {
+            chunk: crate::types::ChunkId(7),
+            last_site: Some(SiteId::CLOUD),
+        });
+        r.sites.insert(
+            SiteId::LOCAL,
+            SiteStats {
+                breakdown: Breakdown { processing: 6.0, retrieval: 3.0, sync: 1.0 },
+                finish_time: 10.0,
+                idle: 0.5,
+                jobs: SiteJobCounts { local: 48, stolen: 9 },
+                remote_bytes: 4096,
+                retries: 2,
+            },
+        );
+        let j = report_to_json(&r);
+        let text = j.to_text();
+        let back = Json::parse(&text).expect("stats JSON parses");
+        assert_eq!(back.get("env").unwrap().as_str(), Some("env-50/50"));
+        assert_eq!(back.get("total_jobs").unwrap().as_f64(), Some(57.0));
+        let sites = back.get("sites").unwrap().as_arr().unwrap();
+        assert_eq!(sites.len(), 1);
+        assert_eq!(sites[0].get("jobs_stolen").unwrap().as_f64(), Some(9.0));
+        let faults = back.get("faults").unwrap();
+        assert_eq!(faults.get("lease_expiries").unwrap().as_f64(), Some(3.0));
+        let abandoned = faults.get("abandoned").unwrap().as_arr().unwrap();
+        assert_eq!(abandoned[0].get("last_site").unwrap().as_str(), Some("cloud"));
     }
 }

@@ -16,11 +16,13 @@ fn arb_index() -> impl Strategy<Value = DataIndex> {
     (1u32..8, 1u64..6, 1u64..5, 0.0f64..=1.0).prop_map(|(n_files, cpf, upc, frac)| {
         let total = u64::from(n_files) * cpf * upc;
         let n_local = (frac * f64::from(n_files)).round() as u32;
-        DataIndex::build(
-            total,
-            LayoutParams { unit_size: 4, units_per_chunk: upc, n_files },
-            |f| if f.0 < n_local { SiteId::LOCAL } else { SiteId::CLOUD },
-        )
+        DataIndex::build(total, LayoutParams { unit_size: 4, units_per_chunk: upc, n_files }, |f| {
+            if f.0 < n_local {
+                SiteId::LOCAL
+            } else {
+                SiteId::CLOUD
+            }
+        })
         .expect("valid index")
     })
 }

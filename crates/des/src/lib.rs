@@ -20,6 +20,6 @@ pub mod time;
 pub mod trace;
 
 pub use queue::EventQueue;
-pub use trace::{Span, Timeline};
 pub use resource::{Grant, Servers, Tally};
 pub use time::SimTime;
+pub use trace::{Span, Timeline};

@@ -56,11 +56,7 @@ impl<K: Copy + PartialEq> Timeline<K> {
     /// Latest span end, or time zero when empty.
     #[must_use]
     pub fn horizon(&self) -> SimTime {
-        self.spans
-            .iter()
-            .map(|s| s.end)
-            .max()
-            .unwrap_or(SimTime::ZERO)
+        self.spans.iter().map(|s| s.end).max().unwrap_or(SimTime::ZERO)
     }
 
     /// Total busy seconds of one entity (spans of any kind; overlaps are

@@ -89,8 +89,7 @@ pub fn run_mapreduce<A: MapReduceApp>(
     // ---- Map (+ combine on flush) ----
     let map_start = Instant::now();
     // One Vec of partitioned output per mapper; merged at shuffle.
-    let partitioned: Mutex<Vec<Pairs<A>>> =
-        Mutex::new((0..reducers).map(|_| Vec::new()).collect());
+    let partitioned: Mutex<Vec<Pairs<A>>> = Mutex::new((0..reducers).map(|_| Vec::new()).collect());
 
     std::thread::scope(|scope| {
         for _ in 0..mappers {
@@ -99,8 +98,7 @@ pub fn run_mapreduce<A: MapReduceApp>(
                 let mut buffer: HashMap<A::Key, Vec<A::Value>> = HashMap::new();
                 let mut buffered: usize = 0;
 
-                let flush = |buffer: &mut HashMap<A::Key, Vec<A::Value>>,
-                                 buffered: &mut usize| {
+                let flush = |buffer: &mut HashMap<A::Key, Vec<A::Value>>, buffered: &mut usize| {
                     if buffer.is_empty() {
                         return;
                     }
@@ -238,7 +236,8 @@ mod tests {
 
     #[test]
     fn wordcount_without_combiner() {
-        let (res, m) = run_mapreduce(&ByteCount { with_combiner: false }, &chunks(), EngineConfig::default());
+        let (res, m) =
+            run_mapreduce(&ByteCount { with_combiner: false }, &chunks(), EngineConfig::default());
         assert_eq!(res, expected());
         assert_eq!(m.pairs_emitted, 16);
         assert_eq!(m.pairs_shuffled, 16, "no combiner: every pair crosses the shuffle");
@@ -281,14 +280,16 @@ mod tests {
     #[test]
     fn empty_input_yields_empty_output() {
         let none: Vec<Vec<u8>> = Vec::new();
-        let (res, m) = run_mapreduce(&ByteCount { with_combiner: false }, &none, EngineConfig::default());
+        let (res, m) =
+            run_mapreduce(&ByteCount { with_combiner: false }, &none, EngineConfig::default());
         assert!(res.is_empty());
         assert_eq!(m.pairs_emitted, 0);
     }
 
     #[test]
     fn metrics_total_time_sums_phases() {
-        let (_, m) = run_mapreduce(&ByteCount { with_combiner: false }, &chunks(), EngineConfig::default());
+        let (_, m) =
+            run_mapreduce(&ByteCount { with_combiner: false }, &chunks(), EngineConfig::default());
         let total = m.total_time();
         assert!(total >= m.map_time && total >= m.shuffle_time && total >= m.reduce_time);
     }

@@ -30,7 +30,11 @@ impl Topology {
     /// An empty topology; populate with [`Topology::with_link`] etc.
     #[must_use]
     pub fn new() -> Topology {
-        Topology { links: BTreeMap::new(), storage: BTreeMap::new(), per_connection: BTreeMap::new() }
+        Topology {
+            links: BTreeMap::new(),
+            storage: BTreeMap::new(),
+            per_connection: BTreeMap::new(),
+        }
     }
 
     /// The paper's two-site deployment: a campus cluster (site 0, Infiniband
@@ -77,30 +81,21 @@ impl Topology {
         if a == b {
             return profiles::loopback();
         }
-        self.links
-            .get(&Self::key(a, b))
-            .copied()
-            .unwrap_or_else(profiles::wan)
+        self.links.get(&Self::key(a, b)).copied().unwrap_or_else(profiles::wan)
     }
 
     /// The path from compute site `from` to the store at `at`. Falls back to
     /// the inter-site link when no explicit storage path is configured.
     #[must_use]
     pub fn storage_access(&self, from: Site, at: Site) -> LinkSpec {
-        self.storage
-            .get(&(from, at))
-            .copied()
-            .unwrap_or_else(|| self.link(from, at))
+        self.storage.get(&(from, at)).copied().unwrap_or_else(|| self.link(from, at))
     }
 
     /// Per-connection limit of the store at `at` (defaults to its aggregate
     /// access path, i.e. a single connection can saturate the store).
     #[must_use]
     pub fn per_connection(&self, at: Site) -> LinkSpec {
-        self.per_connection
-            .get(&at)
-            .copied()
-            .unwrap_or_else(|| self.storage_access(at, at))
+        self.per_connection.get(&at).copied().unwrap_or_else(|| self.storage_access(at, at))
     }
 
     fn key(a: Site, b: Site) -> (Site, Site) {

@@ -98,10 +98,7 @@ pub fn cost_of(
 
     // Egress: bytes fetched out of the cloud by the local cluster, plus the
     // reduction objects the cloud ships during global reduction.
-    let stolen_egress = report
-        .sites
-        .get(&SiteId::LOCAL)
-        .map_or(0, |s| s.remote_bytes);
+    let stolen_egress = report.sites.get(&SiteId::LOCAL).map_or(0, |s| s.remote_bytes);
     let cloud_slaves = u64::from(instances.max(1));
     let robj_egress = if env.is_hybrid() { cloud_slaves * app.robj_bytes } else { 0 };
     let egress_bytes = stolen_egress + robj_egress;
@@ -178,12 +175,7 @@ pub fn provision_for_deadline(
     burst_frontier(app, local_cores, local_data_fraction, &steps, params, pricing)
         .into_iter()
         .filter(|o| o.time <= deadline)
-        .min_by(|a, b| {
-            a.cost
-                .total()
-                .total_cmp(&b.cost.total())
-                .then(a.time.total_cmp(&b.time))
-        })
+        .min_by(|a, b| a.cost.total().total_cmp(&b.cost.total()).then(a.time.total_cmp(&b.time)))
 }
 
 #[cfg(test)]
@@ -232,14 +224,8 @@ mod tests {
     #[test]
     fn frontier_time_decreases_with_cloud_cores() {
         let app = AppModel::kmeans();
-        let frontier = burst_frontier(
-            &app,
-            8,
-            0.5,
-            &[8, 16, 32, 64],
-            &params(),
-            &PricingModel::aws_2011(),
-        );
+        let frontier =
+            burst_frontier(&app, 8, 0.5, &[8, 16, 32, 64], &params(), &PricingModel::aws_2011());
         assert_eq!(frontier.len(), 5);
         for w in frontier.windows(2) {
             assert!(

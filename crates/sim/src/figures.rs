@@ -119,19 +119,13 @@ pub fn table2(apps: &[AppModel], params: &SimParams) -> Vec<Table2Row> {
 /// `m ∈ {4, 8, 16, 32}`. Returns the reports in sweep order.
 #[must_use]
 pub fn fig4(app: &AppModel, params: &SimParams) -> Vec<RunReport> {
-    scalability_envs(&[4, 8, 16, 32])
-        .iter()
-        .map(|e| simulate(app, e, params))
-        .collect()
+    scalability_envs(&[4, 8, 16, 32]).iter().map(|e| simulate(app, e, params)).collect()
 }
 
 /// Per-doubling efficiencies of a Fig. 4 sweep: `t(m) / (2 t(2m))`.
 #[must_use]
 pub fn fig4_efficiencies(reports: &[RunReport]) -> Vec<f64> {
-    reports
-        .windows(2)
-        .map(|w| doubling_efficiency(w[0].total_time, w[1].total_time))
-        .collect()
+    reports.windows(2).map(|w| doubling_efficiency(w[0].total_time, w[1].total_time)).collect()
 }
 
 /// Cumulative efficiencies relative to the smallest configuration — the

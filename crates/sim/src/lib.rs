@@ -24,8 +24,13 @@ pub mod multi;
 pub mod params;
 pub mod scenario;
 
-pub use cost::{burst_frontier, cost_of, provision_for_deadline, BurstOption, CostReport, PricingModel};
+pub use cost::{
+    burst_frontier, cost_of, provision_for_deadline, BurstOption, CostReport, PricingModel,
+};
 pub use model::AppModel;
-pub use multi::{simulate_multi, simulate_multi_traced, Activity, MultiEnv, SiteSpec};
+pub use multi::{
+    simulate_multi, simulate_multi_instrumented, simulate_multi_traced, Activity, MultiEnv,
+    SiteSpec,
+};
 pub use params::{ResourceSpec, SimParams};
 pub use scenario::simulate;

@@ -14,8 +14,9 @@
 use crate::model::AppModel;
 use crate::params::{ResourceSpec, SimParams};
 use cloudburst_core::{
-    BatchPolicy, Breakdown, ChunkId, DataIndex, FaultPlan, JobPool, LayoutParams, LeaseConfig,
-    LocalJob, MasterPool, RunReport, Seconds, SiteId, SiteStats, Take,
+    secs_to_ns, BatchPolicy, Breakdown, ChunkId, DataIndex, Event, EventKind, FaultPlan, JobPool,
+    LayoutParams, LeaseConfig, LocalJob, MasterPool, RunReport, Seconds, SiteId, SiteStats, Take,
+    Telemetry,
 };
 use cloudburst_des::{EventQueue, Servers, SimTime, Timeline};
 use cloudburst_netsim::Jitter;
@@ -92,7 +93,11 @@ impl MultiEnv {
     /// The paper's two-site deployment, from an [`cloudburst_core::EnvConfig`]
     /// and the testbed parameters.
     #[must_use]
-    pub fn two_site(env: &cloudburst_core::EnvConfig, app: &AppModel, params: &SimParams) -> MultiEnv {
+    pub fn two_site(
+        env: &cloudburst_core::EnvConfig,
+        app: &AppModel,
+        params: &SimParams,
+    ) -> MultiEnv {
         let mut sites = Vec::new();
         if env.local_cores > 0 || env.local_data_fraction > 0.0 {
             sites.push(SiteSpec {
@@ -167,7 +172,7 @@ struct SlaveShape {
 /// Panics when no site has cores, or the layout is degenerate.
 #[must_use]
 pub fn simulate_multi(app: &AppModel, env: &MultiEnv) -> RunReport {
-    run_multi(app, env, None)
+    run_multi(app, env, None, &Telemetry::off())
 }
 
 /// Like [`simulate_multi`], additionally recording every slave's activity
@@ -176,11 +181,31 @@ pub fn simulate_multi(app: &AppModel, env: &MultiEnv) -> RunReport {
 #[must_use]
 pub fn simulate_multi_traced(app: &AppModel, env: &MultiEnv) -> (RunReport, Timeline<Activity>) {
     let mut timeline = Timeline::new();
-    let report = run_multi(app, env, Some(&mut timeline));
+    let report = run_multi(app, env, Some(&mut timeline), &Telemetry::off());
     (report, timeline)
 }
 
-fn run_multi(app: &AppModel, env: &MultiEnv, mut trace: Option<&mut Timeline<Activity>>) -> RunReport {
+/// Like [`simulate_multi`], additionally emitting the full telemetry event
+/// stream to `telemetry` — the same taxonomy the threaded runtimes emit,
+/// but clocked in *virtual* time (event timestamps are simulated seconds
+/// converted to ns). A simulated chaos run can thus be exported to the same
+/// JSONL / Chrome-trace artifacts as a real one. Emission never perturbs
+/// the simulation: the returned report is identical to [`simulate_multi`]'s.
+#[must_use]
+pub fn simulate_multi_instrumented(
+    app: &AppModel,
+    env: &MultiEnv,
+    telemetry: &Telemetry,
+) -> RunReport {
+    run_multi(app, env, None, telemetry)
+}
+
+fn run_multi(
+    app: &AppModel,
+    env: &MultiEnv,
+    mut trace: Option<&mut Timeline<Activity>>,
+    telemetry: &Telemetry,
+) -> RunReport {
     let placement = env.file_placement();
     let total_units = app.units_in(env.dataset_bytes).max(u64::from(env.n_chunks));
     let upc = total_units.div_ceil(u64::from(env.n_chunks));
@@ -193,6 +218,9 @@ fn run_multi(app: &AppModel, env: &MultiEnv, mut trace: Option<&mut Timeline<Act
 
     let batch_policy = BatchPolicy::Adaptive { divisor: 24, min: 1, max: 2 };
     let mut pool = JobPool::from_index(&index, batch_policy);
+    // The pool's clock is virtual (request_for_at / complete_at), so its
+    // grant / completion / reap events land in simulated time.
+    pool.set_sink(telemetry.clone());
     let chunk_bytes = index.chunks[0].len;
     let chunk_units = index.chunks[0].n_units;
 
@@ -242,15 +270,14 @@ fn run_multi(app: &AppModel, env: &MultiEnv, mut trace: Option<&mut Timeline<Act
 
     let mut masters: BTreeMap<SiteId, MasterPool> =
         active.iter().map(|s| (s.site, MasterPool::new(s.site, 0))).collect();
-    let mut stores: BTreeMap<SiteId, Servers> = env
-        .sites
-        .iter()
-        .map(|s| (s.site, Servers::new(s.store.servers)))
-        .collect();
+    let mut stores: BTreeMap<SiteId, Servers> =
+        env.sites.iter().map(|s| (s.site, Servers::new(s.store.servers))).collect();
     let mut wan = Servers::new(env.wan.servers);
 
     struct Worker {
         site: SiteId,
+        /// Slave index within the site (the telemetry worker tag).
+        lane: u32,
         speed: f64,
         factor: f64,
         processing: Seconds,
@@ -277,6 +304,7 @@ fn run_multi(app: &AppModel, env: &MultiEnv, mut trace: Option<&mut Timeline<Act
         for c in 0..shape.n_slaves {
             workers.push(Worker {
                 site: shape.site,
+                lane: c,
                 speed: shape.speed,
                 factor: spec.compute_factor,
                 processing: 0.0,
@@ -329,6 +357,9 @@ fn run_multi(app: &AppModel, env: &MultiEnv, mut trace: Option<&mut Timeline<Act
             // the site's robj; evacuation above re-homes its jobs.
             w.finish = now;
             w.done = true;
+            telemetry.emit(
+                Event::at(secs_to_ns(now), EventKind::SlaveFinished).site(site).worker(w.lane),
+            );
             continue;
         }
         if let Some(job) = ev.completes {
@@ -341,10 +372,14 @@ fn run_multi(app: &AppModel, env: &MultiEnv, mut trace: Option<&mut Timeline<Act
                 Take::Job(j) => break Pull::Job(j),
                 Take::Drained => break Pull::Finished,
                 Take::NeedRefill => {
-                    let rpc =
-                        if site == head_site { 2e-4 } else { 2.0 * env.control_latency };
+                    let rpc = if site == head_site { 2e-4 } else { 2.0 * env.control_latency };
                     if let Some(t) = trace.as_deref_mut() {
-                        t.record(ev.worker, Activity::Control, SimTime::at(now), SimTime::at(now + rpc));
+                        t.record(
+                            ev.worker,
+                            Activity::Control,
+                            SimTime::at(now),
+                            SimTime::at(now + rpc),
+                        );
                     }
                     now += rpc;
                     w.control += rpc;
@@ -360,12 +395,16 @@ fn run_multi(app: &AppModel, env: &MultiEnv, mut trace: Option<&mut Timeline<Act
         let job = match pull {
             Pull::Job(j) => j,
             Pull::PollLater => {
-                queue.schedule(SimTime::at(now + 0.2), Ready { worker: ev.worker, completes: None });
+                queue
+                    .schedule(SimTime::at(now + 0.2), Ready { worker: ev.worker, completes: None });
                 continue;
             }
             Pull::Finished => {
                 w.finish = now;
                 w.done = true;
+                telemetry.emit(
+                    Event::at(secs_to_ns(now), EventKind::SlaveFinished).site(site).worker(w.lane),
+                );
                 continue;
             }
         };
@@ -375,8 +414,17 @@ fn run_multi(app: &AppModel, env: &MultiEnv, mut trace: Option<&mut Timeline<Act
             // lease reaper recovers it once the deadline passes.
             w.finish = now;
             w.done = true;
+            telemetry.emit(
+                Event::at(secs_to_ns(now), EventKind::SlaveFinished).site(site).worker(w.lane),
+            );
             continue;
         }
+        telemetry.emit(
+            Event::at(secs_to_ns(now), EventKind::JobStarted { stolen: job.stolen })
+                .site(site)
+                .worker(w.lane)
+                .chunk(job.chunk.id),
+        );
 
         let data_site = job.chunk.site;
         let spec = specs[&data_site];
@@ -384,10 +432,8 @@ fn run_multi(app: &AppModel, env: &MultiEnv, mut trace: Option<&mut Timeline<Act
         let grant = store.request(SimTime::at(now), spec.store.service_time(job.chunk.len));
         let mut retr_end = grant.finish.seconds();
         if data_site != site {
-            let wg = wan.request(
-                SimTime::at(retr_end.max(now)),
-                env.wan.service_time(job.chunk.len),
-            );
+            let wg =
+                wan.request(SimTime::at(retr_end.max(now)), env.wan.service_time(job.chunk.len));
             retr_end = wg.finish.seconds();
             w.remote_bytes += job.chunk.len;
         }
@@ -397,6 +443,23 @@ fn run_multi(app: &AppModel, env: &MultiEnv, mut trace: Option<&mut Timeline<Act
             w.jitter.stretch(app.compute_time(job.chunk.n_units, w.factor)) / w.speed + w.delay;
         w.processing += compute;
         w.last_done = retr_end + compute;
+        if telemetry.is_enabled() {
+            let tag = |e: Event| e.site(site).worker(w.lane).chunk(job.chunk.id);
+            telemetry.emit(tag(Event::span(
+                secs_to_ns(now),
+                secs_to_ns(retr_end - now),
+                EventKind::ChunkFetched {
+                    bytes: job.chunk.len,
+                    remote: data_site != site,
+                    retries: 0,
+                },
+            )));
+            telemetry.emit(tag(Event::span(
+                secs_to_ns(retr_end),
+                secs_to_ns(compute),
+                EventKind::JobProcessed,
+            )));
+        }
         if let Some(t) = trace.as_deref_mut() {
             t.record(ev.worker, Activity::Retrieval, SimTime::at(now), SimTime::at(retr_end));
             t.record(
@@ -425,6 +488,13 @@ fn run_multi(app: &AppModel, env: &MultiEnv, mut trace: Option<&mut Timeline<Act
             .map(|w| w.last_done)
             .fold(0.0_f64, f64::max);
         let merge = f64::from(shape.n_slaves) * app.robj_bytes as f64 / env.merge_bw;
+        telemetry.emit(
+            Event::span(secs_to_ns(worker_finish), secs_to_ns(merge), EventKind::SiteMerged)
+                .site(shape.site),
+        );
+        telemetry.emit(
+            Event::at(secs_to_ns(worker_finish + merge), EventKind::SiteFinished).site(shape.site),
+        );
         site_finish.insert(shape.site, worker_finish + merge);
     }
     let compute_finish = site_finish.values().copied().fold(0.0_f64, f64::max);
@@ -438,6 +508,12 @@ fn run_multi(app: &AppModel, env: &MultiEnv, mut trace: Option<&mut Timeline<Act
         }
     }
     let total_time = compute_finish + global_reduction;
+    telemetry.emit(Event::span(
+        secs_to_ns(compute_finish),
+        secs_to_ns(global_reduction),
+        EventKind::GlobalReduction,
+    ));
+    telemetry.emit(Event::at(secs_to_ns(total_time), EventKind::RunFinished));
 
     let counts = pool.site_counts().clone();
     let mut report = RunReport {
@@ -615,9 +691,7 @@ mod tests {
         let reported: f64 = report
             .sites
             .iter()
-            .map(|(&site, s)| {
-                (s.breakdown.processing + s.breakdown.retrieval) * slaves_of(site)
-            })
+            .map(|(&site, s)| (s.breakdown.processing + s.breakdown.retrieval) * slaves_of(site))
             .sum();
         assert!(
             (work_spans - reported).abs() < reported * 1e-9,
@@ -660,17 +734,54 @@ mod tests {
         let mut env = three_sites();
         env.chaos = Some(FaultPlan {
             site_outage: Some(SiteOutage { site: SiteId(2), at: 2.0 }),
-            slow_workers: vec![SlowWorker {
-                site: SiteId::CLOUD,
-                worker: 1,
-                delay_per_job: 50.0,
-            }],
+            slow_workers: vec![SlowWorker { site: SiteId::CLOUD, worker: 1, delay_per_job: 50.0 }],
             ..FaultPlan::seeded(13)
         });
         let a = simulate_multi(&AppModel::knn(), &env);
         let b = simulate_multi(&AppModel::knn(), &env);
         assert_eq!(a, b, "a seeded fault plan must replay byte-identically");
         assert!(!a.faults.is_quiet());
+    }
+
+    #[test]
+    fn instrumented_run_matches_plain_and_narrates_the_chaos() {
+        use cloudburst_core::{Recorder, SlowWorker, Telemetry, WorkerCrash};
+        use std::sync::Arc;
+        let mut env = three_sites();
+        env.chaos = Some(FaultPlan {
+            worker_crash: vec![WorkerCrash { site: SiteId::CLOUD, worker: 0, after_jobs: 1 }],
+            slow_workers: vec![SlowWorker { site: SiteId(2), worker: 1, delay_per_job: 60.0 }],
+            ..FaultPlan::seeded(21)
+        });
+        let app = AppModel::knn();
+        let rec = Arc::new(Recorder::new());
+        let report = simulate_multi_instrumented(&app, &env, &Telemetry::to(rec.clone()));
+        assert_eq!(report, simulate_multi(&app, &env), "emission must not perturb the run");
+
+        let events = rec.snapshot();
+        // The virtual-time stream narrates the faults the report counts.
+        let reaps = events.iter().filter(|e| e.kind == EventKind::LeaseReaped).count();
+        assert_eq!(reaps as u64, report.faults.lease_expiries);
+        assert!(reaps > 0, "the crashed worker's job must be reaped");
+        let spec_grants = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::JobGranted { speculative: true, .. }))
+            .count();
+        assert_eq!(spec_grants as u64, report.faults.speculative_grants);
+        assert!(spec_grants > 0, "the straggler must trigger speculation");
+        // The run-finished stamp is the report's total time, in virtual ns.
+        let end = events.last().expect("stream non-empty");
+        assert_eq!(end.kind, EventKind::RunFinished);
+        assert_eq!(end.at_ns, secs_to_ns(report.total_time));
+        // Per-slave streams are monotonic in virtual time.
+        let mut last: BTreeMap<(SiteId, u32), u64> = BTreeMap::new();
+        for e in &events {
+            if let (Some(s), Some(w)) = (e.site, e.worker) {
+                let prev = last.entry((s, w)).or_insert(0);
+                assert!(e.at_ns >= *prev, "slave stream went backwards");
+                *prev = e.at_ns;
+            }
+        }
     }
 
     #[test]

@@ -70,10 +70,8 @@ mod tests {
     fn skew_increases_stealing() {
         let app = AppModel::knn();
         let envs = paper_envs_even(32);
-        let stolen: Vec<u64> = envs[2..]
-            .iter()
-            .map(|e| simulate(&app, e, &fast_params()).total_stolen())
-            .collect();
+        let stolen: Vec<u64> =
+            envs[2..].iter().map(|e| simulate(&app, e, &fast_params()).total_stolen()).collect();
         assert!(
             stolen[0] <= stolen[1] && stolen[1] <= stolen[2],
             "stealing must grow with skew: {stolen:?}"
@@ -127,10 +125,8 @@ mod tests {
     fn more_cores_scale_kmeans_well() {
         let app = AppModel::kmeans();
         let envs = scalability_envs(&[4, 8, 16]);
-        let times: Vec<f64> = envs
-            .iter()
-            .map(|e| simulate(&app, e, &fast_params()).total_time)
-            .collect();
+        let times: Vec<f64> =
+            envs.iter().map(|e| simulate(&app, e, &fast_params()).total_time).collect();
         let e1 = cloudburst_core::doubling_efficiency(times[0], times[1]);
         let e2 = cloudburst_core::doubling_efficiency(times[1], times[2]);
         assert!(e1 > 0.7 && e2 > 0.7, "kmeans efficiencies {e1} {e2}");

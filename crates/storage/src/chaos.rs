@@ -35,7 +35,12 @@ impl ChaosStore {
     /// Wrap `inner`, injecting the storage faults of `plan`.
     #[must_use]
     pub fn new(inner: Arc<dyn ChunkStore>, plan: Arc<FaultPlan>) -> ChaosStore {
-        ChaosStore { inner, plan, attempts: Mutex::new(HashMap::new()), injected: AtomicU64::new(0) }
+        ChaosStore {
+            inner,
+            plan,
+            attempts: Mutex::new(HashMap::new()),
+            injected: AtomicU64::new(0),
+        }
     }
 
     /// Total injected failures so far (diagnostic aid for tests).

@@ -7,7 +7,7 @@
 //! gap between one connection's bandwidth and the aggregate host cap; against
 //! local stores it degrades gracefully to a single sequential read.
 
-use crate::retry::{read_with_retry, RetryPolicy};
+use crate::retry::{read_with_retry_observed, RetryObserver, RetryPolicy};
 use crate::store::ChunkStore;
 use bytes::{Bytes, BytesMut};
 use cloudburst_core::{ByteSize, ChunkMeta, FileId};
@@ -82,18 +82,38 @@ pub fn fetch_range_with_retry<S: ChunkStore + ?Sized>(
     config: FetchConfig,
     retry: &RetryPolicy,
 ) -> io::Result<(Bytes, u64)> {
+    fetch_range_observed(store, file, offset, len, config, retry, &|_| {})
+}
+
+/// [`fetch_range_with_retry`] that reports each absorbed transient failure to
+/// `observe` as it happens. The observer is shared by all concurrent range
+/// fetchers of the chunk, so it must be `Sync`.
+pub fn fetch_range_observed<S: ChunkStore + ?Sized>(
+    store: &S,
+    file: FileId,
+    offset: ByteSize,
+    len: ByteSize,
+    config: FetchConfig,
+    retry: &RetryPolicy,
+    observe: RetryObserver<'_>,
+) -> io::Result<(Bytes, u64)> {
     let ranges = config.split(offset, len);
     match ranges.len() {
         0 => Ok((Bytes::new(), 0)),
-        1 => read_with_retry(store, file, offset, len, retry),
+        1 => read_with_retry_observed(store, file, offset, len, retry, observe),
         _ => {
             let mut parts: Vec<io::Result<(Bytes, u64)>> = Vec::new();
             std::thread::scope(|scope| {
                 let handles: Vec<_> = ranges
                     .iter()
-                    .map(|&(o, l)| scope.spawn(move || read_with_retry(store, file, o, l, retry)))
+                    .map(|&(o, l)| {
+                        scope.spawn(move || {
+                            read_with_retry_observed(store, file, o, l, retry, observe)
+                        })
+                    })
                     .collect();
-                parts = handles.into_iter().map(|h| h.join().expect("fetch thread panicked")).collect();
+                parts =
+                    handles.into_iter().map(|h| h.join().expect("fetch thread panicked")).collect();
             });
             let mut out = BytesMut::with_capacity(len as usize);
             let mut retries = 0;
@@ -125,6 +145,18 @@ pub fn fetch_chunk_with_retry<S: ChunkStore + ?Sized>(
     retry: &RetryPolicy,
 ) -> io::Result<(Bytes, u64)> {
     fetch_range_with_retry(store, chunk.file, chunk.offset, chunk.len, config, retry)
+}
+
+/// [`fetch_chunk_with_retry`] that reports each absorbed transient failure
+/// to `observe` as it happens (see [`RetryObserver`]).
+pub fn fetch_chunk_observed<S: ChunkStore + ?Sized>(
+    store: &S,
+    chunk: &ChunkMeta,
+    config: FetchConfig,
+    retry: &RetryPolicy,
+    observe: RetryObserver<'_>,
+) -> io::Result<(Bytes, u64)> {
+    fetch_range_observed(store, chunk.file, chunk.offset, chunk.len, config, retry, observe)
 }
 
 #[cfg(test)]

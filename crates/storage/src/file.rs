@@ -127,10 +127,7 @@ mod tests {
     fn out_of_range_and_missing_file_errors() {
         let dir = tmpdir("errors");
         let s = FileStore::create(SiteId::LOCAL, &dir, &[Bytes::from_static(b"ab")]).unwrap();
-        assert_eq!(
-            s.read(FileId(0), 1, 5).unwrap_err().kind(),
-            io::ErrorKind::UnexpectedEof
-        );
+        assert_eq!(s.read(FileId(0), 1, 5).unwrap_err().kind(), io::ErrorKind::UnexpectedEof);
         assert_eq!(s.read(FileId(7), 0, 1).unwrap_err().kind(), io::ErrorKind::NotFound);
         std::fs::remove_dir_all(&dir).unwrap();
     }

@@ -87,7 +87,8 @@ pub fn decode_index(data: &[u8]) -> io::Result<DataIndex> {
     if version != VERSION {
         return Err(err(format!("unsupported index version {version}")));
     }
-    let check = |cond: bool, what: &str| if cond { Ok(()) } else { Err(err(format!("truncated {what}"))) };
+    let check =
+        |cond: bool, what: &str| if cond { Ok(()) } else { Err(err(format!("truncated {what}"))) };
 
     check(buf.remaining() >= 16, "params")?;
     let params = LayoutParams {

@@ -31,12 +31,16 @@ pub mod store;
 
 pub use chaos::ChaosStore;
 pub use fetch::{
-    fetch_chunk, fetch_chunk_with_retry, fetch_range, fetch_range_with_retry, FetchConfig,
+    fetch_chunk, fetch_chunk_observed, fetch_chunk_with_retry, fetch_range, fetch_range_observed,
+    fetch_range_with_retry, FetchConfig,
 };
 pub use file::FileStore;
 pub use index_io::{decode_index, encode_index, read_index, write_index};
 pub use mem::MemStore;
 pub use organizer::{fraction_placement, organize, reassemble, Organized, SiteStore};
-pub use retry::{is_transient, read_with_retry, RetryPolicy};
+pub use retry::{
+    is_transient, read_with_retry, read_with_retry_observed, RetryAttempt, RetryObserver,
+    RetryPolicy,
+};
 pub use s3sim::{S3Config, S3Metrics, S3SimStore};
 pub use store::ChunkStore;

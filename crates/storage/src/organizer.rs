@@ -53,10 +53,7 @@ impl ChunkStore for SiteStore {
     }
 
     fn file_len(&self, file: FileId) -> io::Result<ByteSize> {
-        self.files
-            .get(&file)
-            .map(|b| b.len() as ByteSize)
-            .ok_or_else(|| no_such_file(file))
+        self.files.get(&file).map(|b| b.len() as ByteSize).ok_or_else(|| no_such_file(file))
     }
 
     fn n_files(&self) -> usize {
@@ -115,10 +112,7 @@ pub fn organize(
         let len = fm.len as usize;
         let slice = data.slice(at..at + len);
         at += len;
-        stores
-            .entry(fm.site)
-            .or_insert_with(|| SiteStore::new(fm.site))
-            .insert(fm.id, slice);
+        stores.entry(fm.site).or_insert_with(|| SiteStore::new(fm.site)).insert(fm.id, slice);
     }
     debug_assert_eq!(at, data.len());
     Ok(Organized { index, stores })
@@ -143,9 +137,9 @@ pub fn fraction_placement(local_fraction: f64, n_files: u32) -> impl FnMut(FileI
 pub fn reassemble(index: &DataIndex, stores: &BTreeMap<SiteId, SiteStore>) -> io::Result<Bytes> {
     let mut out = Vec::with_capacity(index.total_bytes() as usize);
     for fm in &index.files {
-        let store = stores
-            .get(&fm.site)
-            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, format!("no store for {}", fm.site)))?;
+        let store = stores.get(&fm.site).ok_or_else(|| {
+            io::Error::new(io::ErrorKind::NotFound, format!("no store for {}", fm.site))
+        })?;
         let data = store.read(fm.id, 0, fm.len)?;
         out.extend_from_slice(&data);
     }
@@ -222,9 +216,6 @@ mod tests {
         let org = organize(&data, params(4, 8, 2), &mut fraction_placement(0.5, 2)).unwrap();
         let local = org.store(SiteId::LOCAL);
         let cloud_file = org.index.files.iter().find(|f| f.site == SiteId::CLOUD).unwrap();
-        assert_eq!(
-            local.read(cloud_file.id, 0, 1).unwrap_err().kind(),
-            io::ErrorKind::NotFound
-        );
+        assert_eq!(local.read(cloud_file.id, 0, 1).unwrap_err().kind(), io::ErrorKind::NotFound);
     }
 }

@@ -77,6 +77,25 @@ impl RetryPolicy {
     }
 }
 
+/// One transient failure absorbed by the retry loop, reported to a
+/// [`RetryObserver`] *before* the backoff sleep — so an observer sees the
+/// retry when it happens, not after the whole chunk lands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryAttempt {
+    /// File whose range read failed.
+    pub file: FileId,
+    /// Byte offset of the failing range.
+    pub offset: ByteSize,
+    /// 0-based retry number (the initial attempt is not reported).
+    pub attempt: u32,
+    /// The transient error kind being absorbed.
+    pub kind: io::ErrorKind,
+}
+
+/// Callback invoked on every absorbed transient failure. `Sync` because the
+/// parallel range fetchers share one observer across their scoped threads.
+pub type RetryObserver<'a> = &'a (dyn Fn(RetryAttempt) + Sync);
+
 /// Read `len` bytes of `file` at `offset`, retrying transient failures with
 /// backoff. Returns the bytes and how many retries were needed; permanent
 /// errors and exhausted budgets surface the last error.
@@ -87,11 +106,25 @@ pub fn read_with_retry<S: ChunkStore + ?Sized>(
     len: ByteSize,
     policy: &RetryPolicy,
 ) -> io::Result<(Bytes, u64)> {
+    read_with_retry_observed(store, file, offset, len, policy, &|_| {})
+}
+
+/// [`read_with_retry`] that reports each absorbed failure to `observe` as it
+/// happens, below the chunk level.
+pub fn read_with_retry_observed<S: ChunkStore + ?Sized>(
+    store: &S,
+    file: FileId,
+    offset: ByteSize,
+    len: ByteSize,
+    policy: &RetryPolicy,
+    observe: RetryObserver<'_>,
+) -> io::Result<(Bytes, u64)> {
     let mut attempt: u32 = 0;
     loop {
         match store.read(file, offset, len) {
             Ok(bytes) => return Ok((bytes, u64::from(attempt))),
             Err(e) if is_transient(e.kind()) && attempt < policy.max_retries => {
+                observe(RetryAttempt { file, offset, attempt, kind: e.kind() });
                 let wait = policy.delay(file, offset, attempt);
                 if !wait.is_zero() {
                     std::thread::sleep(wait);
@@ -165,15 +198,39 @@ mod tests {
 
     #[test]
     fn transient_failures_are_absorbed() {
-        let store = Flaky {
-            fail_first: 3,
-            calls: AtomicU32::new(0),
-            kind: io::ErrorKind::ConnectionReset,
-        };
+        let store =
+            Flaky { fail_first: 3, calls: AtomicU32::new(0), kind: io::ErrorKind::ConnectionReset };
         let policy = RetryPolicy { base: 0.0, cap: 0.0, ..RetryPolicy::default() };
         let (bytes, retries) = read_with_retry(&store, FileId(0), 0, 16, &policy).unwrap();
         assert_eq!(bytes.len(), 16);
         assert_eq!(retries, 3);
+    }
+
+    #[test]
+    fn observer_sees_each_absorbed_failure_in_order() {
+        use std::sync::Mutex;
+        let store =
+            Flaky { fail_first: 3, calls: AtomicU32::new(0), kind: io::ErrorKind::TimedOut };
+        let policy = RetryPolicy { base: 0.0, cap: 0.0, ..RetryPolicy::default() };
+        let seen: Mutex<Vec<RetryAttempt>> = Mutex::new(Vec::new());
+        let (_, retries) = read_with_retry_observed(&store, FileId(2), 64, 16, &policy, &|a| {
+            seen.lock().unwrap().push(a);
+        })
+        .unwrap();
+        let seen = seen.into_inner().unwrap();
+        assert_eq!(retries, 3);
+        assert_eq!(seen.len(), 3, "one report per absorbed failure");
+        for (i, a) in seen.iter().enumerate() {
+            assert_eq!(
+                *a,
+                RetryAttempt {
+                    file: FileId(2),
+                    offset: 64,
+                    attempt: i as u32,
+                    kind: io::ErrorKind::TimedOut
+                }
+            );
+        }
     }
 
     #[test]
@@ -188,11 +245,8 @@ mod tests {
 
     #[test]
     fn exhausted_budget_surfaces_the_transient_error() {
-        let store = Flaky {
-            fail_first: 10,
-            calls: AtomicU32::new(0),
-            kind: io::ErrorKind::TimedOut,
-        };
+        let store =
+            Flaky { fail_first: 10, calls: AtomicU32::new(0), kind: io::ErrorKind::TimedOut };
         let policy = RetryPolicy { max_retries: 2, base: 0.0, cap: 0.0, seed: 0 };
         let err = read_with_retry(&store, FileId(0), 0, 16, &policy).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::TimedOut);

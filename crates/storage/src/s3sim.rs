@@ -116,7 +116,10 @@ impl<S: ChunkStore> S3SimStore<S> {
     /// Counters accumulated so far.
     #[must_use]
     pub fn metrics(&self) -> S3Metrics {
-        S3Metrics { gets: self.gets.load(Ordering::Relaxed), bytes: self.bytes.load(Ordering::Relaxed) }
+        S3Metrics {
+            gets: self.gets.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
+        }
     }
 
     /// The wrapped store.
@@ -167,9 +170,7 @@ mod tests {
     use std::sync::Arc;
 
     fn base(bytes_per_file: usize, n_files: usize) -> MemStore {
-        let files = (0..n_files)
-            .map(|i| Bytes::from(vec![i as u8; bytes_per_file]))
-            .collect();
+        let files = (0..n_files).map(|i| Bytes::from(vec![i as u8; bytes_per_file])).collect();
         MemStore::new(SiteId::CLOUD, files)
     }
 
@@ -216,10 +217,7 @@ mod tests {
     fn parallel_gets_beat_serial_on_aggregate_pipe() {
         // Aggregate 4x the connection speed: 4 parallel GETs of one quarter
         // each should take ~1/4 the wall time of 4 serial full-speed GETs.
-        let s3 = Arc::new(S3SimStore::new(
-            base(400_000, 1),
-            cfg(100_000.0, 400_000.0, 0.0, 8),
-        ));
+        let s3 = Arc::new(S3SimStore::new(base(400_000, 1), cfg(100_000.0, 400_000.0, 0.0, 8)));
         let serial_start = Instant::now();
         for i in 0..4 {
             s3.read(FileId(0), i * 100_000, 100_000).unwrap();
@@ -234,10 +232,7 @@ mod tests {
             }
         });
         let parallel = parallel_start.elapsed().as_secs_f64();
-        assert!(
-            parallel < serial * 0.6,
-            "parallel {parallel:.4}s should beat serial {serial:.4}s"
-        );
+        assert!(parallel < serial * 0.6, "parallel {parallel:.4}s should beat serial {serial:.4}s");
     }
 
     #[test]

@@ -29,7 +29,12 @@ pub trait ChunkStore: Send + Sync {
 
 /// Validate a ranged read against a file length, producing the standard
 /// error shapes all backends share.
-pub fn check_range(file: FileId, file_len: ByteSize, offset: ByteSize, len: ByteSize) -> io::Result<()> {
+pub fn check_range(
+    file: FileId,
+    file_len: ByteSize,
+    offset: ByteSize,
+    len: ByteSize,
+) -> io::Result<()> {
     let end = offset.checked_add(len).ok_or_else(|| {
         io::Error::new(io::ErrorKind::InvalidInput, format!("{file}: range overflows u64"))
     })?;

@@ -6,8 +6,8 @@
 use bytes::Bytes;
 use cloudburst_core::{DataIndex, LayoutParams, SiteId};
 use cloudburst_storage::{
-    decode_index, encode_index, fetch_range, fraction_placement, organize, reassemble,
-    ChunkStore, FetchConfig, MemStore,
+    decode_index, encode_index, fetch_range, fraction_placement, organize, reassemble, ChunkStore,
+    FetchConfig, MemStore,
 };
 use proptest::prelude::*;
 

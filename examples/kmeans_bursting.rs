@@ -95,11 +95,8 @@ fn main() {
             .iter()
             .enumerate()
             .map(|(i, t)| {
-                let d2: f64 = c
-                    .iter()
-                    .zip(t.iter())
-                    .map(|(x, y)| (x - f64::from(*y)).powi(2))
-                    .sum();
+                let d2: f64 =
+                    c.iter().zip(t.iter()).map(|(x, y)| (x - f64::from(*y)).powi(2)).sum();
                 (i, d2)
             })
             .min_by(|a, b| a.1.total_cmp(&b.1))

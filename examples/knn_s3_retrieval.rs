@@ -35,19 +35,15 @@ fn main() {
     for threads in [1u32, 4, 8] {
         let cfg = FetchConfig { threads, min_range: 64 * 1024 };
         let t = Instant::now();
-        let bytes = fetch_range(&s3, cloudburst_core::FileId(0), 0, chunk_len, cfg)
-            .expect("ranged fetch");
+        let bytes =
+            fetch_range(&s3, cloudburst_core::FileId(0), 0, chunk_len, cfg).expect("ranged fetch");
         println!(
             "  fetch 2 MiB with {threads} connection(s): {:>7.1} ms  ({} bytes)",
             t.elapsed().as_secs_f64() * 1e3,
             bytes.len()
         );
     }
-    println!(
-        "  (S3 stats: {} GETs, {} bytes served)",
-        s3.metrics().gets,
-        s3.metrics().bytes
-    );
+    println!("  (S3 stats: {} GETs, {} bytes served)", s3.metrics().gets, s3.metrics().bytes);
 
     // ---- Part 2: the full search, env-cloud style ----
     let params = LayoutParams { unit_size: unit, units_per_chunk: 8192, n_files: 8 };

@@ -59,12 +59,9 @@ fn main() {
     let (ranks_hybrid, rep_hybrid) = run_env("env-17/83", 0.17, 4, 4, 5);
 
     // Correctness: both environments compute the same ranks.
-    let max_diff = ranks_local
-        .iter()
-        .zip(&ranks_hybrid)
-        .map(|(a, b)| (a - b).abs())
-        .fold(0.0_f64, f64::max)
-        / ranks_local.iter().cloned().fold(0.0_f64, f64::max);
+    let max_diff =
+        ranks_local.iter().zip(&ranks_hybrid).map(|(a, b)| (a - b).abs()).fold(0.0_f64, f64::max)
+            / ranks_local.iter().cloned().fold(0.0_f64, f64::max);
     println!("\nmax relative rank difference across environments: {max_diff:.2e}");
     assert!(max_diff < 1e-9, "environments must agree");
 

@@ -21,9 +21,9 @@ fn main() {
     let provider_b = SiteSpec {
         site: SiteId(2),
         cores: 16,
-        cores_per_slave: 2,      // smaller instances
-        compute_factor: 1.5,     // slower cores
-        jitter: 0.2,             // noisier neighborhood
+        cores_per_slave: 2,  // smaller instances
+        compute_factor: 1.5, // slower cores
+        jitter: 0.2,         // noisier neighborhood
         store: ResourceSpec { servers: 16, per_channel_bw: 30e6, latency: 80e-3 },
         data_fraction: 0.4,
     };
@@ -68,7 +68,10 @@ fn main() {
          (16 cores each; provider B has smaller, slower, noisier instances)\n"
     );
     let report = simulate_multi(&app, &env);
-    println!("{:<8} {:>6} {:>8} {:>10} {:>10} {:>8} {:>8}", "site", "jobs", "stolen", "proc (s)", "retr (s)", "sync", "idle");
+    println!(
+        "{:<8} {:>6} {:>8} {:>10} {:>10} {:>8} {:>8}",
+        "site", "jobs", "stolen", "proc (s)", "retr (s)", "sync", "idle"
+    );
     for (site, s) in &report.sites {
         println!(
             "{:<8} {:>6} {:>8} {:>10.1} {:>10.1} {:>8.1} {:>8.1}",
@@ -101,6 +104,7 @@ fn main() {
         "\nfor comparison, the same 32 cloud-ish cores concentrated on one provider: {:.1}s",
         two_site.total_time
     );
-    let faster = if report.total_time < two_site.total_time { "three-provider" } else { "two-provider" };
+    let faster =
+        if report.total_time < two_site.total_time { "three-provider" } else { "two-provider" };
     println!("-> {faster} layout wins for this profile");
 }

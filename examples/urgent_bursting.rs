@@ -13,7 +13,9 @@
 //! ```
 
 use cloudburst_core::EnvConfig;
-use cloudburst_sim::{cost_of, provision_for_deadline, simulate, AppModel, PricingModel, SimParams};
+use cloudburst_sim::{
+    cost_of, provision_for_deadline, simulate, AppModel, PricingModel, SimParams,
+};
 
 fn main() {
     let params = SimParams::paper();

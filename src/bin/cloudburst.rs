@@ -23,6 +23,10 @@ use cloudburst_apps::kmeans::KMeans;
 use cloudburst_apps::knn::Knn;
 use cloudburst_apps::pagerank::PageRank;
 use cloudburst_cluster::FaultPolicy;
+use cloudburst_core::{
+    chrome_trace, events_to_jsonl, report_to_json, ConsoleSink, EventSink, Json, LogLevel,
+    Recorder, Telemetry,
+};
 use cloudburst_storage::{read_index, write_index, SiteStore};
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -39,6 +43,7 @@ fn main() -> ExitCode {
         Some("info") => cmd_info(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
         Some("simulate") => cmd_simulate(&args[1..]),
+        Some("check-json") => cmd_check_json(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print_usage();
             Ok(())
@@ -67,8 +72,22 @@ USAGE:
   cloudburst run <knn|kmeans|pagerank|wordcount> --org DIR
              [--local-cores N] [--cloud-cores N] [--retry N] [--time-scale F]
              [--ft] [--chaos SPEC]
+             [--stats-out FILE] [--events-out FILE] [--trace-out FILE]
+             [--log-level off|info|debug]
              [--k K] [--pages N] [--iterations I] [--damping D]
   cloudburst simulate [fig3a|fig3b|fig3c|fig4a|fig4b|fig4c|table1|table2|summary|all]
+  cloudburst check-json FILE
+
+OBSERVABILITY:
+  --stats-out FILE   write the final run report as a JSON document
+  --events-out FILE  write the telemetry event log as JSONL (one event/line)
+  --trace-out FILE   write a Chrome trace_event document; open it in
+                     chrome://tracing or https://ui.perfetto.dev to see
+                     per-slave swimlanes (steals, reaps, speculation)
+  --log-level LEVEL  stream events to stderr: `info` shows fault-path
+                     events only, `debug` shows everything (default off)
+  check-json FILE    validate that FILE parses as JSON or JSONL (used by
+                     verify.sh to smoke-test the artifacts above)
 
 FAULT TOLERANCE:
   --ft           enable leases, speculation, heartbeats and storage retries
@@ -81,6 +100,9 @@ FAULT TOLERANCE:
                    crash=SITE:W:N    crash worker W at SITE after N jobs
                    hb=I:T            heartbeat interval/timeout in seconds
                                      (shorten to recover outages in short runs)
+                   lease=B:MIN:MAX:M lease sizing (base, min, max seconds and
+                                     the EWMA multiplier; shorten so crashed
+                                     workers' jobs are reaped in short runs)
 
 EXAMPLE:
   cloudburst generate kmeans --out /tmp/points.bin --units 200000
@@ -94,18 +116,13 @@ EXAMPLE:
 
 /// Minimal `--flag value` parser: returns the value after `flag`.
 fn opt<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .map(String::as_str)
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
 }
 
 fn opt_parse<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> Result<T, String> {
     match opt(args, flag) {
         None => Ok(default),
-        Some(v) => v
-            .parse()
-            .map_err(|_| format!("invalid value `{v}` for {flag}")),
+        Some(v) => v.parse().map_err(|_| format!("invalid value `{v}` for {flag}")),
     }
 }
 
@@ -157,14 +174,14 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
 fn cmd_organize(args: &[String]) -> Result<(), String> {
     let data_path = PathBuf::from(required(args, "--data")?);
     let out = PathBuf::from(required(args, "--out")?);
-    let unit_size: u32 = required(args, "--unit-size")?
-        .parse()
-        .map_err(|_| "invalid --unit-size")?;
+    let unit_size: u32 =
+        required(args, "--unit-size")?.parse().map_err(|_| "invalid --unit-size")?;
     let chunk_units: u64 = opt_parse(args, "--chunk-units", 4096)?;
     let n_files: u32 = opt_parse(args, "--files", 8)?;
     let local_frac: f64 = opt_parse(args, "--local-frac", 0.5)?;
 
-    let raw = std::fs::read(&data_path).map_err(|e| format!("reading {}: {e}", data_path.display()))?;
+    let raw =
+        std::fs::read(&data_path).map_err(|e| format!("reading {}: {e}", data_path.display()))?;
     let data = Bytes::from(raw);
     let params = LayoutParams { unit_size, units_per_chunk: chunk_units, n_files };
     let org = organize(&data, params, &mut fraction_placement(local_frac, n_files))?;
@@ -243,10 +260,7 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
     println!("  chunks (jobs)  : {}", index.n_chunks());
     println!("  files          : {}", index.files.len());
     for (site, n) in index.chunks_per_site() {
-        println!(
-            "  {site:<6}: {n} chunks, {:.1}% of bytes",
-            100.0 * index.byte_fraction_at(site)
-        );
+        println!("  {site:<6}: {n} chunks, {:.1}% of bytes", 100.0 * index.byte_fraction_at(site));
     }
     Ok(())
 }
@@ -303,10 +317,13 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         config.ft = cloudburst_cluster::FtConfig::enabled();
     }
     if let Some(spec) = chaos_spec {
-        let (plan, hb) = parse_chaos(spec)?;
+        let (plan, hb, lease) = parse_chaos(spec)?;
         config.ft.chaos = Some(Arc::new(plan));
         if let Some(hb) = hb {
             config.ft.heartbeat = Some(hb);
+        }
+        if let Some(lease) = lease {
+            config.ft.lease = Some(lease);
         }
         // Chaos without a retry budget would abort on the first injected
         // fault, defeating the point of the demonstration.
@@ -315,16 +332,35 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         }
     }
 
-    match app.as_str() {
+    let stats_out = opt(args, "--stats-out").map(PathBuf::from);
+    let events_out = opt(args, "--events-out").map(PathBuf::from);
+    let trace_out = opt(args, "--trace-out").map(PathBuf::from);
+    let log_level = match opt(args, "--log-level") {
+        None => None,
+        Some(v) => LogLevel::parse(v)
+            .ok_or_else(|| format!("invalid --log-level `{v}` (off|info|debug)"))?,
+    };
+    let recorder = (events_out.is_some() || trace_out.is_some()).then(|| Arc::new(Recorder::new()));
+    let mut sinks: Vec<Arc<dyn EventSink>> = Vec::new();
+    if let Some(r) = &recorder {
+        sinks.push(r.clone() as Arc<dyn EventSink>);
+    }
+    if let Some(level) = log_level {
+        sinks.push(Arc::new(ConsoleSink::new(level)));
+    }
+    config.telemetry = Telemetry::fanout(sinks);
+
+    let report = match app.as_str() {
         "wordcount" => {
             let out = run_hybrid(&WordCount, &index, stores, &config).map_err(|e| e.to_string())?;
-            let mut counts: Vec<(String, u64)> = out.result.as_string_counts().into_iter().collect();
+            let mut counts: Vec<(String, u64)> =
+                out.result.as_string_counts().into_iter().collect();
             counts.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
             println!("total words: {}", out.result.total());
             for (w, c) in counts.iter().take(10) {
                 println!("  {w:<16} {c}");
             }
-            print_report(&out.report);
+            Some(out.report)
         }
         "knn" => {
             let k: usize = opt_parse(args, "--k", 10)?;
@@ -334,7 +370,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             for n in out.result.0.into_sorted() {
                 println!("  point {:<10} dist² {:.6}", n.id, n.dist2());
             }
-            print_report(&out.report);
+            Some(out.report)
         }
         "kmeans" => {
             let k: usize = opt_parse(args, "--k", 8)?;
@@ -344,7 +380,8 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             let mut last_report = None;
             for iter in 1..=iterations {
                 let km = KMeans::new(centroids.clone());
-                let out = run_hybrid(&km, &index, stores.clone(), &config).map_err(|e| e.to_string())?;
+                let out =
+                    run_hybrid(&km, &index, stores.clone(), &config).map_err(|e| e.to_string())?;
                 centroids = out.result.new_centroids(&centroids);
                 println!("iteration {iter}: {:.3}s", out.report.total_time);
                 last_report = Some(out.report);
@@ -356,9 +393,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
                     c.iter().map(|x| format!("{x:.4}")).collect::<Vec<_>>().join(", ")
                 );
             }
-            if let Some(r) = last_report {
-                print_report(&r);
-            }
+            last_report
         }
         "pagerank" => {
             let iterations: usize = opt_parse(args, "--iterations", 10)?;
@@ -371,7 +406,8 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             let mut last_report = None;
             for iter in 1..=iterations {
                 let pr = PageRank::new(&ranks, &outdeg, damping);
-                let out = run_hybrid(&pr, &index, stores.clone(), &config).map_err(|e| e.to_string())?;
+                let out =
+                    run_hybrid(&pr, &index, stores.clone(), &config).map_err(|e| e.to_string())?;
                 ranks = pr.next_ranks(&out.result);
                 println!(
                     "iteration {iter}: {:.3}s (robj {} bytes)",
@@ -386,23 +422,105 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             for (p, r) in top.iter().take(10) {
                 println!("  page {p:<8} rank {r:.6}");
             }
-            if let Some(r) = last_report {
-                print_report(&r);
-            }
+            last_report
         }
         other => return Err(format!("unknown application `{other}`")),
+    };
+    if let Some(report) = report {
+        print_report(&report);
+        write_run_artifacts(
+            &report,
+            recorder.as_deref(),
+            stats_out.as_deref(),
+            events_out.as_deref(),
+            trace_out.as_deref(),
+        )?;
     }
+    Ok(())
+}
+
+/// Write the machine-readable run artifacts (`--stats-out`, `--events-out`,
+/// `--trace-out`). For iterative applications the event artifacts cover
+/// every iteration of the command, each clocked from its own run epoch.
+fn write_run_artifacts(
+    report: &RunReport,
+    recorder: Option<&Recorder>,
+    stats_out: Option<&Path>,
+    events_out: Option<&Path>,
+    trace_out: Option<&Path>,
+) -> Result<(), String> {
+    let write = |path: &Path, text: String, what: &str| -> Result<(), String> {
+        std::fs::write(path, text).map_err(|e| format!("writing {}: {e}", path.display()))?;
+        println!("wrote {what} to {}", path.display());
+        Ok(())
+    };
+    if let Some(path) = stats_out {
+        let mut text = report_to_json(report).to_text();
+        text.push('\n');
+        write(path, text, "run stats (JSON)")?;
+    }
+    let events = recorder.map(Recorder::snapshot).unwrap_or_default();
+    if let Some(path) = events_out {
+        write(path, events_to_jsonl(&events), "event log (JSONL)")?;
+    }
+    if let Some(path) = trace_out {
+        let mut text = chrome_trace(&events).to_text();
+        text.push('\n');
+        write(path, text, "Chrome trace (open in chrome://tracing or Perfetto)")?;
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// check-json
+// ---------------------------------------------------------------------------
+
+/// Validate that a file parses as a single JSON document or as JSONL (one
+/// object per line) — the smoke test verify.sh runs over every artifact the
+/// `run` command can emit.
+fn cmd_check_json(args: &[String]) -> Result<(), String> {
+    let path = PathBuf::from(args.first().ok_or("check-json: missing FILE")?);
+    let text =
+        std::fs::read_to_string(&path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+    if text.trim().is_empty() {
+        return Err(format!("{}: empty file", path.display()));
+    }
+    if Json::parse(text.trim()).is_ok() {
+        println!("{}: valid JSON document", path.display());
+        return Ok(());
+    }
+    let mut objects = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        Json::parse(line)
+            .map_err(|e| format!("{}:{}: invalid JSON: {e}", path.display(), i + 1))?;
+        objects += 1;
+    }
+    println!("{}: valid JSONL ({objects} objects)", path.display());
     Ok(())
 }
 
 /// Parse a `--chaos` spec — comma-separated `key=value` clauses layered over
 /// an empty seeded plan, e.g. `seed=7,storage=0.05,outage=cloud@1.5`. The
-/// optional `hb=INTERVAL:TIMEOUT` clause tunes the heartbeat detector so an
-/// outage can be demonstrated to recover within a short run.
+/// optional `hb=INTERVAL:TIMEOUT` and `lease=BASE:MIN:MAX:MULT` clauses tune
+/// the failure detectors so outages and crashes can be demonstrated to
+/// recover within a short run.
+#[allow(clippy::type_complexity)]
 fn parse_chaos(
     spec: &str,
-) -> Result<(cloudburst_core::FaultPlan, Option<cloudburst_core::HeartbeatConfig>), String> {
-    use cloudburst_core::{FaultPlan, HeartbeatConfig, SiteOutage, SlowWorker, WorkerCrash};
+) -> Result<
+    (
+        cloudburst_core::FaultPlan,
+        Option<cloudburst_core::HeartbeatConfig>,
+        Option<cloudburst_core::LeaseConfig>,
+    ),
+    String,
+> {
+    use cloudburst_core::{
+        FaultPlan, HeartbeatConfig, LeaseConfig, SiteOutage, SlowWorker, WorkerCrash,
+    };
     fn site(s: &str) -> Result<SiteId, String> {
         match s {
             "local" => Ok(SiteId::LOCAL),
@@ -422,6 +540,7 @@ fn parse_chaos(
     }
     let mut plan = FaultPlan::seeded(0);
     let mut hb = None;
+    let mut lease = None;
     for clause in spec.split(',').filter(|c| !c.is_empty()) {
         let (key, val) = clause
             .split_once('=')
@@ -433,8 +552,7 @@ fn parse_chaos(
                 let (s, at) = val
                     .split_once('@')
                     .ok_or_else(|| format!("outage clause `{val}` wants SITE@SECONDS"))?;
-                plan.site_outage =
-                    Some(SiteOutage { site: site(s)?, at: num(at, "outage time")? });
+                plan.site_outage = Some(SiteOutage { site: site(s)?, at: num(at, "outage time")? });
             }
             "slow" => {
                 let (s, w, d) = triple(val)?;
@@ -461,10 +579,22 @@ fn parse_chaos(
                     timeout: num(t, "heartbeat timeout")?,
                 });
             }
+            "lease" => {
+                let parts: Vec<&str> = val.split(':').collect();
+                let [b, min, max, m] = parts.as_slice() else {
+                    return Err(format!("lease clause `{val}` wants BASE:MIN:MAX:MULT"));
+                };
+                lease = Some(LeaseConfig {
+                    base: num(b, "lease base")?,
+                    min: num(min, "lease min")?,
+                    max: num(max, "lease max")?,
+                    multiplier: num(m, "lease multiplier")?,
+                });
+            }
             other => return Err(format!("unknown chaos clause `{other}`")),
         }
     }
-    Ok((plan, hb))
+    Ok((plan, hb, lease))
 }
 
 fn print_report(report: &RunReport) {
@@ -488,11 +618,14 @@ fn print_report(report: &RunReport) {
     if !f.is_quiet() || report.total_retries() > 0 {
         println!(
             "  faults: {} lease expiries | {} evacuated | {} lost results | \
-             {} speculative | {} duplicates | {} late | {} abandoned | {} storage retries",
+             {} speculative ({} won, {} lost) | {} duplicates | {} late | \
+             {} abandoned | {} storage retries",
             f.lease_expiries,
             f.evacuated_jobs,
             f.lost_results,
             f.speculative_grants,
+            f.speculative_wins,
+            f.speculative_losses,
             f.duplicate_completions,
             f.late_completions,
             f.abandoned_jobs.len(),

@@ -3,6 +3,7 @@
 //! serial oracle exactly (knn/kmeans/wordcount) or to floating-point
 //! reassociation error (pagerank).
 
+use bytes::Bytes;
 use cloudburst_apps::gen::{gen_clustered_points, gen_edges, gen_id_points, gen_words};
 use cloudburst_apps::kmeans::{kmeans_oracle, KMeans};
 use cloudburst_apps::knn::{knn_oracle, Knn};
@@ -11,7 +12,6 @@ use cloudburst_apps::wordcount::{wordcount_oracle, WordCount};
 use cloudburst_cluster::{run_hybrid, RunOutcome, RuntimeConfig};
 use cloudburst_core::{DataIndex, EnvConfig, LayoutParams, Reduction, SiteId};
 use cloudburst_storage::{fraction_placement, organize, ChunkStore, FetchConfig};
-use bytes::Bytes;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 

@@ -86,7 +86,8 @@ fn poisoned_file_fails_the_run_cleanly() {
         SiteId::LOCAL,
         Arc::new(stores.remove(&SiteId::LOCAL).unwrap()) as Arc<dyn ChunkStore>,
     );
-    wrapped.insert(SiteId::CLOUD, Arc::new(PoisonedStore { inner: cloud, poisoned: poisoned_file }));
+    wrapped
+        .insert(SiteId::CLOUD, Arc::new(PoisonedStore { inner: cloud, poisoned: poisoned_file }));
 
     let env = EnvConfig::new("env-50/50", 0.5, 2, 2);
     let err = run_hybrid(&WordCount, &index, wrapped, &fast_config(env)).unwrap_err();
@@ -125,7 +126,10 @@ fn straggling_site_sheds_load_to_the_fast_site() {
         local_jobs > cloud_jobs,
         "load balancer should favor the fast site: local {local_jobs} vs cloud {cloud_jobs}"
     );
-    assert!(out.report.sites[&SiteId::LOCAL].jobs.stolen > 0, "local must steal from the straggler");
+    assert!(
+        out.report.sites[&SiteId::LOCAL].jobs.stolen > 0,
+        "local must steal from the straggler"
+    );
 }
 
 #[test]
@@ -232,7 +236,8 @@ fn permanent_failure_with_retry_reports_incomplete() {
     use cloudburst_cluster::FaultPolicy;
     let (index, mut stores) = organized(4_000, 0.5);
     let poisoned_file = index.files.iter().find(|f| f.site == SiteId::CLOUD).unwrap().id;
-    let cloud = PoisonedStore { inner: stores.remove(&SiteId::CLOUD).unwrap(), poisoned: poisoned_file };
+    let cloud =
+        PoisonedStore { inner: stores.remove(&SiteId::CLOUD).unwrap(), poisoned: poisoned_file };
     let mut wrapped: BTreeMap<SiteId, Arc<dyn ChunkStore>> = BTreeMap::new();
     wrapped.insert(
         SiteId::LOCAL,

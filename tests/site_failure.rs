@@ -29,11 +29,8 @@ fn fixture(n_words: u32) -> Fixture {
     let params = LayoutParams { unit_size: 16, units_per_chunk: 128, n_files: 4 };
     let org = organize(&data, params, &mut fraction_placement(0.5, 4)).unwrap();
     let n_chunks = org.index.chunks_per_site().values().sum::<usize>() as u64;
-    let stores = org
-        .stores
-        .into_iter()
-        .map(|(s, st)| (s, Arc::new(st) as Arc<dyn ChunkStore>))
-        .collect();
+    let stores =
+        org.stores.into_iter().map(|(s, st)| (s, Arc::new(st) as Arc<dyn ChunkStore>)).collect();
     Fixture { data, index: org.index, stores, n_chunks }
 }
 
@@ -113,11 +110,7 @@ fn seeded_chaos_replays_the_same_result() {
     cfg.ft = FtConfig::enabled();
     let mut plan = FaultPlan::seeded(21);
     plan.storage_error_rate = 0.08;
-    plan.slow_workers.push(SlowWorker {
-        site: SiteId::CLOUD,
-        worker: 1,
-        delay_per_job: 0.002,
-    });
+    plan.slow_workers.push(SlowWorker { site: SiteId::CLOUD, worker: 1, delay_per_job: 0.002 });
     cfg.ft.chaos = Some(Arc::new(plan));
 
     let a = run_hybrid(&WordCount, &fx.index, fx.stores.clone(), &cfg).unwrap();
@@ -138,11 +131,7 @@ fn speculation_cuts_the_straggler_tail_and_merges_exactly_once() {
     let fx = fixture(6_000);
     // One cloud worker is ~50x slower than its peers.
     let mut plan = FaultPlan::seeded(8);
-    plan.slow_workers.push(SlowWorker {
-        site: SiteId::CLOUD,
-        worker: 1,
-        delay_per_job: 0.25,
-    });
+    plan.slow_workers.push(SlowWorker { site: SiteId::CLOUD, worker: 1, delay_per_job: 0.25 });
     let plan = Arc::new(plan);
     let run = |speculate: bool| {
         let mut cfg = config(if speculate { "spec-on" } else { "spec-off" });

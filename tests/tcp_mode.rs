@@ -3,13 +3,13 @@
 //! sockets. Results must match the serial oracles exactly and the two
 //! deployment modes must agree.
 
+use bytes::Bytes;
 use cloudburst_apps::gen::{gen_id_points, gen_words};
 use cloudburst_apps::knn::{knn_oracle, Knn};
 use cloudburst_apps::wordcount::{wordcount_oracle, WordCount};
 use cloudburst_cluster::{run_hybrid, run_hybrid_tcp, RuntimeConfig};
 use cloudburst_core::{DataIndex, EnvConfig, LayoutParams, SiteId};
 use cloudburst_storage::{fraction_placement, organize, ChunkStore, FetchConfig};
-use bytes::Bytes;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -51,8 +51,7 @@ fn tcp_and_channel_modes_agree() {
     let app = Knn::<D>::new([0.4, 0.6, 0.2, 0.8], 9);
     let (index, stores) = setup(&data, (4 + 4 * D) as u32, 0.33);
     let env = EnvConfig::new("compare", 0.33, 2, 2);
-    let via_tcp =
-        run_hybrid_tcp(&app, &index, stores.clone(), &config(env.clone())).expect("tcp");
+    let via_tcp = run_hybrid_tcp(&app, &index, stores.clone(), &config(env.clone())).expect("tcp");
     let via_chan = run_hybrid(&app, &index, stores, &config(env)).expect("channels");
     assert_eq!(via_tcp.result.0.items(), via_chan.result.0.items());
     assert_eq!(via_tcp.result.0.items(), knn_oracle::<D>(&data, &app.query, 9).as_slice());
@@ -120,10 +119,7 @@ fn tcp_mode_retry_policy_works() {
     let data = gen_words(4_000, 30, 5);
     let (index, mut stores) = setup(&data, 16, 0.5);
     let cloud = stores.remove(&SiteId::CLOUD).unwrap();
-    stores.insert(
-        SiteId::CLOUD,
-        Arc::new(Flaky { inner: cloud, fails_left: AtomicU64::new(2) }),
-    );
+    stores.insert(SiteId::CLOUD, Arc::new(Flaky { inner: cloud, fails_left: AtomicU64::new(2) }));
     let env = EnvConfig::new("tcp-flaky", 0.5, 2, 2);
     let mut cfg = config(env);
     cfg.fault_policy = FaultPolicy::Retry { max_attempts: 5 };
