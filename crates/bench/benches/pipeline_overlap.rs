@@ -1,0 +1,50 @@
+//! How much retrieval does slave pipelining hide behind computation?
+//!
+//! Runs the knn-style S3Sim-heavy overlap scenario (see
+//! `cloudburst_bench::overlap`) end to end at pipeline depths 1, 2 and 4,
+//! asserts that every depth produces the exact serial result, writes the
+//! quantified speedup to `BENCH_runtime.json` at the workspace root
+//! (override with `BENCH_RUNTIME_OUT`), and then hands the same runs to
+//! Criterion for regression tracking. Serial fetch-then-process pays
+//! fetch + process per chunk; depth 2 should approach max(fetch, process).
+
+use cloudburst_bench::overlap::{quantify, run_at_depth, s3_heavy_scenario};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+const CHUNKS: u32 = 48;
+const CORES: u32 = 2;
+
+fn bench_pipeline_overlap(c: &mut Criterion) {
+    let sc = s3_heavy_scenario(CHUNKS, CORES);
+
+    // Quantify once, best-of-3, and persist the artifact before Criterion
+    // takes over: the JSON is the contract verify.sh and plotting scripts
+    // consume, and the equivalence assertion makes a wrong-answer pipeline
+    // fail the bench loudly rather than just looking fast.
+    let report = quantify(&sc, &[1, 2, 4], 3);
+    assert!(report.all_equal, "pipelined results diverged from the serial baseline: {report:?}");
+    let out = cloudburst_bench::overlap::write_runtime_artifact(&report);
+    eprintln!(
+        "wrote {out}: depth-1 {:.3}s, best pipelined {:.3}s, speedup {:.2}x",
+        report.runs[0].seconds,
+        report.runs[0].seconds / report.speedup,
+        report.speedup
+    );
+
+    let mut g = c.benchmark_group("pipeline_overlap_s3heavy");
+    g.sample_size(10);
+    for depth in [1usize, 2, 4] {
+        g.bench_with_input(BenchmarkId::new("depth", depth), &depth, |b, &d| {
+            b.iter(|| {
+                let run = run_at_depth(&sc, d);
+                assert!(run.result_ok);
+                black_box(run.seconds)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipeline_overlap);
+criterion_main!(benches);

@@ -7,10 +7,12 @@
 //! ```
 //!
 //! Artifacts: `fig3a` `fig3b` `fig3c` `table1` `table2`
-//! `fig4a` `fig4b` `fig4c` `summary` `cost` `trace` `ablation` `all`
-//! (default: `all`).
+//! `fig4a` `fig4b` `fig4c` `summary` `cost` `trace` `ablation` `runtime`
+//! `all` (default: `all`).
 //! (`cost` is the time/dollar frontier from the authors' follow-up work,
-//! not a figure of the SC'11 paper.)
+//! not a figure of the SC'11 paper. `runtime` measures retrieval/compute
+//! overlap of the real runtime on this machine and writes
+//! `BENCH_runtime.json`; it is not part of `all`.)
 
 use cloudburst_sim::figures::{
     fig3, fig4, fig4_cumulative_efficiencies, fig4_efficiencies, summary, table1, table2,
@@ -44,6 +46,7 @@ fn main() {
         }
         "cost" => print_cost(&apps, &params),
         "trace" => print_trace(&params),
+        "runtime" => print_runtime(),
         "ablation" => print_ablation(&params),
         "table1" => print_table1(&apps, &params),
         "table2" => print_table2(&apps, &params),
@@ -64,10 +67,30 @@ fn main() {
         }
         other => {
             eprintln!("unknown artifact `{other}`");
-            eprintln!("expected: fig3a fig3b fig3c table1 table2 fig4a fig4b fig4c summary all");
+            eprintln!(
+                "expected: fig3a fig3b fig3c table1 table2 fig4a fig4b fig4c summary cost trace ablation runtime all"
+            );
             std::process::exit(2);
         }
     }
+}
+
+fn print_runtime() {
+    use cloudburst_bench::overlap::{quantify, s3_heavy_scenario, write_runtime_artifact};
+    println!("\n=== Runtime overlap — pipelined slaves on the S3Sim-heavy knn scenario ===");
+    println!("(real wall clock on this machine, not the paper-scale simulation)\n");
+    let sc = s3_heavy_scenario(48, 2);
+    let report = quantify(&sc, &[1, 2, 4], 3);
+    println!("{:<8} {:>12} {:>10}", "depth", "seconds", "exact?");
+    for run in &report.runs {
+        println!("{:<8} {:>12.3} {:>10}", run.depth, run.seconds, run.result_ok);
+    }
+    println!(
+        "\nend-to-end speedup, best pipelined depth over serial: {:.2}x  (chunks: {}, cloud cores: {})",
+        report.speedup, report.chunks, report.cores
+    );
+    let out = write_runtime_artifact(&report);
+    println!("wrote {out}");
 }
 
 fn print_fig3(app: &AppModel, params: &SimParams) {

@@ -1,0 +1,249 @@
+//! The retrieval/compute overlap scenario: quantifies how much of a chunk's
+//! S3 fetch a pipelined slave hides behind the previous chunk's processing.
+//!
+//! The scenario is knn-shaped — per-item compute comparable to the per-item
+//! retrieval cost — with every byte cloud-resident behind [`S3SimStore`]'s
+//! per-connection bandwidth/TTFB model. Per-item compute is *calibrated* on
+//! the running machine so a chunk's processing roughly matches its ~4 ms
+//! fetch: the fetch ≈ process regime is where depth-2 pipelining approaches
+//! its ideal 2x, and where a regression is easiest to spot.
+
+use bytes::Bytes;
+use cloudburst_cluster::{run_hybrid, RuntimeConfig};
+use cloudburst_core::combiners::Sum;
+use cloudburst_core::{DataIndex, EnvConfig, Json, LayoutParams, Reduction, SiteId};
+use cloudburst_netsim::LinkSpec;
+use cloudburst_storage::{
+    fraction_placement, organize, ChunkStore, FetchConfig, S3Config, S3SimStore,
+};
+use std::collections::BTreeMap;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Units per chunk: 64 KiB chunks of u32 units.
+pub const UNITS_PER_CHUNK: u64 = 16_384;
+
+const SPIN_MIX: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// knn-style compute: sums u32 units while burning a calibrated number of
+/// hash rounds per item (standing in for distance evaluation), so per-chunk
+/// processing time is controllable while the result stays an exact,
+/// order-free sum — ideal for checking pipelined-vs-serial equivalence.
+pub struct SpinSum {
+    /// Hash rounds burned per decoded item.
+    pub spin: u32,
+}
+
+impl Reduction for SpinSum {
+    type Item = u32;
+    type RObj = Sum<u64>;
+    fn make_robj(&self) -> Sum<u64> {
+        Sum(0)
+    }
+    fn unit_size(&self) -> usize {
+        4
+    }
+    fn decode(&self, chunk: &[u8], out: &mut Vec<u32>) {
+        out.extend(chunk.chunks_exact(4).map(|b| u32::from_le_bytes(b.try_into().unwrap())));
+    }
+    fn local_reduce(&self, robj: &mut Sum<u64>, item: &u32) {
+        let mut x = u64::from(*item) | 1;
+        for _ in 0..self.spin {
+            x = x.wrapping_mul(SPIN_MIX).rotate_left(31);
+        }
+        black_box(x);
+        robj.0 += u64::from(*item);
+    }
+}
+
+/// Measure this machine's hash-round throughput and return the spin count
+/// that makes `items_per_chunk` items take about `target` to process.
+#[must_use]
+pub fn calibrate_spin(target: Duration, items_per_chunk: u64) -> u32 {
+    let probe: u64 = 2_000_000;
+    let mut x = black_box(0x1234_5678u64);
+    let start = Instant::now();
+    for _ in 0..probe {
+        x = x.wrapping_mul(SPIN_MIX).rotate_left(31);
+    }
+    black_box(x);
+    let per_round = (start.elapsed().as_secs_f64() / probe as f64).max(1e-10);
+    let rounds = target.as_secs_f64() / per_round / items_per_chunk as f64;
+    rounds.ceil().max(1.0) as u32
+}
+
+/// Dataset, stores, and calibrated app for one overlap measurement.
+pub struct OverlapScenario {
+    /// The organized dataset's index.
+    pub index: DataIndex,
+    /// Every chunk cloud-resident behind the S3 model.
+    pub stores: BTreeMap<SiteId, Arc<dyn ChunkStore>>,
+    /// The calibrated compute app.
+    pub app: SpinSum,
+    /// Ground-truth sum of every unit.
+    pub expected: u64,
+    /// Cloud cores to run with (the local cluster has none).
+    pub cores: u32,
+}
+
+/// Build the S3Sim-heavy scenario: `n_chunks` 64 KiB chunks, all in the
+/// cloud behind a simulated S3 (25 MB/s with 3 ms TTFB per connection,
+/// 100 MB/s aggregate, real time: `time_scale` 1.0).
+#[must_use]
+pub fn s3_heavy_scenario(n_chunks: u32, cores: u32) -> OverlapScenario {
+    let units = n_chunks * UNITS_PER_CHUNK as u32;
+    let data = Bytes::from((0..units).flat_map(u32::to_le_bytes).collect::<Vec<u8>>());
+    let expected = (0..units).map(u64::from).sum();
+    let params = LayoutParams { unit_size: 4, units_per_chunk: UNITS_PER_CHUNK, n_files: 4 };
+    let org = organize(&data, params, &mut fraction_placement(0.0, 4)).expect("organize");
+    let s3 = S3SimStore::new(
+        org.stores[&SiteId::CLOUD].clone(),
+        S3Config {
+            connection: LinkSpec::new(3e-3, 25e6),
+            aggregate: LinkSpec::new(0.0, 100e6),
+            max_connections: 64,
+            time_scale: 1.0,
+        },
+    );
+    let mut stores: BTreeMap<SiteId, Arc<dyn ChunkStore>> = BTreeMap::new();
+    stores.insert(SiteId::CLOUD, Arc::new(s3));
+    let app = SpinSum { spin: calibrate_spin(Duration::from_millis(4), UNITS_PER_CHUNK) };
+    OverlapScenario { index: org.index, stores, app, expected, cores }
+}
+
+/// One timed end-to-end run at a pipeline depth.
+#[derive(Debug, Clone, Copy)]
+pub struct DepthRun {
+    /// Pipeline depth used.
+    pub depth: usize,
+    /// Wall-clock seconds for the whole run.
+    pub seconds: f64,
+    /// Whether the result matched the scenario's ground truth exactly.
+    pub result_ok: bool,
+}
+
+/// Execute the scenario once at `depth` and time it end to end.
+#[must_use]
+pub fn run_at_depth(sc: &OverlapScenario, depth: usize) -> DepthRun {
+    let env = EnvConfig::new("knn-s3heavy", 0.0, 0, sc.cores);
+    let mut config = RuntimeConfig::new(env, 1.0);
+    config.fetch = FetchConfig { threads: 4, min_range: 8 * 1024 };
+    config.unit_group = 2048;
+    config.pipeline_depth = depth;
+    let start = Instant::now();
+    let out = run_hybrid(&sc.app, &sc.index, sc.stores.clone(), &config).expect("overlap run");
+    DepthRun {
+        depth,
+        seconds: start.elapsed().as_secs_f64(),
+        result_ok: out.result.0 == sc.expected,
+    }
+}
+
+/// The quantified overlap: best-of-`reps` wall time per depth plus the
+/// end-to-end speedup of the best pipelined depth over the serial baseline.
+#[derive(Debug, Clone)]
+pub struct OverlapReport {
+    /// Best-of-reps run per depth, in the order the depths were given.
+    pub runs: Vec<DepthRun>,
+    /// Serial (depth 1) time over the best pipelined (depth >= 2) time.
+    pub speedup: f64,
+    /// Every run at every depth matched the ground truth exactly.
+    pub all_equal: bool,
+    /// Chunks in the dataset.
+    pub chunks: u64,
+    /// Cloud cores used.
+    pub cores: u32,
+}
+
+/// Run every depth `reps` times, keep each depth's fastest run, and report
+/// the speedup of the best pipelined depth over the serial baseline.
+///
+/// # Panics
+/// `depths` must contain depth 1 (the baseline) and at least one depth >= 2.
+#[must_use]
+pub fn quantify(sc: &OverlapScenario, depths: &[usize], reps: u32) -> OverlapReport {
+    let mut runs: Vec<DepthRun> = Vec::new();
+    let mut all_equal = true;
+    for &depth in depths {
+        let mut best: Option<DepthRun> = None;
+        for _ in 0..reps.max(1) {
+            let r = run_at_depth(sc, depth);
+            all_equal &= r.result_ok;
+            best = Some(match best {
+                Some(b) if b.seconds <= r.seconds => b,
+                _ => r,
+            });
+        }
+        runs.push(best.expect("at least one rep"));
+    }
+    let serial = runs.iter().find(|r| r.depth <= 1).expect("depth-1 baseline").seconds;
+    let pipelined =
+        runs.iter().filter(|r| r.depth >= 2).map(|r| r.seconds).fold(f64::INFINITY, f64::min);
+    OverlapReport {
+        runs,
+        speedup: serial / pipelined,
+        all_equal,
+        chunks: sc.index.n_chunks() as u64,
+        cores: sc.cores,
+    }
+}
+
+/// Serialize an [`OverlapReport`] as the `BENCH_runtime.json` document.
+#[must_use]
+pub fn overlap_json(r: &OverlapReport) -> Json {
+    let depths = r
+        .runs
+        .iter()
+        .map(|d| {
+            Json::obj()
+                .field("depth", Json::U64(d.depth as u64))
+                .field("seconds", Json::F64(d.seconds))
+                .field("result_ok", Json::Bool(d.result_ok))
+        })
+        .collect();
+    Json::obj()
+        .field("scenario", Json::Str("knn-style S3Sim-heavy overlap".to_owned()))
+        .field("chunks", Json::U64(r.chunks))
+        .field("cores", Json::U64(u64::from(r.cores)))
+        .field("depths", Json::Arr(depths))
+        .field("speedup", Json::F64(r.speedup))
+        .field("results_equal_at_every_depth", Json::Bool(r.all_equal))
+}
+
+/// Write the overlap document where `BENCH_RUNTIME_OUT` points (default:
+/// `BENCH_runtime.json` at the workspace root) and return the path.
+pub fn write_runtime_artifact(r: &OverlapReport) -> String {
+    let out = std::env::var("BENCH_RUNTIME_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_runtime.json").to_owned()
+    });
+    let mut text = overlap_json(r).to_text();
+    text.push('\n');
+    std::fs::write(&out, text).expect("write BENCH_runtime.json");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_results_are_exact_at_depths_1_and_2() {
+        // Tiny version of the bench scenario: correctness only, not timing.
+        let sc = s3_heavy_scenario(6, 2);
+        for depth in [1usize, 2] {
+            assert!(run_at_depth(&sc, depth).result_ok, "depth {depth} diverged");
+        }
+    }
+
+    #[test]
+    fn quantify_reports_every_depth_and_a_finite_speedup() {
+        let sc = s3_heavy_scenario(4, 2);
+        let report = quantify(&sc, &[1, 2], 1);
+        assert_eq!(report.runs.len(), 2);
+        assert!(report.all_equal);
+        assert!(report.speedup.is_finite() && report.speedup > 0.0);
+        let text = overlap_json(&report).to_text();
+        assert!(text.contains("\"speedup\""));
+    }
+}

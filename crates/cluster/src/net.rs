@@ -22,14 +22,15 @@ use crate::protocol::{HeadReport, MasterMsg};
 use crate::report::{assemble_report, SiteOutcome};
 use crate::router::StoreRouter;
 use crate::runtime::{
-    panic_msg, run_slave, FaultPolicy, ReportSink, RunOutcome, RuntimeConfig, SlaveCtx,
+    collect_global, merge_site_outcome, panic_msg, run_slave, FaultPolicy, ReportSink, RunOutcome,
+    RuntimeConfig, SlaveCtx,
 };
 use crate::wire::{
     read_ack, read_from_master, read_grant, write_ack, write_grant, write_to_head, MasterToHead,
 };
 use cloudburst_core::{
-    global_reduce, secs_to_ns, DataIndex, Event, EventKind, FaultPlan, HeartbeatConfig, JobPool,
-    MasterPool, Merge, Reduction, ReductionObject, SiteId, Take, Telemetry,
+    ns_since, DataIndex, Event, EventKind, FaultPlan, HeartbeatConfig, JobPool, MasterPool,
+    Reduction, SiteId, Take, Telemetry,
 };
 use cloudburst_storage::{ChaosStore, ChunkStore};
 use crossbeam::channel::{unbounded, Receiver};
@@ -375,10 +376,7 @@ fn tcp_master_loop(
         if let Some(hb) = ft.heartbeat {
             if last_sent.elapsed().as_secs_f64() >= hb.interval {
                 write_to_head(&mut writer, &MasterToHead::Ping { site })?;
-                ft.telemetry.emit(
-                    Event::at(ft.epoch.elapsed().as_nanos() as u64, EventKind::Heartbeat)
-                        .site(site),
-                );
+                ft.telemetry.emit(Event::at(ns_since(ft.epoch), EventKind::Heartbeat).site(site));
                 last_sent = Instant::now();
             }
         }
@@ -489,6 +487,7 @@ pub fn run_hybrid_tcp<R: Reduction>(
         _ => stores,
     };
     let mut router = StoreRouter::new(stores, &config.topology, config.fetch, config.time_scale);
+    router.set_concurrency(active.iter().map(|&(_, c)| c as usize).sum());
     if let Some(retry) = config.ft.retry {
         router.set_retry(retry);
     }
@@ -602,23 +601,7 @@ pub fn run_hybrid_tcp<R: Reduction>(
                     let revoked = chaos
                         .as_deref()
                         .is_some_and(|p| p.site_dead(site, epoch.elapsed().as_secs_f64()));
-                    let merge_start = Instant::now();
-                    let robj = if revoked { None } else { global_reduce(robjs) };
-                    let merge_dur = merge_start.elapsed();
-                    let local_merge = merge_dur.as_secs_f64();
-                    let finish = epoch.elapsed().as_secs_f64();
-                    config.telemetry.emit(
-                        Event::span(
-                            merge_start.saturating_duration_since(epoch).as_nanos() as u64,
-                            merge_dur.as_nanos() as u64,
-                            EventKind::SiteMerged,
-                        )
-                        .site(site),
-                    );
-                    config
-                        .telemetry
-                        .emit(Event::at(secs_to_ns(finish), EventKind::SiteFinished).site(site));
-                    Ok(SiteOutcome { site, robj, slaves, local_merge, finish })
+                    Ok(merge_site_outcome(site, robjs, slaves, revoked, epoch, &config.telemetry))
                 })
             })
             .collect();
@@ -647,33 +630,10 @@ pub fn run_hybrid_tcp<R: Reduction>(
         }
     }
 
-    // Global reduction (same accounting as the in-process runtime).
-    let gr_start = Instant::now();
-    let mut final_robj: Option<R::RObj> = None;
-    for o in &mut outcomes {
-        let Some(robj) = o.robj.take() else { continue };
-        if o.site != head_site {
-            let link = config.topology.link(o.site.0, head_site.0);
-            let modelled = link.transfer_time(robj.byte_size() as u64);
-            std::thread::sleep(Duration::from_secs_f64(modelled * config.time_scale));
-        }
-        final_robj = Some(match final_robj.take() {
-            None => robj,
-            Some(mut acc) => {
-                acc.merge(robj);
-                acc
-            }
-        });
-    }
-    let gr_dur = gr_start.elapsed();
-    let global_reduction = gr_dur.as_secs_f64();
-    let total_time = epoch.elapsed().as_secs_f64();
-    config.telemetry.emit(Event::span(
-        gr_start.saturating_duration_since(epoch).as_nanos() as u64,
-        gr_dur.as_nanos() as u64,
-        EventKind::GlobalReduction,
-    ));
-    config.telemetry.emit(Event::at(secs_to_ns(total_time), EventKind::RunFinished));
+    // Global reduction (same accounting as the in-process runtime, with the
+    // same overlapped inter-site transfers).
+    let (final_robj, global_reduction, total_time) =
+        collect_global(&mut outcomes, head_site, config, epoch);
     let result = final_robj.ok_or(RunError::NothingProcessed)?;
 
     let report = assemble_report(&config.env.name, &outcomes, &head, global_reduction, total_time);

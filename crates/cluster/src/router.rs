@@ -11,7 +11,7 @@ use crate::error::RunError;
 use bytes::Bytes;
 use cloudburst_core::{ChunkMeta, SiteId};
 use cloudburst_netsim::{Throttle, Topology};
-use cloudburst_storage::{fetch_chunk_with_retry, ChunkStore, FetchConfig, RetryPolicy};
+use cloudburst_storage::{fetch_chunk_pooled, ChunkStore, FetchConfig, FetcherPool, RetryPolicy};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -27,9 +27,19 @@ pub struct Fetched {
     pub retries: u64,
 }
 
+/// Readers-per-site assumption used to size fetcher pools before
+/// [`StoreRouter::set_concurrency`] tells the router the real worker count.
+const DEFAULT_READERS: usize = 4;
+
 /// The runtime's view of every site's storage plus the links between sites.
+///
+/// Each hosting site owns one persistent [`FetcherPool`]: every chunk read
+/// against that site's store runs its concurrent range reads on the pool,
+/// so the per-fetch thread spawn/join of the scoped path never appears on
+/// the routed fast path.
 pub struct StoreRouter {
     stores: BTreeMap<SiteId, Arc<dyn ChunkStore>>,
+    pools: BTreeMap<SiteId, FetcherPool>,
     wan: BTreeMap<(SiteId, SiteId), Arc<Throttle>>,
     fetch: FetchConfig,
     retry: RetryPolicy,
@@ -55,12 +65,34 @@ impl StoreRouter {
                 }
             }
         }
+        let pools = Self::build_pools(&sites, fetch, DEFAULT_READERS);
         StoreRouter {
             stores,
+            pools,
             wan,
             fetch,
             retry: RetryPolicy { max_retries: 0, ..RetryPolicy::default() },
         }
+    }
+
+    fn build_pools(
+        sites: &[SiteId],
+        fetch: FetchConfig,
+        readers: usize,
+    ) -> BTreeMap<SiteId, FetcherPool> {
+        // `threads` ranges per chunk × every worker that may fetch
+        // concurrently: sized so pooling never serializes reads that the
+        // per-fetch spawns would have run in parallel.
+        let size = (fetch.threads.max(1) as usize).saturating_mul(readers.max(1));
+        sites.iter().map(|&s| (s, FetcherPool::new(size))).collect()
+    }
+
+    /// Resize each site's fetcher pool for `readers` concurrent fetching
+    /// workers (the runtimes call this with the total core count before
+    /// spawning slaves).
+    pub fn set_concurrency(&mut self, readers: usize) {
+        let sites: Vec<SiteId> = self.stores.keys().copied().collect();
+        self.pools = Self::build_pools(&sites, self.fetch, readers);
     }
 
     /// Set the transient-failure retry policy applied to every range read.
@@ -80,11 +112,14 @@ impl StoreRouter {
         self.stores.keys().copied().collect()
     }
 
-    /// Fetch `chunk` on behalf of a worker at `reader`.
+    /// Fetch `chunk` on behalf of a worker at `reader`: concurrent range
+    /// reads on the hosting site's persistent fetcher pool, reassembled
+    /// zero-copy.
     pub fn fetch(&self, reader: SiteId, chunk: &ChunkMeta) -> Result<Fetched, RunError> {
         let store = self.stores.get(&chunk.site).ok_or(RunError::NoStoreForSite(chunk.site))?;
+        let pool = self.pools.get(&chunk.site).expect("one pool per store site");
         let (bytes, retries) =
-            fetch_chunk_with_retry(store.as_ref(), chunk, self.fetch, &self.retry)?;
+            fetch_chunk_pooled(pool, store, chunk, self.fetch, &self.retry, None)?;
         let remote = chunk.site != reader;
         if remote {
             if let Some(throttle) = self.wan.get(&(reader, chunk.site)) {
@@ -155,6 +190,33 @@ mod tests {
     #[test]
     fn sites_lists_registered_stores() {
         assert_eq!(router(1.0).sites(), vec![SiteId::LOCAL, SiteId::CLOUD]);
+    }
+
+    #[test]
+    fn multi_range_fetches_run_on_the_pool_and_reassemble() {
+        let mut stores: BTreeMap<SiteId, Arc<dyn ChunkStore>> = BTreeMap::new();
+        let data: Vec<u8> = (0..4096u32).map(|i| (i % 253) as u8).collect();
+        stores.insert(
+            SiteId::LOCAL,
+            Arc::new(MemStore::new(SiteId::LOCAL, vec![Bytes::from(data.clone())])),
+        );
+        let mut r = StoreRouter::new(
+            stores,
+            &Topology::new(),
+            FetchConfig { threads: 4, min_range: 64 },
+            1e-3,
+        );
+        r.set_concurrency(6);
+        let meta = ChunkMeta {
+            id: ChunkId(0),
+            file: FileId(0),
+            offset: 128,
+            len: 3000,
+            n_units: 3000,
+            site: SiteId::LOCAL,
+        };
+        let f = r.fetch(SiteId::LOCAL, &meta).unwrap();
+        assert_eq!(f.bytes.as_ref(), &data[128..3128]);
     }
 
     #[test]

@@ -16,11 +16,11 @@ use crate::error::RunError;
 use crate::head::{run_head_with, CancelBoard, HeadOptions};
 use crate::protocol::{HeadMsg, HeadReport, MasterMsg};
 use crate::report::{assemble_report, SiteOutcome};
-use crate::router::StoreRouter;
+use crate::router::{Fetched, StoreRouter};
 use cloudburst_core::{
-    global_reduce, secs_to_ns, BatchPolicy, DataIndex, EnvConfig, Event, EventKind, FaultPlan,
-    HeartbeatConfig, JobPool, LeaseConfig, MasterPool, Merge, Reduction, ReductionObject,
-    RunReport, Seconds, SiteId, Take, Telemetry,
+    ns_between, ns_since, secs_to_ns, tree_reduce, BatchPolicy, DataIndex, EnvConfig, Event,
+    EventKind, FaultPlan, HeartbeatConfig, JobPool, LeaseConfig, LocalJob, MasterPool, Merge,
+    Reduction, ReductionObject, RunReport, Seconds, SiteId, Take, Telemetry,
 };
 use cloudburst_netsim::Topology;
 use cloudburst_storage::{ChaosStore, ChunkStore, FetchConfig, RetryPolicy};
@@ -105,6 +105,13 @@ pub struct RuntimeConfig {
     pub topology: Topology,
     /// Compression of modelled network time into real time.
     pub time_scale: f64,
+    /// Jobs in flight per slave. Depth 1 is the classic serial loop:
+    /// request, fetch, process, repeat. Depth `d ≥ 2` overlaps retrieval
+    /// with computation — while a slave processes chunk *N*, a companion
+    /// prefetcher already has the next job granted and its fetch in
+    /// flight, keeping up to `d` jobs (one processing, one fetching, and
+    /// `d - 2` buffered) in the slave's pipeline.
+    pub pipeline_depth: usize,
     /// Failure handling.
     pub fault_policy: FaultPolicy,
     /// Fault-tolerance subsystem (off by default).
@@ -127,6 +134,7 @@ impl RuntimeConfig {
             low_watermark: 1,
             topology: Topology::paper_testbed(),
             time_scale,
+            pipeline_depth: 1,
             fault_policy: FaultPolicy::FailFast,
             ft: FtConfig::default(),
             telemetry: Telemetry::off(),
@@ -189,7 +197,7 @@ impl SlaveCtx {
 
     /// Nanoseconds of run clock at `at` (saturating at the epoch).
     fn ns_at(&self, at: Instant) -> u64 {
-        at.saturating_duration_since(self.epoch).as_nanos() as u64
+        ns_between(self.epoch, at)
     }
 }
 
@@ -232,6 +240,9 @@ pub fn run_hybrid<R: Reduction>(
         _ => stores,
     };
     let mut router = StoreRouter::new(stores, &config.topology, config.fetch, config.time_scale);
+    // Size the fetcher pools for every worker (and, with pipelining, its
+    // companion prefetcher) hitting storage at once.
+    router.set_concurrency(active.iter().map(|&(_, c)| c as usize).sum());
     if let Some(retry) = config.ft.retry {
         router.set_retry(retry);
     }
@@ -349,25 +360,7 @@ pub fn run_hybrid<R: Reduction>(
                     let revoked = chaos
                         .as_deref()
                         .is_some_and(|p| p.site_dead(site, epoch.elapsed().as_secs_f64()));
-                    // Local combination: fold this site's worker objects into
-                    // one before the inter-site exchange.
-                    let merge_start = Instant::now();
-                    let robj = if revoked { None } else { global_reduce(robjs) };
-                    let merge_dur = merge_start.elapsed();
-                    let local_merge = merge_dur.as_secs_f64();
-                    let finish = epoch.elapsed().as_secs_f64();
-                    config.telemetry.emit(
-                        Event::span(
-                            merge_start.saturating_duration_since(epoch).as_nanos() as u64,
-                            merge_dur.as_nanos() as u64,
-                            EventKind::SiteMerged,
-                        )
-                        .site(site),
-                    );
-                    config
-                        .telemetry
-                        .emit(Event::at(secs_to_ns(finish), EventKind::SiteFinished).site(site));
-                    Ok(SiteOutcome { site, robj, slaves, local_merge, finish })
+                    Ok(merge_site_outcome(site, robjs, slaves, revoked, epoch, &config.telemetry))
                 })
             })
             .collect();
@@ -402,38 +395,100 @@ pub fn run_hybrid<R: Reduction>(
     }
 
     // ---- Global reduction phase (head collects and merges robjs) ----
-    let gr_start = Instant::now();
-    let mut final_robj: Option<R::RObj> = None;
-    for o in &mut outcomes {
-        let Some(robj) = o.robj.take() else { continue };
-        if o.site != head_site {
-            // The reduction object crosses the inter-site link; its size is
-            // what makes pagerank's sync time large (paper §IV-B).
-            let link = config.topology.link(o.site.0, head_site.0);
-            let modelled = link.transfer_time(robj.byte_size() as u64);
-            std::thread::sleep(Duration::from_secs_f64(modelled * config.time_scale));
-        }
-        final_robj = Some(match final_robj.take() {
-            None => robj,
-            Some(mut acc) => {
-                acc.merge(robj);
-                acc
-            }
-        });
-    }
-    let gr_dur = gr_start.elapsed();
-    let global_reduction = gr_dur.as_secs_f64();
-    let total_time = epoch.elapsed().as_secs_f64();
-    config.telemetry.emit(Event::span(
-        gr_start.saturating_duration_since(epoch).as_nanos() as u64,
-        gr_dur.as_nanos() as u64,
-        EventKind::GlobalReduction,
-    ));
-    config.telemetry.emit(Event::at(secs_to_ns(total_time), EventKind::RunFinished));
+    let (final_robj, global_reduction, total_time) =
+        collect_global(&mut outcomes, head_site, config, epoch);
     let result = final_robj.ok_or(RunError::NothingProcessed)?;
 
     let report = assemble_report(&config.env.name, &outcomes, &head, global_reduction, total_time);
     Ok(RunOutcome { result, report, head })
+}
+
+/// Site-local combination shared by both runtimes: a parallel binary-tree
+/// merge of the site's worker objects (a revoked site loses everything it
+/// accumulated), with the `SiteMerged`/`SiteFinished` events emitted the
+/// same way in channel and TCP mode.
+pub(crate) fn merge_site_outcome<O: ReductionObject>(
+    site: SiteId,
+    robjs: Vec<O>,
+    slaves: Vec<SlaveStats>,
+    revoked: bool,
+    epoch: Instant,
+    telemetry: &Telemetry,
+) -> SiteOutcome<O> {
+    let merge_start = Instant::now();
+    let robj = if revoked { None } else { tree_reduce(robjs) };
+    let merge_dur = merge_start.elapsed();
+    let local_merge = merge_dur.as_secs_f64();
+    let finish = epoch.elapsed().as_secs_f64();
+    telemetry.emit(
+        Event::span(
+            ns_between(epoch, merge_start),
+            merge_dur.as_nanos() as u64,
+            EventKind::SiteMerged,
+        )
+        .site(site),
+    );
+    telemetry.emit(Event::at(secs_to_ns(finish), EventKind::SiteFinished).site(site));
+    SiteOutcome { site, robj, slaves, local_merge, finish }
+}
+
+/// The global-reduction phase shared by both runtimes. Every remote site
+/// pushes its reduction object to the head concurrently — the modelled
+/// inter-site transfers overlap instead of queueing one after another —
+/// and the head merges arrivals in deterministic site order, so the phase
+/// costs the *largest* transfer rather than their sum. Returns
+/// `(result, global_reduction, total_time)` with the same accounting (and
+/// the same `GlobalReduction`/`RunFinished` events) as before.
+pub(crate) fn collect_global<O: ReductionObject>(
+    outcomes: &mut [SiteOutcome<O>],
+    head_site: SiteId,
+    config: &RuntimeConfig,
+    epoch: Instant,
+) -> (Option<O>, Seconds, Seconds) {
+    let gr_start = Instant::now();
+    let staged: Vec<(SiteId, O)> =
+        outcomes.iter_mut().filter_map(|o| o.robj.take().map(|r| (o.site, r))).collect();
+    let mut final_robj: Option<O> = None;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = staged
+            .into_iter()
+            .map(|(site, robj)| {
+                scope.spawn(move || {
+                    if site != head_site {
+                        // The reduction object crosses the inter-site link;
+                        // its size is what makes pagerank's sync time large
+                        // (paper §IV-B).
+                        let link = config.topology.link(site.0, head_site.0);
+                        let modelled = link.transfer_time(robj.byte_size() as u64);
+                        sleep_secs(modelled * config.time_scale);
+                    }
+                    robj
+                })
+            })
+            .collect();
+        // Joining in site order keeps the merge order of the old serial
+        // loop, whatever order the transfers actually land in.
+        for h in handles {
+            let robj = h.join().expect("transfer thread panicked");
+            final_robj = Some(match final_robj.take() {
+                None => robj,
+                Some(mut acc) => {
+                    acc.merge(robj);
+                    acc
+                }
+            });
+        }
+    });
+    let gr_dur = gr_start.elapsed();
+    let global_reduction = gr_dur.as_secs_f64();
+    let total_time = epoch.elapsed().as_secs_f64();
+    config.telemetry.emit(Event::span(
+        ns_between(epoch, gr_start),
+        gr_dur.as_nanos() as u64,
+        EventKind::GlobalReduction,
+    ));
+    config.telemetry.emit(Event::at(secs_to_ns(total_time), EventKind::RunFinished));
+    (final_robj, global_reduction, total_time)
 }
 
 /// Fault-tolerance context for one site master.
@@ -481,10 +536,7 @@ fn run_master(
         if let Some(hb) = ft.heartbeat {
             if last.elapsed().as_secs_f64() >= hb.interval {
                 let _ = head_tx.send(HeadMsg::Heartbeat { site });
-                ft.telemetry.emit(
-                    Event::at(ft.epoch.elapsed().as_nanos() as u64, EventKind::Heartbeat)
-                        .site(site),
-                );
+                ft.telemetry.emit(Event::at(ns_since(ft.epoch), EventKind::Heartbeat).site(site));
                 *last = Instant::now();
             }
         }
@@ -544,9 +596,11 @@ fn run_master(
         let served_job = matches!(take, Take::Job(_));
         let _ = reply.send(take);
         // Low-watermark prefetch happens after replying, so the slave is
-        // already fetching while the head round-trip is in flight.
-        if served_job && pool.needs_refill() {
-            refill(&mut pool);
+        // already fetching while the head round-trip is in flight. A gone
+        // head means shutdown: skip straight to the drain path instead of
+        // rediscovering the broken channel one request at a time.
+        if served_job && pool.needs_refill() && !refill(&mut pool) {
+            break;
         }
     }
     // All slaves hung up. Any granted-but-undispatched job would stay
@@ -619,8 +673,27 @@ impl ReportSink<'_> {
 
 /// The slave loop: pull a job, retrieve its chunk (local stream or remote
 /// ranged fetch), split into cache-sized unit groups, and fold into the
-/// worker's reduction object.
+/// worker's reduction object. With `pipeline_depth ≥ 2` the pull+fetch
+/// half runs on a companion prefetcher so retrieval of chunk *N+1*
+/// overlaps processing of chunk *N*; depth 1 is the untouched serial loop.
 pub(crate) fn run_slave<R: Reduction>(
+    app: &R,
+    ctx: SlaveCtx,
+    master_tx: &Sender<MasterMsg>,
+    reports: &ReportSink<'_>,
+    router: &StoreRouter,
+    config: &RuntimeConfig,
+) -> Result<(R::RObj, SlaveStats), RunError> {
+    if config.pipeline_depth >= 2 {
+        run_slave_pipelined(app, ctx, master_tx, reports, router, config)
+    } else {
+        run_slave_serial(app, ctx, master_tx, reports, router, config)
+    }
+}
+
+/// The classic serial slave loop (`pipeline_depth ≤ 1`): request, fetch,
+/// process, repeat — nothing in flight while the worker computes.
+fn run_slave_serial<R: Reduction>(
     app: &R,
     ctx: SlaveCtx,
     master_tx: &Sender<MasterMsg>,
@@ -788,6 +861,226 @@ pub(crate) fn run_slave<R: Reduction>(
             }
         }
     }
+    stats.finish = ctx.epoch.elapsed().as_secs_f64();
+    ctx.telemetry.emit(
+        Event::at(secs_to_ns(stats.finish), EventKind::SlaveFinished).site(site).worker(ctx.worker),
+    );
+    Ok((robj, stats))
+}
+
+/// A job pulled and fetched by a slave's companion prefetcher, queued for
+/// the processing half of the pipeline.
+struct PrefetchedJob {
+    job: LocalJob,
+    fetched: Result<Fetched, RunError>,
+    fetch_start: Instant,
+    fetch_dur: Duration,
+}
+
+/// The pull+fetch half of a pipelined slave: request jobs from the master
+/// and retrieve their chunks, handing each [`PrefetchedJob`] to the
+/// processing half over a bounded channel whose capacity enforces the
+/// pipeline depth. Runs until the pool drains, the site dies, or the
+/// processing half hangs up (crash or abort) — grants abandoned that way
+/// are recovered by lease reaping or evacuation, exactly like a crashed
+/// worker's.
+fn prefetch_loop(
+    ctx: &SlaveCtx,
+    master_tx: &Sender<MasterMsg>,
+    router: &StoreRouter,
+    ftx: Sender<PrefetchedJob>,
+) {
+    loop {
+        if ctx.site_dead() {
+            return;
+        }
+        let (rtx, rrx) = bounded(1);
+        if master_tx.send(MasterMsg::GetJob { reply: rtx }).is_err() {
+            return;
+        }
+        let Ok(take) = rrx.recv() else { return };
+        let job = match take {
+            Take::Job(j) => j,
+            Take::Drained => return,
+            Take::NeedRefill => unreachable!("master resolves refills internally"),
+        };
+        ctx.telemetry.emit(
+            Event::at(ns_since(ctx.epoch), EventKind::JobStarted { stolen: job.stolen })
+                .site(ctx.site)
+                .worker(ctx.worker)
+                .chunk(job.chunk.id),
+        );
+        let fetch_start = Instant::now();
+        let fetched = router.fetch(ctx.site, &job.chunk);
+        let fetch_dur = fetch_start.elapsed();
+        if ftx.send(PrefetchedJob { job, fetched, fetch_start, fetch_dur }).is_err() {
+            return; // processing half gone: abandon the granted job
+        }
+    }
+}
+
+/// The pipelined slave loop (`pipeline_depth ≥ 2`): a companion thread —
+/// one per slave for the whole run, not one per chunk — pulls and fetches
+/// ahead while this thread decodes and reduces, hiding retrieval behind
+/// computation. The processing half is behaviourally identical to the
+/// serial loop: same failure reporting, revocation, ack gating, and
+/// scratch merging.
+fn run_slave_pipelined<R: Reduction>(
+    app: &R,
+    ctx: SlaveCtx,
+    master_tx: &Sender<MasterMsg>,
+    reports: &ReportSink<'_>,
+    router: &StoreRouter,
+    config: &RuntimeConfig,
+) -> Result<(R::RObj, SlaveStats), RunError> {
+    let site = ctx.site;
+    let mut robj = app.make_robj();
+    let mut stats = SlaveStats::default();
+    let mut items: Vec<R::Item> = Vec::new();
+    let crash_after = ctx.chaos.as_deref().and_then(|p| p.crash_after(site, ctx.worker));
+    let slowdown = ctx.chaos.as_deref().map_or(0.0, |p| p.worker_delay(site, ctx.worker));
+    let mut taken: u64 = 0;
+    let outcome = std::thread::scope(|scope| -> Result<(), RunError> {
+        // Depth d keeps one job processing here, one fetching on the
+        // companion, and d - 2 fetched-and-waiting in the channel (depth 2
+        // is a rendezvous channel: fetch exactly one ahead).
+        let (ftx, frx) = bounded::<PrefetchedJob>(config.pipeline_depth - 2);
+        let ctx_ref = &ctx;
+        scope.spawn(move || prefetch_loop(ctx_ref, master_tx, router, ftx));
+        'jobs: for pre in frx.iter() {
+            if ctx.site_dead() {
+                break;
+            }
+            taken += 1;
+            if crash_after.is_some_and(|k| taken > k) {
+                // Simulated worker crash: the prefetched job (and anything
+                // still in the pipeline) leaks — only the head's lease
+                // reaper can recover them. Prior completed work stays
+                // valid (it was already merged and acked).
+                break;
+            }
+            let PrefetchedJob { job, fetched, fetch_start, fetch_dur } = pre;
+            let fail_job = |e: RunError| -> Result<(), RunError> {
+                reports.fail(job.chunk.id, site);
+                match config.fault_policy {
+                    FaultPolicy::FailFast => Err(e),
+                    FaultPolicy::Retry { .. } => Ok(()), // head requeues/abandons
+                }
+            };
+            let fetched = match fetched {
+                Ok(f) => f,
+                Err(e) => {
+                    fail_job(e)?;
+                    continue;
+                }
+            };
+            stats.retrieval += fetch_dur.as_secs_f64();
+            stats.retries += fetched.retries;
+            if fetched.remote {
+                stats.remote_bytes += fetched.bytes.len() as u64;
+            }
+            // Fetch telemetry is emitted here rather than by the companion,
+            // so a crashed slave's unprocessed prefetches never show up in
+            // the event stream (they never reach SlaveStats either); the
+            // span still carries the companion's true fetch timing.
+            if fetched.retries > 0 {
+                ctx.telemetry.emit(
+                    Event::at(
+                        ctx.ns_at(Instant::now()),
+                        EventKind::StorageRetry { retries: fetched.retries },
+                    )
+                    .site(site)
+                    .worker(ctx.worker)
+                    .chunk(job.chunk.id),
+                );
+            }
+            ctx.telemetry.emit(
+                Event::span(
+                    ctx.ns_at(fetch_start),
+                    fetch_dur.as_nanos() as u64,
+                    EventKind::ChunkFetched {
+                        bytes: fetched.bytes.len() as u64,
+                        remote: fetched.remote,
+                        retries: fetched.retries,
+                    },
+                )
+                .site(site)
+                .worker(ctx.worker)
+                .chunk(job.chunk.id),
+            );
+
+            let proc_start = Instant::now();
+            let isolate = ctx.ack_gated || matches!(config.fault_policy, FaultPolicy::Retry { .. });
+            let processed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                items.clear();
+                app.decode(&fetched.bytes, &mut items);
+                if isolate {
+                    let mut scratch = app.make_robj();
+                    for group in items.chunks(config.unit_group.max(1)) {
+                        app.reduce_group(&mut scratch, group);
+                    }
+                    Some(scratch)
+                } else {
+                    for group in items.chunks(config.unit_group.max(1)) {
+                        app.reduce_group(&mut robj, group);
+                    }
+                    None
+                }
+            }));
+            let scratch = match processed {
+                Ok(scratch) => scratch,
+                Err(p) => {
+                    items.clear();
+                    fail_job(RunError::WorkerPanic(panic_msg(&*p)))?;
+                    continue;
+                }
+            };
+            let proc_dur = proc_start.elapsed();
+            stats.processing += proc_dur.as_secs_f64();
+            stats.jobs += 1;
+            ctx.telemetry.emit(
+                Event::span(
+                    ctx.ns_at(proc_start),
+                    proc_dur.as_nanos() as u64,
+                    EventKind::JobProcessed,
+                )
+                .site(site)
+                .worker(ctx.worker)
+                .chunk(job.chunk.id),
+            );
+
+            if slowdown > 0.0 {
+                let step = Duration::from_micros(500);
+                let until = Instant::now() + Duration::from_secs_f64(slowdown);
+                while Instant::now() < until {
+                    if ctx.site_dead() {
+                        break 'jobs;
+                    }
+                    if ctx.revoked(job.chunk.id) {
+                        continue 'jobs; // lost the race: drop the result silently
+                    }
+                    std::thread::sleep(step);
+                }
+            }
+            if ctx.site_dead() {
+                break;
+            }
+            if ctx.revoked(job.chunk.id) {
+                continue;
+            }
+
+            let merged = reports.complete(job.chunk.id, site, ctx.ack_gated);
+            if merged {
+                if let Some(scratch) = scratch {
+                    robj.merge(scratch);
+                }
+            }
+        }
+        // `frx` drops here: a companion parked on a full channel sees the
+        // hangup and exits before the scope joins it.
+        Ok(())
+    });
+    outcome?;
     stats.finish = ctx.epoch.elapsed().as_secs_f64();
     ctx.telemetry.emit(
         Event::at(secs_to_ns(stats.finish), EventKind::SlaveFinished).site(site).worker(ctx.worker),
@@ -1052,6 +1345,57 @@ mod tests {
         }
         close(derived.global_reduction, out.report.global_reduction, "global_reduction");
         close(derived.total_time, out.report.total_time, "total_time");
+    }
+
+    #[test]
+    fn pipelined_run_matches_serial_loop() {
+        let units = 4096;
+        let serial = {
+            let (index, stores) = setup(units, 0.5, 4);
+            let env = EnvConfig::new("pipe-base", 0.5, 3, 3);
+            run_hybrid(&SumApp, &index, stores, &fast_config(env)).unwrap()
+        };
+        for depth in [2usize, 4] {
+            let (index, stores) = setup(units, 0.5, 4);
+            let env = EnvConfig::new("pipe-base", 0.5, 3, 3);
+            let mut config = fast_config(env);
+            config.pipeline_depth = depth;
+            let out = run_hybrid(&SumApp, &index, stores, &config).unwrap();
+            assert_eq!(out.result, serial.result, "depth {depth} diverged");
+            assert_eq!(out.report.total_jobs(), serial.report.total_jobs(), "depth {depth}");
+            assert_eq!(out.head.completions, serial.head.completions, "depth {depth}");
+        }
+    }
+
+    #[test]
+    fn pipelined_crash_leaks_are_recovered_by_lease_reaping() {
+        // A crashing worker abandons not just the job it pulled but its
+        // companion's whole prefetched pipeline; the reaper must recover
+        // every leaked grant and the run must still be exact.
+        let units = 2048;
+        let (index, stores) = setup(units, 0.5, 4);
+        let env = EnvConfig::new("crashy-pipe", 0.5, 2, 2);
+        let mut config = fast_config(env);
+        config.pipeline_depth = 3;
+        config.fault_policy = FaultPolicy::Retry { max_attempts: 5 };
+        let plan = FaultPlan {
+            worker_crash: vec![cloudburst_core::WorkerCrash {
+                site: SiteId::CLOUD,
+                worker: 0,
+                after_jobs: 2,
+            }],
+            ..FaultPlan::seeded(11)
+        };
+        config.ft = FtConfig {
+            lease: Some(LeaseConfig { base: 0.05, min: 0.05, max: 0.2, multiplier: 8.0 }),
+            speculate: false,
+            heartbeat: None,
+            retry: None,
+            chaos: Some(Arc::new(plan)),
+        };
+        let out = run_hybrid(&SumApp, &index, stores, &config).unwrap();
+        assert_eq!(out.result.0, expected_sum(units));
+        assert!(out.head.faults.lease_expiries > 0, "leaked grants must come back via the reaper");
     }
 
     #[test]

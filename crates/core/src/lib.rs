@@ -60,13 +60,13 @@ pub use layout::{ChunkMeta, FileMeta, LayoutParams};
 pub use master::{LocalJob, MasterPool, Take};
 pub use pool::Completion;
 pub use pool::{BatchPolicy, JobBatch, JobPool, SiteJobCounts};
-pub use reduction::{global_reduce, reduce_serial, Merge, Reduction, ReductionObject};
+pub use reduction::{global_reduce, reduce_serial, tree_reduce, Merge, Reduction, ReductionObject};
 pub use stats::{
     assemble_sites, doubling_efficiency, report_to_json, Breakdown, RunReport, SiteSample,
     SiteStats, SlaveSample,
 };
 pub use telemetry::{
-    chrome_trace, derive_report, events_to_jsonl, ns_to_secs, secs_to_ns, ConsoleSink, Event,
-    EventKind, EventSink, LogLevel, Recorder, Telemetry,
+    chrome_trace, derive_report, events_to_jsonl, ns_between, ns_since, ns_to_secs, secs_to_ns,
+    ConsoleSink, Event, EventKind, EventSink, LogLevel, Recorder, Telemetry,
 };
 pub use types::{ByteSize, ChunkId, FileId, JobId, NodeId, Seconds, SiteId};

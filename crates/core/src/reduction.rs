@@ -109,6 +109,37 @@ pub fn global_reduce<R: ReductionObject>(parts: impl IntoIterator<Item = R>) -> 
     Some(acc)
 }
 
+/// Merge partial reduction objects with a parallel binary reduction tree:
+/// each round pairs adjacent survivors `(0,1), (2,3), …` and merges the
+/// pairs concurrently, so a site with `w` workers combines in `⌈log₂ w⌉`
+/// rounds of wall time instead of `w − 1` sequential merges. The tree shape
+/// depends only on `parts.len()`, never on thread timing, so runs with the
+/// same per-worker partials merge identically. Two or fewer parts fall back
+/// to the linear fold — no threads spawned.
+pub fn tree_reduce<R: ReductionObject>(mut parts: Vec<R>) -> Option<R> {
+    while parts.len() > 2 {
+        // An odd tail survives the round untouched and re-enters at the end,
+        // keeping the pairing deterministic.
+        let carry = (parts.len() % 2 == 1).then(|| parts.pop().expect("non-empty"));
+        let mut merged: Vec<R> = Vec::with_capacity(parts.len() / 2 + 1);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(parts.len() / 2);
+            let mut it = parts.drain(..);
+            while let (Some(mut a), Some(b)) = (it.next(), it.next()) {
+                handles.push(scope.spawn(move || {
+                    a.merge(b);
+                    a
+                }));
+            }
+            drop(it);
+            merged.extend(handles.into_iter().map(|h| h.join().expect("merge thread panicked")));
+        });
+        merged.extend(carry);
+        parts = merged;
+    }
+    global_reduce(parts)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -166,6 +197,15 @@ mod tests {
     #[test]
     fn global_reduce_of_nothing_is_none() {
         assert!(global_reduce(std::iter::empty::<SumObj>()).is_none());
+    }
+
+    #[test]
+    fn tree_reduce_matches_linear_fold_at_every_width() {
+        for n in 0..=17u64 {
+            let parts: Vec<SumObj> = (1..=n).map(SumObj).collect();
+            let linear = global_reduce((1..=n).map(SumObj));
+            assert_eq!(tree_reduce(parts), linear, "width {n}");
+        }
     }
 
     #[test]

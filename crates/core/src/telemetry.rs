@@ -55,6 +55,24 @@ pub fn ns_to_secs(ns: u64) -> f64 {
     ns as f64 / 1e9
 }
 
+/// Nanoseconds of run clock between `epoch` and `at`, saturating at zero.
+///
+/// Every wall-clock event emitter must stamp through this (or [`ns_since`])
+/// so a clock read that races the epoch can never underflow into a
+/// nonsense timestamp.
+#[must_use]
+pub fn ns_between(epoch: std::time::Instant, at: std::time::Instant) -> u64 {
+    at.saturating_duration_since(epoch).as_nanos() as u64
+}
+
+/// Nanoseconds of run clock elapsed since `epoch` (saturating at zero) —
+/// the one timestamping helper shared by masters, slaves, and the
+/// reduction phases.
+#[must_use]
+pub fn ns_since(epoch: std::time::Instant) -> u64 {
+    ns_between(epoch, std::time::Instant::now())
+}
+
 /// What happened. Payload fields carry the flags the aggregator and the
 /// trace exporter need; identity tags (site / worker / chunk) live on
 /// [`Event`] itself.

@@ -48,6 +48,22 @@ impl ChaosStore {
     pub fn injected(&self) -> u64 {
         self.injected.load(Ordering::Relaxed)
     }
+
+    /// Consult the plan's schedule for this range's next attempt; returns
+    /// the injected error when it is the range's turn to fail.
+    fn inject(&self, file: FileId, offset: ByteSize) -> io::Result<()> {
+        let mut attempts = self.attempts.lock();
+        let n = attempts.entry((file.0, offset)).or_insert(0);
+        if self.plan.storage_read_fails(file.0, offset, *n) {
+            *n += 1;
+            self.injected.fetch_add(1, Ordering::Relaxed);
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionReset,
+                format!("chaos: injected transient failure for {file} @ {offset}"),
+            ));
+        }
+        Ok(())
+    }
 }
 
 impl std::fmt::Debug for ChaosStore {
@@ -62,19 +78,17 @@ impl ChunkStore for ChaosStore {
     }
 
     fn read(&self, file: FileId, offset: ByteSize, len: ByteSize) -> io::Result<Bytes> {
-        {
-            let mut attempts = self.attempts.lock();
-            let n = attempts.entry((file.0, offset)).or_insert(0);
-            if self.plan.storage_read_fails(file.0, offset, *n) {
-                *n += 1;
-                self.injected.fetch_add(1, Ordering::Relaxed);
-                return Err(io::Error::new(
-                    io::ErrorKind::ConnectionReset,
-                    format!("chaos: injected transient failure for {file} @ {offset}"),
-                ));
-            }
-        }
+        self.inject(file, offset)?;
         let result = self.inner.read(file, offset, len);
+        if result.is_ok() {
+            self.attempts.lock().remove(&(file.0, offset));
+        }
+        result
+    }
+
+    fn read_into(&self, file: FileId, offset: ByteSize, out: &mut [u8]) -> io::Result<()> {
+        self.inject(file, offset)?;
+        let result = self.inner.read_into(file, offset, out);
         if result.is_ok() {
             self.attempts.lock().remove(&(file.0, offset));
         }

@@ -7,11 +7,17 @@
 //! gap between one connection's bandwidth and the aggregate host cap; against
 //! local stores it degrades gracefully to a single sequential read.
 
-use crate::retry::{read_with_retry_observed, RetryObserver, RetryPolicy};
+use crate::pool::FetcherPool;
+use crate::retry::{
+    read_into_with_retry, read_with_retry_observed, RetryAttempt, RetryObserver, RetryPolicy,
+    SharedRetryObserver,
+};
 use crate::store::ChunkStore;
 use bytes::{Bytes, BytesMut};
 use cloudburst_core::{ByteSize, ChunkMeta, FileId};
+use crossbeam::channel::bounded;
 use std::io;
+use std::sync::Arc;
 
 /// Retrieval configuration for one slave.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -102,29 +108,131 @@ pub fn fetch_range_observed<S: ChunkStore + ?Sized>(
         0 => Ok((Bytes::new(), 0)),
         1 => read_with_retry_observed(store, file, offset, len, retry, observe),
         _ => {
-            let mut parts: Vec<io::Result<(Bytes, u64)>> = Vec::new();
+            // Zero-copy reassembly: one allocation for the whole chunk, each
+            // concurrent range read landing directly in its final position.
+            let mut buf = BytesMut::with_capacity(len as usize);
+            buf.resize(len as usize, 0);
+            let mut outcomes: Vec<io::Result<u64>> = Vec::new();
             std::thread::scope(|scope| {
+                let mut rest: &mut [u8] = &mut buf;
                 let handles: Vec<_> = ranges
                     .iter()
                     .map(|&(o, l)| {
+                        let (slice, tail) = std::mem::take(&mut rest).split_at_mut(l as usize);
+                        rest = tail;
                         scope.spawn(move || {
-                            read_with_retry_observed(store, file, o, l, retry, observe)
+                            read_into_with_retry(store, file, o, slice, retry, observe)
                         })
                     })
                     .collect();
-                parts =
+                outcomes =
                     handles.into_iter().map(|h| h.join().expect("fetch thread panicked")).collect();
             });
-            let mut out = BytesMut::with_capacity(len as usize);
             let mut retries = 0;
-            for part in parts {
-                let (bytes, r) = part?;
-                out.extend_from_slice(&bytes);
-                retries += r;
+            for r in outcomes {
+                retries += r?;
             }
-            Ok((out.freeze(), retries))
+            Ok((buf.freeze(), retries))
         }
     }
+}
+
+/// [`fetch_range_observed`] executed on a persistent [`FetcherPool`]
+/// instead of per-fetch spawned threads: range-read tasks are submitted to
+/// the pool, each filling an owned, disjoint sub-buffer of one
+/// pre-allocated chunk allocation ([`BytesMut::split_to`]), and the caller
+/// reassembles by stitching the contiguous sub-buffers back together
+/// ([`BytesMut::unsplit`], O(1)) — no spawn/join per chunk and no copy per
+/// range.
+///
+/// The store is passed by `Arc` because the pool's workers outlive this
+/// call's stack frame; likewise the optional observer is the owned
+/// [`SharedRetryObserver`] form.
+#[allow(clippy::too_many_arguments)]
+pub fn fetch_range_pooled(
+    pool: &FetcherPool,
+    store: &Arc<dyn ChunkStore>,
+    file: FileId,
+    offset: ByteSize,
+    len: ByteSize,
+    config: FetchConfig,
+    retry: &RetryPolicy,
+    observe: Option<SharedRetryObserver>,
+) -> io::Result<(Bytes, u64)> {
+    let ranges = config.split(offset, len);
+    let n = ranges.len();
+    match n {
+        0 => Ok((Bytes::new(), 0)),
+        1 => {
+            // One range: the pool round trip buys nothing — read on the
+            // calling thread (and keep the backend's zero-copy `read`).
+            let obs: &(dyn Fn(RetryAttempt) + Sync) = &|a| {
+                if let Some(o) = &observe {
+                    o(a);
+                }
+            };
+            read_with_retry_observed(store.as_ref(), file, offset, len, retry, obs)
+        }
+        _ => {
+            let mut buf = BytesMut::with_capacity(len as usize);
+            buf.resize(len as usize, 0);
+            // Carve the chunk allocation into owned, disjoint parts — one
+            // per range — so `'static` pool tasks can write in place.
+            let parts: Vec<BytesMut> =
+                ranges.iter().map(|&(_, l)| buf.split_to(l as usize)).collect();
+            let (done_tx, done_rx) = bounded::<(usize, BytesMut, io::Result<u64>)>(n);
+            for (idx, (mut part, &(o, _))) in parts.into_iter().zip(&ranges).enumerate() {
+                let store = Arc::clone(store);
+                let retry = *retry;
+                let observe = observe.clone();
+                let done_tx = done_tx.clone();
+                pool.execute(move || {
+                    let obs: &(dyn Fn(RetryAttempt) + Sync) = &|a| {
+                        if let Some(o) = &observe {
+                            o(a);
+                        }
+                    };
+                    let r = read_into_with_retry(store.as_ref(), file, o, &mut part, &retry, obs);
+                    let _ = done_tx.send((idx, part, r));
+                });
+            }
+            drop(done_tx);
+            let mut slots: Vec<Option<(BytesMut, io::Result<u64>)>> =
+                (0..n).map(|_| None).collect();
+            for _ in 0..n {
+                let (idx, part, r) =
+                    done_rx.recv().map_err(|_| io::Error::other("fetcher pool task vanished"))?;
+                slots[idx] = Some((part, r));
+            }
+            let mut retries = 0u64;
+            let mut out: Option<BytesMut> = None;
+            for slot in slots {
+                let (part, r) = slot.expect("every range task reported");
+                retries += r?;
+                out = Some(match out {
+                    None => part,
+                    Some(mut acc) => {
+                        // Contiguous neighbors from one allocation: O(1).
+                        acc.unsplit(part);
+                        acc
+                    }
+                });
+            }
+            Ok((out.expect("at least two ranges").freeze(), retries))
+        }
+    }
+}
+
+/// [`fetch_range_pooled`] for one chunk described by its metadata.
+pub fn fetch_chunk_pooled(
+    pool: &FetcherPool,
+    store: &Arc<dyn ChunkStore>,
+    chunk: &ChunkMeta,
+    config: FetchConfig,
+    retry: &RetryPolicy,
+    observe: Option<SharedRetryObserver>,
+) -> io::Result<(Bytes, u64)> {
+    fetch_range_pooled(pool, store, chunk.file, chunk.offset, chunk.len, config, retry, observe)
 }
 
 /// Fetch one chunk described by its metadata.
@@ -238,5 +346,91 @@ mod tests {
         let store = MemStore::new(SiteId::LOCAL, vec![pattern(100)]);
         let cfg = FetchConfig { threads: 4, min_range: 1 };
         assert!(fetch_range(&store, FileId(0), 50, 100, cfg).is_err());
+    }
+
+    #[test]
+    fn pooled_fetch_reassembles_in_order() {
+        let data = pattern(10_000);
+        let store: Arc<dyn ChunkStore> = Arc::new(MemStore::new(SiteId::LOCAL, vec![data.clone()]));
+        let pool = FetcherPool::new(3);
+        let cfg = FetchConfig { threads: 7, min_range: 100 };
+        let no_retry = RetryPolicy { max_retries: 0, ..RetryPolicy::default() };
+        for (offset, len) in [(0u64, 10_000u64), (123, 7_531), (9_999, 1), (40, 0)] {
+            let (got, retries) =
+                fetch_range_pooled(&pool, &store, FileId(0), offset, len, cfg, &no_retry, None)
+                    .unwrap();
+            assert_eq!(got, data.slice(offset as usize..(offset + len) as usize));
+            assert_eq!(retries, 0);
+        }
+    }
+
+    #[test]
+    fn pooled_fetch_matches_spawned_fetch() {
+        let data = pattern(50_000);
+        let store: Arc<dyn ChunkStore> = Arc::new(MemStore::new(SiteId::LOCAL, vec![data.clone()]));
+        let pool = FetcherPool::new(4);
+        let cfg = FetchConfig { threads: 4, min_range: 64 };
+        let no_retry = RetryPolicy { max_retries: 0, ..RetryPolicy::default() };
+        let spawned = fetch_range(store.as_ref(), FileId(0), 11, 40_009, cfg).unwrap();
+        let (pooled, _) =
+            fetch_range_pooled(&pool, &store, FileId(0), 11, 40_009, cfg, &no_retry, None).unwrap();
+        assert_eq!(spawned, pooled);
+    }
+
+    #[test]
+    fn pooled_fetch_propagates_errors_and_reports_retries() {
+        use crate::chaos::ChaosStore;
+        use cloudburst_core::FaultPlan;
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        // The chaos store remembers attempts per range, so each half of the
+        // test fetches through a fresh store.
+        let fresh = || -> Arc<dyn ChunkStore> {
+            let plan = FaultPlan {
+                storage_error_rate: 1.0,
+                storage_max_consecutive: 1,
+                ..FaultPlan::seeded(3)
+            };
+            let inner: Arc<dyn ChunkStore> =
+                Arc::new(MemStore::new(SiteId::LOCAL, vec![pattern(4_096)]));
+            Arc::new(ChaosStore::new(inner, Arc::new(plan)))
+        };
+        let pool = FetcherPool::new(2);
+        let cfg = FetchConfig { threads: 4, min_range: 128 };
+
+        // Without retries the injected fault surfaces.
+        let store = fresh();
+        let no_retry = RetryPolicy { max_retries: 0, ..RetryPolicy::default() };
+        assert!(
+            fetch_range_pooled(&pool, &store, FileId(0), 0, 4_096, cfg, &no_retry, None).is_err()
+        );
+        let store = fresh();
+
+        // With retries the fetch succeeds and the observer sees each one.
+        let seen = Arc::new(AtomicU64::new(0));
+        let obs: SharedRetryObserver = {
+            let seen = seen.clone();
+            Arc::new(move |_| {
+                seen.fetch_add(1, Ordering::SeqCst);
+            })
+        };
+        let policy = RetryPolicy { max_retries: 3, base: 0.0, cap: 0.0, seed: 0 };
+        let (bytes, retries) =
+            fetch_range_pooled(&pool, &store, FileId(0), 0, 4_096, cfg, &policy, Some(obs))
+                .unwrap();
+        assert_eq!(bytes, pattern(4_096));
+        assert!(retries > 0);
+        assert_eq!(seen.load(Ordering::SeqCst), retries);
+    }
+
+    #[test]
+    fn out_of_range_pooled_fetch_fails() {
+        let store: Arc<dyn ChunkStore> = Arc::new(MemStore::new(SiteId::LOCAL, vec![pattern(100)]));
+        let pool = FetcherPool::new(2);
+        let cfg = FetchConfig { threads: 4, min_range: 1 };
+        let no_retry = RetryPolicy { max_retries: 0, ..RetryPolicy::default() };
+        assert!(
+            fetch_range_pooled(&pool, &store, FileId(0), 50, 100, cfg, &no_retry, None).is_err()
+        );
     }
 }

@@ -69,13 +69,17 @@ impl ChunkStore for FileStore {
     }
 
     fn read(&self, file: FileId, offset: ByteSize, len: ByteSize) -> io::Result<Bytes> {
+        let mut buf = vec![0u8; len as usize];
+        self.read_into(file, offset, &mut buf)?;
+        Ok(Bytes::from(buf))
+    }
+
+    fn read_into(&self, file: FileId, offset: ByteSize, out: &mut [u8]) -> io::Result<()> {
         let file_len = *self.lens.get(file.0 as usize).ok_or_else(|| no_such_file(file))?;
-        check_range(file, file_len, offset, len)?;
+        check_range(file, file_len, offset, out.len() as ByteSize)?;
         let mut f = File::open(self.path(file))?;
         f.seek(SeekFrom::Start(offset))?;
-        let mut buf = vec![0u8; len as usize];
-        f.read_exact(&mut buf)?;
-        Ok(Bytes::from(buf))
+        f.read_exact(out)
     }
 
     fn file_len(&self, file: FileId) -> io::Result<ByteSize> {

@@ -8,7 +8,8 @@
 //!   Amazon S3 with per-connection limits, a connection cap, and an
 //!   aggregate bandwidth pipe ([`s3sim`]);
 //! * multi-threaded ranged retrieval, the paper's "multiple retrieval
-//!   threads" optimization ([`fetch`]);
+//!   threads" optimization ([`fetch`]), with a persistent fetcher-thread
+//!   pool and zero-copy chunk reassembly ([`pool`]);
 //! * the data organizer that cuts a dataset into files/chunks/units, places
 //!   files across sites and emits the index ([`organizer`]);
 //! * the binary on-disk index format ([`index_io`]);
@@ -25,22 +26,24 @@ pub mod file;
 pub mod index_io;
 pub mod mem;
 pub mod organizer;
+pub mod pool;
 pub mod retry;
 pub mod s3sim;
 pub mod store;
 
 pub use chaos::ChaosStore;
 pub use fetch::{
-    fetch_chunk, fetch_chunk_observed, fetch_chunk_with_retry, fetch_range, fetch_range_observed,
-    fetch_range_with_retry, FetchConfig,
+    fetch_chunk, fetch_chunk_observed, fetch_chunk_pooled, fetch_chunk_with_retry, fetch_range,
+    fetch_range_observed, fetch_range_pooled, fetch_range_with_retry, FetchConfig,
 };
 pub use file::FileStore;
 pub use index_io::{decode_index, encode_index, read_index, write_index};
 pub use mem::MemStore;
 pub use organizer::{fraction_placement, organize, reassemble, Organized, SiteStore};
+pub use pool::FetcherPool;
 pub use retry::{
-    is_transient, read_with_retry, read_with_retry_observed, RetryAttempt, RetryObserver,
-    RetryPolicy,
+    is_transient, read_into_with_retry, read_with_retry, read_with_retry_observed, RetryAttempt,
+    RetryObserver, RetryPolicy, SharedRetryObserver,
 };
 pub use s3sim::{S3Config, S3Metrics, S3SimStore};
 pub use store::ChunkStore;

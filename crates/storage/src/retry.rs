@@ -96,6 +96,11 @@ pub struct RetryAttempt {
 /// parallel range fetchers share one observer across their scoped threads.
 pub type RetryObserver<'a> = &'a (dyn Fn(RetryAttempt) + Sync);
 
+/// An owned, shareable retry observer for the pooled fetch path, whose
+/// `'static` tasks outlive the submitting stack frame and so cannot borrow
+/// a [`RetryObserver`].
+pub type SharedRetryObserver = std::sync::Arc<dyn Fn(RetryAttempt) + Send + Sync>;
+
 /// Read `len` bytes of `file` at `offset`, retrying transient failures with
 /// backoff. Returns the bytes and how many retries were needed; permanent
 /// errors and exhausted budgets surface the last error.
@@ -123,6 +128,36 @@ pub fn read_with_retry_observed<S: ChunkStore + ?Sized>(
     loop {
         match store.read(file, offset, len) {
             Ok(bytes) => return Ok((bytes, u64::from(attempt))),
+            Err(e) if is_transient(e.kind()) && attempt < policy.max_retries => {
+                observe(RetryAttempt { file, offset, attempt, kind: e.kind() });
+                let wait = policy.delay(file, offset, attempt);
+                if !wait.is_zero() {
+                    std::thread::sleep(wait);
+                }
+                attempt += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// [`read_with_retry_observed`] over [`ChunkStore::read_into`]: fill the
+/// caller's buffer in place (its length is the read length), retrying
+/// transient failures with the same backoff schedule. Returns the retries
+/// absorbed. This is the zero-copy leg the reassembly path stands on — the
+/// buffer is a disjoint slice of the chunk's final allocation.
+pub fn read_into_with_retry<S: ChunkStore + ?Sized>(
+    store: &S,
+    file: FileId,
+    offset: ByteSize,
+    out: &mut [u8],
+    policy: &RetryPolicy,
+    observe: RetryObserver<'_>,
+) -> io::Result<u64> {
+    let mut attempt: u32 = 0;
+    loop {
+        match store.read_into(file, offset, out) {
+            Ok(()) => return Ok(u64::from(attempt)),
             Err(e) if is_transient(e.kind()) && attempt < policy.max_retries => {
                 observe(RetryAttempt { file, offset, attempt, kind: e.kind() });
                 let wait = policy.delay(file, offset, attempt);
@@ -231,6 +266,18 @@ mod tests {
                 }
             );
         }
+    }
+
+    #[test]
+    fn read_into_retries_and_fills_the_caller_buffer() {
+        let store =
+            Flaky { fail_first: 2, calls: AtomicU32::new(0), kind: io::ErrorKind::BrokenPipe };
+        let policy = RetryPolicy { base: 0.0, cap: 0.0, ..RetryPolicy::default() };
+        let mut buf = [0u8; 16];
+        let retries =
+            read_into_with_retry(&store, FileId(0), 0, &mut buf, &policy, &|_| {}).unwrap();
+        assert_eq!(retries, 2);
+        assert_eq!(buf, [7u8; 16]);
     }
 
     #[test]

@@ -127,17 +127,13 @@ impl<S: ChunkStore> S3SimStore<S> {
     pub fn inner(&self) -> &S {
         &self.inner
     }
-}
 
-impl<S: ChunkStore> ChunkStore for S3SimStore<S> {
-    fn site(&self) -> SiteId {
-        self.inner.site()
-    }
-
-    fn read(&self, file: FileId, offset: ByteSize, len: ByteSize) -> io::Result<Bytes> {
+    /// Run one GET of `len` payload bytes under the connection semaphore,
+    /// charging the aggregate pipe and the per-connection floor on success.
+    fn get<T>(&self, len: ByteSize, op: impl FnOnce() -> io::Result<T>) -> io::Result<T> {
         self.connections.acquire();
         let started = Instant::now();
-        let result = self.inner.read(file, offset, len);
+        let result = op();
         if result.is_ok() {
             // Aggregate pipe: queue behind other in-flight GETs.
             self.aggregate.transfer(len);
@@ -152,6 +148,20 @@ impl<S: ChunkStore> ChunkStore for S3SimStore<S> {
         }
         self.connections.release();
         result
+    }
+}
+
+impl<S: ChunkStore> ChunkStore for S3SimStore<S> {
+    fn site(&self) -> SiteId {
+        self.inner.site()
+    }
+
+    fn read(&self, file: FileId, offset: ByteSize, len: ByteSize) -> io::Result<Bytes> {
+        self.get(len, || self.inner.read(file, offset, len))
+    }
+
+    fn read_into(&self, file: FileId, offset: ByteSize, out: &mut [u8]) -> io::Result<()> {
+        self.get(out.len() as ByteSize, || self.inner.read_into(file, offset, out))
     }
 
     fn file_len(&self, file: FileId) -> io::Result<ByteSize> {

@@ -20,6 +20,20 @@ pub trait ChunkStore: Send + Sync {
     /// reads are reported as [`io::ErrorKind::UnexpectedEof`].
     fn read(&self, file: FileId, offset: ByteSize, len: ByteSize) -> io::Result<Bytes>;
 
+    /// Read `out.len()` bytes of `file` at `offset` directly into `out` —
+    /// the zero-copy entry point of the reassembly path: the caller hands
+    /// each range fetcher a disjoint slice of one pre-allocated chunk
+    /// buffer, so the bytes land in their final position.
+    ///
+    /// The default delegates to [`ChunkStore::read`] and copies once (what
+    /// the old `extend_from_slice` reassembly paid anyway); backends that
+    /// can fill a caller buffer natively override it.
+    fn read_into(&self, file: FileId, offset: ByteSize, out: &mut [u8]) -> io::Result<()> {
+        let bytes = self.read(file, offset, out.len() as ByteSize)?;
+        out.copy_from_slice(&bytes);
+        Ok(())
+    }
+
     /// Total length of `file` in bytes.
     fn file_len(&self, file: FileId) -> io::Result<ByteSize>;
 

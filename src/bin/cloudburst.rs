@@ -71,7 +71,7 @@ USAGE:
   cloudburst info --org DIR
   cloudburst run <knn|kmeans|pagerank|wordcount> --org DIR
              [--local-cores N] [--cloud-cores N] [--retry N] [--time-scale F]
-             [--ft] [--chaos SPEC]
+             [--pipeline-depth D] [--ft] [--chaos SPEC]
              [--stats-out FILE] [--events-out FILE] [--trace-out FILE]
              [--log-level off|info|debug]
              [--k K] [--pages N] [--iterations I] [--damping D]
@@ -88,6 +88,12 @@ OBSERVABILITY:
                      events only, `debug` shows everything (default off)
   check-json FILE    validate that FILE parses as JSON or JSONL (used by
                      verify.sh to smoke-test the artifacts above)
+
+PIPELINING:
+  --pipeline-depth D  jobs in flight per slave (default 1). Depth 2+ gives
+                      each slave a companion prefetcher so the next chunk's
+                      retrieval overlaps the current chunk's processing;
+                      results are identical at every depth
 
 FAULT TOLERANCE:
   --ft           enable leases, speculation, heartbeats and storage retries
@@ -276,6 +282,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let cloud_cores: u32 = opt_parse(args, "--cloud-cores", 2)?;
     let retry: u8 = opt_parse(args, "--retry", 0)?;
     let time_scale: f64 = opt_parse(args, "--time-scale", 1e-4)?;
+    let pipeline_depth: usize = opt_parse(args, "--pipeline-depth", 1)?;
 
     let index = read_index(org_dir.join("dataset.idx")).map_err(|e| e.to_string())?;
     // Guard against running an application over a dataset organized with a
@@ -309,6 +316,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         cloud_cores,
     );
     let mut config = RuntimeConfig::new(env, time_scale);
+    config.pipeline_depth = pipeline_depth.max(1);
     if retry > 0 {
         config.fault_policy = FaultPolicy::Retry { max_attempts: retry };
     }

@@ -1,0 +1,99 @@
+//! Pipelining must be invisible in the results: a slave that prefetches
+//! ahead of its processing produces exactly what the serial loop produces,
+//! at every data split, at every depth, and under the full fault-tolerance
+//! stack with seeded chaos.
+
+use cloudburst_apps::gen::gen_words;
+use cloudburst_apps::wordcount::{wordcount_oracle, WordCount};
+use cloudburst_cluster::{run_hybrid, FaultPolicy, FtConfig, RuntimeConfig};
+use cloudburst_core::{EnvConfig, FaultPlan, LayoutParams, SiteId, SlowWorker};
+use cloudburst_storage::{fraction_placement, organize, ChunkStore, FetchConfig};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+const WORDS: u32 = 6_000;
+
+fn organized(frac: f64) -> (cloudburst_core::DataIndex, BTreeMap<SiteId, Arc<dyn ChunkStore>>) {
+    let data = gen_words(WORDS, 32, 9);
+    let params = LayoutParams { unit_size: 16, units_per_chunk: 128, n_files: 4 };
+    let org = organize(&data, params, &mut fraction_placement(frac, 4)).unwrap();
+    let stores = org
+        .stores
+        .iter()
+        .map(|(&s, st)| (s, Arc::new(st.clone()) as Arc<dyn ChunkStore>))
+        .collect();
+    (org.index, stores)
+}
+
+fn fast_config(env: EnvConfig, depth: usize) -> RuntimeConfig {
+    let mut c = RuntimeConfig::new(env, 1e-6);
+    c.fetch = FetchConfig { threads: 2, min_range: 128 };
+    c.pipeline_depth = depth;
+    c
+}
+
+/// Depths 2 and 4 must match both the serial oracle and the depth-1 run,
+/// bit for bit, across every data split — including the degenerate all-local
+/// and all-cloud placements where one site only ever steals.
+#[test]
+fn pipelined_results_match_serial_at_every_split_and_depth() {
+    let oracle = wordcount_oracle(&gen_words(WORDS, 32, 9));
+    for frac in [0.0, 0.17, 0.5, 1.0] {
+        let baseline = {
+            let (index, stores) = organized(frac);
+            let env = EnvConfig::new("pipe-d1", frac, 2, 2);
+            run_hybrid(&WordCount, &index, stores, &fast_config(env, 1)).unwrap()
+        };
+        assert_eq!(baseline.result.as_string_counts(), oracle, "serial run diverged at {frac}");
+        for depth in [2usize, 4] {
+            let (index, stores) = organized(frac);
+            let env = EnvConfig::new("pipe-dn", frac, 2, 2);
+            let out = run_hybrid(&WordCount, &index, stores, &fast_config(env, depth)).unwrap();
+            assert_eq!(
+                out.result.as_string_counts(),
+                oracle,
+                "depth {depth} at split {frac} diverged from the oracle"
+            );
+            assert_eq!(
+                out.report.total_jobs(),
+                baseline.report.total_jobs(),
+                "depth {depth} at split {frac}: job accounting changed"
+            );
+            assert_eq!(out.head.completions, baseline.head.completions);
+        }
+    }
+}
+
+/// The acceptance bar: pipelining composed with every fault-tolerance
+/// mechanism (leases, speculation, heartbeats, storage retries, acked
+/// completions) and a seeded chaos plan still yields the exact answer —
+/// in particular, a speculative win that is deduplicated at the head must
+/// never be merged twice just because its chunk was prefetched.
+#[test]
+fn pipelining_with_full_ft_and_chaos_is_exact() {
+    let oracle = wordcount_oracle(&gen_words(WORDS, 32, 9));
+    let plan = FaultPlan {
+        storage_error_rate: 0.05,
+        storage_max_consecutive: 2,
+        // A cloud straggler per job: forces speculation to kick in on the
+        // tail while its prefetched pipeline is already full.
+        slow_workers: vec![SlowWorker { site: SiteId::CLOUD, worker: 0, delay_per_job: 0.004 }],
+        ..FaultPlan::seeded(23)
+    };
+    for depth in [2usize, 3] {
+        let (index, stores) = organized(0.5);
+        let env = EnvConfig::new("pipe-ft-chaos", 0.5, 2, 2);
+        let mut config = fast_config(env, depth);
+        config.fault_policy = FaultPolicy::Retry { max_attempts: 6 };
+        config.ft = FtConfig::enabled();
+        config.ft.chaos = Some(Arc::new(plan.clone()));
+        let out = run_hybrid(&WordCount, &index, stores, &config).unwrap();
+        assert_eq!(
+            out.result.as_string_counts(),
+            oracle,
+            "depth {depth} under chaos lost or double-merged work"
+        );
+        assert_eq!(out.head.abandoned, 0);
+        assert_eq!(out.head.completions, index.n_chunks() as u64);
+    }
+}

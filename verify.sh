@@ -43,9 +43,11 @@ trap 'rm -rf "$SMOKE"' EXIT
 "$BIN" generate wordcount --out "$SMOKE/words.bin" --units 60000 --vocab 500
 "$BIN" organize --data "$SMOKE/words.bin" --unit-size 16 --chunk-units 512 \
     --files 8 --out "$SMOKE/org" --local-frac 0.5
+# Leases are millisecond-scale: the whole chaos run takes ~10 ms on the
+# pooled fetch path, and a lease must be able to expire mid-run.
 "$BIN" run wordcount --org "$SMOKE/org" --local-cores 3 --cloud-cores 3 \
     --time-scale 2e-5 \
-    --chaos 'seed=5,storage=0.2,slow=cloud:0:0.5,crash=local:1:2,lease=0.05:0.05:0.2:8,hb=0.05:30' \
+    --chaos 'seed=5,storage=0.2,slow=cloud:0:0.5,crash=local:1:2,lease=0.004:0.004:0.02:8,hb=0.05:30' \
     --stats-out "$SMOKE/stats.json" --events-out "$SMOKE/events.jsonl" \
     --trace-out "$SMOKE/trace.json"
 # Every artifact must parse with the framework's own validator...
@@ -62,5 +64,18 @@ for ev in lease-reap speculate steal; do
         || { echo "trace.json is missing '$ev' events"; exit 1; }
 done
 echo "   artifacts valid"
+
+echo "== bench: pipeline overlap (quick) writes a valid BENCH_runtime.json"
+# The bench itself asserts result-equivalence at every depth; --quick keeps
+# Criterion's sampling short while the artifact (written before sampling,
+# from a full best-of-3 quantification) stays meaningful.
+cargo bench -p cloudburst-bench --bench pipeline_overlap "${CARGO_FLAGS[@]}" -- --quick
+"$BIN" check-json BENCH_runtime.json
+# Pipelining must never make the S3Sim-heavy scenario slower end to end.
+SPEEDUP=$(sed -n 's/.*"speedup":\([0-9.eE+-]*\).*/\1/p' BENCH_runtime.json)
+[[ -n "$SPEEDUP" ]] || { echo "BENCH_runtime.json is missing 'speedup'"; exit 1; }
+awk -v s="$SPEEDUP" 'BEGIN { exit !(s >= 1.0) }' \
+    || { echo "pipeline overlap regressed: speedup $SPEEDUP < 1.0x"; exit 1; }
+echo "   overlap speedup: ${SPEEDUP}x"
 
 echo "OK"
