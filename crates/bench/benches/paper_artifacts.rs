@@ -8,7 +8,8 @@
 //! [`report_to_json`] serialization the CLI's `--stats-out` uses, so
 //! plotting scripts consume exactly the figures the assertions checked.
 
-use cloudburst_core::{report_to_json, Json};
+use cloudburst_bench::overlap::{latency_report, run_at_depth_with, s3_heavy_scenario};
+use cloudburst_core::{report_to_json, Json, Metrics};
 use cloudburst_sim::figures::{fig3, fig4, fig4_cumulative_efficiencies, summary, table1, table2};
 use cloudburst_sim::{AppModel, SimParams};
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -103,7 +104,8 @@ fn write_bench_artifact(params: &SimParams) {
             Json::obj()
                 .field("avg_slowdown_ratio", Json::F64(s.avg_slowdown_ratio))
                 .field("avg_scaling_efficiency", Json::F64(s.avg_scaling_efficiency)),
-        );
+        )
+        .field("latency", measured_latency());
     let out = std::env::var("BENCH_PAPER_OUT").unwrap_or_else(|_| {
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_paper.json").to_owned()
     });
@@ -111,6 +113,22 @@ fn write_bench_artifact(params: &SimParams) {
     text.push('\n');
     std::fs::write(&out, text).expect("write BENCH_paper.json");
     eprintln!("wrote figure data to {out}");
+}
+
+/// Measured per-chunk fetch/process latency percentiles, from one pipelined
+/// pass over the S3Sim-heavy scenario with live metrics enabled. The paper
+/// tables above come from the analytical simulator; this section anchors
+/// them with HDR-histogram percentiles from the real threaded runtime.
+fn measured_latency() -> Json {
+    let sc = s3_heavy_scenario(12, 2);
+    let metrics = Metrics::on();
+    let run = run_at_depth_with(&sc, 2, &metrics);
+    assert!(run.result_ok, "latency scenario diverged from ground truth");
+    let lat = latency_report(&metrics);
+    Json::obj()
+        .field("scenario", Json::Str("knn-style S3Sim-heavy, depth 2".to_owned()))
+        .field("fetch_seconds", lat.fetch.to_json())
+        .field("process_seconds", lat.process.to_json())
 }
 
 fn bench_artifacts(c: &mut Criterion) {

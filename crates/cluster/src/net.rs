@@ -22,8 +22,8 @@ use crate::protocol::{HeadReport, MasterMsg};
 use crate::report::{assemble_report, SiteOutcome};
 use crate::router::StoreRouter;
 use crate::runtime::{
-    collect_global, merge_site_outcome, panic_msg, run_slave, FaultPolicy, ReportSink, RunOutcome,
-    RuntimeConfig, SlaveCtx,
+    collect_global, merge_site_outcome, meter_stores, panic_msg, run_slave, FaultPolicy,
+    ReportSink, RunOutcome, RuntimeConfig, SlaveCtx, SlaveMetrics,
 };
 use crate::wire::{
     read_ack, read_from_master, read_grant, write_ack, write_grant, write_to_head, MasterToHead,
@@ -479,6 +479,7 @@ pub fn run_hybrid_tcp<R: Reduction>(
     let head_site = active[0].0;
 
     let chaos = config.ft.chaos.clone().filter(|p| !p.is_empty());
+    let stores = meter_stores(stores, &config.metrics);
     let stores: BTreeMap<SiteId, Arc<dyn ChunkStore>> = match &chaos {
         Some(plan) if plan.storage_error_rate > 0.0 => stores
             .into_iter()
@@ -487,6 +488,7 @@ pub fn run_hybrid_tcp<R: Reduction>(
         _ => stores,
     };
     let mut router = StoreRouter::new(stores, &config.topology, config.fetch, config.time_scale);
+    router.set_metrics(&config.metrics);
     router.set_concurrency(active.iter().map(|&(_, c)| c as usize).sum());
     if let Some(retry) = config.ft.retry {
         router.set_retry(retry);
@@ -500,6 +502,7 @@ pub fn run_hybrid_tcp<R: Reduction>(
     }
     pool.set_speculation(config.ft.speculate);
     pool.set_sink(config.telemetry.clone());
+    pool.set_metrics(config.metrics.clone());
     let ft_active = config.ft.active();
 
     let listener = TcpListener::bind("127.0.0.1:0")?;
@@ -561,6 +564,7 @@ pub fn run_hybrid_tcp<R: Reduction>(
                                         ack_gated: ft_active,
                                         epoch,
                                         telemetry: config.telemetry.clone(),
+                                        metrics: SlaveMetrics::new(&config.metrics, site, worker),
                                     };
                                     move || {
                                         run_slave(

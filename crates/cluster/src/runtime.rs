@@ -17,13 +17,14 @@ use crate::head::{run_head_with, CancelBoard, HeadOptions};
 use crate::protocol::{HeadMsg, HeadReport, MasterMsg};
 use crate::report::{assemble_report, SiteOutcome};
 use crate::router::{Fetched, StoreRouter};
+use cloudburst_core::metrics::{Counter, Gauge, Histogram, Metrics};
 use cloudburst_core::{
     ns_between, ns_since, secs_to_ns, tree_reduce, BatchPolicy, DataIndex, EnvConfig, Event,
     EventKind, FaultPlan, HeartbeatConfig, JobPool, LeaseConfig, LocalJob, MasterPool, Merge,
     Reduction, ReductionObject, RunReport, Seconds, SiteId, Take, Telemetry,
 };
 use cloudburst_netsim::Topology;
-use cloudburst_storage::{ChaosStore, ChunkStore, FetchConfig, RetryPolicy};
+use cloudburst_storage::{ChaosStore, ChunkStore, FetchConfig, MeteredStore, RetryPolicy};
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -119,6 +120,12 @@ pub struct RuntimeConfig {
     /// Event sink for the run (off by default): the pool, the masters, and
     /// every slave emit typed, timestamped events through this handle.
     pub telemetry: Telemetry,
+    /// Live-metrics registry handle (off by default). When enabled, the
+    /// pool, every slave, every store, and every WAN link publish counters,
+    /// gauges, and latency histograms through it — incremented at the same
+    /// code points that feed the run-report accumulators, so a mid-run
+    /// scrape and the end-of-run report agree exactly.
+    pub metrics: Metrics,
 }
 
 impl RuntimeConfig {
@@ -138,8 +145,29 @@ impl RuntimeConfig {
             fault_policy: FaultPolicy::FailFast,
             ft: FtConfig::default(),
             telemetry: Telemetry::off(),
+            metrics: Metrics::off(),
         }
     }
+}
+
+/// Wrap every site store in a [`MeteredStore`] when metrics are on, so each
+/// backend publishes request/byte/error counters and read-latency
+/// histograms. The decorator sits *below* the chaos layer: it counts
+/// physical reads against the real backend, not injected failures.
+pub(crate) fn meter_stores(
+    stores: BTreeMap<SiteId, Arc<dyn ChunkStore>>,
+    metrics: &Metrics,
+) -> BTreeMap<SiteId, Arc<dyn ChunkStore>> {
+    if !metrics.is_enabled() {
+        return stores;
+    }
+    stores
+        .into_iter()
+        .map(|(s, st)| {
+            let kind = st.kind();
+            (s, Arc::new(MeteredStore::new(st, metrics, kind)) as Arc<dyn ChunkStore>)
+        })
+        .collect()
 }
 
 /// The result of a run: the final reduction object plus the paper-shaped
@@ -165,6 +193,104 @@ pub(crate) struct SlaveStats {
     pub(crate) retries: u64,
 }
 
+/// Per-slave live-metrics instruments, resolved once at spawn so the hot
+/// loop pays only relaxed atomic adds — or, with metrics off, a single
+/// branch inside each no-op instrument.
+///
+/// Job/byte/retry counters are per-worker (summing a site's workers gives
+/// the run report's per-site numbers exactly); latency histograms and the
+/// pipeline-occupancy gauge are per-site, shared by all of a site's workers
+/// through the registry's get-or-create.
+#[derive(Clone, Default)]
+pub(crate) struct SlaveMetrics {
+    jobs: Counter,
+    remote_bytes: Counter,
+    retries: Counter,
+    fetch_time: Counter,
+    proc_time: Counter,
+    fetch_hist: Histogram,
+    proc_hist: Histogram,
+    occupancy: Gauge,
+}
+
+impl SlaveMetrics {
+    pub(crate) fn new(metrics: &Metrics, site: SiteId, worker: u32) -> SlaveMetrics {
+        if !metrics.is_enabled() {
+            return SlaveMetrics::default();
+        }
+        let site_v = site.to_string();
+        let worker_v = worker.to_string();
+        let per_worker: &[(&str, &str)] = &[("site", &site_v), ("worker", &worker_v)];
+        let per_site: &[(&str, &str)] = &[("site", &site_v)];
+        SlaveMetrics {
+            jobs: metrics.counter(
+                "cloudburst_slave_jobs_total",
+                "Jobs a slave fully decoded and reduced.",
+                per_worker,
+            ),
+            remote_bytes: metrics.counter(
+                "cloudburst_slave_remote_bytes_total",
+                "Bytes a slave fetched across sites (stolen reads).",
+                per_worker,
+            ),
+            retries: metrics.counter(
+                "cloudburst_slave_retries_total",
+                "Transient storage retries absorbed under a slave's fetches.",
+                per_worker,
+            ),
+            fetch_time: metrics.time_counter(
+                "cloudburst_slave_fetch_busy_seconds_total",
+                "Wall time a slave (or its prefetcher) spent in chunk retrieval.",
+                per_worker,
+            ),
+            proc_time: metrics.time_counter(
+                "cloudburst_slave_process_busy_seconds_total",
+                "Wall time a slave spent decoding and reducing.",
+                per_worker,
+            ),
+            fetch_hist: metrics.histogram(
+                "cloudburst_fetch_seconds",
+                "Per-chunk retrieval latency (ranged reads plus WAN charge).",
+                per_site,
+            ),
+            proc_hist: metrics.histogram(
+                "cloudburst_process_seconds",
+                "Per-chunk decode-and-reduce latency.",
+                per_site,
+            ),
+            occupancy: metrics.gauge(
+                "cloudburst_pipeline_prefetched",
+                "Fetched-and-waiting jobs buffered in slave pipelines.",
+                per_site,
+            ),
+        }
+    }
+
+    /// One chunk retrieval finished (successfully) on this slave's behalf.
+    fn fetched(&self, dur: Duration, bytes: u64, remote: bool, retries: u64) {
+        self.fetch_time.add(dur.as_nanos() as u64);
+        self.fetch_hist.observe(dur.as_nanos() as u64);
+        if remote {
+            self.remote_bytes.add(bytes);
+        }
+        if retries > 0 {
+            self.retries.add(retries);
+        }
+    }
+
+    /// One chunk fully decoded and reduced.
+    fn processed(&self, dur: Duration) {
+        self.proc_time.add(dur.as_nanos() as u64);
+        self.proc_hist.observe(dur.as_nanos() as u64);
+        self.jobs.inc();
+    }
+
+    /// A prefetched job entered (+1) or left (-1) the pipeline buffer.
+    fn pipeline(&self, delta: i64) {
+        self.occupancy.add(delta);
+    }
+}
+
 /// Per-slave fault-tolerance context threaded through [`run_slave`].
 pub(crate) struct SlaveCtx {
     /// The slave's site.
@@ -182,6 +308,8 @@ pub(crate) struct SlaveCtx {
     pub(crate) epoch: Instant,
     /// Event sink for this slave's job/fetch/processing spans.
     pub(crate) telemetry: Telemetry,
+    /// Live-metrics instruments for this slave (no-op when metrics are off).
+    pub(crate) metrics: SlaveMetrics,
 }
 
 impl SlaveCtx {
@@ -230,6 +358,7 @@ pub fn run_hybrid<R: Reduction>(
     let head_site = active[0].0;
 
     let chaos = config.ft.chaos.clone().filter(|p| !p.is_empty());
+    let stores = meter_stores(stores, &config.metrics);
     let stores = match &chaos {
         // Storage faults are injected between the router and the backends,
         // so every site's reads draw from the same seeded schedule.
@@ -240,6 +369,7 @@ pub fn run_hybrid<R: Reduction>(
         _ => stores,
     };
     let mut router = StoreRouter::new(stores, &config.topology, config.fetch, config.time_scale);
+    router.set_metrics(&config.metrics);
     // Size the fetcher pools for every worker (and, with pipelining, its
     // companion prefetcher) hitting storage at once.
     router.set_concurrency(active.iter().map(|&(_, c)| c as usize).sum());
@@ -256,6 +386,7 @@ pub fn run_hybrid<R: Reduction>(
     }
     pool.set_speculation(config.ft.speculate);
     pool.set_sink(config.telemetry.clone());
+    pool.set_metrics(config.metrics.clone());
     let ft_active = config.ft.active();
     let cancel = ft_active.then(CancelBoard::new);
 
@@ -321,6 +452,7 @@ pub fn run_hybrid<R: Reduction>(
                                     ack_gated: ft_active,
                                     epoch,
                                     telemetry: config.telemetry.clone(),
+                                    metrics: SlaveMetrics::new(&config.metrics, site, worker),
                                 };
                                 site_scope.spawn(move || {
                                     run_slave(
@@ -764,6 +896,7 @@ fn run_slave_serial<R: Reduction>(
         if fetched.remote {
             stats.remote_bytes += fetched.bytes.len() as u64;
         }
+        ctx.metrics.fetched(fetch_dur, fetched.bytes.len() as u64, fetched.remote, fetched.retries);
         if fetched.retries > 0 {
             ctx.telemetry.emit(
                 Event::at(
@@ -824,6 +957,7 @@ fn run_slave_serial<R: Reduction>(
         let proc_dur = proc_start.elapsed();
         stats.processing += proc_dur.as_secs_f64();
         stats.jobs += 1;
+        ctx.metrics.processed(proc_dur);
         ctx.telemetry.emit(
             Event::span(ctx.ns_at(proc_start), proc_dur.as_nanos() as u64, EventKind::JobProcessed)
                 .site(site)
@@ -916,6 +1050,7 @@ fn prefetch_loop(
         if ftx.send(PrefetchedJob { job, fetched, fetch_start, fetch_dur }).is_err() {
             return; // processing half gone: abandon the granted job
         }
+        ctx.metrics.pipeline(1);
     }
 }
 
@@ -948,6 +1083,7 @@ fn run_slave_pipelined<R: Reduction>(
         let ctx_ref = &ctx;
         scope.spawn(move || prefetch_loop(ctx_ref, master_tx, router, ftx));
         'jobs: for pre in frx.iter() {
+            ctx.metrics.pipeline(-1);
             if ctx.site_dead() {
                 break;
             }
@@ -979,6 +1115,12 @@ fn run_slave_pipelined<R: Reduction>(
             if fetched.remote {
                 stats.remote_bytes += fetched.bytes.len() as u64;
             }
+            ctx.metrics.fetched(
+                fetch_dur,
+                fetched.bytes.len() as u64,
+                fetched.remote,
+                fetched.retries,
+            );
             // Fetch telemetry is emitted here rather than by the companion,
             // so a crashed slave's unprocessed prefetches never show up in
             // the event stream (they never reach SlaveStats either); the
@@ -1038,6 +1180,7 @@ fn run_slave_pipelined<R: Reduction>(
             let proc_dur = proc_start.elapsed();
             stats.processing += proc_dur.as_secs_f64();
             stats.jobs += 1;
+            ctx.metrics.processed(proc_dur);
             ctx.telemetry.emit(
                 Event::span(
                     ctx.ns_at(proc_start),
@@ -1345,6 +1488,57 @@ mod tests {
         }
         close(derived.global_reduction, out.report.global_reduction, "global_reduction");
         close(derived.total_time, out.report.total_time, "total_time");
+    }
+
+    #[test]
+    fn metrics_scrape_agrees_with_the_report() {
+        use cloudburst_core::parse_exposition;
+        let units = 4096;
+        let (index, stores) = setup(units, 0.5, 4);
+        let env = EnvConfig::new("metrics-eq", 0.5, 3, 3);
+        let mut config = fast_config(env);
+        config.pipeline_depth = 3;
+        config.metrics = Metrics::on();
+        let out = run_hybrid(&SumApp, &index, stores, &config).unwrap();
+        let exp = parse_exposition(&config.metrics.registry().unwrap().render()).unwrap();
+
+        let get = |name: &str, labels: &[(&str, &str)]| exp.get(name, labels).unwrap_or(0.0);
+        for (site, s) in &out.report.sites {
+            let sv = site.to_string();
+            for (kind, want) in [("local", s.jobs.local), ("stolen", s.jobs.stolen)] {
+                let merged =
+                    get("cloudburst_pool_jobs_merged_total", &[("site", &sv), ("kind", kind)]);
+                let lost =
+                    get("cloudburst_pool_results_lost_total", &[("site", &sv), ("kind", kind)]);
+                assert_eq!((merged - lost) as u64, want, "{site} {kind} jobs");
+            }
+        }
+        // Slave byte/retry counters sum (over workers) to the report's
+        // per-site numbers.
+        let bytes = exp.by_label("cloudburst_slave_remote_bytes_total", "site");
+        for (site, s) in &out.report.sites {
+            let got = bytes.get(&site.to_string()).copied().unwrap_or(0.0);
+            assert_eq!(got as u64, s.remote_bytes, "{site} remote bytes");
+        }
+        // Fault-free run: one grant per job, and the WAN pushed exactly the
+        // remote bytes.
+        assert_eq!(exp.sum_family("cloudburst_pool_grants_total") as u64, out.report.total_jobs());
+        assert_eq!(
+            exp.sum_family("cloudburst_pool_steals_total") as u64,
+            out.report.total_stolen()
+        );
+        let remote_total: u64 = out.report.sites.values().map(|s| s.remote_bytes).sum();
+        assert_eq!(exp.sum_family("cloudburst_net_bytes_total") as u64, remote_total);
+        // Every job went through the latency histograms; gauges settled.
+        assert_eq!(
+            exp.sum_family("cloudburst_process_seconds_count") as u64,
+            out.report.total_jobs()
+        );
+        assert_eq!(exp.sum_family("cloudburst_pool_queue_depth") as i64, 0);
+        assert_eq!(exp.sum_family("cloudburst_pool_in_flight") as i64, 0);
+        // Store decorators saw real traffic.
+        assert!(exp.sum_family("cloudburst_store_requests_total") > 0.0);
+        assert!(exp.sum_family("cloudburst_store_bytes_total") > 0.0);
     }
 
     #[test]

@@ -29,7 +29,12 @@
 //!   lock-cheap sink trait, JSONL / Chrome-trace exporters, and an
 //!   aggregator that re-derives the paper-shaped statistics from the event
 //!   stream — plus the dependency-free JSON value ([`json`]) the exporters
-//!   and the `--stats-out` artifacts are written with.
+//!   and the `--stats-out` artifacts are written with;
+//! * the **live metrics layer** ([`metrics`]): sharded atomic counters,
+//!   gauges and bounded log-linear histograms behind a one-branch-when-off
+//!   handle, with a Prometheus text-exposition registry, a strict
+//!   exposition parser/validator, and a dependency-free `/metrics` HTTP
+//!   listener.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -42,6 +47,7 @@ pub mod index;
 pub mod json;
 pub mod layout;
 pub mod master;
+pub mod metrics;
 pub mod pool;
 pub mod reduction;
 pub mod stats;
@@ -58,6 +64,10 @@ pub use index::DataIndex;
 pub use json::Json;
 pub use layout::{ChunkMeta, FileMeta, LayoutParams};
 pub use master::{LocalJob, MasterPool, Take};
+pub use metrics::{
+    check_monotonic, http_get, parse_exposition, Counter, Exposition, Gauge, Histogram, Metrics,
+    MetricsServer, Registry, Sample,
+};
 pub use pool::Completion;
 pub use pool::{BatchPolicy, JobBatch, JobPool, SiteJobCounts};
 pub use reduction::{global_reduce, reduce_serial, tree_reduce, Merge, Reduction, ReductionObject};

@@ -31,6 +31,7 @@
 use crate::fault::{AbandonedJob, FaultCounters, LeaseConfig};
 use crate::index::DataIndex;
 use crate::layout::ChunkMeta;
+use crate::metrics::{Counter, Gauge, Metrics};
 use crate::telemetry::{secs_to_ns, Event, EventKind, Telemetry};
 use crate::types::{ChunkId, FileId, SiteId};
 use serde::{Deserialize, Serialize};
@@ -184,6 +185,176 @@ impl SiteJobCounts {
     }
 }
 
+/// Live-metrics handles for the pool's accounting paths, cached per site so
+/// an enabled increment is one `BTreeMap` lookup plus a relaxed atomic add.
+/// With metrics disabled every recording method is a single branch.
+#[derive(Debug, Clone, Default)]
+struct PoolMetrics {
+    handle: Metrics,
+    grants: BTreeMap<SiteId, Counter>,
+    steals: BTreeMap<SiteId, Counter>,
+    speculations: BTreeMap<SiteId, Counter>,
+    merged_local: BTreeMap<SiteId, Counter>,
+    merged_stolen: BTreeMap<SiteId, Counter>,
+    lost_local: BTreeMap<SiteId, Counter>,
+    lost_stolen: BTreeMap<SiteId, Counter>,
+    duplicates: BTreeMap<SiteId, Counter>,
+    reaps: BTreeMap<SiteId, Counter>,
+    failures: BTreeMap<SiteId, Counter>,
+    evacuated: BTreeMap<SiteId, Counter>,
+    queue_depth: Gauge,
+    in_flight: Gauge,
+}
+
+impl PoolMetrics {
+    fn new(handle: Metrics) -> PoolMetrics {
+        let queue_depth = handle.gauge(
+            "cloudburst_pool_queue_depth",
+            "Jobs waiting in the head's pool, not yet leased to any site.",
+            &[],
+        );
+        let in_flight =
+            handle.gauge("cloudburst_pool_in_flight", "Jobs currently leased to some site.", &[]);
+        PoolMetrics { handle, queue_depth, in_flight, ..PoolMetrics::default() }
+    }
+
+    /// Get-or-create the per-site series of a counter family.
+    fn site<'a>(
+        map: &'a mut BTreeMap<SiteId, Counter>,
+        handle: &Metrics,
+        name: &str,
+        help: &str,
+        site: SiteId,
+    ) -> &'a Counter {
+        map.entry(site)
+            .or_insert_with(|| handle.counter(name, help, &[("site", &site.to_string())]))
+    }
+
+    fn granted(&mut self, site: SiteId, stolen: bool, speculative: bool) {
+        if !self.handle.is_enabled() {
+            return;
+        }
+        Self::site(
+            &mut self.grants,
+            &self.handle,
+            "cloudburst_pool_grants_total",
+            "Job leases granted by the head (speculative copies included).",
+            site,
+        )
+        .inc();
+        if stolen {
+            Self::site(
+                &mut self.steals,
+                &self.handle,
+                "cloudburst_pool_steals_total",
+                "Cross-site (stolen) job grants.",
+                site,
+            )
+            .inc();
+        }
+        if speculative {
+            Self::site(
+                &mut self.speculations,
+                &self.handle,
+                "cloudburst_pool_speculations_total",
+                "Speculative straggler re-executions granted.",
+                site,
+            )
+            .inc();
+        }
+    }
+
+    fn merged(&mut self, site: SiteId, stolen: bool) {
+        if !self.handle.is_enabled() {
+            return;
+        }
+        let map = if stolen { &mut self.merged_stolen } else { &mut self.merged_local };
+        let kind = if stolen { "stolen" } else { "local" };
+        map.entry(site)
+            .or_insert_with(|| {
+                self.handle.counter(
+                    "cloudburst_pool_jobs_merged_total",
+                    "Completions accepted for merging, by processing site and job kind.",
+                    &[("site", &site.to_string()), ("kind", kind)],
+                )
+            })
+            .inc();
+    }
+
+    fn lost(&mut self, site: SiteId, stolen: bool) {
+        if !self.handle.is_enabled() {
+            return;
+        }
+        let map = if stolen { &mut self.lost_stolen } else { &mut self.lost_local };
+        let kind = if stolen { "stolen" } else { "local" };
+        map.entry(site)
+            .or_insert_with(|| {
+                self.handle.counter(
+                    "cloudburst_pool_results_lost_total",
+                    "Merged results that died with an evacuated site's robj.",
+                    &[("site", &site.to_string()), ("kind", kind)],
+                )
+            })
+            .inc();
+    }
+
+    fn duplicate(&mut self, site: SiteId) {
+        if !self.handle.is_enabled() {
+            return;
+        }
+        Self::site(
+            &mut self.duplicates,
+            &self.handle,
+            "cloudburst_pool_duplicate_completions_total",
+            "Completion reports discarded by the dedup verdict.",
+            site,
+        )
+        .inc();
+    }
+
+    fn reaped(&mut self, site: SiteId) {
+        if !self.handle.is_enabled() {
+            return;
+        }
+        Self::site(
+            &mut self.reaps,
+            &self.handle,
+            "cloudburst_pool_lease_reaps_total",
+            "Silent leases reclaimed after their deadline.",
+            site,
+        )
+        .inc();
+    }
+
+    fn failed(&mut self, site: SiteId) {
+        if !self.handle.is_enabled() {
+            return;
+        }
+        Self::site(
+            &mut self.failures,
+            &self.handle,
+            "cloudburst_pool_failures_total",
+            "Processing failures reported per site.",
+            site,
+        )
+        .inc();
+    }
+
+    fn evacuated_job(&mut self, site: SiteId) {
+        if !self.handle.is_enabled() {
+            return;
+        }
+        Self::site(
+            &mut self.evacuated,
+            &self.handle,
+            "cloudburst_pool_evacuated_jobs_total",
+            "In-flight leases revoked by site evacuation.",
+            site,
+        )
+        .inc();
+    }
+}
+
 /// The head node's global job pool.
 #[derive(Debug, Clone)]
 pub struct JobPool {
@@ -236,6 +407,10 @@ pub struct JobPool {
     /// abandonment is emitted here, stamped with the pool clock. Disabled by
     /// default (a single branch per would-be event).
     sink: Telemetry,
+    /// Live metrics: grant/steal/completion counters and queue-depth gauges,
+    /// incremented at the same points that feed the run-report accumulators
+    /// so a scrape and `derive_report` agree exactly. Off by default.
+    metrics: PoolMetrics,
 }
 
 impl JobPool {
@@ -275,6 +450,7 @@ impl JobPool {
             dead_sites: BTreeSet::new(),
             faults: FaultCounters::default(),
             sink: Telemetry::off(),
+            metrics: PoolMetrics::default(),
         }
     }
 
@@ -285,6 +461,23 @@ impl JobPool {
     /// simulator — drive this same pool, one sink covers them all.
     pub fn set_sink(&mut self, sink: Telemetry) {
         self.sink = sink;
+    }
+
+    /// Attach a live-metrics handle: grants, steals, speculative launches,
+    /// completion verdicts, reaps, failures and evacuations increment
+    /// per-site counters, and queue-depth / in-flight gauges track the
+    /// pool's backlog. Increments happen at the same code points that feed
+    /// the run-report accumulators, so scrape totals and the end-of-run
+    /// report agree exactly.
+    pub fn set_metrics(&mut self, metrics: Metrics) {
+        self.metrics = PoolMetrics::new(metrics);
+        self.sync_depth();
+    }
+
+    /// Refresh the backlog gauges (no-op while metrics are off).
+    fn sync_depth(&self) {
+        self.metrics.queue_depth.set(self.pending_total as i64);
+        self.metrics.in_flight.set(self.in_flight() as i64);
     }
 
     /// The pool clock as an event timestamp.
@@ -475,6 +668,7 @@ impl JobPool {
         let q = &mut self.pending_by_file[self.chunks[i].file.0 as usize];
         let pos = q.partition_point(|&c| c < job);
         q.insert(pos, job);
+        self.sync_depth();
     }
 
     /// Permanently give up on job `i`.
@@ -487,6 +681,7 @@ impl JobPool {
             e = e.site(site);
         }
         self.sink.emit(e);
+        self.sync_depth();
     }
 
     /// Report that `site` failed to process `job` (retrieval error, worker
@@ -504,6 +699,7 @@ impl JobPool {
             *self.failures.entry(site).or_insert(0) += 1;
             self.attempts[i] = self.attempts[i].saturating_add(1);
             self.past[i].push(site);
+            self.metrics.failed(site);
             self.sink.emit(Event::at(self.now_ns(), EventKind::JobFailed).site(site).chunk(job));
             if released.speculative {
                 self.speculation_lost(i, site);
@@ -548,6 +744,7 @@ impl JobPool {
                 self.past[i].push(site);
                 self.faults.lease_expiries += 1;
                 self.attempts[i] = self.attempts[i].saturating_add(1);
+                self.metrics.reaped(site);
                 self.sink.emit(
                     Event::at(self.now_ns(), EventKind::LeaseReaped)
                         .site(site)
@@ -586,6 +783,7 @@ impl JobPool {
                     let Some(released) = self.release_assignee(i, site) else { continue };
                     self.past[i].push(site);
                     self.faults.evacuated_jobs += 1;
+                    self.metrics.evacuated_job(site);
                     self.sink.emit(
                         Event::at(self.now_ns(), EventKind::JobEvacuated)
                             .site(site)
@@ -613,6 +811,7 @@ impl JobPool {
                     }
                     self.past[i].push(site);
                     self.faults.lost_results += 1;
+                    self.metrics.lost(site, stolen);
                     self.sink.emit(
                         Event::at(self.now_ns(), EventKind::LostResult { stolen })
                             .site(site)
@@ -801,6 +1000,7 @@ impl JobPool {
     /// Account (and emit) a completion report that must be discarded.
     fn duplicate_completion(&mut self, job: ChunkId, site: SiteId, stolen: bool) -> Completion {
         self.faults.duplicate_completions += 1;
+        self.metrics.duplicate(site);
         self.sink.emit(
             Event::at(
                 self.now_ns(),
@@ -816,12 +1016,15 @@ impl JobPool {
     fn finish(&mut self, i: usize, site: SiteId) {
         self.state[i] = JobState::Done(site);
         self.done_total += 1;
+        let local = self.chunks[i].site == site;
         let entry = self.counts.entry(site).or_default();
-        if self.chunks[i].site == site {
+        if local {
             entry.local += 1;
         } else {
             entry.stolen += 1;
         }
+        self.metrics.merged(site, !local);
+        self.sync_depth();
     }
 
     /// Local file to serve next: the site's file with the most pending jobs,
@@ -893,6 +1096,7 @@ impl JobPool {
             self.readers[j.file.0 as usize] += 1;
             self.pending_total -= 1;
             *self.assigned_to.entry(site).or_insert(0) += 1;
+            self.metrics.granted(site, batch.stolen, false);
             self.sink.emit(
                 Event::at(
                     self.now_ns(),
@@ -901,6 +1105,9 @@ impl JobPool {
                 .site(site)
                 .chunk(j.id),
             );
+        }
+        if !batch.is_empty() {
+            self.sync_depth();
         }
     }
 
@@ -943,6 +1150,7 @@ impl JobPool {
                 self.readers[self.chunks[i].file.0 as usize] += 1;
                 *self.assigned_to.entry(site).or_insert(0) += 1;
                 self.faults.speculative_grants += 1;
+                self.metrics.granted(site, self.chunks[i].site != site, true);
                 self.sink.emit(
                     Event::at(
                         self.now_ns(),

@@ -141,6 +141,21 @@ pub enum EventKind {
     JobAbandoned,
     /// A master liveness beacon reached the head.
     Heartbeat,
+    /// A periodic sample of the live metrics registry (emitted by the
+    /// background sampler when `--metrics-addr` / `--watch` is active), so
+    /// traces and metrics share one timeline.
+    MetricsSnapshot {
+        /// Jobs granted so far (all sites, speculative copies included).
+        grants: u64,
+        /// Cross-site (stolen) grants so far.
+        steals: u64,
+        /// Completions merged so far.
+        completions: u64,
+        /// Jobs still waiting in the pool at sample time.
+        queue_depth: u64,
+        /// Bytes fetched from storage so far.
+        bytes: u64,
+    },
     /// A slave processed its last job and exited (its finish timestamp).
     SlaveFinished,
     /// A site combined its workers' scratch objects (span).
@@ -172,6 +187,7 @@ impl EventKind {
             EventKind::LostResult { .. } => "lost-result",
             EventKind::JobAbandoned => "job-abandoned",
             EventKind::Heartbeat => "heartbeat",
+            EventKind::MetricsSnapshot { .. } => "metrics-snapshot",
             EventKind::SlaveFinished => "slave-finished",
             EventKind::SiteMerged => "local-merge",
             EventKind::SiteFinished => "site-finished",
@@ -218,6 +234,7 @@ impl EventKind {
             EventKind::SiteEvacuated | EventKind::LostResult { .. } | EventKind::Heartbeat => {
                 "liveness"
             }
+            EventKind::MetricsSnapshot { .. } => "metrics",
             EventKind::SiteMerged | EventKind::SiteFinished => "site",
             EventKind::GlobalReduction | EventKind::RunFinished => "run",
         }
@@ -314,6 +331,13 @@ impl Event {
             ],
             EventKind::SpeculationResolved { won } => vec![("won", Json::Bool(won))],
             EventKind::LostResult { stolen } => vec![("stolen", Json::Bool(stolen))],
+            EventKind::MetricsSnapshot { grants, steals, completions, queue_depth, bytes } => vec![
+                ("grants", Json::U64(grants)),
+                ("steals", Json::U64(steals)),
+                ("completions", Json::U64(completions)),
+                ("queue_depth", Json::U64(queue_depth)),
+                ("bytes", Json::U64(bytes)),
+            ],
             _ => Vec::new(),
         }
     }
@@ -501,23 +525,39 @@ impl LogLevel {
 }
 
 /// Streams events to stderr as they happen, filtered by [`LogLevel`].
+///
+/// Lines go through one shared, buffered writer behind a single mutex —
+/// not `eprintln!` — so `--log-level debug` on a chaos run pays one lock
+/// and a `memcpy` per event instead of a syscall, and a flurry of slave
+/// events can't interleave mid-line. The buffer is flushed when the sink
+/// is dropped (and whenever it fills).
 pub struct ConsoleSink {
     level: LogLevel,
+    out: Mutex<std::io::BufWriter<std::io::Stderr>>,
 }
 
 impl ConsoleSink {
     /// A console sink at the given verbosity.
     #[must_use]
     pub fn new(level: LogLevel) -> ConsoleSink {
-        ConsoleSink { level }
+        ConsoleSink { level, out: Mutex::new(std::io::BufWriter::new(std::io::stderr())) }
     }
 }
 
 impl EventSink for ConsoleSink {
     fn record(&self, event: Event) {
         if self.level == LogLevel::Debug || event.kind.is_noteworthy() {
-            eprintln!("[telemetry] {event}");
+            use std::io::Write;
+            let mut out = self.out.lock();
+            let _ = writeln!(out, "[telemetry] {event}");
         }
+    }
+}
+
+impl Drop for ConsoleSink {
+    fn drop(&mut self) {
+        use std::io::Write;
+        let _ = self.out.lock().flush();
     }
 }
 
@@ -745,7 +785,8 @@ pub fn derive_report(events: &[Event], env: &str) -> RunReport {
             | EventKind::StorageRetry { .. }
             | EventKind::JobFailed
             | EventKind::SiteEvacuated
-            | EventKind::Heartbeat => {}
+            | EventKind::Heartbeat
+            | EventKind::MetricsSnapshot { .. } => {}
         }
     }
 

@@ -1,0 +1,211 @@
+//! Property tests for the metrics subsystem: whatever mix of counters,
+//! gauges and histograms a run registers, the rendered Prometheus
+//! exposition must be strictly parseable (no duplicate series, no
+//! malformed lines, cumulative buckets), values must round-trip exactly,
+//! and successive scrapes must satisfy the counter-monotonicity contract.
+//! Histograms share one fixed bucket grid, so merging per-shard histograms
+//! must be indistinguishable from observing everything into one — the
+//! invariant the sharded slave handles rely on. Alongside, edge-case tests
+//! pin the exporters' behavior on empty and single-event streams.
+
+use cloudburst_core::{
+    check_monotonic, chrome_trace, events_to_jsonl, parse_exposition, Event, EventKind, Json,
+    Metrics, SiteId,
+};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// (name index, label index, delta) — one counter increment.
+type CounterSpec = (usize, usize, u64);
+/// (name index, label index, level) — one gauge store.
+type GaugeSpec = (usize, usize, i64);
+/// (name index, raw nanosecond observations) — one histogram batch.
+type HistSpec = (usize, Vec<u64>);
+
+fn counter_name(n: usize) -> String {
+    format!("t_ops_{n}_total")
+}
+
+fn hist_name(n: usize) -> String {
+    format!("t_lat_{n}_seconds")
+}
+
+fn site_label(l: usize) -> String {
+    format!("s{l}")
+}
+
+/// Apply one batch of arbitrary instrument updates through the public
+/// get-or-create handles, exactly as the runtimes do.
+fn apply(metrics: &Metrics, counters: &[CounterSpec], gauges: &[GaugeSpec], hists: &[HistSpec]) {
+    for &(n, l, v) in counters {
+        let site = site_label(l);
+        metrics.counter(&counter_name(n), "test ops", &[("site", &site)]).add(v);
+    }
+    for &(n, l, v) in gauges {
+        let site = site_label(l);
+        metrics.gauge(&format!("t_level_{n}"), "test level", &[("site", &site)]).set(v);
+    }
+    for (n, obs) in hists {
+        let h = metrics.histogram(&hist_name(*n), "test latency", &[]);
+        for &v in obs {
+            h.observe(v);
+        }
+    }
+}
+
+fn arb_counters() -> impl Strategy<Value = Vec<CounterSpec>> {
+    prop::collection::vec((0usize..4, 0usize..3, 0u64..1_000), 0..24)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any registry contents render to an exposition the strict parser
+    /// accepts (it rejects duplicate series, malformed lines, and
+    /// non-cumulative buckets), every counter/gauge/histogram-count value
+    /// round-trips exactly, and a second scrape after further increments
+    /// never violates counter monotonicity.
+    #[test]
+    fn rendered_exposition_parses_and_scrapes_stay_monotonic(
+        counters in arb_counters(),
+        gauges in prop::collection::vec((0usize..3, 0usize..3, -500i64..500), 0..16),
+        hists in prop::collection::vec(
+            (0usize..2, prop::collection::vec(0u64..5_000_000_000, 0..8)),
+            0..8,
+        ),
+        more in arb_counters(),
+    ) {
+        let metrics = Metrics::on();
+        let registry = metrics.registry().expect("metrics just enabled");
+        apply(&metrics, &counters, &gauges, &hists);
+
+        let first = registry.render();
+        let parsed = parse_exposition(&first);
+        prop_assert!(parsed.is_ok(), "first scrape rejected: {:?}\n{}", parsed, first);
+        let e1 = parsed.unwrap();
+
+        // Counters round-trip: the rendered series equals the sum of adds.
+        let mut want_counters: BTreeMap<(usize, usize), u64> = BTreeMap::new();
+        for &(n, l, v) in &counters {
+            *want_counters.entry((n, l)).or_default() += v;
+        }
+        for (&(n, l), &want) in &want_counters {
+            let site = site_label(l);
+            let got = e1.get(&counter_name(n), &[("site", &site)]);
+            prop_assert_eq!(got, Some(want as f64), "counter ({}, {})", n, l);
+        }
+        // Gauges round-trip: last store wins.
+        let mut want_gauges: BTreeMap<(usize, usize), i64> = BTreeMap::new();
+        for &(n, l, v) in &gauges {
+            want_gauges.insert((n, l), v);
+        }
+        for (&(n, l), &want) in &want_gauges {
+            let site = site_label(l);
+            let got = e1.get(&format!("t_level_{n}"), &[("site", &site)]);
+            prop_assert_eq!(got, Some(want as f64), "gauge ({}, {})", n, l);
+        }
+        // Histogram counts round-trip through the bucket expansion.
+        let mut want_obs: BTreeMap<usize, u64> = BTreeMap::new();
+        for (n, obs) in &hists {
+            *want_obs.entry(*n).or_default() += obs.len() as u64;
+        }
+        for (&n, &want) in &want_obs {
+            let got = e1.get(&format!("{}_count", hist_name(n)), &[]);
+            prop_assert_eq!(got, Some(want as f64), "histogram {} count", n);
+        }
+
+        // Second scrape after more increments and repeated observations:
+        // the counter families present earlier must never go backwards.
+        apply(&metrics, &more, &[], &hists);
+        let second = registry.render();
+        let parsed = parse_exposition(&second);
+        prop_assert!(parsed.is_ok(), "second scrape rejected: {:?}\n{}", parsed, second);
+        let e2 = parsed.unwrap();
+        let mono = check_monotonic(&e1, &e2);
+        prop_assert!(mono.is_ok(), "scrapes not monotonic: {:?}", mono);
+    }
+
+    /// Merging per-shard histograms into one equals observing every value
+    /// into a single histogram: identical counts, sums, and quantiles at
+    /// every probed rank. This is what makes per-worker handles safe.
+    #[test]
+    fn histogram_merge_of_shards_equals_the_whole(
+        shards in prop::collection::vec(
+            prop::collection::vec(0u64..10_000_000_000, 0..40),
+            1..5,
+        ),
+    ) {
+        let whole = Metrics::on().histogram("w_seconds", "whole", &[]);
+        let merged = Metrics::on().histogram("m_seconds", "merged", &[]);
+        for obs in &shards {
+            let shard = Metrics::on().histogram("s_seconds", "shard", &[]);
+            for &v in obs {
+                shard.observe(v);
+                whole.observe(v);
+            }
+            merged.merge_from(&shard);
+        }
+        prop_assert_eq!(merged.count(), whole.count());
+        prop_assert!(
+            (merged.sum() - whole.sum()).abs() < 1e-12,
+            "sums diverged: {} vs {}", merged.sum(), whole.sum()
+        );
+        for q in [0.0, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            prop_assert_eq!(
+                merged.quantile_raw(q),
+                whole.quantile_raw(q),
+                "quantile {} diverged", q
+            );
+        }
+    }
+
+    /// Percentile sanity on one histogram: quantiles are monotone in the
+    /// rank, and the top quantile's bucket upper bound covers the maximum
+    /// observed value.
+    #[test]
+    fn histogram_quantiles_are_monotone_and_cover_the_max(
+        obs in prop::collection::vec(0u64..10_000_000_000, 1..80),
+    ) {
+        let h = Metrics::on().histogram("q_seconds", "probe", &[]);
+        for &v in &obs {
+            h.observe(v);
+        }
+        let probes = [0.0, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0];
+        let values: Vec<u64> = probes.iter().map(|&q| h.quantile_raw(q)).collect();
+        for w in values.windows(2) {
+            prop_assert!(w[0] <= w[1], "quantiles not monotone: {:?}", values);
+        }
+        let max = obs.iter().copied().max().expect("non-empty");
+        prop_assert!(
+            values[probes.len() - 1] >= max,
+            "p100 {} below max observation {}", values[probes.len() - 1], max
+        );
+        prop_assert_eq!(h.count(), obs.len() as u64);
+    }
+}
+
+#[test]
+fn exporters_handle_an_empty_stream() {
+    assert_eq!(events_to_jsonl(&[]), "");
+    let text = chrome_trace(&[]).to_text();
+    Json::parse(&text).expect("empty trace is valid JSON");
+    assert!(text.contains("\"traceEvents\""), "missing traceEvents: {text}");
+    assert!(text.contains("[]"), "empty stream should yield an empty event array: {text}");
+}
+
+#[test]
+fn exporters_handle_a_single_event() {
+    let make = || Event::span(1_000, 2_000, EventKind::JobProcessed).site(SiteId::LOCAL).worker(3);
+    let jsonl = events_to_jsonl(&[make()]);
+    assert_eq!(jsonl.lines().count(), 1, "one event, one line: {jsonl:?}");
+    assert!(jsonl.ends_with('\n'), "JSONL lines are newline-terminated");
+    Json::parse(jsonl.trim()).expect("event line is valid JSON");
+
+    let text = chrome_trace(&[make()]).to_text();
+    Json::parse(&text).expect("single-event trace is valid JSON");
+    // A span event becomes a complete ("X") slice with its duration in µs,
+    // plus a metadata row naming the worker's thread track.
+    assert!(text.contains("\"ph\":\"X\""), "span should render as a complete event: {text}");
+    assert!(text.contains("\"dur\":2"), "duration should be exported in µs: {text}");
+    assert!(text.contains("slave 3"), "worker lane should be named: {text}");
+}

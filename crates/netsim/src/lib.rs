@@ -20,5 +20,5 @@ pub mod topology;
 
 pub use jitter::Jitter;
 pub use link::{profiles, LinkSpec};
-pub use throttle::Throttle;
+pub use throttle::{Throttle, TransferObserver};
 pub use topology::Topology;

@@ -12,15 +12,32 @@
 
 use crate::link::LinkSpec;
 use parking_lot::Mutex;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+/// Callback invoked after every completed transfer with `(bytes, modelled
+/// seconds, queueing included)`. Lets a metrics layer count link traffic
+/// without this crate depending on it.
+pub type TransferObserver = Arc<dyn Fn(u64, f64) + Send + Sync>;
+
 /// A shared pacing gate enforcing a [`LinkSpec`] in (scaled) real time.
-#[derive(Debug)]
 pub struct Throttle {
     spec: LinkSpec,
     /// Multiplier from modelled seconds to real seconds.
     time_scale: f64,
     state: Mutex<State>,
+    /// Optional per-transfer callback (bytes, modelled secs).
+    observer: Mutex<Option<TransferObserver>>,
+}
+
+impl std::fmt::Debug for Throttle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Throttle")
+            .field("spec", &self.spec)
+            .field("time_scale", &self.time_scale)
+            .field("observed", &self.observer.lock().is_some())
+            .finish()
+    }
 }
 
 #[derive(Debug)]
@@ -48,7 +65,15 @@ impl Throttle {
             spec,
             time_scale,
             state: Mutex::new(State { start: Instant::now(), reserved_until: 0.0 }),
+            observer: Mutex::new(None),
         }
+    }
+
+    /// Install (or replace) the per-transfer observer: called after every
+    /// completed [`Throttle::transfer`] with the byte count and the modelled
+    /// seconds the transfer took, queueing included.
+    pub fn set_observer(&self, observer: impl Fn(u64, f64) + Send + Sync + 'static) {
+        *self.observer.lock() = Some(Arc::new(observer));
     }
 
     /// The modelled link.
@@ -78,7 +103,12 @@ impl Throttle {
             }
             std::thread::sleep(Duration::from_secs_f64((wake_at - now).min(0.05)));
         }
-        (wake_at - enqueued_at) / self.time_scale
+        let modelled = (wake_at - enqueued_at) / self.time_scale;
+        let observer = self.observer.lock().clone();
+        if let Some(observe) = observer {
+            observe(bytes, modelled);
+        }
+        modelled
     }
 
     /// Block for one request/response round trip plus serialization of
@@ -139,6 +169,22 @@ mod tests {
         let real = before.elapsed().as_secs_f64();
         // 10 modelled seconds at 1e-3 = 10 ms real, minus scheduling slack.
         assert!(real >= 8e-3, "two transfers must serialize, took {real}");
+    }
+
+    #[test]
+    fn observer_sees_every_transfer() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let t = Throttle::new(spec(0.0, 1e6), 1e-4);
+        let total = Arc::new(AtomicU64::new(0));
+        let seen = Arc::clone(&total);
+        t.set_observer(move |bytes, modelled| {
+            assert!(modelled > 0.0);
+            seen.fetch_add(bytes, Ordering::Relaxed);
+        });
+        let m1 = t.transfer(1000);
+        let m2 = t.transfer(500);
+        assert!(m1 > 0.0 && m2 > 0.0);
+        assert_eq!(total.load(Ordering::Relaxed), 1500);
     }
 
     #[test]

@@ -115,6 +115,44 @@ pub fn cost_of(
     }
 }
 
+/// Price *measured* usage — the live-meter entry point behind the CLI's
+/// `--watch` dollar readout and the `CostReport` attached to real-run
+/// stats: no [`AppModel`], no simulation, just the counters a run actually
+/// accumulated (elapsed wall time, object-store GETs, cloud-egress bytes).
+///
+/// Compute is pro-rated by instance-*seconds* so the meter moves while the
+/// run does; the `instance_hours` field still reports what 2011 whole-hour
+/// billing would invoice at teardown (each instance pays every started
+/// hour).
+#[must_use]
+pub fn cost_of_usage(
+    pricing: &PricingModel,
+    cloud_cores: u32,
+    elapsed_secs: f64,
+    get_requests: u64,
+    egress_bytes: u64,
+) -> CostReport {
+    let instances = cloud_cores.div_ceil(pricing.cores_per_instance.max(1));
+    let elapsed = if elapsed_secs.is_finite() { elapsed_secs.max(0.0) } else { 0.0 };
+    let instance_hours = if instances == 0 {
+        0
+    } else {
+        u64::from(instances) * ((elapsed / 3600.0).ceil().max(1.0) as u64)
+    };
+    let compute_cost = f64::from(instances) * elapsed / 3600.0 * pricing.instance_hour;
+    let request_cost = get_requests as f64 / 10_000.0 * pricing.per_10k_gets;
+    let egress_cost = egress_bytes as f64 / f64::from(1u32 << 30) * pricing.egress_per_gib;
+    CostReport {
+        instances,
+        instance_hours,
+        compute_cost,
+        get_requests,
+        request_cost,
+        egress_bytes,
+        egress_cost,
+    }
+}
+
 /// One option on the time/cost frontier.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BurstOption {
@@ -260,6 +298,31 @@ mod tests {
                 assert!(o.cost.total() >= choice.cost.total() - 1e-9);
             }
         }
+    }
+
+    #[test]
+    fn usage_pricing_is_prorated_and_simulation_free() {
+        let pricing = PricingModel::aws_2011();
+        // No cloud cores: only requests and egress cost anything.
+        let idle = cost_of_usage(&pricing, 0, 120.0, 20_000, u64::from(1u32 << 30));
+        assert_eq!(idle.instances, 0);
+        assert_eq!(idle.instance_hours, 0);
+        assert_eq!(idle.compute_cost, 0.0);
+        assert!((idle.request_cost - 0.02).abs() < 1e-12, "2 * $0.01 per 10k GETs");
+        assert!((idle.egress_cost - 0.10).abs() < 1e-12, "1 GiB egress");
+        // 8 cores = 2 instances; 30 minutes pro-rates to one half-hour each
+        // while the billed ledger still charges the started hour.
+        let busy = cost_of_usage(&pricing, 8, 1800.0, 0, 0);
+        assert_eq!(busy.instances, 2);
+        assert_eq!(busy.instance_hours, 2);
+        assert!((busy.compute_cost - 2.0 * 0.5 * 0.34).abs() < 1e-12);
+        // The meter is monotone in elapsed time.
+        assert!(
+            cost_of_usage(&pricing, 8, 3600.0, 0, 0).compute_cost > busy.compute_cost,
+            "longer runs cost more"
+        );
+        // Garbage clocks don't poison the meter.
+        assert_eq!(cost_of_usage(&pricing, 8, f64::NAN, 0, 0).compute_cost, 0.0);
     }
 
     #[test]

@@ -25,7 +25,8 @@ pub mod params;
 pub mod scenario;
 
 pub use cost::{
-    burst_frontier, cost_of, provision_for_deadline, BurstOption, CostReport, PricingModel,
+    burst_frontier, cost_of, cost_of_usage, provision_for_deadline, BurstOption, CostReport,
+    PricingModel,
 };
 pub use model::AppModel;
 pub use multi::{

@@ -77,6 +77,10 @@ impl ChunkStore for ChaosStore {
         self.inner.site()
     }
 
+    fn kind(&self) -> &'static str {
+        self.inner.kind()
+    }
+
     fn read(&self, file: FileId, offset: ByteSize, len: ByteSize) -> io::Result<Bytes> {
         self.inject(file, offset)?;
         let result = self.inner.read(file, offset, len);

@@ -68,6 +68,10 @@ impl ChunkStore for FileStore {
         self.site
     }
 
+    fn kind(&self) -> &'static str {
+        "file"
+    }
+
     fn read(&self, file: FileId, offset: ByteSize, len: ByteSize) -> io::Result<Bytes> {
         let mut buf = vec![0u8; len as usize];
         self.read_into(file, offset, &mut buf)?;

@@ -15,7 +15,9 @@
 //! * the binary on-disk index format ([`index_io`]);
 //! * transient-error classification and capped exponential backoff with
 //!   deterministic jitter for range reads ([`retry`]);
-//! * seeded, replayable fault injection over any store ([`chaos`]).
+//! * seeded, replayable fault injection over any store ([`chaos`]);
+//! * live-metrics decoration over any store — request/byte/error counters
+//!   and read-latency histograms ([`metered`]).
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -25,6 +27,7 @@ pub mod fetch;
 pub mod file;
 pub mod index_io;
 pub mod mem;
+pub mod metered;
 pub mod organizer;
 pub mod pool;
 pub mod retry;
@@ -39,6 +42,7 @@ pub use fetch::{
 pub use file::FileStore;
 pub use index_io::{decode_index, encode_index, read_index, write_index};
 pub use mem::MemStore;
+pub use metered::MeteredStore;
 pub use organizer::{fraction_placement, organize, reassemble, Organized, SiteStore};
 pub use pool::FetcherPool;
 pub use retry::{

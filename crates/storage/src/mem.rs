@@ -42,6 +42,10 @@ impl ChunkStore for MemStore {
         self.site
     }
 
+    fn kind(&self) -> &'static str {
+        "mem"
+    }
+
     fn read(&self, file: FileId, offset: ByteSize, len: ByteSize) -> io::Result<Bytes> {
         let data = self.file(file)?;
         check_range(file, data.len() as ByteSize, offset, len)?;

@@ -46,6 +46,10 @@ impl ChunkStore for SiteStore {
         self.site
     }
 
+    fn kind(&self) -> &'static str {
+        "mem"
+    }
+
     fn read(&self, file: FileId, offset: ByteSize, len: ByteSize) -> io::Result<Bytes> {
         let data = self.files.get(&file).ok_or_else(|| no_such_file(file))?;
         check_range(file, data.len() as ByteSize, offset, len)?;

@@ -156,6 +156,10 @@ impl<S: ChunkStore> ChunkStore for S3SimStore<S> {
         self.inner.site()
     }
 
+    fn kind(&self) -> &'static str {
+        "s3sim"
+    }
+
     fn read(&self, file: FileId, offset: ByteSize, len: ByteSize) -> io::Result<Bytes> {
         self.get(len, || self.inner.read(file, offset, len))
     }

@@ -14,6 +14,13 @@ pub trait ChunkStore: Send + Sync {
     /// The site whose storage this is (reads from other sites are "remote").
     fn site(&self) -> SiteId;
 
+    /// A short static name for the backend flavor (`"mem"`, `"file"`,
+    /// `"s3sim"`), used as the `store` label on live-metrics series.
+    /// Decorators delegate to their inner store.
+    fn kind(&self) -> &'static str {
+        "store"
+    }
+
     /// Read `len` bytes of `file` starting at `offset`.
     ///
     /// Implementations must return exactly `len` bytes or an error; short

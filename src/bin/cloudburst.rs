@@ -24,14 +24,18 @@ use cloudburst_apps::knn::Knn;
 use cloudburst_apps::pagerank::PageRank;
 use cloudburst_cluster::FaultPolicy;
 use cloudburst_core::{
-    chrome_trace, events_to_jsonl, report_to_json, ConsoleSink, EventSink, Json, LogLevel,
-    Recorder, Telemetry,
+    chrome_trace, events_to_jsonl, http_get, ns_since, parse_exposition, report_to_json,
+    ConsoleSink, Event, EventKind, EventSink, Exposition, Json, LogLevel, Metrics, MetricsServer,
+    Recorder, Registry, Sample, Telemetry,
 };
+use cloudburst_sim::{cost_of_usage, CostReport, PricingModel};
 use cloudburst_storage::{read_index, write_index, SiteStore};
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 const DIM: usize = 4;
 
@@ -44,6 +48,7 @@ fn main() -> ExitCode {
         Some("run") => cmd_run(&args[1..]),
         Some("simulate") => cmd_simulate(&args[1..]),
         Some("check-json") => cmd_check_json(&args[1..]),
+        Some("check-metrics") => cmd_check_metrics(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print_usage();
             Ok(())
@@ -73,21 +78,38 @@ USAGE:
              [--local-cores N] [--cloud-cores N] [--retry N] [--time-scale F]
              [--pipeline-depth D] [--ft] [--chaos SPEC]
              [--stats-out FILE] [--events-out FILE] [--trace-out FILE]
-             [--log-level off|info|debug]
+             [--log-level off|info|debug] [--metrics-addr ADDR] [--watch]
              [--k K] [--pages N] [--iterations I] [--damping D]
   cloudburst simulate [fig3a|fig3b|fig3c|fig4a|fig4b|fig4c|table1|table2|summary|all]
   cloudburst check-json FILE
+  cloudburst check-metrics <FILE|http://HOST:PORT/metrics>
+             [--retries N] [--against-stats STATS.json]
 
 OBSERVABILITY:
-  --stats-out FILE   write the final run report as a JSON document
+  --stats-out FILE   write the final run report as a JSON document (includes
+                     the dollar-cost accounting block)
   --events-out FILE  write the telemetry event log as JSONL (one event/line)
   --trace-out FILE   write a Chrome trace_event document; open it in
                      chrome://tracing or https://ui.perfetto.dev to see
                      per-slave swimlanes (steals, reaps, speculation)
   --log-level LEVEL  stream events to stderr: `info` shows fault-path
                      events only, `debug` shows everything (default off)
+  --metrics-addr A   serve live metrics in Prometheus text format on
+                     http://A/metrics (e.g. 127.0.0.1:9184; port 0 picks a
+                     free port, printed to stderr). Scrape mid-run with
+                     curl or `cloudburst check-metrics`
+  --watch            print a live status line to stderr every 250 ms:
+                     per-site throughput, utilization, steal counts, queue
+                     depth, a straggler/imbalance alert, and the running
+                     dollar cost of the burst
   check-json FILE    validate that FILE parses as JSON or JSONL (used by
                      verify.sh to smoke-test the artifacts above)
+  check-metrics SRC  validate a Prometheus exposition (file or live URL):
+                     format, no duplicate series, core counters nonzero;
+                     with --against-stats, diff the scrape's job/steal/
+                     byte/retry totals against a --stats-out document
+                     (single-run commands: iterative apps accumulate
+                     metrics across iterations while stats cover the last)
 
 PIPELINING:
   --pipeline-depth D  jobs in flight per slave (default 1). Depth 2+ gives
@@ -358,6 +380,35 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     }
     config.telemetry = Telemetry::fanout(sinks);
 
+    let metrics_addr = opt(args, "--metrics-addr").map(str::to_owned);
+    let metrics_out = opt(args, "--metrics-out").map(PathBuf::from);
+    let watch = args.iter().any(|a| a == "--watch");
+    if metrics_addr.is_some() || metrics_out.is_some() || watch {
+        config.metrics = Metrics::on();
+    }
+    let pricing = PricingModel::aws_2011();
+    // Keep the server handle alive for the whole command; Drop stops the
+    // listener and joins its thread.
+    let _server = match &metrics_addr {
+        Some(addr) => {
+            let registry = config.metrics.registry().expect("metrics just enabled");
+            let server = MetricsServer::bind(registry, addr)
+                .map_err(|e| format!("binding metrics server on {addr}: {e}"))?;
+            eprintln!("serving metrics on http://{}/metrics", server.local_addr());
+            Some(server)
+        }
+        None => None,
+    };
+    let run_started = Instant::now();
+    let sampler = LiveMetrics::start(
+        &config.metrics,
+        config.telemetry.clone(),
+        watch,
+        local_cores,
+        cloud_cores,
+        pricing,
+    );
+
     let report = match app.as_str() {
         "wordcount" => {
             let out = run_hybrid(&WordCount, &index, stores, &config).map_err(|e| e.to_string())?;
@@ -434,28 +485,305 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         }
         other => return Err(format!("unknown application `{other}`")),
     };
+    // Stop the sampler before the final registry read so the last `--watch`
+    // line never interleaves with the report.
+    drop(sampler);
     if let Some(report) = report {
-        print_report(&report);
+        let cost = final_cost(
+            &config.metrics,
+            &report,
+            &index,
+            cloud_cores,
+            run_started.elapsed().as_secs_f64(),
+            &pricing,
+        );
+        print_report(&report, &cost);
         write_run_artifacts(
             &report,
+            &cost,
+            config.metrics.registry().as_deref(),
             recorder.as_deref(),
             stats_out.as_deref(),
             events_out.as_deref(),
             trace_out.as_deref(),
+            metrics_out.as_deref(),
         )?;
     }
     Ok(())
 }
 
+// ---------------------------------------------------------------------------
+// live metrics: the background sampler behind --metrics-addr / --watch
+// ---------------------------------------------------------------------------
+
+/// Per-site totals distilled from one registry snapshot.
+#[derive(Debug, Clone, Default, PartialEq)]
+struct SiteSums {
+    /// Jobs completed by the site's slaves.
+    jobs: u64,
+    /// Jobs granted to this site that are hosted elsewhere.
+    steals: u64,
+    /// Seconds the site's workers spent fetching + processing.
+    busy_secs: f64,
+}
+
+/// Everything the watch line and the snapshot event need, distilled from
+/// one `Registry::snapshot()`.
+#[derive(Debug, Clone, Default, PartialEq)]
+struct MetricSums {
+    grants: u64,
+    steals: u64,
+    completions: u64,
+    queue_depth: i64,
+    in_flight: i64,
+    bytes: u64,
+    /// Object-store GETs served by the cloud site (priced per 10k).
+    cloud_gets: u64,
+    /// Bytes that crossed an inter-site link out of the cloud (priced/GiB).
+    cloud_egress: u64,
+    sites: BTreeMap<String, SiteSums>,
+}
+
+/// Fold a registry snapshot into the handful of totals the live view uses.
+/// Counter samples arrive already scaled (time counters in seconds).
+fn summarize(samples: &[Sample]) -> MetricSums {
+    let mut out = MetricSums::default();
+    for s in samples {
+        let label = |key: &str| s.labels.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str());
+        match s.name.as_str() {
+            "cloudburst_pool_grants_total" => out.grants += s.value as u64,
+            "cloudburst_pool_steals_total" => {
+                out.steals += s.value as u64;
+                if let Some(site) = label("site") {
+                    out.sites.entry(site.to_owned()).or_default().steals += s.value as u64;
+                }
+            }
+            "cloudburst_slave_jobs_total" => {
+                out.completions += s.value as u64;
+                if let Some(site) = label("site") {
+                    out.sites.entry(site.to_owned()).or_default().jobs += s.value as u64;
+                }
+            }
+            "cloudburst_pool_queue_depth" => out.queue_depth += s.value as i64,
+            "cloudburst_pool_in_flight" => out.in_flight += s.value as i64,
+            "cloudburst_store_bytes_total" => out.bytes += s.value as u64,
+            "cloudburst_store_requests_total" if label("site") == Some("cloud") => {
+                out.cloud_gets += s.value as u64;
+            }
+            "cloudburst_net_bytes_total" if label("src") == Some("cloud") => {
+                out.cloud_egress += s.value as u64;
+            }
+            "cloudburst_slave_fetch_busy_seconds_total"
+            | "cloudburst_slave_process_busy_seconds_total" => {
+                if let Some(site) = label("site") {
+                    out.sites.entry(site.to_owned()).or_default().busy_secs += s.value;
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// The background sampler: every 250 ms it snapshots the registry, emits a
+/// `MetricsSnapshot` telemetry event (so traces and metrics share one
+/// timeline), and — under `--watch` — prints a live status line. Drop stops
+/// and joins the thread.
+struct LiveMetrics {
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl LiveMetrics {
+    fn start(
+        metrics: &Metrics,
+        telemetry: Telemetry,
+        watch: bool,
+        local_cores: u32,
+        cloud_cores: u32,
+        pricing: PricingModel,
+    ) -> Option<LiveMetrics> {
+        let registry = metrics.registry()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("live-metrics".into())
+            .spawn(move || {
+                sampler_loop(
+                    &registry,
+                    &telemetry,
+                    watch,
+                    local_cores,
+                    cloud_cores,
+                    &pricing,
+                    &stop2,
+                );
+            })
+            .ok()?;
+        Some(LiveMetrics { stop, thread: Some(thread) })
+    }
+}
+
+impl Drop for LiveMetrics {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn sampler_loop(
+    registry: &Registry,
+    telemetry: &Telemetry,
+    watch: bool,
+    local_cores: u32,
+    cloud_cores: u32,
+    pricing: &PricingModel,
+    stop: &AtomicBool,
+) {
+    const TICK: Duration = Duration::from_millis(250);
+    let epoch = Instant::now();
+    let mut prev = MetricSums::default();
+    let mut prev_at = epoch;
+    while !stop.load(Ordering::Relaxed) {
+        std::thread::sleep(TICK);
+        let now = Instant::now();
+        let sums = summarize(&registry.snapshot());
+        telemetry.emit(Event::at(
+            ns_since(epoch),
+            EventKind::MetricsSnapshot {
+                grants: sums.grants,
+                steals: sums.steals,
+                completions: sums.completions,
+                queue_depth: sums.queue_depth.max(0) as u64,
+                bytes: sums.bytes,
+            },
+        ));
+        if watch {
+            let dt = now.saturating_duration_since(prev_at).as_secs_f64().max(1e-9);
+            let elapsed = now.saturating_duration_since(epoch).as_secs_f64();
+            eprintln!(
+                "{}",
+                watch_line(&sums, &prev, dt, elapsed, local_cores, cloud_cores, pricing)
+            );
+        }
+        prev = sums;
+        prev_at = now;
+    }
+}
+
+/// Render one `--watch` status line: overall progress, per-site throughput
+/// and utilization, a straggler alert, and the running dollar meter.
+fn watch_line(
+    sums: &MetricSums,
+    prev: &MetricSums,
+    dt: f64,
+    elapsed: f64,
+    local_cores: u32,
+    cloud_cores: u32,
+    pricing: &PricingModel,
+) -> String {
+    let mut line = format!(
+        "[watch {elapsed:6.2}s] done {} ({} stolen) queue {} in-flight {}",
+        sums.completions,
+        sums.steals,
+        sums.queue_depth.max(0),
+        sums.in_flight.max(0)
+    );
+    // (site, jobs/s, per-core jobs/s) over the last tick.
+    let mut rates: Vec<(String, f64, f64)> = Vec::new();
+    for (site, cur) in &sums.sites {
+        let p = prev.sites.get(site).cloned().unwrap_or_default();
+        let cores = if site == "local" { local_cores } else { cloud_cores }.max(1);
+        let rate = cur.jobs.saturating_sub(p.jobs) as f64 / dt;
+        let util = ((cur.busy_secs - p.busy_secs) / (dt * f64::from(cores))).clamp(0.0, 1.0);
+        line.push_str(&format!(" | {site} {rate:.0} j/s {:.0}% busy", 100.0 * util));
+        rates.push((site.clone(), rate, rate / f64::from(cores)));
+    }
+    // Straggler watch: a site whose per-core rate has fallen well below the
+    // mean while work remains is dragging the tail; estimate the drain time
+    // of the remaining jobs at the current aggregate rate.
+    let outstanding = sums.queue_depth.max(0) + sums.in_flight.max(0);
+    if rates.len() > 1 && outstanding > 0 {
+        let mean = rates.iter().map(|r| r.2).sum::<f64>() / rates.len() as f64;
+        if let Some(slow) = rates.iter().min_by(|a, b| a.2.total_cmp(&b.2)) {
+            if mean > 0.0 && slow.2 < 0.67 * mean {
+                let total_rate: f64 = rates.iter().map(|r| r.1).sum();
+                if total_rate > 0.0 {
+                    line.push_str(&format!(
+                        " | straggler {} (eta {:.1}s)",
+                        slow.0,
+                        outstanding as f64 / total_rate
+                    ));
+                } else {
+                    line.push_str(&format!(" | straggler {} (stalled)", slow.0));
+                }
+            }
+        }
+    }
+    let cost = cost_of_usage(pricing, cloud_cores, elapsed, sums.cloud_gets, sums.cloud_egress);
+    line.push_str(&format!(" | ${:.4}", cost.total()));
+    line
+}
+
+/// Price the finished run. With live metrics on, the GET and egress
+/// counters are read from the registry (exact, and covering every iteration
+/// of an iterative command). With metrics off, fall back to the 2011 price
+/// card's static estimate: `gets_per_chunk` ranged GETs per cloud-hosted
+/// chunk and the local site's remote bytes as egress (one pass over the
+/// data — iterative apps pay this per iteration, which the estimate
+/// undercounts; enable metrics for exact accounting).
+fn final_cost(
+    metrics: &Metrics,
+    report: &RunReport,
+    index: &DataIndex,
+    cloud_cores: u32,
+    elapsed_secs: f64,
+    pricing: &PricingModel,
+) -> CostReport {
+    let (gets, egress) = match metrics.registry() {
+        Some(registry) => {
+            let sums = summarize(&registry.snapshot());
+            (sums.cloud_gets, sums.cloud_egress)
+        }
+        None => {
+            let cloud_chunks =
+                index.chunks_per_site().get(&SiteId::CLOUD).copied().unwrap_or(0) as u64;
+            let egress = report.sites.get(&SiteId::LOCAL).map_or(0, |s| s.remote_bytes);
+            (cloud_chunks * pricing.gets_per_chunk, egress)
+        }
+    };
+    cost_of_usage(pricing, cloud_cores, elapsed_secs, gets, egress)
+}
+
+/// The `cost` block attached to `--stats-out` documents.
+fn cost_to_json(c: &CostReport) -> Json {
+    Json::obj()
+        .field("instances", Json::U64(u64::from(c.instances)))
+        .field("instance_hours", Json::U64(c.instance_hours))
+        .field("compute_cost", Json::F64(c.compute_cost))
+        .field("get_requests", Json::U64(c.get_requests))
+        .field("request_cost", Json::F64(c.request_cost))
+        .field("egress_bytes", Json::U64(c.egress_bytes))
+        .field("egress_cost", Json::F64(c.egress_cost))
+        .field("total", Json::F64(c.total()))
+}
+
 /// Write the machine-readable run artifacts (`--stats-out`, `--events-out`,
-/// `--trace-out`). For iterative applications the event artifacts cover
-/// every iteration of the command, each clocked from its own run epoch.
+/// `--trace-out`, `--metrics-out`). For iterative applications the event
+/// artifacts cover every iteration of the command, each clocked from its own
+/// run epoch, and the metrics exposition accumulates across iterations.
+#[allow(clippy::too_many_arguments)]
 fn write_run_artifacts(
     report: &RunReport,
+    cost: &CostReport,
+    registry: Option<&Registry>,
     recorder: Option<&Recorder>,
     stats_out: Option<&Path>,
     events_out: Option<&Path>,
     trace_out: Option<&Path>,
+    metrics_out: Option<&Path>,
 ) -> Result<(), String> {
     let write = |path: &Path, text: String, what: &str| -> Result<(), String> {
         std::fs::write(path, text).map_err(|e| format!("writing {}: {e}", path.display()))?;
@@ -463,7 +791,7 @@ fn write_run_artifacts(
         Ok(())
     };
     if let Some(path) = stats_out {
-        let mut text = report_to_json(report).to_text();
+        let mut text = report_to_json(report).field("cost", cost_to_json(cost)).to_text();
         text.push('\n');
         write(path, text, "run stats (JSON)")?;
     }
@@ -475,6 +803,11 @@ fn write_run_artifacts(
         let mut text = chrome_trace(&events).to_text();
         text.push('\n');
         write(path, text, "Chrome trace (open in chrome://tracing or Perfetto)")?;
+    }
+    if let Some(path) = metrics_out {
+        let registry = registry
+            .ok_or("--metrics-out requires live metrics (also pass --metrics-addr or --watch)")?;
+        write(path, registry.render(), "metrics exposition (Prometheus 0.0.4)")?;
     }
     Ok(())
 }
@@ -507,6 +840,118 @@ fn cmd_check_json(args: &[String]) -> Result<(), String> {
         objects += 1;
     }
     println!("{}: valid JSONL ({objects} objects)", path.display());
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// check-metrics
+// ---------------------------------------------------------------------------
+
+/// Read a Prometheus exposition from a file or a live `http://` endpoint.
+fn load_exposition_text(src: &str) -> Result<String, String> {
+    if src.starts_with("http://") {
+        http_get(src, Duration::from_secs(2)).map_err(|e| format!("scraping {src}: {e}"))
+    } else {
+        std::fs::read_to_string(src).map_err(|e| format!("reading {src}: {e}"))
+    }
+}
+
+/// Counter families any real run must have moved; `check-metrics` refuses a
+/// scrape where one of them is still zero.
+const CORE_FAMILIES: &[&str] = &[
+    "cloudburst_pool_grants_total",
+    "cloudburst_pool_jobs_merged_total",
+    "cloudburst_slave_jobs_total",
+    "cloudburst_store_requests_total",
+    "cloudburst_store_bytes_total",
+];
+
+/// Validate a metrics scrape: the text must parse as exposition format
+/// 0.0.4 (the parser rejects duplicate series and malformed lines), and the
+/// core counter families must be live. With `--retries N` the whole check
+/// is retried (for scraping a just-started run); with `--against-stats`
+/// the scrape's per-site totals are diffed against a `--stats-out` document
+/// — exact equality, since both sides are fed from the same code points.
+fn cmd_check_metrics(args: &[String]) -> Result<(), String> {
+    let src = args.first().ok_or("check-metrics: missing FILE or http:// URL")?;
+    let retries: u32 = opt_parse(args, "--retries", 0)?;
+
+    let mut attempt = 0;
+    let exp = loop {
+        let outcome = load_exposition_text(src).and_then(|text| {
+            let exp = parse_exposition(&text).map_err(|e| format!("{src}: {e}"))?;
+            for family in CORE_FAMILIES {
+                if exp.sum_family(family) <= 0.0 {
+                    return Err(format!(
+                        "{src}: core counter family `{family}` is missing or zero"
+                    ));
+                }
+            }
+            Ok(exp)
+        });
+        match outcome {
+            Ok(exp) => break exp,
+            Err(e) if attempt < retries => {
+                attempt += 1;
+                std::thread::sleep(Duration::from_millis(300));
+                eprintln!("check-metrics: retry {attempt}/{retries} after: {e}");
+            }
+            Err(e) => return Err(e),
+        }
+    };
+
+    if let Some(stats_path) = opt(args, "--against-stats") {
+        let text = std::fs::read_to_string(stats_path)
+            .map_err(|e| format!("reading {stats_path}: {e}"))?;
+        let stats = Json::parse(text.trim()).map_err(|e| format!("{stats_path}: {e}"))?;
+        diff_against_stats(&exp, &stats).map_err(|e| format!("{src} vs {stats_path}: {e}"))?;
+        println!("{src}: totals match {stats_path} exactly");
+    }
+    println!("{src}: valid exposition ({} series), core counters live", exp.series.len());
+    Ok(())
+}
+
+/// The exact-match contract between a scrape and a `--stats-out` document:
+/// for every site, merged-minus-lost completions equal the report's job
+/// counts per kind, and the slaves' remote-byte / retry counters equal the
+/// report's. Valid for single-run commands (wordcount, knn); iterative
+/// apps accumulate metrics across iterations while stats cover the last.
+fn diff_against_stats(exp: &Exposition, stats: &Json) -> Result<(), String> {
+    let u64_field = |obj: &Json, key: &str| -> Result<u64, String> {
+        obj.get(key)
+            .and_then(Json::as_f64)
+            .map(|v| v as u64)
+            .ok_or_else(|| format!("stats document lacks numeric `{key}`"))
+    };
+    let sites =
+        stats.get("sites").and_then(Json::as_arr).ok_or("stats document lacks a `sites` array")?;
+    let remote_bytes = exp.by_label("cloudburst_slave_remote_bytes_total", "site");
+    let retries = exp.by_label("cloudburst_slave_retries_total", "site");
+    for entry in sites {
+        let site =
+            entry.get("site").and_then(Json::as_str).ok_or("stats site entry lacks `site`")?;
+        for (kind, key) in [("local", "jobs_local"), ("stolen", "jobs_stolen")] {
+            let labels: &[(&str, &str)] = &[("kind", kind), ("site", site)];
+            let merged = exp.get("cloudburst_pool_jobs_merged_total", labels).unwrap_or(0.0);
+            let lost = exp.get("cloudburst_pool_results_lost_total", labels).unwrap_or(0.0);
+            let expected = u64_field(entry, key)?;
+            let got = (merged - lost).round() as u64;
+            if got != expected {
+                return Err(format!(
+                    "site {site} {kind} jobs: scrape says {got} (merged {merged} - lost {lost}), stats say {expected}"
+                ));
+            }
+        }
+        for (what, key, sums) in
+            [("remote bytes", "remote_bytes", &remote_bytes), ("retries", "retries", &retries)]
+        {
+            let expected = u64_field(entry, key)?;
+            let got = sums.get(site).copied().unwrap_or(0.0).round() as u64;
+            if got != expected {
+                return Err(format!("site {site} {what}: scrape says {got}, stats say {expected}"));
+            }
+        }
+    }
     Ok(())
 }
 
@@ -605,13 +1050,24 @@ fn parse_chaos(
     Ok((plan, hb, lease))
 }
 
-fn print_report(report: &RunReport) {
+/// Print the end-of-run report: a compact per-site table (jobs, steals,
+/// utilization, phase breakdown, remote bytes), the run totals, the fault
+/// summary, and the dollar-cost accounting.
+fn print_report(report: &RunReport, cost: &CostReport) {
     println!("--- run report ({}) ---", report.env);
+    println!(
+        "  {:<6} {:>6} {:>7} {:>6} {:>9} {:>9} {:>8} {:>12}",
+        "site", "jobs", "stolen", "util%", "proc(s)", "retr(s)", "sync(s)", "remote-bytes"
+    );
     for (site, s) in &report.sites {
+        let busy = s.breakdown.total();
+        let util = if busy + s.idle > 0.0 { 100.0 * busy / (busy + s.idle) } else { 0.0 };
         println!(
-            "  {site}: {} jobs ({} stolen) | proc {:.3}s retr {:.3}s sync {:.3}s | {} remote bytes",
+            "  {:<6} {:>6} {:>7} {:>6.1} {:>9.3} {:>9.3} {:>8.3} {:>12}",
+            site.to_string(),
             s.jobs.total(),
             s.jobs.stolen,
+            util,
             s.breakdown.processing,
             s.breakdown.retrieval,
             s.breakdown.sync,
@@ -621,6 +1077,19 @@ fn print_report(report: &RunReport) {
     println!(
         "  global reduction {:.4}s | total {:.3}s",
         report.global_reduction, report.total_time
+    );
+    println!(
+        "  cost: ${:.4} = compute ${:.4} ({} instance{} / {} billed h) \
+         + requests ${:.4} ({} GETs) + egress ${:.4} ({} bytes)",
+        cost.total(),
+        cost.compute_cost,
+        cost.instances,
+        if cost.instances == 1 { "" } else { "s" },
+        cost.instance_hours,
+        cost.request_cost,
+        cost.get_requests,
+        cost.egress_cost,
+        cost.egress_bytes
     );
     let f = &report.faults;
     if !f.is_quiet() || report.total_retries() > 0 {

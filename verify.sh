@@ -65,6 +65,31 @@ for ev in lease-reap speculate steal; do
 done
 echo "   artifacts valid"
 
+echo "== smoke: live metrics agree with the report, mid-run and at exit"
+# A dataset big enough that the run takes a few seconds at --time-scale 2.0,
+# so the /metrics endpoint can be scraped while the burst is in flight.
+"$BIN" generate wordcount --out "$SMOKE/big.bin" --units 600000 --vocab 500
+"$BIN" organize --data "$SMOKE/big.bin" --unit-size 16 --chunk-units 4096 \
+    --files 8 --out "$SMOKE/borg" --local-frac 0.4
+MPORT=$((20000 + RANDOM % 20000))
+"$BIN" run wordcount --org "$SMOKE/borg" --local-cores 3 --cloud-cores 3 \
+    --time-scale 2.0 --chaos 'seed=5,storage=0.1' \
+    --watch --metrics-addr "127.0.0.1:$MPORT" \
+    --metrics-out "$SMOKE/metrics.prom" --stats-out "$SMOKE/mstats.json" \
+    2>"$SMOKE/watch.txt" &
+RUN_PID=$!
+# Mid-run: the exposition must parse strictly and show live core counters.
+"$BIN" check-metrics "http://127.0.0.1:$MPORT/metrics" --retries 20 \
+    || { kill "$RUN_PID" 2>/dev/null; cat "$SMOKE/watch.txt"; exit 1; }
+wait "$RUN_PID" || { cat "$SMOKE/watch.txt"; exit 1; }
+# At exit: the final scrape's ledgers must equal the report exactly.
+"$BIN" check-metrics "$SMOKE/metrics.prom" --against-stats "$SMOKE/mstats.json"
+# The stats must carry the dollar-cost block and --watch must have printed.
+grep -q '"cost"' "$SMOKE/mstats.json"
+grep -q '^\[watch ' "$SMOKE/watch.txt" \
+    || { echo "no --watch lines on stderr"; cat "$SMOKE/watch.txt"; exit 1; }
+echo "   metrics valid"
+
 echo "== bench: pipeline overlap (quick) writes a valid BENCH_runtime.json"
 # The bench itself asserts result-equivalence at every depth; --quick keeps
 # Criterion's sampling short while the artifact (written before sampling,
@@ -77,5 +102,12 @@ SPEEDUP=$(sed -n 's/.*"speedup":\([0-9.eE+-]*\).*/\1/p' BENCH_runtime.json)
 awk -v s="$SPEEDUP" 'BEGIN { exit !(s >= 1.0) }' \
     || { echo "pipeline overlap regressed: speedup $SPEEDUP < 1.0x"; exit 1; }
 echo "   overlap speedup: ${SPEEDUP}x"
+# Metrics must stay effectively free: ≤1% on the metered re-run of the
+# best pipelined depth.
+OVERHEAD=$(sed -n 's/.*"metrics_overhead":\([0-9.eE+-]*\).*/\1/p' BENCH_runtime.json)
+[[ -n "$OVERHEAD" ]] || { echo "BENCH_runtime.json is missing 'metrics_overhead'"; exit 1; }
+awk -v o="$OVERHEAD" 'BEGIN { exit !(o <= 1.01) }' \
+    || { echo "metrics overhead regressed: ${OVERHEAD}x > 1.01x"; exit 1; }
+echo "   metrics overhead: ${OVERHEAD}x"
 
 echo "OK"
