@@ -1,0 +1,51 @@
+//! Does coded redundancy beat reactive speculation on the straggler tail?
+//!
+//! Runs the coded-redundancy ablation (see `cloudburst_bench::coded`):
+//! *none* vs *speculation* vs *coded* (`r = 2`) with every cloud worker
+//! slowed by a constant factor. A deterministic DES seed sweep yields
+//! p50/p95/p99 completion-time tails and WAN bytes per mode, one threaded
+//! run per mode checks exactness on the real runtime, and the document
+//! lands in `BENCH_coded.json` at the workspace root (override with
+//! `BENCH_CODED_OUT`). The bench asserts the headline claim before
+//! Criterion takes over: coded's p99 must not trail speculation's.
+
+use cloudburst_bench::coded::{quantify_ablation, straggler_env, write_coded_artifact, Mode};
+use cloudburst_sim::{simulate_multi, AppModel};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+const SEEDS: u64 = 25;
+const SLOW_FACTOR: f64 = 4.0;
+
+fn bench_coded_ablation(c: &mut Criterion) {
+    let report = quantify_ablation(SEEDS, SLOW_FACTOR);
+    for r in &report.real {
+        assert!(r.result_ok, "{:?} real run diverged from the ground truth", r.mode);
+    }
+    assert!(
+        report.p99_ratio_coded_over_speculation <= 1.0,
+        "coded p99 trails speculation p99 on the straggler scenario: ratio {}",
+        report.p99_ratio_coded_over_speculation
+    );
+    let out = write_coded_artifact(&report);
+    eprintln!(
+        "wrote {out}: coded p99 / speculation p99 = {:.3} over {SEEDS} seeds at {SLOW_FACTOR}x",
+        report.p99_ratio_coded_over_speculation
+    );
+
+    let app = AppModel::knn();
+    let mut g = c.benchmark_group("coded_ablation_straggler");
+    g.sample_size(10);
+    for mode in Mode::ALL {
+        g.bench_with_input(BenchmarkId::new("mode", mode.label()), &mode, |b, &m| {
+            b.iter(|| {
+                let r = simulate_multi(&app, &straggler_env(0, m, SLOW_FACTOR));
+                black_box(r.total_time)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_coded_ablation);
+criterion_main!(benches);

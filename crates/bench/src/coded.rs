@@ -1,0 +1,321 @@
+//! The coded-redundancy ablation: *none* vs *speculation* vs *coded*
+//! placement under a site-wide straggler.
+//!
+//! The scenario slows every worker at the cloud site by a constant factor
+//! (`--chaos slow=cloud:F` in the CLI) and measures the completion-time
+//! tail three ways: with no duplication at all, with speculative
+//! re-execution of tail stragglers (reactive, single-copy data), and with
+//! `r = 2` coded placement (proactive replicas, WAN-free reads). The DES
+//! sweep replays the deployment across many seeds to get stable p50/p95/p99
+//! tails plus WAN traffic per mode; a threaded run per mode on the real
+//! runtime checks the exact result and the zero-WAN property end to end.
+
+use crate::overlap::{LatencyQuantiles, SpinSum};
+use bytes::Bytes;
+use cloudburst_cluster::{run_hybrid, FtConfig, RuntimeConfig};
+use cloudburst_core::{EnvConfig, FaultPlan, Json, LayoutParams, SiteId, SlowSite};
+use cloudburst_sim::{simulate_multi, AppModel, MultiEnv, SimParams};
+use cloudburst_storage::{fraction_placement, organize_redundant, ChunkStore, FetchConfig};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The three straggler-mitigation policies the ablation compares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Single-copy placement, no duplication of in-flight work.
+    None,
+    /// Single-copy placement plus speculative re-execution of stragglers.
+    Speculation,
+    /// `r = 2` coded placement: proactive replicas and reader-local reads.
+    Coded,
+}
+
+impl Mode {
+    /// Every mode, in ablation order.
+    pub const ALL: [Mode; 3] = [Mode::None, Mode::Speculation, Mode::Coded];
+
+    /// Stable label used in the JSON artifact and bench IDs.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Mode::None => "none",
+            Mode::Speculation => "speculation",
+            Mode::Coded => "coded",
+        }
+    }
+
+    fn redundancy(self) -> u32 {
+        if self == Mode::Coded {
+            2
+        } else {
+            1
+        }
+    }
+
+    fn speculation(self) -> bool {
+        self == Mode::Speculation
+    }
+}
+
+/// Empirical p50/p95/p99 of a sample (nearest-rank).
+#[must_use]
+fn quantiles(mut xs: Vec<f64>) -> LatencyQuantiles {
+    assert!(!xs.is_empty(), "quantiles of an empty sample");
+    xs.sort_by(f64::total_cmp);
+    let q = |p: f64| {
+        let i = ((p * xs.len() as f64).ceil() as usize).clamp(1, xs.len()) - 1;
+        xs[i]
+    };
+    LatencyQuantiles { p50: q(0.50), p95: q(0.95), p99: q(0.99) }
+}
+
+/// The paper's two-site deployment with every cloud worker slowed by
+/// `slow_factor`, configured for one ablation mode and jitter seed.
+#[must_use]
+pub fn straggler_env(seed: u64, mode: Mode, slow_factor: f64) -> MultiEnv {
+    let params = SimParams::paper();
+    let app = AppModel::knn();
+    let cfg = EnvConfig::new("coded-ablation", 0.5, 16, 16);
+    let mut env = MultiEnv::two_site(&cfg, &app, &params);
+    env.seed = seed;
+    env.chaos = Some(FaultPlan {
+        slow_sites: vec![SlowSite { site: SiteId::CLOUD, factor: slow_factor }],
+        ..FaultPlan::seeded(seed)
+    });
+    env.speculation = mode.speculation();
+    env.redundancy = mode.redundancy();
+    env
+}
+
+/// One mode's completion-time tail and traffic over the seed sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct ModeTail {
+    /// The policy measured.
+    pub mode: Mode,
+    /// End-to-end completion time across the sweep, in simulated seconds.
+    pub total_time: LatencyQuantiles,
+    /// Mean WAN bytes per run (chunk bytes that crossed sites).
+    pub wan_bytes_mean: f64,
+    /// Mean proactive replica grants per run (coded only, zero elsewhere).
+    pub replica_grants_mean: f64,
+    /// Mean speculative grants per run (speculation only, zero elsewhere).
+    pub speculative_grants_mean: f64,
+}
+
+/// Simulate every mode across `seeds` deterministic seeds.
+#[must_use]
+pub fn des_sweep(seeds: u64, slow_factor: f64) -> Vec<ModeTail> {
+    let app = AppModel::knn();
+    Mode::ALL
+        .iter()
+        .map(|&mode| {
+            let mut times = Vec::new();
+            let (mut wan, mut grants, mut spec) = (0u64, 0u64, 0u64);
+            for seed in 0..seeds.max(1) {
+                let r = simulate_multi(&app, &straggler_env(seed, mode, slow_factor));
+                times.push(r.total_time);
+                wan += r.sites.values().map(|s| s.remote_bytes).sum::<u64>();
+                grants += r.faults.replica_grants;
+                spec += r.faults.speculative_grants;
+            }
+            let n = seeds.max(1) as f64;
+            ModeTail {
+                mode,
+                total_time: quantiles(times),
+                wan_bytes_mean: wan as f64 / n,
+                replica_grants_mean: grants as f64 / n,
+                speculative_grants_mean: spec as f64 / n,
+            }
+        })
+        .collect()
+}
+
+/// One timed threaded-runtime run of a mode.
+#[derive(Debug, Clone, Copy)]
+pub struct RealRun {
+    /// The policy run.
+    pub mode: Mode,
+    /// Wall-clock seconds end to end.
+    pub seconds: f64,
+    /// Whether the result matched the ground-truth sum exactly.
+    pub result_ok: bool,
+    /// Bytes fetched across the WAN (zero under coded placement).
+    pub remote_bytes: u64,
+    /// Replica copies that finished first.
+    pub replica_wins: u64,
+    /// Speculative copies that finished first.
+    pub speculative_wins: u64,
+}
+
+/// Run each mode once on the real threaded runtime, with every cloud
+/// worker slowed by `slow_factor` via the chaos plan, and check the result
+/// against the serial ground truth.
+#[must_use]
+pub fn real_runs(slow_factor: f64) -> Vec<RealRun> {
+    const UNITS: u32 = 4096;
+    let data = Bytes::from((0..UNITS).flat_map(u32::to_le_bytes).collect::<Vec<u8>>());
+    let expected: u64 = (0..UNITS).map(u64::from).sum();
+    let params = LayoutParams { unit_size: 4, units_per_chunk: 128, n_files: 4 };
+    let app = SpinSum { spin: 8 };
+    Mode::ALL
+        .iter()
+        .map(|&mode| {
+            let org = organize_redundant(
+                &data,
+                params,
+                &mut fraction_placement(0.5, 4),
+                mode.redundancy(),
+            )
+            .expect("organize");
+            let stores: BTreeMap<SiteId, Arc<dyn ChunkStore>> = org
+                .stores
+                .iter()
+                .map(|(&s, st)| (s, Arc::new(st.clone()) as Arc<dyn ChunkStore>))
+                .collect();
+            let env = EnvConfig::new("coded-ablation", 0.5, 2, 2);
+            let mut config = RuntimeConfig::new(env, 1e-5);
+            config.fetch = FetchConfig { threads: 2, min_range: 64 };
+            config.redundancy = mode.redundancy();
+            config.ft = FtConfig {
+                speculate: mode.speculation(),
+                chaos: Some(Arc::new(FaultPlan {
+                    slow_sites: vec![SlowSite { site: SiteId::CLOUD, factor: slow_factor }],
+                    ..FaultPlan::seeded(7)
+                })),
+                ..FtConfig::default()
+            };
+            let start = Instant::now();
+            let out = run_hybrid(&app, &org.index, stores, &config).expect("ablation run");
+            RealRun {
+                mode,
+                seconds: start.elapsed().as_secs_f64(),
+                result_ok: out.result.0 == expected,
+                remote_bytes: out.report.sites.values().map(|s| s.remote_bytes).sum(),
+                replica_wins: out.report.faults.replica_wins,
+                speculative_wins: out.report.faults.speculative_wins,
+            }
+        })
+        .collect()
+}
+
+/// The full ablation: DES tails per mode plus one real run per mode.
+#[derive(Debug, Clone)]
+pub struct AblationReport {
+    /// Per-mode tails over the seed sweep.
+    pub modes: Vec<ModeTail>,
+    /// Seeds swept per mode.
+    pub seeds: u64,
+    /// Site-wide slowdown factor applied to the cloud.
+    pub slow_factor: f64,
+    /// Coded p99 over speculation p99 — the headline gate (`<= 1.0` means
+    /// coded's tail is no worse than reactive speculation's).
+    pub p99_ratio_coded_over_speculation: f64,
+    /// One threaded-runtime run per mode.
+    pub real: Vec<RealRun>,
+}
+
+/// Sweep the DES across `seeds` and run each mode once for real.
+#[must_use]
+pub fn quantify_ablation(seeds: u64, slow_factor: f64) -> AblationReport {
+    let modes = des_sweep(seeds, slow_factor);
+    let p99 = |m: Mode| modes.iter().find(|t| t.mode == m).map_or(f64::NAN, |t| t.total_time.p99);
+    AblationReport {
+        p99_ratio_coded_over_speculation: p99(Mode::Coded) / p99(Mode::Speculation),
+        modes,
+        seeds,
+        slow_factor,
+        real: real_runs(slow_factor),
+    }
+}
+
+/// Serialize an [`AblationReport`] as the `BENCH_coded.json` document.
+#[must_use]
+pub fn ablation_json(r: &AblationReport) -> Json {
+    let modes = r
+        .modes
+        .iter()
+        .map(|m| {
+            Json::obj()
+                .field("mode", Json::Str(m.mode.label().to_owned()))
+                .field("total_time", m.total_time.to_json())
+                .field("wan_bytes_mean", Json::F64(m.wan_bytes_mean))
+                .field("replica_grants_mean", Json::F64(m.replica_grants_mean))
+                .field("speculative_grants_mean", Json::F64(m.speculative_grants_mean))
+        })
+        .collect();
+    let real = r
+        .real
+        .iter()
+        .map(|x| {
+            Json::obj()
+                .field("mode", Json::Str(x.mode.label().to_owned()))
+                .field("seconds", Json::F64(x.seconds))
+                .field("result_ok", Json::Bool(x.result_ok))
+                .field("remote_bytes", Json::U64(x.remote_bytes))
+                .field("replica_wins", Json::U64(x.replica_wins))
+                .field("speculative_wins", Json::U64(x.speculative_wins))
+        })
+        .collect();
+    Json::obj()
+        .field(
+            "scenario",
+            Json::Str("coded-redundancy ablation under a site-wide straggler".to_owned()),
+        )
+        .field("seeds", Json::U64(r.seeds))
+        .field("slow_factor", Json::F64(r.slow_factor))
+        .field("modes", Json::Arr(modes))
+        .field("p99_ratio_coded_over_speculation", Json::F64(r.p99_ratio_coded_over_speculation))
+        .field("real_runs", Json::Arr(real))
+}
+
+/// Write the ablation document where `BENCH_CODED_OUT` points (default:
+/// `BENCH_coded.json` at the workspace root) and return the path.
+pub fn write_coded_artifact(r: &AblationReport) -> String {
+    let out = std::env::var("BENCH_CODED_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_coded.json").to_owned()
+    });
+    let mut text = ablation_json(r).to_text();
+    text.push('\n');
+    std::fs::write(&out, text).expect("write BENCH_coded.json");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ablation_smoke_is_exact_and_coded_skips_the_wan() {
+        // Tiny version of the bench protocol: correctness only, not tails.
+        let report = quantify_ablation(3, 4.0);
+        assert_eq!(report.modes.len(), 3);
+        for r in &report.real {
+            assert!(r.result_ok, "{:?} real run diverged", r.mode);
+        }
+        let by = |m: Mode| report.modes.iter().find(|t| t.mode == m).unwrap();
+        assert_eq!(by(Mode::Coded).wan_bytes_mean, 0.0, "coded reads must stay on-site");
+        // Speculative duplicates of remote chunks pay the WAN; that traffic
+        // is exactly what proactive replicas eliminate.
+        assert!(
+            by(Mode::Speculation).wan_bytes_mean > 0.0,
+            "speculative duplicates of remote chunks must cross the WAN"
+        );
+        assert!(by(Mode::Coded).replica_grants_mean > 0.0, "coded must grant replicas");
+        assert_eq!(by(Mode::None).replica_grants_mean, 0.0);
+        let coded_real = report.real.iter().find(|x| x.mode == Mode::Coded).unwrap();
+        assert_eq!(coded_real.remote_bytes, 0, "the real coded run fetched over the WAN");
+        let text = ablation_json(&report).to_text();
+        for key in ["\"p99_ratio_coded_over_speculation\"", "\"modes\"", "\"real_runs\""] {
+            assert!(text.contains(key), "artifact is missing {key}");
+        }
+    }
+
+    #[test]
+    fn quantiles_are_nearest_rank() {
+        let q = quantiles(vec![3.0, 1.0, 2.0, 4.0]);
+        assert_eq!(q.p50, 2.0);
+        assert_eq!(q.p95, 4.0);
+        assert_eq!(q.p99, 4.0);
+    }
+}

@@ -6,4 +6,5 @@
 //! per-chunk fetch and processing deliberately comparable so slave
 //! pipelining (`pipeline_depth >= 2`) can hide one behind the other.
 
+pub mod coded;
 pub mod overlap;

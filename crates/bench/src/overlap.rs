@@ -255,13 +255,22 @@ pub fn quantify(sc: &OverlapScenario, depths: &[usize], reps: u32) -> OverlapRep
         .min_by(|a, b| a.seconds.total_cmp(&b.seconds))
         .copied()
         .expect("a pipelined depth");
-    // Metered pass: same best-of-reps protocol at the fastest pipelined
-    // depth with live metrics enabled. One registry spans every rep, so the
-    // latency histograms accumulate a full sample while the timing compares
-    // best-against-best (robust to scheduler noise on both sides).
+    // Metered pass: interleave metered and unmetered reps at the fastest
+    // pipelined depth and compare best-against-best from that one window.
+    // Comparing against the sweep's unmetered best instead would span
+    // minutes of wall clock, and frequency/cache drift between the phases
+    // dwarfs the ~1% effect being measured. One registry spans every
+    // metered rep, so the latency histograms accumulate a full sample.
+    // Per-run scheduler noise on a small box is ~5% while the gate is 1%,
+    // so the floor only emerges from a deep sample: 25 pairs keeps the
+    // phase under ten seconds and lands min-of-N well inside the gate.
     let metrics = Metrics::on();
     let mut metered_best = f64::INFINITY;
-    for _ in 0..reps.max(1) {
+    let mut unmetered_best = f64::INFINITY;
+    for _ in 0..reps.max(25) {
+        let bare = run_at_depth(sc, best.depth);
+        all_equal &= bare.result_ok;
+        unmetered_best = unmetered_best.min(bare.seconds);
         let r = run_at_depth_with(sc, best.depth, &metrics);
         all_equal &= r.result_ok;
         metered_best = metered_best.min(r.seconds);
@@ -272,7 +281,7 @@ pub fn quantify(sc: &OverlapScenario, depths: &[usize], reps: u32) -> OverlapRep
         all_equal,
         chunks: sc.index.n_chunks() as u64,
         cores: sc.cores,
-        metrics_overhead: metered_best / best.seconds,
+        metrics_overhead: metered_best / unmetered_best,
         latency: latency_report(&metrics),
     }
 }

@@ -493,6 +493,7 @@ pub fn run_hybrid_tcp<R: Reduction>(
     if let Some(retry) = config.ft.retry {
         router.set_retry(retry);
     }
+    router.set_replicated(config.redundancy > 1);
     let mut pool = JobPool::from_index(index, config.batch_policy);
     if let FaultPolicy::Retry { max_attempts } = config.fault_policy {
         pool.set_max_attempts(max_attempts);
@@ -501,9 +502,13 @@ pub fn run_hybrid_tcp<R: Reduction>(
         pool.set_lease(lease);
     }
     pool.set_speculation(config.ft.speculate);
+    pool.set_redundancy(config.redundancy);
     pool.set_sink(config.telemetry.clone());
     pool.set_metrics(config.metrics.clone());
     let ft_active = config.ft.active();
+    // Replica grants can complete a chunk twice even with FT off, so coded
+    // runs gate merges on the head's verdict exactly like the FT stack.
+    let dedup_active = ft_active || config.redundancy > 1;
 
     let listener = TcpListener::bind("127.0.0.1:0")?;
     let head_addr: SocketAddr = listener.local_addr()?;
@@ -561,7 +566,7 @@ pub fn run_hybrid_tcp<R: Reduction>(
                                         worker,
                                         cancel: None, // TCP mode relies on dedup alone
                                         chaos: chaos.clone(),
-                                        ack_gated: ft_active,
+                                        ack_gated: dedup_active,
                                         epoch,
                                         telemetry: config.telemetry.clone(),
                                         metrics: SlaveMetrics::new(&config.metrics, site, worker),

@@ -43,6 +43,9 @@ pub struct StoreRouter {
     wan: BTreeMap<(SiteId, SiteId), Arc<Throttle>>,
     fetch: FetchConfig,
     retry: RetryPolicy,
+    /// Coded redundancy: when on, a reader whose own store holds a chunk's
+    /// file (a replica) is served locally — no WAN crossing, no throttle.
+    replicated: bool,
 }
 
 impl StoreRouter {
@@ -72,6 +75,7 @@ impl StoreRouter {
             wan,
             fetch,
             retry: RetryPolicy { max_retries: 0, ..RetryPolicy::default() },
+            replicated: false,
         }
     }
 
@@ -98,6 +102,15 @@ impl StoreRouter {
     /// Set the transient-failure retry policy applied to every range read.
     pub fn set_retry(&mut self, retry: RetryPolicy) {
         self.retry = retry;
+    }
+
+    /// Enable replica-aware routing (coded redundancy, `r > 1`): a fetch is
+    /// served from the reader's **own** store whenever it holds the chunk's
+    /// file — zero WAN bytes — and falls back to the primary site otherwise.
+    /// Off by default, keeping r = 1 routing bit-exact with the classic
+    /// primary-site path.
+    pub fn set_replicated(&mut self, on: bool) {
+        self.replicated = on;
     }
 
     /// Publish WAN traffic on the live-metrics registry: every modelled
@@ -147,17 +160,33 @@ impl StoreRouter {
     /// reads on the hosting site's persistent fetcher pool, reassembled
     /// zero-copy.
     pub fn fetch(&self, reader: SiteId, chunk: &ChunkMeta) -> Result<Fetched, RunError> {
-        let store = self.stores.get(&chunk.site).ok_or(RunError::NoStoreForSite(chunk.site))?;
-        let pool = self.pools.get(&chunk.site).expect("one pool per store site");
+        // Replica-aware host election: prefer the reader's own store when it
+        // holds the chunk's byte range (a coded replica), so the read never
+        // crosses the WAN.
+        let host = if self.replicated && chunk.site != reader && self.has_replica(reader, chunk) {
+            reader
+        } else {
+            chunk.site
+        };
+        let store = self.stores.get(&host).ok_or(RunError::NoStoreForSite(host))?;
+        let pool = self.pools.get(&host).expect("one pool per store site");
         let (bytes, retries) =
             fetch_chunk_pooled(pool, store, chunk, self.fetch, &self.retry, None)?;
-        let remote = chunk.site != reader;
+        let remote = host != reader;
         if remote {
-            if let Some(throttle) = self.wan.get(&(reader, chunk.site)) {
+            if let Some(throttle) = self.wan.get(&(reader, host)) {
                 throttle.transfer(bytes.len() as u64);
             }
         }
         Ok(Fetched { bytes, remote, retries })
+    }
+
+    /// Whether `reader`'s own store holds `chunk`'s full byte range.
+    fn has_replica(&self, reader: SiteId, chunk: &ChunkMeta) -> bool {
+        self.stores
+            .get(&reader)
+            .and_then(|s| s.file_len(chunk.file).ok())
+            .is_some_and(|len| len >= chunk.offset + chunk.len)
     }
 }
 
@@ -264,6 +293,61 @@ mod tests {
             "missing WAN byte series in:\n{text}"
         );
         assert!(text.contains("cloudburst_net_transfer_seconds_total{dst=\"local\",src=\"cloud\"}"));
+    }
+
+    #[test]
+    fn replicated_routing_serves_replicas_locally() {
+        // Both stores hold the same file (coded r = 2 placement).
+        let data: Vec<u8> = (0..4096u32).map(|i| (i % 251) as u8).collect();
+        let mk = || {
+            let mut stores: BTreeMap<SiteId, Arc<dyn ChunkStore>> = BTreeMap::new();
+            for site in [SiteId::LOCAL, SiteId::CLOUD] {
+                stores.insert(site, Arc::new(MemStore::new(site, vec![Bytes::from(data.clone())])));
+            }
+            let topo = Topology::new()
+                .with_storage_access(SiteId::LOCAL.0, SiteId::CLOUD.0, LinkSpec::new(0.0, 1e12))
+                .with_storage_access(SiteId::CLOUD.0, SiteId::LOCAL.0, LinkSpec::new(0.0, 1e12));
+            StoreRouter::new(stores, &topo, FetchConfig::sequential(), 1e-3)
+        };
+        let cloud_chunk = chunk(SiteId::CLOUD, 2048);
+        // Off (the default): the cross-site read is remote as ever.
+        let r = mk();
+        assert!(r.fetch(SiteId::LOCAL, &cloud_chunk).unwrap().remote);
+        // On: the local replica serves it with zero WAN bytes.
+        let mut r = mk();
+        r.set_replicated(true);
+        let metrics = Metrics::on();
+        r.set_metrics(&metrics);
+        let f = r.fetch(SiteId::LOCAL, &cloud_chunk).unwrap();
+        assert!(!f.remote, "replica read must not count as remote");
+        assert_eq!(f.bytes.as_ref(), &data[..2048]);
+        let text = metrics.registry().unwrap().render();
+        // The link series are registered eagerly; a replica read must leave
+        // every one of them at zero.
+        assert!(
+            text.contains("cloudburst_net_bytes_total{dst=\"local\",src=\"cloud\"} 0"),
+            "replica read must not touch the WAN:\n{text}"
+        );
+    }
+
+    #[test]
+    fn replicated_routing_falls_back_without_a_replica() {
+        // The reader's store holds nothing: routing must behave classically
+        // even with replication enabled.
+        let mut stores: BTreeMap<SiteId, Arc<dyn ChunkStore>> = BTreeMap::new();
+        stores.insert(SiteId::LOCAL, Arc::new(MemStore::new(SiteId::LOCAL, vec![])));
+        stores.insert(
+            SiteId::CLOUD,
+            Arc::new(MemStore::new(SiteId::CLOUD, vec![Bytes::from(vec![2u8; 4096])])),
+        );
+        let topo = Topology::new()
+            .with_storage_access(SiteId::LOCAL.0, SiteId::CLOUD.0, LinkSpec::new(0.0, 1e12))
+            .with_storage_access(SiteId::CLOUD.0, SiteId::LOCAL.0, LinkSpec::new(0.0, 1e12));
+        let mut r = StoreRouter::new(stores, &topo, FetchConfig::sequential(), 1e-3);
+        r.set_replicated(true);
+        let f = r.fetch(SiteId::LOCAL, &chunk(SiteId::CLOUD, 1024)).unwrap();
+        assert!(f.remote);
+        assert_eq!(f.bytes, Bytes::from(vec![2u8; 1024]));
     }
 
     #[test]

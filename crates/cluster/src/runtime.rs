@@ -113,6 +113,14 @@ pub struct RuntimeConfig {
     /// flight, keeping up to `d` jobs (one processing, one fetching, and
     /// `d - 2` buffered) in the slave's pipeline.
     pub pipeline_depth: usize,
+    /// Coded-redundancy replication factor `r`. With `r ≥ 2` (and an
+    /// organizer layout replicated to match) the pool proactively grants
+    /// each chunk to up to `r` sites, the first completed copy fences its
+    /// siblings, the router serves replicated chunks from the reader's own
+    /// store, and evacuations re-execute from local replicas instead of
+    /// re-fetching over the WAN. The default of 1 reproduces the classic
+    /// single-copy runtime bit for bit.
+    pub redundancy: u32,
     /// Failure handling.
     pub fault_policy: FaultPolicy,
     /// Fault-tolerance subsystem (off by default).
@@ -142,6 +150,7 @@ impl RuntimeConfig {
             topology: Topology::paper_testbed(),
             time_scale,
             pipeline_depth: 1,
+            redundancy: 1,
             fault_policy: FaultPolicy::FailFast,
             ft: FtConfig::default(),
             telemetry: Telemetry::off(),
@@ -211,6 +220,7 @@ pub(crate) struct SlaveMetrics {
     fetch_hist: Histogram,
     proc_hist: Histogram,
     occupancy: Gauge,
+    dropped: Counter,
 }
 
 impl SlaveMetrics {
@@ -263,6 +273,12 @@ impl SlaveMetrics {
                 "Fetched-and-waiting jobs buffered in slave pipelines.",
                 per_site,
             ),
+            dropped: metrics.counter(
+                "cloudburst_prefetch_dropped_total",
+                "Prefetched jobs dropped because their execution was revoked \
+                 (evacuation or a finished replica) before processing.",
+                per_site,
+            ),
         }
     }
 
@@ -288,6 +304,12 @@ impl SlaveMetrics {
     /// A prefetched job entered (+1) or left (-1) the pipeline buffer.
     fn pipeline(&self, delta: i64) {
         self.occupancy.add(delta);
+    }
+
+    /// A granted job was dropped at the prefetch/process handoff because
+    /// its execution had been revoked.
+    fn prefetch_dropped(&self) {
+        self.dropped.inc();
     }
 }
 
@@ -376,6 +398,9 @@ pub fn run_hybrid<R: Reduction>(
     if let Some(retry) = config.ft.retry {
         router.set_retry(retry);
     }
+    // Under coded redundancy the organizer replicated the data; let readers
+    // serve replicated chunks from their own store instead of the WAN.
+    router.set_replicated(config.redundancy > 1);
 
     let mut pool = JobPool::from_index(index, config.batch_policy);
     if let FaultPolicy::Retry { max_attempts } = config.fault_policy {
@@ -385,10 +410,16 @@ pub fn run_hybrid<R: Reduction>(
         pool.set_lease(lease);
     }
     pool.set_speculation(config.ft.speculate);
+    pool.set_redundancy(config.redundancy);
     pool.set_sink(config.telemetry.clone());
     pool.set_metrics(config.metrics.clone());
     let ft_active = config.ft.active();
-    let cancel = ft_active.then(CancelBoard::new);
+    // Replica grants mean a chunk can complete more than once even with the
+    // FT stack off, so coded runs need the same dedup machinery: acked
+    // completions (the head's merge/discard verdict) and a cancel board for
+    // fencing the losing copies.
+    let dedup_active = ft_active || config.redundancy > 1;
+    let cancel = dedup_active.then(CancelBoard::new);
 
     let (head_tx, head_rx) = unbounded::<HeadMsg>();
     let epoch = Instant::now();
@@ -424,6 +455,7 @@ pub fn run_hybrid<R: Reduction>(
                         let master = site_scope.spawn({
                             let head_tx = head_tx.clone();
                             let chaos = chaos.clone();
+                            let cancel = cancel.clone();
                             move || {
                                 run_master(
                                     site,
@@ -434,6 +466,7 @@ pub fn run_hybrid<R: Reduction>(
                                     MasterFt {
                                         heartbeat: config.ft.heartbeat,
                                         chaos,
+                                        cancel,
                                         epoch,
                                         telemetry: config.telemetry.clone(),
                                     },
@@ -449,7 +482,7 @@ pub fn run_hybrid<R: Reduction>(
                                     worker,
                                     cancel: cancel.clone(),
                                     chaos: chaos.clone(),
-                                    ack_gated: ft_active,
+                                    ack_gated: dedup_active,
                                     epoch,
                                     telemetry: config.telemetry.clone(),
                                     metrics: SlaveMetrics::new(&config.metrics, site, worker),
@@ -627,6 +660,9 @@ pub(crate) fn collect_global<O: ReductionObject>(
 struct MasterFt {
     heartbeat: Option<HeartbeatConfig>,
     chaos: Option<Arc<FaultPlan>>,
+    /// Revocations published by the head (replica fencing, evacuation):
+    /// queued jobs already fenced are dropped instead of dispatched.
+    cancel: Option<CancelBoard>,
     epoch: Instant,
     telemetry: Telemetry,
 }
@@ -634,6 +670,10 @@ struct MasterFt {
 impl MasterFt {
     fn site_dead(&self, site: SiteId) -> bool {
         self.chaos.as_deref().is_some_and(|p| p.site_dead(site, self.epoch.elapsed().as_secs_f64()))
+    }
+
+    fn revoked(&self, chunk: cloudburst_core::ChunkId) -> bool {
+        self.cancel.as_ref().is_some_and(|b| b.is_revoked(chunk))
     }
 }
 
@@ -706,6 +746,11 @@ fn run_master(
                 break Take::Drained;
             }
             match pool.take() {
+                // A copy elsewhere already completed this chunk and the head
+                // fenced it (or its site was evacuated): the grant is no
+                // longer assigned to us, so drop it instead of dispatching
+                // dead work.
+                Take::Job(j) if ft.revoked(j.chunk.id) => continue,
                 Take::NeedRefill => {
                     if !refill(&mut pool) {
                         break Take::Drained; // head gone: shutting down
@@ -839,6 +884,7 @@ fn run_slave_serial<R: Reduction>(
     let mut items: Vec<R::Item> = Vec::new();
     let crash_after = ctx.chaos.as_deref().and_then(|p| p.crash_after(site, ctx.worker));
     let slowdown = ctx.chaos.as_deref().map_or(0.0, |p| p.worker_delay(site, ctx.worker));
+    let site_factor = ctx.chaos.as_deref().map_or(1.0, |p| p.site_slowdown(site));
     let mut taken: u64 = 0;
     'jobs: loop {
         if ctx.site_dead() {
@@ -965,12 +1011,16 @@ fn run_slave_serial<R: Reduction>(
                 .chunk(job.chunk.id),
         );
 
-        if slowdown > 0.0 {
+        // Injected straggling: a fixed per-worker delay plus a site-wide
+        // multiplicative slowdown scaled by this job's real elapsed time.
+        let delay =
+            slowdown + (site_factor - 1.0) * (fetch_dur.as_secs_f64() + proc_dur.as_secs_f64());
+        if delay > 0.0 {
             // Simulated straggler: crawl through the injected delay in
             // small steps so a cancellation (our lease was reaped, or a
-            // speculative copy won) or the site's death aborts the wait.
+            // duplicate copy won) or the site's death aborts the wait.
             let step = Duration::from_micros(500);
-            let until = Instant::now() + Duration::from_secs_f64(slowdown);
+            let until = Instant::now() + Duration::from_secs_f64(delay);
             while Instant::now() < until {
                 if ctx.site_dead() {
                     break 'jobs;
@@ -1038,6 +1088,14 @@ fn prefetch_loop(
             Take::Drained => return,
             Take::NeedRefill => unreachable!("master resolves refills internally"),
         };
+        if ctx.revoked(job.chunk.id) {
+            // The grant was revoked (evacuation, a reaped lease, or a
+            // finished replica) while it sat in the master's queue: skip
+            // the fetch entirely instead of retrieving bytes nobody will
+            // process. The head has already requeued or fenced the chunk.
+            ctx.metrics.prefetch_dropped();
+            continue;
+        }
         ctx.telemetry.emit(
             Event::at(ns_since(ctx.epoch), EventKind::JobStarted { stolen: job.stolen })
                 .site(ctx.site)
@@ -1074,6 +1132,7 @@ fn run_slave_pipelined<R: Reduction>(
     let mut items: Vec<R::Item> = Vec::new();
     let crash_after = ctx.chaos.as_deref().and_then(|p| p.crash_after(site, ctx.worker));
     let slowdown = ctx.chaos.as_deref().map_or(0.0, |p| p.worker_delay(site, ctx.worker));
+    let site_factor = ctx.chaos.as_deref().map_or(1.0, |p| p.site_slowdown(site));
     let mut taken: u64 = 0;
     let outcome = std::thread::scope(|scope| -> Result<(), RunError> {
         // Depth d keeps one job processing here, one fetching on the
@@ -1096,6 +1155,14 @@ fn run_slave_pipelined<R: Reduction>(
                 break;
             }
             let PrefetchedJob { job, fetched, fetch_start, fetch_dur } = pre;
+            if ctx.revoked(job.chunk.id) {
+                // The fetch raced a revocation: the chunk was evacuated or
+                // fenced while it sat buffered in the pipeline. Drop it at
+                // the handoff instead of processing a result the head would
+                // discard anyway.
+                ctx.metrics.prefetch_dropped();
+                continue;
+            }
             let fail_job = |e: RunError| -> Result<(), RunError> {
                 reports.fail(job.chunk.id, site);
                 match config.fault_policy {
@@ -1192,9 +1259,13 @@ fn run_slave_pipelined<R: Reduction>(
                 .chunk(job.chunk.id),
             );
 
-            if slowdown > 0.0 {
+            // Per-worker fixed delay plus the site-wide multiplicative
+            // slowdown, exactly as in the serial loop.
+            let delay =
+                slowdown + (site_factor - 1.0) * (fetch_dur.as_secs_f64() + proc_dur.as_secs_f64());
+            if delay > 0.0 {
                 let step = Duration::from_micros(500);
-                let until = Instant::now() + Duration::from_secs_f64(slowdown);
+                let until = Instant::now() + Duration::from_secs_f64(delay);
                 while Instant::now() < until {
                     if ctx.site_dead() {
                         break 'jobs;
@@ -1252,7 +1323,7 @@ mod tests {
     use super::*;
     use bytes::Bytes;
     use cloudburst_core::{reduce_serial, LayoutParams};
-    use cloudburst_storage::{fraction_placement, organize};
+    use cloudburst_storage::{fraction_placement, organize, organize_redundant};
 
     /// Units are little-endian u32s; the result is their sum (order-free).
     struct SumApp;
@@ -1307,6 +1378,25 @@ mod tests {
         (org.index, stores)
     }
 
+    fn setup_redundant(
+        units: u32,
+        local_frac: f64,
+        n_files: u32,
+        r: u32,
+    ) -> (DataIndex, BTreeMap<SiteId, Arc<dyn ChunkStore>>) {
+        let data = dataset(units);
+        let params = LayoutParams { unit_size: 4, units_per_chunk: 64, n_files };
+        let org =
+            organize_redundant(&data, params, &mut fraction_placement(local_frac, n_files), r)
+                .unwrap();
+        let stores: BTreeMap<SiteId, Arc<dyn ChunkStore>> = org
+            .stores
+            .iter()
+            .map(|(&s, st)| (s, Arc::new(st.clone()) as Arc<dyn ChunkStore>))
+            .collect();
+        (org.index, stores)
+    }
+
     fn fast_config(env: EnvConfig) -> RuntimeConfig {
         let mut c = RuntimeConfig::new(env, 1e-5);
         c.fetch = FetchConfig { threads: 2, min_range: 64 };
@@ -1315,6 +1405,22 @@ mod tests {
 
     fn expected_sum(units: u32) -> u64 {
         (0..units).map(u64::from).sum()
+    }
+
+    /// Slow every worker a little so jobs take milliseconds, not
+    /// microseconds: the crash-injection tests need the to-crash worker to
+    /// reliably reach its fatal take before its peers drain the site's
+    /// queue, which a scheduler hiccup on a loaded box would otherwise race.
+    fn slow_all_workers(plan: &mut FaultPlan, delay: f64) {
+        for site in [SiteId::LOCAL, SiteId::CLOUD] {
+            for worker in 0..2 {
+                plan.slow_workers.push(cloudburst_core::SlowWorker {
+                    site,
+                    worker,
+                    delay_per_job: delay,
+                });
+            }
+        }
     }
 
     #[test]
@@ -1542,6 +1648,46 @@ mod tests {
     }
 
     #[test]
+    fn coded_run_is_exact_and_wan_free() {
+        // r = 2 on two sites: every chunk has a local copy everywhere, so
+        // the replica-aware router never crosses the WAN, and the replica
+        // fencing dedups whatever proactive copies the pool hands out.
+        let units = 4096;
+        let (index, stores) = setup_redundant(units, 0.5, 4, 2);
+        let env = EnvConfig::new("coded", 0.5, 3, 3);
+        let mut config = fast_config(env);
+        config.redundancy = 2;
+        let out = run_hybrid(&SumApp, &index, stores, &config).unwrap();
+        assert_eq!(out.result.0, expected_sum(units));
+        assert_eq!(out.head.abandoned, 0);
+        for (site, s) in &out.report.sites {
+            assert_eq!(s.remote_bytes, 0, "{site} fetched over the WAN despite replicas");
+        }
+    }
+
+    #[test]
+    fn redundancy_one_matches_classic_run_at_every_depth() {
+        // The r = 1 path must stay bit-exact with the pre-coded runtime:
+        // same result, same job accounting, serial and pipelined.
+        let units = 2048;
+        let (index, stores) = setup(units, 0.5, 4);
+        let env = EnvConfig::new("r1", 0.5, 2, 2);
+        let baseline = run_hybrid(&SumApp, &index, stores, &fast_config(env)).unwrap();
+        for depth in [1usize, 3] {
+            let (index, stores) = setup(units, 0.5, 4);
+            let env = EnvConfig::new("r1", 0.5, 2, 2);
+            let mut config = fast_config(env);
+            config.pipeline_depth = depth;
+            config.redundancy = 1;
+            let out = run_hybrid(&SumApp, &index, stores, &config).unwrap();
+            assert_eq!(out.result, baseline.result, "depth {depth}");
+            assert_eq!(out.report.total_jobs(), baseline.report.total_jobs(), "depth {depth}");
+            assert_eq!(out.report.faults.replica_grants, 0, "depth {depth}");
+            assert_eq!(out.report.faults.saved_refetches, 0, "depth {depth}");
+        }
+    }
+
+    #[test]
     fn pipelined_run_matches_serial_loop() {
         let units = 4096;
         let serial = {
@@ -1572,7 +1718,7 @@ mod tests {
         let mut config = fast_config(env);
         config.pipeline_depth = 3;
         config.fault_policy = FaultPolicy::Retry { max_attempts: 5 };
-        let plan = FaultPlan {
+        let mut plan = FaultPlan {
             worker_crash: vec![cloudburst_core::WorkerCrash {
                 site: SiteId::CLOUD,
                 worker: 0,
@@ -1580,6 +1726,7 @@ mod tests {
             }],
             ..FaultPlan::seeded(11)
         };
+        slow_all_workers(&mut plan, 0.004);
         config.ft = FtConfig {
             lease: Some(LeaseConfig { base: 0.05, min: 0.05, max: 0.2, multiplier: 8.0 }),
             speculate: false,
@@ -1601,7 +1748,7 @@ mod tests {
         let env = EnvConfig::new("crashy", 0.5, 2, 2);
         let mut config = fast_config(env);
         config.fault_policy = FaultPolicy::Retry { max_attempts: 5 };
-        let plan = FaultPlan {
+        let mut plan = FaultPlan {
             worker_crash: vec![cloudburst_core::WorkerCrash {
                 site: SiteId::CLOUD,
                 worker: 0,
@@ -1609,6 +1756,7 @@ mod tests {
             }],
             ..FaultPlan::seeded(11)
         };
+        slow_all_workers(&mut plan, 0.004);
         config.ft = FtConfig {
             lease: Some(LeaseConfig { base: 0.05, min: 0.05, max: 0.2, multiplier: 8.0 }),
             speculate: false,

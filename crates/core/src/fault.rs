@@ -92,6 +92,22 @@ pub struct SlowWorker {
     pub delay_per_job: Seconds,
 }
 
+/// A whole site degraded by a rate factor — the site-wide straggler
+/// generator the coded-redundancy ablation injects.
+///
+/// Unlike [`SlowWorker`]'s additive per-job delay, a slow site multiplies
+/// every fetch and processing duration at the site by `factor`, modelling a
+/// congested WAN link or an oversubscribed cloud zone rather than one bad
+/// worker.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SlowSite {
+    /// The degraded site.
+    pub site: SiteId,
+    /// Multiplier on the site's fetch/process durations (`>= 1.0` slows it
+    /// down; `1.0` is a no-op).
+    pub factor: f64,
+}
+
 /// One worker that dies after taking its n-th job.
 ///
 /// The crash happens *on take*: the worker exits holding a granted,
@@ -127,6 +143,9 @@ pub struct FaultPlan {
     pub site_outage: Option<SiteOutage>,
     /// Workers slowed per job (straggler injection).
     pub slow_workers: Vec<SlowWorker>,
+    /// Whole sites degraded by a rate factor (site-wide stragglers).
+    #[serde(default)]
+    pub slow_sites: Vec<SlowSite>,
     /// Workers that crash after n jobs.
     pub worker_crash: Vec<WorkerCrash>,
 }
@@ -144,6 +163,7 @@ impl FaultPlan {
         self.storage_error_rate <= 0.0
             && self.site_outage.is_none()
             && self.slow_workers.is_empty()
+            && self.slow_sites.iter().all(|s| s.factor <= 1.0)
             && self.worker_crash.is_empty()
     }
 
@@ -160,6 +180,12 @@ impl FaultPlan {
             .iter()
             .find(|s| s.site == site && s.worker == worker)
             .map_or(0.0, |s| s.delay_per_job)
+    }
+
+    /// The rate factor degrading `site` (1.0 when not slowed).
+    #[must_use]
+    pub fn site_slowdown(&self, site: SiteId) -> f64 {
+        self.slow_sites.iter().find(|s| s.site == site).map_or(1.0, |s| s.factor.max(1.0))
     }
 
     /// After how many jobs `worker` at `site` crashes (None = never).
@@ -254,6 +280,21 @@ pub struct FaultCounters {
     /// original worker, reaped, evacuated, or failed.
     #[serde(default)]
     pub speculative_losses: u64,
+    /// Replica executions granted under coded redundancy (`r > 1`): an idle
+    /// site proactively picked up a copy of a job in flight elsewhere.
+    #[serde(default)]
+    pub replica_grants: u64,
+    /// Replica executions that completed first and were the copy merged.
+    #[serde(default)]
+    pub replica_wins: u64,
+    /// Sibling replica executions fenced (released unmerged) because another
+    /// copy of the same chunk completed first.
+    #[serde(default)]
+    pub replica_fences: u64,
+    /// Evacuation-triggered re-executions that read their chunk from a local
+    /// replica instead of re-fetching it over the WAN (`r > 1` only).
+    #[serde(default)]
+    pub saved_refetches: u64,
     /// Completions rejected because another execution already merged the
     /// chunk (or the reporter was already declared dead).
     pub duplicate_completions: u64,
@@ -274,6 +315,10 @@ impl FaultCounters {
             && self.speculative_grants == 0
             && self.speculative_wins == 0
             && self.speculative_losses == 0
+            && self.replica_grants == 0
+            && self.replica_wins == 0
+            && self.replica_fences == 0
+            && self.saved_refetches == 0
             && self.duplicate_completions == 0
             && self.late_completions == 0
             && self.abandoned_jobs.is_empty()
@@ -346,5 +391,26 @@ mod tests {
         assert_eq!(plan.crash_after(SiteId::CLOUD, 0), Some(3));
         assert_eq!(plan.crash_after(SiteId::CLOUD, 1), None);
         assert!(FaultPlan::seeded(9).is_empty());
+    }
+
+    #[test]
+    fn site_slowdown_defaults_to_unity_and_clamps_below_one() {
+        let plan = FaultPlan {
+            slow_sites: vec![
+                SlowSite { site: SiteId::CLOUD, factor: 4.0 },
+                SlowSite { site: SiteId::LOCAL, factor: 0.5 },
+            ],
+            ..FaultPlan::seeded(2)
+        };
+        assert!(!plan.is_empty());
+        assert_eq!(plan.site_slowdown(SiteId::CLOUD), 4.0);
+        assert_eq!(plan.site_slowdown(SiteId::LOCAL), 1.0, "speedups are clamped away");
+        assert_eq!(plan.site_slowdown(SiteId(7)), 1.0);
+        // A no-op slowdown alone leaves the plan empty.
+        let noop = FaultPlan {
+            slow_sites: vec![SlowSite { site: SiteId::CLOUD, factor: 1.0 }],
+            ..FaultPlan::seeded(2)
+        };
+        assert!(noop.is_empty());
     }
 }

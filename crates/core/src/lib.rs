@@ -57,8 +57,8 @@ pub mod types;
 pub use closure::{from_fns, FnReduction};
 pub use config::EnvConfig;
 pub use fault::{
-    AbandonedJob, FaultCounters, FaultPlan, HeartbeatConfig, LeaseConfig, SiteOutage, SlowWorker,
-    WorkerCrash,
+    AbandonedJob, FaultCounters, FaultPlan, HeartbeatConfig, LeaseConfig, SiteOutage, SlowSite,
+    SlowWorker, WorkerCrash,
 };
 pub use index::DataIndex;
 pub use json::Json;
@@ -70,7 +70,9 @@ pub use metrics::{
 };
 pub use pool::Completion;
 pub use pool::{BatchPolicy, JobBatch, JobPool, SiteJobCounts};
-pub use reduction::{global_reduce, reduce_serial, tree_reduce, Merge, Reduction, ReductionObject};
+pub use reduction::{
+    coded_combine, global_reduce, reduce_serial, tree_reduce, Merge, Reduction, ReductionObject,
+};
 pub use stats::{
     assemble_sites, doubling_efficiency, report_to_json, Breakdown, RunReport, SiteSample,
     SiteStats, SlaveSample,

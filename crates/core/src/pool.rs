@@ -65,6 +65,9 @@ struct Assignee {
     /// True for a speculative copy of an in-flight straggler (win/loss
     /// accounting needs to know which execution was the gamble).
     speculative: bool,
+    /// True for a proactive replica granted under coded redundancy
+    /// (`r > 1`); the first completed copy fences its siblings.
+    replica: bool,
 }
 
 /// What happened to a completion report — the dedup verdict.
@@ -202,6 +205,10 @@ struct PoolMetrics {
     reaps: BTreeMap<SiteId, Counter>,
     failures: BTreeMap<SiteId, Counter>,
     evacuated: BTreeMap<SiteId, Counter>,
+    replica_grants: BTreeMap<SiteId, Counter>,
+    replica_wins: BTreeMap<SiteId, Counter>,
+    replica_fences: BTreeMap<SiteId, Counter>,
+    saved_refetches: BTreeMap<SiteId, Counter>,
     queue_depth: Gauge,
     in_flight: Gauge,
 }
@@ -353,6 +360,62 @@ impl PoolMetrics {
         )
         .inc();
     }
+
+    fn replica_grant(&mut self, site: SiteId) {
+        if !self.handle.is_enabled() {
+            return;
+        }
+        Self::site(
+            &mut self.replica_grants,
+            &self.handle,
+            "cloudburst_pool_replica_grants_total",
+            "Proactive replica executions granted under coded redundancy.",
+            site,
+        )
+        .inc();
+    }
+
+    fn replica_win(&mut self, site: SiteId) {
+        if !self.handle.is_enabled() {
+            return;
+        }
+        Self::site(
+            &mut self.replica_wins,
+            &self.handle,
+            "cloudburst_pool_replica_wins_total",
+            "Replica executions that completed first and were merged.",
+            site,
+        )
+        .inc();
+    }
+
+    fn replica_fence(&mut self, site: SiteId) {
+        if !self.handle.is_enabled() {
+            return;
+        }
+        Self::site(
+            &mut self.replica_fences,
+            &self.handle,
+            "cloudburst_pool_replica_fences_total",
+            "Sibling executions fenced because a replica completed first.",
+            site,
+        )
+        .inc();
+    }
+
+    fn saved_refetch(&mut self, site: SiteId) {
+        if !self.handle.is_enabled() {
+            return;
+        }
+        Self::site(
+            &mut self.saved_refetches,
+            &self.handle,
+            "cloudburst_pool_saved_refetch_total",
+            "Evacuation re-executions served from a local replica (no WAN re-fetch).",
+            site,
+        )
+        .inc();
+    }
 }
 
 /// The head node's global job pool.
@@ -397,6 +460,9 @@ pub struct JobPool {
     lease: Option<LeaseConfig>,
     /// Whether tail stragglers may be speculatively re-executed.
     speculate: bool,
+    /// Coded-redundancy replication factor; 1 (the default) disables
+    /// proactive replica grants and is bit-exact with the classic pool.
+    redundancy: u32,
     /// Exponentially-weighted mean job duration per site (lease sizing).
     ewma_dur: BTreeMap<SiteId, f64>,
     /// Sites declared dead and evacuated.
@@ -446,6 +512,7 @@ impl JobPool {
             assigned_to: BTreeMap::new(),
             lease: None,
             speculate: false,
+            redundancy: 1,
             ewma_dur: BTreeMap::new(),
             dead_sites: BTreeSet::new(),
             faults: FaultCounters::default(),
@@ -500,6 +567,15 @@ impl JobPool {
     /// Enable or disable speculative re-execution of tail stragglers.
     pub fn set_speculation(&mut self, on: bool) {
         self.speculate = on;
+    }
+
+    /// Set the coded-redundancy replication factor. With `r > 1` an idle
+    /// site may be granted a proactive *replica* of an in-flight job it
+    /// holds data for; the first completed copy is merged and fences its
+    /// siblings through the exactly-once dedup path. `r <= 1` (the
+    /// default) leaves the pool bit-exact with the classic behavior.
+    pub fn set_redundancy(&mut self, r: u32) {
+        self.redundancy = r.max(1);
     }
 
     /// Enable rate-aware stealing for `site` (paper abstract: "Our
@@ -659,6 +735,16 @@ impl JobPool {
         );
     }
 
+    /// Under coded redundancy every surviving site holds a local copy of
+    /// the evacuated site's data, so an evacuation-forced re-execution is
+    /// served without a WAN re-fetch — count the save.
+    fn refetch_saved(&mut self, site: SiteId) {
+        if self.redundancy > 1 {
+            self.faults.saved_refetches += 1;
+            self.metrics.saved_refetch(site);
+        }
+    }
+
     /// Put job `i` back on its file's pending queue, in physical order so
     /// consecutive-batch grants stay consecutive.
     fn requeue(&mut self, i: usize) {
@@ -794,6 +880,7 @@ impl JobPool {
                     }
                     if self.assignees[i].is_empty() {
                         self.requeue(i);
+                        self.refetch_saved(site);
                     }
                 }
                 JobState::Done(s) if s == site => {
@@ -818,6 +905,7 @@ impl JobPool {
                             .chunk(self.chunks[i].id),
                     );
                     self.requeue(i);
+                    self.refetch_saved(site);
                 }
                 _ => {}
             }
@@ -942,13 +1030,20 @@ impl JobPool {
                 // lease finishing late while a re-execution still runs wins
                 // the same way — accept the result, cancel the rerun.
                 let winner = self.release_assignee(i, site);
-                let losers: Vec<(SiteId, bool)> =
-                    self.assignees[i].iter().map(|a| (a.site, a.speculative)).collect();
-                for &(s, speculative) in &losers {
+                let winner_replica = winner.as_ref().is_some_and(|w| w.replica);
+                let losers: Vec<(SiteId, bool, bool)> =
+                    self.assignees[i].iter().map(|a| (a.site, a.speculative, a.replica)).collect();
+                for &(s, speculative, replica) in &losers {
                     self.release_assignee(i, s);
                     self.past[i].push(s);
                     if speculative {
                         self.speculation_lost(i, s);
+                    }
+                    // A preemption inside a replica group is a fence: the
+                    // first finished copy invalidates its siblings.
+                    if replica || winner_replica {
+                        self.faults.replica_fences += 1;
+                        self.metrics.replica_fence(s);
                     }
                 }
                 let late = winner.is_none();
@@ -964,6 +1059,10 @@ impl JobPool {
                     .site(site)
                     .chunk(job),
                 );
+                if winner_replica {
+                    self.faults.replica_wins += 1;
+                    self.metrics.replica_win(site);
+                }
                 if winner.is_some_and(|w| w.speculative) {
                     self.faults.speculative_wins += 1;
                     self.sink.emit(
@@ -972,7 +1071,7 @@ impl JobPool {
                             .chunk(job),
                     );
                 }
-                Completion::Merged { preempted: losers.into_iter().map(|(s, _)| s).collect() }
+                Completion::Merged { preempted: losers.into_iter().map(|(s, _, _)| s).collect() }
             }
             JobState::Pending => {
                 // Reaped lease finished before the job was re-granted:
@@ -1092,6 +1191,7 @@ impl JobPool {
                 assigned_at: self.now,
                 deadline,
                 speculative: false,
+                replica: false,
             });
             self.readers[j.file.0 as usize] += 1;
             self.pending_total -= 1;
@@ -1111,16 +1211,18 @@ impl JobPool {
         }
     }
 
-    /// The straggler to speculatively re-execute for an otherwise-idle
-    /// `site`: the oldest in-flight job with a single live lease held by a
-    /// *different* site. Cross-site only — a second copy behind the same
-    /// master shares the straggler's fate too often to pay off.
-    fn pick_speculation_target(&self, site: SiteId) -> Option<usize> {
+    /// The straggler to duplicate for an otherwise-idle `site`: the oldest
+    /// in-flight job with fewer than `cap` live leases, all held by
+    /// *different* sites. Cross-site only — a second copy behind the same
+    /// master shares the straggler's fate too often to pay off. Speculation
+    /// uses `cap = MAX_ASSIGNEES`; coded replica grants widen the cap to
+    /// the replication factor.
+    fn pick_duplicate_target(&self, site: SiteId, cap: usize) -> Option<usize> {
         (0..self.state.len())
             .filter(|&i| self.state[i] == JobState::Assigned)
             .filter(|&i| {
                 !self.assignees[i].is_empty()
-                    && self.assignees[i].len() < MAX_ASSIGNEES
+                    && self.assignees[i].len() < cap
                     && self.assignees[i].iter().all(|a| a.site != site)
             })
             .min_by(|&a, &b| {
@@ -1130,43 +1232,55 @@ impl JobPool {
             })
     }
 
+    /// Hand `site` an extra copy of in-flight job `i` (a speculative
+    /// re-execution or a coded replica) and return the one-job batch.
+    fn grant_duplicate(&mut self, i: usize, site: SiteId, speculative: bool) -> JobBatch {
+        let deadline = self.deadline_for(site);
+        self.assignees[i].push(Assignee {
+            site,
+            assigned_at: self.now,
+            deadline,
+            speculative,
+            replica: !speculative,
+        });
+        self.readers[self.chunks[i].file.0 as usize] += 1;
+        *self.assigned_to.entry(site).or_insert(0) += 1;
+        let stolen = self.chunks[i].site != site;
+        if speculative {
+            self.faults.speculative_grants += 1;
+        } else {
+            self.faults.replica_grants += 1;
+            self.metrics.replica_grant(site);
+        }
+        self.metrics.granted(site, stolen, speculative);
+        self.sink.emit(
+            Event::at(self.now_ns(), EventKind::JobGranted { stolen, speculative })
+                .site(site)
+                .chunk(self.chunks[i].id),
+        );
+        JobBatch { jobs: vec![self.chunks[i]], stolen, terminal: false }
+    }
+
     /// Request a batch for `site` and record the assignment. When the pool
-    /// has nothing pending but stragglers are in flight and speculation is
-    /// enabled, the idle site is handed a speculative copy of the oldest
-    /// straggler instead of an empty poll — first completion wins.
+    /// has nothing pending but stragglers are in flight, the idle site is
+    /// handed a duplicate of the oldest straggler instead of an empty poll —
+    /// a speculative copy when speculation is enabled, a proactive replica
+    /// when coded redundancy (`r > 1`) is — first completion wins either
+    /// way.
     pub fn request_for(&mut self, site: SiteId) -> JobBatch {
         let batch = self.request(site);
         self.assign_to(&batch, site);
-        if batch.is_empty() && !batch.terminal && self.speculate && !self.dead_sites.contains(&site)
-        {
-            if let Some(i) = self.pick_speculation_target(site) {
-                let deadline = self.deadline_for(site);
-                self.assignees[i].push(Assignee {
-                    site,
-                    assigned_at: self.now,
-                    deadline,
-                    speculative: true,
-                });
-                self.readers[self.chunks[i].file.0 as usize] += 1;
-                *self.assigned_to.entry(site).or_insert(0) += 1;
-                self.faults.speculative_grants += 1;
-                self.metrics.granted(site, self.chunks[i].site != site, true);
-                self.sink.emit(
-                    Event::at(
-                        self.now_ns(),
-                        EventKind::JobGranted {
-                            stolen: self.chunks[i].site != site,
-                            speculative: true,
-                        },
-                    )
-                    .site(site)
-                    .chunk(self.chunks[i].id),
-                );
-                return JobBatch {
-                    jobs: vec![self.chunks[i]],
-                    stolen: self.chunks[i].site != site,
-                    terminal: false,
-                };
+        if batch.is_empty() && !batch.terminal && !self.dead_sites.contains(&site) {
+            if self.speculate {
+                if let Some(i) = self.pick_duplicate_target(site, MAX_ASSIGNEES) {
+                    return self.grant_duplicate(i, site, true);
+                }
+            }
+            if self.redundancy > 1 {
+                let cap = MAX_ASSIGNEES.max(self.redundancy as usize);
+                if let Some(i) = self.pick_duplicate_target(site, cap) {
+                    return self.grant_duplicate(i, site, false);
+                }
             }
         }
         batch
@@ -1649,5 +1763,108 @@ mod lease_tests {
         assert!(p.reap_expired(1.5).is_empty());
         let reaped = p.reap_expired(10.0);
         assert_eq!(reaped.len(), b2.len());
+    }
+}
+#[cfg(test)]
+mod redundancy_tests {
+    use super::*;
+    use crate::index::DataIndex;
+    use crate::layout::LayoutParams;
+
+    fn pool(n_chunks: u64) -> JobPool {
+        let idx = DataIndex::build(
+            n_chunks * 2,
+            LayoutParams { unit_size: 1, units_per_chunk: 2, n_files: 1 },
+            |_| SiteId::LOCAL,
+        )
+        .unwrap();
+        JobPool::from_index(&idx, BatchPolicy::Fixed(2))
+    }
+
+    #[test]
+    fn r1_never_grants_replicas() {
+        let mut p = pool(1);
+        p.set_redundancy(1);
+        let b = p.request_for(SiteId::LOCAL);
+        assert_eq!(b.len(), 1);
+        // Idle poll while a job is in flight: empty at r=1, no replica.
+        assert!(p.request_for(SiteId::CLOUD).is_empty());
+        assert_eq!(p.faults().replica_grants, 0);
+        p.complete(b.jobs[0].id, SiteId::LOCAL);
+        assert_eq!(p.faults().replica_wins, 0);
+        assert_eq!(p.faults().replica_fences, 0);
+    }
+
+    #[test]
+    fn replica_first_completion_wins_and_fences_the_original() {
+        let mut p = pool(1);
+        p.set_redundancy(2);
+        let b = p.request_for(SiteId::LOCAL);
+        let job = b.jobs[0].id;
+        // The idle site is handed a proactive replica, not an empty poll.
+        let rep = p.request_for(SiteId::CLOUD);
+        assert_eq!(rep.len(), 1);
+        assert_eq!(rep.jobs[0].id, job);
+        assert_eq!(p.faults().replica_grants, 1);
+        // No third copy on a two-site testbed: both sites already hold one.
+        assert!(p.request_for(SiteId::CLOUD).is_empty());
+        // Replica finishes first: merged, and the original is fenced.
+        match p.complete(job, SiteId::CLOUD) {
+            Completion::Merged { preempted } => assert_eq!(preempted, vec![SiteId::LOCAL]),
+            Completion::Duplicate => panic!("first replica completion must merge"),
+        }
+        assert_eq!(p.faults().replica_wins, 1);
+        assert_eq!(p.faults().replica_fences, 1);
+        // The fenced original reports late: duplicate, merged exactly once.
+        assert_eq!(p.complete(job, SiteId::LOCAL), Completion::Duplicate);
+        assert_eq!(p.completed(), 1);
+        assert_eq!(p.faults().speculative_grants, 0, "replicas are not speculation");
+    }
+
+    #[test]
+    fn original_first_completion_fences_the_replica() {
+        let mut p = pool(1);
+        p.set_redundancy(2);
+        let b = p.request_for(SiteId::LOCAL);
+        let job = b.jobs[0].id;
+        assert_eq!(p.request_for(SiteId::CLOUD).len(), 1);
+        match p.complete(job, SiteId::LOCAL) {
+            Completion::Merged { preempted } => assert_eq!(preempted, vec![SiteId::CLOUD]),
+            Completion::Duplicate => panic!("original completion must merge"),
+        }
+        assert_eq!(p.faults().replica_wins, 0);
+        assert_eq!(p.faults().replica_fences, 1, "the replica sibling was fenced");
+        assert_eq!(p.complete(job, SiteId::CLOUD), Completion::Duplicate);
+    }
+
+    #[test]
+    fn evacuation_under_redundancy_counts_saved_refetches() {
+        let mut p = pool(2);
+        p.set_redundancy(2);
+        let b = p.request_for(SiteId::CLOUD);
+        assert_eq!(b.len(), 2);
+        p.complete(b.jobs[0].id, SiteId::CLOUD); // one done, one in flight
+        p.evacuate(SiteId::CLOUD);
+        // Both the revoked in-flight job and the lost done result requeue,
+        // and each re-execution is served from a local replica: two saves.
+        assert_eq!(p.pending(), 2);
+        assert_eq!(p.faults().saved_refetches, 2);
+        while !p.all_done() {
+            let b = p.request_for(SiteId::LOCAL);
+            for j in &b.jobs {
+                assert!(p.complete(j.id, SiteId::LOCAL).is_merged());
+            }
+        }
+        assert_eq!(p.completed(), 2);
+    }
+
+    #[test]
+    fn evacuation_at_r1_saves_nothing() {
+        let mut p = pool(2);
+        let b = p.request_for(SiteId::CLOUD);
+        p.complete(b.jobs[0].id, SiteId::CLOUD);
+        p.evacuate(SiteId::CLOUD);
+        assert_eq!(p.pending(), 2);
+        assert_eq!(p.faults().saved_refetches, 0, "r=1 re-executions re-fetch");
     }
 }

@@ -256,6 +256,10 @@ pub fn faults_to_json(f: &FaultCounters) -> Json {
         .field("speculative_grants", Json::U64(f.speculative_grants))
         .field("speculative_wins", Json::U64(f.speculative_wins))
         .field("speculative_losses", Json::U64(f.speculative_losses))
+        .field("replica_grants", Json::U64(f.replica_grants))
+        .field("replica_wins", Json::U64(f.replica_wins))
+        .field("replica_fences", Json::U64(f.replica_fences))
+        .field("saved_refetches", Json::U64(f.saved_refetches))
         .field("duplicate_completions", Json::U64(f.duplicate_completions))
         .field("late_completions", Json::U64(f.late_completions))
         .field("abandoned", Json::Arr(abandoned))

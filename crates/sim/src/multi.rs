@@ -87,6 +87,17 @@ pub struct MultiEnv {
     /// overheads can be re-derived under failure. `None` (or an empty plan)
     /// simulates a clean run.
     pub chaos: Option<FaultPlan>,
+    /// Hand idle sites speculative duplicates of tail stragglers (first
+    /// completion wins). Chaos plans with slow workers enable this
+    /// implicitly; set it explicitly to ablate speculation against coded
+    /// redundancy under site-wide slowdowns.
+    pub speculation: bool,
+    /// Coded-redundancy replication factor. With `r ≥ 2` every chunk is
+    /// modelled as replicated at the reader — retrievals are served by the
+    /// reader's own store with no WAN leg — and the pool proactively grants
+    /// up to `r` copies of straggling chunks, first finished copy winning.
+    /// 1 (the classic single-copy placement) changes nothing.
+    pub redundancy: u32,
 }
 
 impl MultiEnv {
@@ -132,6 +143,8 @@ impl MultiEnv {
             n_chunks: params.n_chunks,
             rate_aware_stealing: true,
             chaos: None,
+            speculation: false,
+            redundancy: 1,
         }
     }
 
@@ -237,6 +250,10 @@ fn run_multi(
             pool.set_speculation(true);
         }
     }
+    if env.speculation {
+        pool.set_speculation(true);
+    }
+    pool.set_redundancy(env.redundancy);
 
     let specs: BTreeMap<SiteId, &SiteSpec> = env.sites.iter().map(|s| (s.site, s)).collect();
     let active: Vec<SlaveShape> = env
@@ -294,6 +311,8 @@ fn run_multi(
         done: bool,
         /// Injected per-job slowdown (straggler model).
         delay: Seconds,
+        /// Site-wide multiplicative slowdown on compute (≥ 1.0).
+        slow: f64,
         /// Crash after taking this many jobs (the job in hand leaks).
         crash_after: Option<u64>,
         taken: u64,
@@ -319,6 +338,7 @@ fn run_multi(
                 ),
                 done: false,
                 delay: chaos.map_or(0.0, |p| p.worker_delay(shape.site, c)),
+                slow: chaos.map_or(1.0, |p| p.site_slowdown(shape.site)),
                 crash_after: chaos.and_then(|p| p.crash_after(shape.site, c)),
                 taken: 0,
             });
@@ -426,7 +446,9 @@ fn run_multi(
                 .chunk(job.chunk.id),
         );
 
-        let data_site = job.chunk.site;
+        // Under coded redundancy the chunk's bytes are replicated at the
+        // reader: the read is served on-site and never touches the WAN.
+        let data_site = if env.redundancy > 1 { site } else { job.chunk.site };
         let spec = specs[&data_site];
         let store = stores.get_mut(&data_site).expect("store for data site");
         let grant = store.request(SimTime::at(now), spec.store.service_time(job.chunk.len));
@@ -439,8 +461,9 @@ fn run_multi(
         }
         w.retrieval += retr_end - now;
 
-        let compute =
-            w.jitter.stretch(app.compute_time(job.chunk.n_units, w.factor)) / w.speed + w.delay;
+        let compute = w.jitter.stretch(app.compute_time(job.chunk.n_units, w.factor)) / w.speed
+            * w.slow
+            + w.delay;
         w.processing += compute;
         w.last_done = retr_end + compute;
         if telemetry.is_enabled() {
@@ -602,6 +625,8 @@ mod tests {
             n_chunks: p.n_chunks,
             rate_aware_stealing: true,
             chaos: None,
+            speculation: false,
+            redundancy: 1,
         }
     }
 
@@ -741,6 +766,54 @@ mod tests {
         let b = simulate_multi(&AppModel::knn(), &env);
         assert_eq!(a, b, "a seeded fault plan must replay byte-identically");
         assert!(!a.faults.is_quiet());
+    }
+
+    #[test]
+    fn coded_redundancy_outruns_a_straggling_site() {
+        use cloudburst_core::SlowSite;
+        let mk = |speculation: bool, redundancy: u32| {
+            let mut env = three_sites();
+            env.chaos = Some(FaultPlan {
+                slow_sites: vec![SlowSite { site: SiteId::CLOUD, factor: 8.0 }],
+                ..FaultPlan::seeded(31)
+            });
+            env.speculation = speculation;
+            env.redundancy = redundancy;
+            simulate_multi(&AppModel::knn(), &env)
+        };
+        let none = mk(false, 1);
+        let coded = mk(false, 2);
+        assert_eq!(none.total_jobs(), 96);
+        assert_eq!(coded.total_jobs(), 96);
+        // Replicated chunks are read at the executing site: no WAN bytes.
+        for (site, s) in &coded.sites {
+            assert_eq!(s.remote_bytes, 0, "{site} crossed the WAN despite replicas");
+        }
+        // The straggling site's in-flight tail is rescued by proactive
+        // replicas at the idle survivors, which `none` cannot do (a granted
+        // job can only be duplicated by speculation or redundancy).
+        assert!(coded.faults.replica_grants > 0, "survivors must pick up replica copies");
+        assert!(
+            coded.total_time < none.total_time,
+            "coded {} vs none {}",
+            coded.total_time,
+            none.total_time
+        );
+    }
+
+    #[test]
+    fn slow_site_replay_is_deterministic_and_slower_than_clean() {
+        use cloudburst_core::SlowSite;
+        let mut env = three_sites();
+        env.chaos = Some(FaultPlan {
+            slow_sites: vec![SlowSite { site: SiteId(2), factor: 3.0 }],
+            ..FaultPlan::seeded(17)
+        });
+        let a = simulate_multi(&AppModel::kmeans(), &env);
+        let b = simulate_multi(&AppModel::kmeans(), &env);
+        assert_eq!(a, b, "site-wide slowdown must replay identically");
+        let clean = simulate_multi(&AppModel::kmeans(), &three_sites());
+        assert!(a.total_time > clean.total_time, "a 3x site slowdown must cost wall-clock");
     }
 
     #[test]

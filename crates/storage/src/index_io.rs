@@ -7,12 +7,18 @@
 //!
 //! ```text
 //! magic   b"CBIX"                     4 bytes
-//! version u16                         currently 1
+//! version u16                         1 (classic) or 2 (coded redundancy)
+//! redund  u16                         version 2 only: replication factor r
 //! params  unit_size u32, units_per_chunk u64, n_files u32
 //! n_files u32, then per file:  site u16, len u64, n_chunks u32, chunk ids u32...
 //! n_chunks u32, then per chunk: file u32, offset u64, len u64, n_units u64, site u16
 //! crc     u32 (FNV-1a over everything before it)
 //! ```
+//!
+//! Version 1 and version 2 differ only by the `redund` field: a version-1
+//! index is exactly a version-2 index with `r = 1`, and an organizer run
+//! with `--redundancy 1` emits version 1 bit-for-bit, so pre-coded readers
+//! and writers interoperate unchanged.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use cloudburst_core::{ChunkId, ChunkMeta, DataIndex, FileId, FileMeta, LayoutParams, SiteId};
@@ -21,6 +27,8 @@ use std::path::Path;
 
 const MAGIC: &[u8; 4] = b"CBIX";
 const VERSION: u16 = 1;
+/// Version 2 = version 1 plus a `u16` replication factor after the version.
+const VERSION_CODED: u16 = 2;
 
 fn fnv1a(data: &[u8]) -> u32 {
     let mut h: u32 = 0x811c_9dc5;
@@ -35,12 +43,26 @@ fn err(msg: impl Into<String>) -> io::Error {
     io::Error::new(ErrorKind::InvalidData, msg.into())
 }
 
-/// Serialize an index to its binary format.
+/// Serialize an index to its binary format (version 1, `r = 1`).
 #[must_use]
 pub fn encode_index(index: &DataIndex) -> Bytes {
+    encode_index_redundant(index, 1)
+}
+
+/// Serialize an index carrying a coded-redundancy replication factor.
+/// `redundancy <= 1` emits the classic version-1 format bit-for-bit;
+/// `redundancy > 1` emits version 2 with the factor recorded after the
+/// version field.
+#[must_use]
+pub fn encode_index_redundant(index: &DataIndex, redundancy: u32) -> Bytes {
     let mut buf = BytesMut::with_capacity(64 + index.chunks.len() * 34);
     buf.put_slice(MAGIC);
-    buf.put_u16_le(VERSION);
+    if redundancy > 1 {
+        buf.put_u16_le(VERSION_CODED);
+        buf.put_u16_le(redundancy.min(u32::from(u16::MAX)) as u16);
+    } else {
+        buf.put_u16_le(VERSION);
+    }
     buf.put_u32_le(index.params.unit_size);
     buf.put_u64_le(index.params.units_per_chunk);
     buf.put_u32_le(index.params.n_files);
@@ -67,8 +89,15 @@ pub fn encode_index(index: &DataIndex) -> Bytes {
 }
 
 /// Parse an index from its binary format, verifying magic, version, checksum
-/// and internal consistency.
+/// and internal consistency. Accepts version 1 and version 2, discarding the
+/// replication factor — use [`decode_index_meta`] to keep it.
 pub fn decode_index(data: &[u8]) -> io::Result<DataIndex> {
+    decode_index_meta(data).map(|(index, _)| index)
+}
+
+/// Parse an index and its coded-redundancy replication factor (1 for a
+/// classic version-1 index).
+pub fn decode_index_meta(data: &[u8]) -> io::Result<(DataIndex, u32)> {
     if data.len() < MAGIC.len() + 2 + 4 {
         return Err(err("index file truncated"));
     }
@@ -84,9 +113,17 @@ pub fn decode_index(data: &[u8]) -> io::Result<DataIndex> {
         return Err(err("bad magic: not a cloudburst index"));
     }
     let version = buf.get_u16_le();
-    if version != VERSION {
+    if version != VERSION && version != VERSION_CODED {
         return Err(err(format!("unsupported index version {version}")));
     }
+    let redundancy = if version == VERSION_CODED {
+        if buf.remaining() < 2 {
+            return Err(err("truncated redundancy field"));
+        }
+        u32::from(buf.get_u16_le()).max(1)
+    } else {
+        1
+    };
     let check =
         |cond: bool, what: &str| if cond { Ok(()) } else { Err(err(format!("truncated {what}"))) };
 
@@ -127,17 +164,32 @@ pub fn decode_index(data: &[u8]) -> io::Result<DataIndex> {
     }
     let index = DataIndex { params, files, chunks };
     index.validate().map_err(err)?;
-    Ok(index)
+    Ok((index, redundancy))
 }
 
-/// Write an index to a file.
+/// Write an index to a file (version 1, `r = 1`).
 pub fn write_index(index: &DataIndex, path: impl AsRef<Path>) -> io::Result<()> {
     std::fs::write(path, encode_index(index))
+}
+
+/// Write an index carrying a coded-redundancy replication factor; `r = 1`
+/// writes the classic version-1 format.
+pub fn write_index_redundant(
+    index: &DataIndex,
+    redundancy: u32,
+    path: impl AsRef<Path>,
+) -> io::Result<()> {
+    std::fs::write(path, encode_index_redundant(index, redundancy))
 }
 
 /// Read an index from a file.
 pub fn read_index(path: impl AsRef<Path>) -> io::Result<DataIndex> {
     decode_index(&std::fs::read(path)?)
+}
+
+/// Read an index and its replication factor (1 for version-1 files).
+pub fn read_index_meta(path: impl AsRef<Path>) -> io::Result<(DataIndex, u32)> {
+    decode_index_meta(&std::fs::read(path)?)
 }
 
 #[cfg(test)]
@@ -210,6 +262,19 @@ mod tests {
         bytes[body_len..].copy_from_slice(&crc.to_le_bytes());
         let e = decode_index(&bytes).unwrap_err();
         assert!(e.to_string().contains("version"));
+    }
+
+    #[test]
+    fn redundant_encoding_roundtrips_and_r1_is_bit_exact() {
+        let idx = sample_index();
+        // r = 1 emits the classic version-1 bytes, bit for bit.
+        assert_eq!(encode_index_redundant(&idx, 1), encode_index(&idx));
+        assert_eq!(decode_index_meta(&encode_index(&idx)).unwrap(), (idx.clone(), 1));
+        // r = 2 round-trips through version 2 and survives a plain decode.
+        let coded = encode_index_redundant(&idx, 2);
+        assert_ne!(coded, encode_index(&idx));
+        assert_eq!(decode_index_meta(&coded).unwrap(), (idx.clone(), 2));
+        assert_eq!(decode_index(&coded).unwrap(), idx);
     }
 
     #[test]

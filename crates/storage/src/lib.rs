@@ -40,10 +40,15 @@ pub use fetch::{
     fetch_range_observed, fetch_range_pooled, fetch_range_with_retry, FetchConfig,
 };
 pub use file::FileStore;
-pub use index_io::{decode_index, encode_index, read_index, write_index};
+pub use index_io::{
+    decode_index, decode_index_meta, encode_index, encode_index_redundant, read_index,
+    read_index_meta, write_index, write_index_redundant,
+};
 pub use mem::MemStore;
 pub use metered::MeteredStore;
-pub use organizer::{fraction_placement, organize, reassemble, Organized, SiteStore};
+pub use organizer::{
+    fraction_placement, organize, organize_redundant, reassemble, Organized, SiteStore,
+};
 pub use pool::FetcherPool;
 pub use retry::{
     is_transient, read_into_with_retry, read_with_retry, read_with_retry_observed, RetryAttempt,

@@ -72,6 +72,9 @@ pub struct Organized {
     pub index: DataIndex,
     /// Per-site stores holding the actual bytes.
     pub stores: BTreeMap<SiteId, SiteStore>,
+    /// Coded-redundancy replication factor the stores were populated with
+    /// (1 = classic single-copy placement).
+    pub redundancy: u32,
 }
 
 impl Organized {
@@ -96,6 +99,23 @@ pub fn organize(
     params: LayoutParams,
     place: &mut Placement<'_>,
 ) -> Result<Organized, String> {
+    organize_redundant(data, params, place, 1)
+}
+
+/// [`organize`] with coded redundancy: every file's bytes are additionally
+/// replicated onto `redundancy - 1` further sites (round-robin over the
+/// other sites the placement uses), so any `r - 1` site losses leave a
+/// complete local copy somewhere and re-executions never re-fetch over the
+/// WAN. The **index is unchanged** — each file and chunk keeps its single
+/// primary site, so the pool's locality and steal accounting are identical
+/// to the classic layout; only the stores carry the extra copies.
+/// `redundancy <= 1` is exactly [`organize`].
+pub fn organize_redundant(
+    data: &Bytes,
+    params: LayoutParams,
+    place: &mut Placement<'_>,
+    redundancy: u32,
+) -> Result<Organized, String> {
     params.validate()?;
     if data.is_empty() {
         return Err("dataset is empty".into());
@@ -107,19 +127,40 @@ pub fn organize(
             params.unit_size
         ));
     }
+    let redundancy = redundancy.max(1);
     let total_units = (data.len() / params.unit_size as usize) as u64;
     let index = DataIndex::build(total_units, params, &mut *place)?;
 
+    // The replica target universe: every site the placement mentioned, in
+    // id order, so the round-robin below is deterministic.
+    let all_sites: Vec<SiteId> = {
+        let mut s: Vec<SiteId> = index.files.iter().map(|f| f.site).collect();
+        s.sort_unstable();
+        s.dedup();
+        s
+    };
     let mut stores: BTreeMap<SiteId, SiteStore> = BTreeMap::new();
     let mut at: usize = 0;
     for fm in &index.files {
         let len = fm.len as usize;
         let slice = data.slice(at..at + len);
         at += len;
-        stores.entry(fm.site).or_insert_with(|| SiteStore::new(fm.site)).insert(fm.id, slice);
+        stores
+            .entry(fm.site)
+            .or_insert_with(|| SiteStore::new(fm.site))
+            .insert(fm.id, slice.clone());
+        // r - 1 extra copies on the next distinct sites after the primary
+        // (cyclically by site id): on the paper's two-site testbed r = 2
+        // means every site holds everything.
+        let primary_pos = all_sites.iter().position(|&s| s == fm.site).unwrap_or(0);
+        let extra = (redundancy as usize - 1).min(all_sites.len() - 1);
+        for k in 1..=extra {
+            let site = all_sites[(primary_pos + k) % all_sites.len()];
+            stores.entry(site).or_insert_with(|| SiteStore::new(site)).insert(fm.id, slice.clone());
+        }
     }
     debug_assert_eq!(at, data.len());
-    Ok(Organized { index, stores })
+    Ok(Organized { index, stores, redundancy })
 }
 
 /// Place the first `round(local_fraction * n_files)` files at the local
@@ -198,6 +239,44 @@ mod tests {
             let store = org.store(c.site);
             let bytes = store.read(c.file, c.offset, c.len).unwrap();
             assert_eq!(bytes.len() as u64, c.len);
+        }
+    }
+
+    #[test]
+    fn redundant_organize_replicates_stores_but_not_the_index() {
+        let data = dataset(256, 16);
+        let plain = organize(&data, params(16, 8, 4), &mut fraction_placement(0.5, 4)).unwrap();
+        let coded = organize_redundant(&data, params(16, 8, 4), &mut fraction_placement(0.5, 4), 2)
+            .unwrap();
+        // The index (and thus the job pool) is identical: replication is a
+        // pure data-placement concern.
+        assert_eq!(coded.index, plain.index);
+        assert_eq!(coded.redundancy, 2);
+        // On two sites, r = 2 means both stores hold every file.
+        for site in [SiteId::LOCAL, SiteId::CLOUD] {
+            assert_eq!(coded.store(site).n_files(), 4, "{site} must hold all files");
+            assert_eq!(coded.store(site).total_bytes() as usize, data.len());
+        }
+        // Every chunk reads identical bytes from either store.
+        for c in &coded.index.chunks {
+            let a = coded.store(SiteId::LOCAL).read(c.file, c.offset, c.len).unwrap();
+            let b = coded.store(SiteId::CLOUD).read(c.file, c.offset, c.len).unwrap();
+            assert_eq!(a, b);
+        }
+        // Reassembly (which follows primary sites) is unaffected.
+        assert_eq!(reassemble(&coded.index, &coded.stores).unwrap(), data);
+    }
+
+    #[test]
+    fn redundancy_one_is_the_classic_layout() {
+        let data = dataset(128, 8);
+        let plain = organize(&data, params(8, 16, 4), &mut fraction_placement(0.5, 4)).unwrap();
+        let r1 = organize_redundant(&data, params(8, 16, 4), &mut fraction_placement(0.5, 4), 1)
+            .unwrap();
+        assert_eq!(r1.index, plain.index);
+        assert_eq!(r1.redundancy, 1);
+        for site in [SiteId::LOCAL, SiteId::CLOUD] {
+            assert_eq!(r1.store(site).file_ids(), plain.store(site).file_ids());
         }
     }
 

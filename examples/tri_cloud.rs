@@ -61,6 +61,8 @@ fn main() {
         n_chunks: p.n_chunks,
         rate_aware_stealing: true,
         chaos: None,
+        speculation: false,
+        redundancy: 1,
     };
 
     println!(

@@ -29,7 +29,7 @@ use cloudburst_core::{
     Recorder, Registry, Sample, Telemetry,
 };
 use cloudburst_sim::{cost_of_usage, CostReport, PricingModel};
-use cloudburst_storage::{read_index, write_index, SiteStore};
+use cloudburst_storage::{organize_redundant, read_index_meta, write_index_redundant, SiteStore};
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -72,7 +72,7 @@ USAGE:
   cloudburst generate <knn|kmeans|pagerank|wordcount> --out FILE
              [--units N] [--seed S] [--pages N] [--clusters K] [--vocab V]
   cloudburst organize --data FILE --unit-size N --out DIR
-             [--chunk-units N] [--files N] [--local-frac F]
+             [--chunk-units N] [--files N] [--local-frac F] [--redundancy R]
   cloudburst info --org DIR
   cloudburst run <knn|kmeans|pagerank|wordcount> --org DIR
              [--local-cores N] [--cloud-cores N] [--retry N] [--time-scale F]
@@ -117,6 +117,15 @@ PIPELINING:
                       retrieval overlaps the current chunk's processing;
                       results are identical at every depth
 
+CODED REDUNDANCY:
+  --redundancy R  (organize) replicate every file onto R sites. `run` picks
+                  the factor up from the index automatically: replicated
+                  chunks are served from the reader's own store, idle sites
+                  get proactive replica copies of straggling chunks (first
+                  finished copy wins, siblings are fenced), and evacuated
+                  work re-executes from local replicas with zero WAN
+                  re-fetches. R=1 (default) is the classic single-copy run
+
 FAULT TOLERANCE:
   --ft           enable leases, speculation, heartbeats and storage retries
   --chaos SPEC   inject deterministic faults (implies --ft). SPEC is a
@@ -125,6 +134,7 @@ FAULT TOLERANCE:
                    storage=RATE      transient storage error rate (0.0-1.0)
                    outage=SITE@T     kill SITE (local|cloud|N) T seconds in
                    slow=SITE:W:SECS  delay worker W at SITE per job
+                   slow=SITE:FACTOR  slow every worker at SITE by FACTOR×
                    crash=SITE:W:N    crash worker W at SITE after N jobs
                    hb=I:T            heartbeat interval/timeout in seconds
                                      (shorten to recover outages in short runs)
@@ -207,19 +217,26 @@ fn cmd_organize(args: &[String]) -> Result<(), String> {
     let chunk_units: u64 = opt_parse(args, "--chunk-units", 4096)?;
     let n_files: u32 = opt_parse(args, "--files", 8)?;
     let local_frac: f64 = opt_parse(args, "--local-frac", 0.5)?;
+    let redundancy: u32 = opt_parse(args, "--redundancy", 1)?;
 
     let raw =
         std::fs::read(&data_path).map_err(|e| format!("reading {}: {e}", data_path.display()))?;
     let data = Bytes::from(raw);
     let params = LayoutParams { unit_size, units_per_chunk: chunk_units, n_files };
-    let org = organize(&data, params, &mut fraction_placement(local_frac, n_files))?;
+    let org = organize_redundant(
+        &data,
+        params,
+        &mut fraction_placement(local_frac, n_files),
+        redundancy,
+    )?;
 
     std::fs::create_dir_all(&out).map_err(|e| e.to_string())?;
     for (site, name) in [(SiteId::LOCAL, "local"), (SiteId::CLOUD, "cloud")] {
         let dir = out.join(name);
         write_site_store(&org.store(site), site, &dir, &org.index)?;
     }
-    write_index(&org.index, out.join("dataset.idx")).map_err(|e| e.to_string())?;
+    write_index_redundant(&org.index, org.redundancy, out.join("dataset.idx"))
+        .map_err(|e| e.to_string())?;
     println!(
         "organized {} bytes into {} chunks / {} files ({:.0}% local) under {}",
         data.len(),
@@ -228,6 +245,9 @@ fn cmd_organize(args: &[String]) -> Result<(), String> {
         100.0 * org.index.byte_fraction_at(SiteId::LOCAL),
         out.display()
     );
+    if org.redundancy > 1 {
+        println!("coded redundancy r={}: every file replicated across the sites", org.redundancy);
+    }
     Ok(())
 }
 
@@ -255,10 +275,13 @@ fn write_site_store(
 fn open_site_dir(site: SiteId, dir: &Path, index: &DataIndex) -> Result<SiteStore, String> {
     let mut store = SiteStore::new(site);
     for f in &index.files {
-        if f.site != site {
+        let path = dir.join(cloudburst_storage::file::file_name(f.id.0));
+        // Primary files are required; anything else found on disk is a
+        // coded-redundancy replica written by `organize --redundancy` and
+        // is loaded so the replica-aware router can serve it locally.
+        if f.site != site && !path.exists() {
             continue;
         }
-        let path = dir.join(cloudburst_storage::file::file_name(f.id.0));
         let bytes = std::fs::read(&path).map_err(|e| format!("reading {}: {e}", path.display()))?;
         if bytes.len() as u64 != f.len {
             return Err(format!(
@@ -279,8 +302,12 @@ fn open_site_dir(site: SiteId, dir: &Path, index: &DataIndex) -> Result<SiteStor
 
 fn cmd_info(args: &[String]) -> Result<(), String> {
     let org = PathBuf::from(required(args, "--org")?);
-    let index = read_index(org.join("dataset.idx")).map_err(|e| e.to_string())?;
+    let (index, redundancy) =
+        read_index_meta(org.join("dataset.idx")).map_err(|e| e.to_string())?;
     println!("index: {}", org.join("dataset.idx").display());
+    if redundancy > 1 {
+        println!("  redundancy     : {redundancy} (coded placement)");
+    }
     println!("  unit size      : {} bytes", index.params.unit_size);
     println!("  units per chunk: {}", index.params.units_per_chunk);
     println!("  total units    : {}", index.total_units());
@@ -306,7 +333,10 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let time_scale: f64 = opt_parse(args, "--time-scale", 1e-4)?;
     let pipeline_depth: usize = opt_parse(args, "--pipeline-depth", 1)?;
 
-    let index = read_index(org_dir.join("dataset.idx")).map_err(|e| e.to_string())?;
+    // The index records whether the organizer replicated the data; the run
+    // picks the coded-redundancy machinery up automatically from it.
+    let (index, redundancy) =
+        read_index_meta(org_dir.join("dataset.idx")).map_err(|e| e.to_string())?;
     // Guard against running an application over a dataset organized with a
     // different record size — decoding would silently produce garbage.
     let expected_unit: u32 = match app.as_str() {
@@ -339,6 +369,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     );
     let mut config = RuntimeConfig::new(env, time_scale);
     config.pipeline_depth = pipeline_depth.max(1);
+    config.redundancy = redundancy;
     if retry > 0 {
         config.fault_policy = FaultPolicy::Retry { max_attempts: retry };
     }
@@ -972,7 +1003,7 @@ fn parse_chaos(
     String,
 > {
     use cloudburst_core::{
-        FaultPlan, HeartbeatConfig, LeaseConfig, SiteOutage, SlowWorker, WorkerCrash,
+        FaultPlan, HeartbeatConfig, LeaseConfig, SiteOutage, SlowSite, SlowWorker, WorkerCrash,
     };
     fn site(s: &str) -> Result<SiteId, String> {
         match s {
@@ -1008,12 +1039,29 @@ fn parse_chaos(
                 plan.site_outage = Some(SiteOutage { site: site(s)?, at: num(at, "outage time")? });
             }
             "slow" => {
-                let (s, w, d) = triple(val)?;
-                plan.slow_workers.push(SlowWorker {
-                    site: site(s)?,
-                    worker: num(w, "worker index")?,
-                    delay_per_job: num(d, "delay")?,
-                });
+                // Two forms, told apart by field count: SITE:FACTOR slows a
+                // whole site multiplicatively, SITE:WORKER:SECS delays one
+                // worker per job.
+                match val.split(':').count() {
+                    2 => {
+                        let (s, f) = val.split_once(':').expect("two fields");
+                        plan.slow_sites
+                            .push(SlowSite { site: site(s)?, factor: num(f, "slowdown factor")? });
+                    }
+                    3 => {
+                        let (s, w, d) = triple(val)?;
+                        plan.slow_workers.push(SlowWorker {
+                            site: site(s)?,
+                            worker: num(w, "worker index")?,
+                            delay_per_job: num(d, "delay")?,
+                        });
+                    }
+                    _ => {
+                        return Err(format!(
+                            "slow clause `{val}` wants SITE:FACTOR or SITE:WORKER:SECS"
+                        ));
+                    }
+                }
             }
             "crash" => {
                 let (s, w, n) = triple(val)?;
@@ -1107,6 +1155,12 @@ fn print_report(report: &RunReport, cost: &CostReport) {
             f.late_completions,
             f.abandoned_jobs.len(),
             report.total_retries()
+        );
+    }
+    if f.replica_grants + f.replica_wins + f.replica_fences + f.saved_refetches > 0 {
+        println!(
+            "  coded: {} replica grants ({} won, {} fenced) | {} re-fetches saved",
+            f.replica_grants, f.replica_wins, f.replica_fences, f.saved_refetches
         );
     }
 }

@@ -12,7 +12,9 @@ use cloudburst_cluster::{run_hybrid, run_hybrid_tcp, FtConfig, RunOutcome, Runti
 use cloudburst_core::{
     EnvConfig, FaultPlan, HeartbeatConfig, LayoutParams, SiteId, SiteOutage, SlowWorker,
 };
-use cloudburst_storage::{fraction_placement, organize, ChunkStore, FetchConfig};
+use cloudburst_storage::{
+    fraction_placement, organize, organize_redundant, ChunkStore, FetchConfig,
+};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -34,6 +36,18 @@ fn fixture(n_words: u32) -> Fixture {
     Fixture { data, index: org.index, stores, n_chunks }
 }
 
+/// Like [`fixture`], but with every chunk's bytes replicated at `r` sites
+/// (the index itself is identical to the single-copy layout).
+fn fixture_redundant(n_words: u32, r: u32) -> Fixture {
+    let data = gen_words(n_words, 32, 9);
+    let params = LayoutParams { unit_size: 16, units_per_chunk: 128, n_files: 4 };
+    let org = organize_redundant(&data, params, &mut fraction_placement(0.5, 4), r).unwrap();
+    let n_chunks = org.index.chunks_per_site().values().sum::<usize>() as u64;
+    let stores =
+        org.stores.into_iter().map(|(s, st)| (s, Arc::new(st) as Arc<dyn ChunkStore>)).collect();
+    Fixture { data, index: org.index, stores, n_chunks }
+}
+
 fn config(env_name: &str) -> RuntimeConfig {
     let mut c = RuntimeConfig::new(EnvConfig::new(env_name, 0.5, 2, 2), 1e-6);
     c.fetch = FetchConfig { threads: 2, min_range: 128 };
@@ -41,7 +55,7 @@ fn config(env_name: &str) -> RuntimeConfig {
 }
 
 /// Slow every worker so the run reliably outlasts the failure-detection
-/// window (jobs alone are microseconds; detection is tens of milliseconds).
+/// window (jobs alone are microseconds; detection is a quarter second).
 fn slow_everyone(plan: &mut FaultPlan, delay: f64) {
     for site in [SiteId::LOCAL, SiteId::CLOUD] {
         for worker in 0..2 {
@@ -75,11 +89,13 @@ fn cloud_site_dies_mid_run_and_the_local_site_recovers() {
     let fx = fixture(20_000);
     let mut cfg = config("outage-channel");
     cfg.ft = FtConfig::enabled();
-    // Fast detection so the test stays short; generous against CI jitter.
-    cfg.ft.heartbeat = Some(HeartbeatConfig { interval: 0.002, timeout: 0.06 });
+    // The 250 ms detection timeout keeps the test short while leaving room
+    // for a scheduler stall on a loaded box: a pause must not be able to
+    // starve the survivor's heartbeats and spuriously kill both sites.
+    cfg.ft.heartbeat = Some(HeartbeatConfig { interval: 0.01, timeout: 0.25 });
     let mut plan = FaultPlan::seeded(5);
-    plan.site_outage = Some(SiteOutage { site: SiteId::CLOUD, at: 0.05 });
-    slow_everyone(&mut plan, 0.006);
+    plan.site_outage = Some(SiteOutage { site: SiteId::CLOUD, at: 0.1 });
+    slow_everyone(&mut plan, 0.02);
     cfg.ft.chaos = Some(Arc::new(plan));
 
     let out = run_hybrid(&WordCount, &fx.index, fx.stores.clone(), &cfg)
@@ -92,15 +108,61 @@ fn cloud_site_dies_mid_run_over_tcp_and_the_local_site_recovers() {
     let fx = fixture(10_000);
     let mut cfg = config("outage-tcp");
     cfg.ft = FtConfig::enabled();
-    cfg.ft.heartbeat = Some(HeartbeatConfig { interval: 0.002, timeout: 0.06 });
+    cfg.ft.heartbeat = Some(HeartbeatConfig { interval: 0.01, timeout: 0.25 });
     let mut plan = FaultPlan::seeded(6);
-    plan.site_outage = Some(SiteOutage { site: SiteId::CLOUD, at: 0.04 });
-    slow_everyone(&mut plan, 0.006);
+    plan.site_outage = Some(SiteOutage { site: SiteId::CLOUD, at: 0.08 });
+    slow_everyone(&mut plan, 0.02);
     cfg.ft.chaos = Some(Arc::new(plan));
 
     let out = run_hybrid_tcp(&WordCount, &fx.index, fx.stores.clone(), &cfg)
         .expect("TCP mode must survive a mid-run site death too");
     assert_recovered(&fx, &out);
+}
+
+#[test]
+fn coded_run_survives_the_outage_without_refetching_a_single_chunk() {
+    // The same mid-run cloud outage as above, but the dataset was organized
+    // with `--redundancy 2`: the survivor already holds a replica of every
+    // chunk, so evacuation re-homes the dead site's jobs without moving one
+    // byte across the WAN, and the answer is bit-exact with the r = 1 run.
+    let outage = |seed: u64| {
+        let mut cfg = config("outage-coded");
+        cfg.ft = FtConfig::enabled();
+        cfg.ft.heartbeat = Some(HeartbeatConfig { interval: 0.01, timeout: 0.25 });
+        let mut plan = FaultPlan::seeded(seed);
+        plan.site_outage = Some(SiteOutage { site: SiteId::CLOUD, at: 0.1 });
+        slow_everyone(&mut plan, 0.02);
+        cfg.ft.chaos = Some(Arc::new(plan));
+        cfg
+    };
+
+    let fx = fixture_redundant(20_000, 2);
+    let mut cfg = outage(5);
+    cfg.redundancy = 2;
+    let out = run_hybrid(&WordCount, &fx.index, fx.stores.clone(), &cfg)
+        .expect("the survivor holds a replica of every chunk and must finish");
+    assert_recovered(&fx, &out);
+
+    // Zero re-fetched chunks: every evacuated job restarts from the
+    // survivor's local replica, so no chunk byte ever crosses the WAN.
+    for (site, s) in &out.report.sites {
+        assert_eq!(s.remote_bytes, 0, "{site} re-fetched chunk bytes over the WAN");
+    }
+    assert!(
+        out.report.faults.saved_refetches > 0,
+        "evacuated jobs must be accounted as refetch-free: {:?}",
+        out.report.faults
+    );
+
+    // Bit-exact with the classic r = 1 layout under the identical outage.
+    let base_fx = fixture(20_000);
+    let base = run_hybrid(&WordCount, &base_fx.index, base_fx.stores.clone(), &outage(5))
+        .expect("the r = 1 baseline recovers too (it may re-fetch)");
+    assert_eq!(
+        out.result.as_string_counts(),
+        base.result.as_string_counts(),
+        "coded reduction output must match the r = 1 baseline bit for bit"
+    );
 }
 
 #[test]

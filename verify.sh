@@ -65,6 +65,30 @@ for ev in lease-reap speculate steal; do
 done
 echo "   artifacts valid"
 
+echo "== smoke: coded redundancy (r=2) evacuates an outage without re-fetching"
+# Same words, organized with every chunk replicated at both sites. The
+# cloud dies mid-run; the survivor must finish from its own replicas:
+# zero WAN bytes, and the fault ledger counts the re-fetches saved.
+"$BIN" organize --data "$SMOKE/words.bin" --unit-size 16 --chunk-units 512 \
+    --files 8 --out "$SMOKE/org2" --local-frac 0.5 --redundancy 2
+"$BIN" info --org "$SMOKE/org2" | grep -q 'redundancy' \
+    || { echo "info does not report the coded factor"; exit 1; }
+# Per-job delays stretch the run to ~1 s and the 250 ms detection timeout
+# leaves real margin: a scheduler stall on a busy box must not be able to
+# outlive the heartbeat window and spuriously kill the surviving site.
+"$BIN" run wordcount --org "$SMOKE/org2" --local-cores 3 --cloud-cores 3 \
+    --time-scale 2e-5 \
+    --chaos 'seed=5,outage=cloud@0.1,slow=local:0:0.02,slow=local:1:0.02,slow=local:2:0.02,slow=cloud:0:0.02,slow=cloud:1:0.02,slow=cloud:2:0.02,hb=0.01:0.25' \
+    --stats-out "$SMOKE/cstats.json"
+"$BIN" check-json "$SMOKE/cstats.json"
+SAVED=$(grep -o '"saved_refetches":[0-9]*' "$SMOKE/cstats.json" | grep -o '[0-9]*$')
+[[ -n "$SAVED" && "$SAVED" -gt 0 ]] \
+    || { echo "evacuation saved no re-fetches (saved_refetches=${SAVED:-missing})"; exit 1; }
+if grep -o '"remote_bytes":[0-9]*' "$SMOKE/cstats.json" | grep -qv ':0$'; then
+    echo "coded run fetched chunk bytes over the WAN"; exit 1
+fi
+echo "   coded evacuation: $SAVED re-fetches saved, zero WAN bytes"
+
 echo "== smoke: live metrics agree with the report, mid-run and at exit"
 # A dataset big enough that the run takes a few seconds at --time-scale 2.0,
 # so the /metrics endpoint can be scraped while the burst is in flight.
@@ -109,5 +133,19 @@ OVERHEAD=$(sed -n 's/.*"metrics_overhead":\([0-9.eE+-]*\).*/\1/p' BENCH_runtime.
 awk -v o="$OVERHEAD" 'BEGIN { exit !(o <= 1.01) }' \
     || { echo "metrics overhead regressed: ${OVERHEAD}x > 1.01x"; exit 1; }
 echo "   metrics overhead: ${OVERHEAD}x"
+
+echo "== bench: coded ablation (quick) writes a valid BENCH_coded.json"
+# The bench itself asserts exact results on the real runtime; the artifact
+# (full 25-seed DES sweep, written before sampling) carries the tails.
+cargo bench -p cloudburst-bench --bench coded_ablation "${CARGO_FLAGS[@]}" -- --quick
+"$BIN" check-json BENCH_coded.json
+# Proactive replicas must beat (or tie) reactive speculation on the p99
+# completion tail of the straggler scenario — the reason r > 1 exists.
+RATIO=$(sed -n 's/.*"p99_ratio_coded_over_speculation":\([0-9.eE+-]*\).*/\1/p' BENCH_coded.json)
+[[ -n "$RATIO" ]] \
+    || { echo "BENCH_coded.json is missing 'p99_ratio_coded_over_speculation'"; exit 1; }
+awk -v r="$RATIO" 'BEGIN { exit !(r <= 1.0) }' \
+    || { echo "coded p99 trails speculation p99: ratio $RATIO > 1.0"; exit 1; }
+echo "   coded p99 / speculation p99: ${RATIO}"
 
 echo "OK"
