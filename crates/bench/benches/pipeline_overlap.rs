@@ -8,7 +8,9 @@
 //! Criterion for regression tracking. Serial fetch-then-process pays
 //! fetch + process per chunk; depth 2 should approach max(fetch, process).
 
-use cloudburst_bench::overlap::{quantify, run_at_depth, s3_heavy_scenario};
+use cloudburst_bench::overlap::{
+    attribution_scenario, attribution_sweep, quantify, run_at_depth, s3_heavy_scenario,
+};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
@@ -24,7 +26,20 @@ fn bench_pipeline_overlap(c: &mut Criterion) {
     // fail the bench loudly rather than just looking fast.
     let report = quantify(&sc, &[1, 2, 4], 3);
     assert!(report.all_equal, "pipelined results diverged from the serial baseline: {report:?}");
-    let out = cloudburst_bench::overlap::write_runtime_artifact(&report);
+    // Traced attribution sweep on the fetch-long corridor scenario: the
+    // artifact records which category dominates at each depth, and
+    // verify.sh gates on the serial-WAN-bound → pipelined-compute-bound
+    // verdict flip.
+    let sweep = attribution_sweep(&attribution_scenario(24), &[1, 2, 4]);
+    for run in &sweep {
+        assert!(run.result_ok, "attribution run at depth {} diverged", run.depth);
+        assert!(
+            run.analysis.attribution.agrees(),
+            "attribution at depth {} does not account for the makespan",
+            run.depth
+        );
+    }
+    let out = cloudburst_bench::overlap::write_runtime_artifact(&report, &sweep);
     eprintln!(
         "wrote {out}: depth-1 {:.3}s, best pipelined {:.3}s, speedup {:.2}x",
         report.runs[0].seconds,

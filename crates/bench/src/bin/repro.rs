@@ -11,8 +11,9 @@
 //! `all` (default: `all`).
 //! (`cost` is the time/dollar frontier from the authors' follow-up work,
 //! not a figure of the SC'11 paper. `runtime` measures retrieval/compute
-//! overlap of the real runtime on this machine and writes
-//! `BENCH_runtime.json`; it is not part of `all`.)
+//! overlap of the real runtime on this machine, sweeps the makespan
+//! attribution per pipeline depth, and rewrites `BENCH_runtime.json`;
+//! `all` includes it, so the bench artifact always tracks the tree.)
 
 use cloudburst_sim::figures::{
     fig3, fig4, fig4_cumulative_efficiencies, fig4_efficiencies, summary, table1, table2,
@@ -64,6 +65,7 @@ fn main() {
             print_cost(&apps, &params);
             print_trace(&params);
             print_ablation(&params);
+            print_runtime();
         }
         other => {
             eprintln!("unknown artifact `{other}`");
@@ -76,7 +78,10 @@ fn main() {
 }
 
 fn print_runtime() {
-    use cloudburst_bench::overlap::{quantify, s3_heavy_scenario, write_runtime_artifact};
+    use cloudburst_bench::overlap::{
+        attribution_scenario, attribution_sweep, quantify, s3_heavy_scenario,
+        write_runtime_artifact,
+    };
     println!("\n=== Runtime overlap — pipelined slaves on the S3Sim-heavy knn scenario ===");
     println!("(real wall clock on this machine, not the paper-scale simulation)\n");
     let sc = s3_heavy_scenario(48, 2);
@@ -89,8 +94,28 @@ fn print_runtime() {
         "\nend-to-end speedup, best pipelined depth over serial: {:.2}x  (chunks: {}, cloud cores: {})",
         report.speedup, report.chunks, report.cores
     );
-    let out = write_runtime_artifact(&report);
-    println!("wrote {out}");
+
+    // Attribution sweep: a fetch-long corridor (p < f < 2p) where the
+    // explain verdict must flip from WAN-bound (serial) to compute-bound
+    // (pipelined). Traced with a recording sink and analyzed offline.
+    println!("\n--- Makespan attribution per depth (single-stream fetch-long corridor) ---");
+    let attr_sc = attribution_scenario(24);
+    let sweep = attribution_sweep(&attr_sc, &[1, 2, 4]);
+    println!(
+        "{:<8} {:>12} {:>12} {:>12} {:>14} {:>8}",
+        "depth", "makespan", "wan_fetch", "compute", "dominant", "exact?"
+    );
+    for run in &sweep {
+        let attr = &run.analysis.attribution;
+        let (dominant, _) = attr.dominant();
+        println!(
+            "{:<8} {:>11.3}s {:>11.3}s {:>11.3}s {:>14} {:>8}",
+            run.depth, attr.makespan, attr.wan_fetch, attr.compute, dominant, run.result_ok
+        );
+    }
+
+    let out = write_runtime_artifact(&report, &sweep);
+    println!("\nwrote {out}");
 }
 
 fn print_fig3(app: &AppModel, params: &SimParams) {

@@ -907,7 +907,8 @@ fn run_slave_serial<R: Reduction>(
             Event::at(ctx.ns_at(Instant::now()), EventKind::JobStarted { stolen: job.stolen })
                 .site(site)
                 .worker(ctx.worker)
-                .chunk(job.chunk.id),
+                .chunk(job.chunk.id)
+                .span_id(job.span),
         );
         taken += 1;
         if crash_after.is_some_and(|k| taken > k) {
@@ -951,7 +952,8 @@ fn run_slave_serial<R: Reduction>(
                 )
                 .site(site)
                 .worker(ctx.worker)
-                .chunk(job.chunk.id),
+                .chunk(job.chunk.id)
+                .span_id(job.span),
             );
         }
         ctx.telemetry.emit(
@@ -966,7 +968,8 @@ fn run_slave_serial<R: Reduction>(
             )
             .site(site)
             .worker(ctx.worker)
-            .chunk(job.chunk.id),
+            .chunk(job.chunk.id)
+            .span_id(job.span),
         );
 
         let proc_start = Instant::now();
@@ -1008,7 +1011,8 @@ fn run_slave_serial<R: Reduction>(
             Event::span(ctx.ns_at(proc_start), proc_dur.as_nanos() as u64, EventKind::JobProcessed)
                 .site(site)
                 .worker(ctx.worker)
-                .chunk(job.chunk.id),
+                .chunk(job.chunk.id)
+                .span_id(job.span),
         );
 
         // Injected straggling: a fixed per-worker delay plus a site-wide
@@ -1100,7 +1104,8 @@ fn prefetch_loop(
             Event::at(ns_since(ctx.epoch), EventKind::JobStarted { stolen: job.stolen })
                 .site(ctx.site)
                 .worker(ctx.worker)
-                .chunk(job.chunk.id),
+                .chunk(job.chunk.id)
+                .span_id(job.span),
         );
         let fetch_start = Instant::now();
         let fetched = router.fetch(ctx.site, &job.chunk);
@@ -1200,7 +1205,8 @@ fn run_slave_pipelined<R: Reduction>(
                     )
                     .site(site)
                     .worker(ctx.worker)
-                    .chunk(job.chunk.id),
+                    .chunk(job.chunk.id)
+                    .span_id(job.span),
                 );
             }
             ctx.telemetry.emit(
@@ -1215,7 +1221,8 @@ fn run_slave_pipelined<R: Reduction>(
                 )
                 .site(site)
                 .worker(ctx.worker)
-                .chunk(job.chunk.id),
+                .chunk(job.chunk.id)
+                .span_id(job.span),
             );
 
             let proc_start = Instant::now();
@@ -1256,7 +1263,8 @@ fn run_slave_pipelined<R: Reduction>(
                 )
                 .site(site)
                 .worker(ctx.worker)
-                .chunk(job.chunk.id),
+                .chunk(job.chunk.id)
+                .span_id(job.span),
             );
 
             // Per-worker fixed delay plus the site-wide multiplicative

@@ -141,24 +141,31 @@ pub fn write_to_head(w: &mut impl Write, msg: &MasterToHead) -> io::Result<()> {
     w.flush()
 }
 
-/// Encode a head→master grant (the reply to `Request`).
+/// Encode a head→master grant (the reply to `Request`). Each job record
+/// carries the causal span the head allocated for the execution, so the
+/// slave-side telemetry of a TCP-mode run joins the head-side events in one
+/// DAG (0 when the batch was built without tracking).
 #[must_use]
 pub fn encode_grant(batch: &JobBatch) -> Vec<u8> {
-    let mut buf = BytesMut::with_capacity(8 + batch.jobs.len() * 30);
+    let mut buf = BytesMut::with_capacity(8 + batch.jobs.len() * GRANT_RECORD);
     buf.put_u8(TAG_GRANT);
     buf.put_u8(u8::from(batch.stolen));
     buf.put_u8(u8::from(batch.terminal));
     buf.put_u32_le(batch.jobs.len() as u32);
-    for c in &batch.jobs {
+    for (i, c) in batch.jobs.iter().enumerate() {
         buf.put_u32_le(c.id.0);
         buf.put_u32_le(c.file.0);
         buf.put_u64_le(c.offset);
         buf.put_u64_le(c.len);
         buf.put_u64_le(c.n_units);
         buf.put_u16_le(c.site.0);
+        buf.put_u64_le(batch.span_of(i));
     }
     buf.to_vec()
 }
+
+/// Bytes per job record in a grant frame.
+const GRANT_RECORD: usize = 42;
 
 /// Write a grant to a stream.
 pub fn write_grant(w: &mut impl Write, batch: &JobBatch) -> io::Result<()> {
@@ -179,10 +186,11 @@ pub fn read_grant(r: &mut impl Read) -> io::Result<JobBatch> {
     if n > MAX_GRANT_JOBS {
         return Err(err("grant length prefix unreasonably large"));
     }
-    let mut body = vec![0u8; n * 34];
+    let mut body = vec![0u8; n * GRANT_RECORD];
     r.read_exact(&mut body)?;
     let mut buf = body.as_slice();
     let mut jobs = Vec::with_capacity(n);
+    let mut spans = Vec::with_capacity(n);
     for _ in 0..n {
         jobs.push(ChunkMeta {
             id: ChunkId(buf.get_u32_le()),
@@ -192,8 +200,9 @@ pub fn read_grant(r: &mut impl Read) -> io::Result<JobBatch> {
             n_units: buf.get_u64_le(),
             site: SiteId(buf.get_u16_le()),
         });
+        spans.push(buf.get_u64_le());
     }
-    Ok(JobBatch { jobs, stolen, terminal })
+    Ok(JobBatch { jobs, spans, stolen, terminal })
 }
 
 /// Write a completion ack (head → master, fault-tolerant mode): was the
@@ -253,10 +262,27 @@ mod tests {
     #[test]
     fn grants_roundtrip() {
         for (n, stolen, terminal) in [(0usize, false, true), (1, true, false), (5, false, false)] {
-            let batch = JobBatch { jobs: (0..n as u32).map(chunk).collect(), stolen, terminal };
+            let batch = JobBatch {
+                jobs: (0..n as u32).map(chunk).collect(),
+                spans: (0..n as u64).map(|i| 100 + i).collect(),
+                stolen,
+                terminal,
+            };
             let mut cursor = Cursor::new(encode_grant(&batch));
             assert_eq!(read_grant(&mut cursor).unwrap(), batch);
         }
+    }
+
+    #[test]
+    fn untracked_grants_decode_with_zero_spans() {
+        // A batch built without span tracking encodes span 0 per record and
+        // decodes back to an explicit all-zero span list.
+        let batch =
+            JobBatch { jobs: vec![chunk(9)], spans: Vec::new(), stolen: true, terminal: false };
+        let decoded = read_grant(&mut Cursor::new(encode_grant(&batch))).unwrap();
+        assert_eq!(decoded.jobs, batch.jobs);
+        assert_eq!(decoded.spans, vec![0]);
+        assert_eq!(decoded.span_of(0), 0);
     }
 
     #[test]
@@ -273,7 +299,12 @@ mod tests {
 
     #[test]
     fn truncated_grant_errors() {
-        let batch = JobBatch { jobs: vec![chunk(1), chunk(2)], stolen: false, terminal: false };
+        let batch = JobBatch {
+            jobs: vec![chunk(1), chunk(2)],
+            spans: vec![1, 2],
+            stolen: false,
+            terminal: false,
+        };
         let bytes = encode_grant(&batch);
         for cut in [0, 3, 8, bytes.len() - 1] {
             let mut cursor = Cursor::new(&bytes[..cut]);

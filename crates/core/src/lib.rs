@@ -34,11 +34,17 @@
 //!   gauges and bounded log-linear histograms behind a one-branch-when-off
 //!   handle, with a Prometheus text-exposition registry, a strict
 //!   exposition parser/validator, and a dependency-free `/metrics` HTTP
-//!   listener.
+//!   listener;
+//! * the **causal analysis layer** ([`analysis`]): span-DAG reconstruction
+//!   from any events JSONL, critical-path extraction, an exhaustive
+//!   makespan attribution (WAN fetch / local fetch / compute / pool wait /
+//!   recovery / reduction / idle), and cross-run benchmark diffing — the
+//!   engine behind `cloudburst explain` and `cloudburst bench-diff`.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod analysis;
 pub mod closure;
 pub mod combiners;
 pub mod config;
@@ -54,6 +60,10 @@ pub mod stats;
 pub mod telemetry;
 pub mod types;
 
+pub use analysis::{
+    analyze, check_sequence, diff_benchmarks, parse_events_jsonl, Attribution, BenchDelta,
+    Direction, PathSegment, RunAnalysis, SeqCheck, SpanDag, SpanNode,
+};
 pub use closure::{from_fns, FnReduction};
 pub use config::EnvConfig;
 pub use fault::{

@@ -22,6 +22,9 @@ pub struct LocalJob {
     pub chunk: ChunkMeta,
     /// True when the chunk's home site is not this master's site.
     pub stolen: bool,
+    /// Causal span the head allocated for this execution (0 = untracked);
+    /// the slave stamps it on every event of the job's lifecycle.
+    pub span: u64,
 }
 
 /// State of a [`MasterPool::take`] request.
@@ -101,8 +104,12 @@ impl MasterPool {
             }
             return;
         }
-        for chunk in batch.jobs {
-            self.queue.push_back(LocalJob { chunk, stolen: batch.stolen });
+        for (i, chunk) in batch.jobs.iter().enumerate() {
+            self.queue.push_back(LocalJob {
+                chunk: *chunk,
+                stolen: batch.stolen,
+                span: batch.span_of(i),
+            });
         }
     }
 
@@ -159,7 +166,8 @@ mod tests {
             |_| SiteId::CLOUD,
         )
         .unwrap();
-        JobBatch { jobs: idx.chunks.clone(), stolen, terminal: false }
+        let spans = (1..=idx.chunks.len() as u64).collect();
+        JobBatch { jobs: idx.chunks.clone(), spans, stolen, terminal: false }
     }
 
     #[test]
@@ -177,6 +185,19 @@ mod tests {
         let mut mp = MasterPool::new(SiteId::LOCAL, 0);
         mp.refill(some_batch(1, true));
         assert!(matches!(mp.take(), Take::Job(j) if j.stolen));
+    }
+
+    #[test]
+    fn spans_propagate_in_grant_order_and_default_to_zero() {
+        let mut mp = MasterPool::new(SiteId::LOCAL, 0);
+        mp.refill(some_batch(2, false));
+        assert!(matches!(mp.take(), Take::Job(j) if j.span == 1));
+        assert!(matches!(mp.take(), Take::Job(j) if j.span == 2));
+        // A batch without span tracking yields span 0 (untracked).
+        let mut bare = some_batch(1, false);
+        bare.spans.clear();
+        mp.refill(bare);
+        assert!(matches!(mp.take(), Take::Job(j) if j.span == 0));
     }
 
     #[test]

@@ -68,6 +68,10 @@ struct Assignee {
     /// True for a proactive replica granted under coded redundancy
     /// (`r > 1`); the first completed copy fences its siblings.
     replica: bool,
+    /// Causal span id allocated at grant time; every telemetry event of
+    /// this execution — on the head *and*, via [`JobBatch::spans`], on the
+    /// processing site — carries it.
+    span: u64,
 }
 
 /// What happened to a completion report — the dedup verdict.
@@ -103,6 +107,11 @@ impl Completion {
 pub struct JobBatch {
     /// Chunks to process, in physical (sequential-read) order.
     pub jobs: Vec<ChunkMeta>,
+    /// Causal span id per granted job, parallel to `jobs` (0 = untracked).
+    /// Allocated by the pool at grant time and propagated — across the TCP
+    /// wire included — so the slave-side events of an execution join the
+    /// head-side grant/completion events in one DAG.
+    pub spans: Vec<u64>,
     /// True when the jobs' home site differs from the processing site.
     pub stolen: bool,
     /// True when the head guarantees no further work will ever appear:
@@ -116,7 +125,14 @@ impl JobBatch {
     /// An empty batch with the given terminal flag.
     #[must_use]
     pub fn empty(terminal: bool) -> JobBatch {
-        JobBatch { jobs: Vec::new(), stolen: false, terminal }
+        JobBatch { jobs: Vec::new(), spans: Vec::new(), stolen: false, terminal }
+    }
+
+    /// The span granted for `jobs[i]`, 0 when the batch predates tracking
+    /// (hand-built in tests, or decoded from an older peer).
+    #[must_use]
+    pub fn span_of(&self, i: usize) -> u64 {
+        self.spans.get(i).copied().unwrap_or(0)
     }
 }
 
@@ -467,6 +483,8 @@ pub struct JobPool {
     ewma_dur: BTreeMap<SiteId, f64>,
     /// Sites declared dead and evacuated.
     dead_sites: BTreeSet<SiteId>,
+    /// Next causal span id to allocate (1-based; 0 means "no span").
+    next_span: u64,
     /// Fault-path accounting for the run report.
     faults: FaultCounters,
     /// Telemetry sink: every grant, completion verdict, reap, evacuation and
@@ -515,6 +533,7 @@ impl JobPool {
             redundancy: 1,
             ewma_dur: BTreeMap::new(),
             dead_sites: BTreeSet::new(),
+            next_span: 1,
             faults: FaultCounters::default(),
             sink: Telemetry::off(),
             metrics: PoolMetrics::default(),
@@ -724,14 +743,22 @@ impl JobPool {
         Some(released)
     }
 
+    /// Allocate a fresh causal span id for one job execution.
+    fn alloc_span(&mut self) -> u64 {
+        let span = self.next_span;
+        self.next_span += 1;
+        span
+    }
+
     /// Account (and emit) a speculative execution that was released without
     /// its result merging: preempted, reaped, evacuated, failed, abandoned.
-    fn speculation_lost(&mut self, i: usize, site: SiteId) {
+    fn speculation_lost(&mut self, i: usize, site: SiteId, span: u64) {
         self.faults.speculative_losses += 1;
         self.sink.emit(
             Event::at(self.now_ns(), EventKind::SpeculationResolved { won: false })
                 .site(site)
-                .chunk(self.chunks[i].id),
+                .chunk(self.chunks[i].id)
+                .span_id(span),
         );
     }
 
@@ -786,9 +813,14 @@ impl JobPool {
             self.attempts[i] = self.attempts[i].saturating_add(1);
             self.past[i].push(site);
             self.metrics.failed(site);
-            self.sink.emit(Event::at(self.now_ns(), EventKind::JobFailed).site(site).chunk(job));
+            self.sink.emit(
+                Event::at(self.now_ns(), EventKind::JobFailed)
+                    .site(site)
+                    .chunk(job)
+                    .span_id(released.span),
+            );
             if released.speculative {
-                self.speculation_lost(i, site);
+                self.speculation_lost(i, site, released.span);
             }
             if self.assignees[i].is_empty() {
                 if self.attempts[i] >= self.max_attempts {
@@ -820,12 +852,12 @@ impl JobPool {
             if self.state[i] != JobState::Assigned {
                 continue;
             }
-            let expired: Vec<(SiteId, bool)> = self.assignees[i]
+            let expired: Vec<(SiteId, bool, u64)> = self.assignees[i]
                 .iter()
                 .filter(|a| a.deadline <= now)
-                .map(|a| (a.site, a.speculative))
+                .map(|a| (a.site, a.speculative, a.span))
                 .collect();
-            for (site, speculative) in expired {
+            for (site, speculative, span) in expired {
                 self.release_assignee(i, site);
                 self.past[i].push(site);
                 self.faults.lease_expiries += 1;
@@ -834,10 +866,11 @@ impl JobPool {
                 self.sink.emit(
                     Event::at(self.now_ns(), EventKind::LeaseReaped)
                         .site(site)
-                        .chunk(self.chunks[i].id),
+                        .chunk(self.chunks[i].id)
+                        .span_id(span),
                 );
                 if speculative {
-                    self.speculation_lost(i, site);
+                    self.speculation_lost(i, site, span);
                 }
                 reaped.push((self.chunks[i].id, site));
             }
@@ -873,10 +906,11 @@ impl JobPool {
                     self.sink.emit(
                         Event::at(self.now_ns(), EventKind::JobEvacuated)
                             .site(site)
-                            .chunk(self.chunks[i].id),
+                            .chunk(self.chunks[i].id)
+                            .span_id(released.span),
                     );
                     if released.speculative {
-                        self.speculation_lost(i, site);
+                        self.speculation_lost(i, site, released.span);
                     }
                     if self.assignees[i].is_empty() {
                         self.requeue(i);
@@ -929,16 +963,16 @@ impl JobPool {
                     self.abandon(i, last);
                 }
                 JobState::Assigned => {
-                    let holders: Vec<(SiteId, bool)> =
-                        self.assignees[i].iter().map(|a| (a.site, a.speculative)).collect();
-                    for &(site, speculative) in &holders {
+                    let holders: Vec<(SiteId, bool, u64)> =
+                        self.assignees[i].iter().map(|a| (a.site, a.speculative, a.span)).collect();
+                    for &(site, speculative, span) in &holders {
                         self.release_assignee(i, site);
                         self.past[i].push(site);
                         if speculative {
-                            self.speculation_lost(i, site);
+                            self.speculation_lost(i, site, span);
                         }
                     }
-                    self.abandon(i, holders.last().map(|&(s, _)| s));
+                    self.abandon(i, holders.last().map(|&(s, _, _)| s));
                 }
                 _ => {}
             }
@@ -1031,13 +1065,16 @@ impl JobPool {
                 // the same way — accept the result, cancel the rerun.
                 let winner = self.release_assignee(i, site);
                 let winner_replica = winner.as_ref().is_some_and(|w| w.replica);
-                let losers: Vec<(SiteId, bool, bool)> =
-                    self.assignees[i].iter().map(|a| (a.site, a.speculative, a.replica)).collect();
-                for &(s, speculative, replica) in &losers {
+                let winner_span = winner.as_ref().map_or(0, |w| w.span);
+                let losers: Vec<(SiteId, bool, bool, u64)> = self.assignees[i]
+                    .iter()
+                    .map(|a| (a.site, a.speculative, a.replica, a.span))
+                    .collect();
+                for &(s, speculative, replica, span) in &losers {
                     self.release_assignee(i, s);
                     self.past[i].push(s);
                     if speculative {
-                        self.speculation_lost(i, s);
+                        self.speculation_lost(i, s, span);
                     }
                     // A preemption inside a replica group is a fence: the
                     // first finished copy invalidates its siblings.
@@ -1057,7 +1094,8 @@ impl JobPool {
                         EventKind::JobCompleted { merged: true, late, stolen },
                     )
                     .site(site)
-                    .chunk(job),
+                    .chunk(job)
+                    .span_id(winner_span),
                 );
                 if winner_replica {
                     self.faults.replica_wins += 1;
@@ -1068,10 +1106,11 @@ impl JobPool {
                     self.sink.emit(
                         Event::at(self.now_ns(), EventKind::SpeculationResolved { won: true })
                             .site(site)
-                            .chunk(job),
+                            .chunk(job)
+                            .span_id(winner_span),
                     );
                 }
-                Completion::Merged { preempted: losers.into_iter().map(|(s, _, _)| s).collect() }
+                Completion::Merged { preempted: losers.into_iter().map(|(s, _, _, _)| s).collect() }
             }
             JobState::Pending => {
                 // Reaped lease finished before the job was re-granted:
@@ -1167,7 +1206,7 @@ impl JobPool {
             q.pop_front();
             jobs.push(self.chunks[id.0 as usize]);
         }
-        JobBatch { jobs, stolen, terminal: false }
+        JobBatch { jobs, spans: Vec::new(), stolen, terminal: false }
     }
 
     /// The lease deadline for a fresh grant to `site` at the current clock.
@@ -1178,20 +1217,27 @@ impl JobPool {
         }
     }
 
-    /// Record that `batch` is now owned by `site`. Split from `request` so
-    /// the policy methods stay pure; `request_for` combines both.
-    fn assign_to(&mut self, batch: &JobBatch, site: SiteId) {
+    /// Record that `batch` is now owned by `site`, allocating one causal
+    /// span per job (written back into `batch.spans` so the grant carries
+    /// them to the processing site). Split from `request` so the policy
+    /// methods stay pure; `request_for` combines both.
+    fn assign_to(&mut self, batch: &mut JobBatch, site: SiteId) {
         let deadline = self.deadline_for(site);
-        for j in &batch.jobs {
+        batch.spans.clear();
+        for k in 0..batch.jobs.len() {
+            let j = batch.jobs[k];
             let i = j.id.0 as usize;
             debug_assert_eq!(self.state[i], JobState::Pending);
             self.state[i] = JobState::Assigned;
+            let span = self.alloc_span();
+            batch.spans.push(span);
             self.assignees[i].push(Assignee {
                 site,
                 assigned_at: self.now,
                 deadline,
                 speculative: false,
                 replica: false,
+                span,
             });
             self.readers[j.file.0 as usize] += 1;
             self.pending_total -= 1;
@@ -1203,7 +1249,8 @@ impl JobPool {
                     EventKind::JobGranted { stolen: batch.stolen, speculative: false },
                 )
                 .site(site)
-                .chunk(j.id),
+                .chunk(j.id)
+                .span_id(span),
             );
         }
         if !batch.is_empty() {
@@ -1233,15 +1280,20 @@ impl JobPool {
     }
 
     /// Hand `site` an extra copy of in-flight job `i` (a speculative
-    /// re-execution or a coded replica) and return the one-job batch.
+    /// re-execution or a coded replica) and return the one-job batch. The
+    /// copy gets a fresh span whose *parent* is the oldest live execution's
+    /// span — the replica/speculation lineage edge of the run DAG.
     fn grant_duplicate(&mut self, i: usize, site: SiteId, speculative: bool) -> JobBatch {
         let deadline = self.deadline_for(site);
+        let parent = self.assignees[i].first().map_or(0, |a| a.span);
+        let span = self.alloc_span();
         self.assignees[i].push(Assignee {
             site,
             assigned_at: self.now,
             deadline,
             speculative,
             replica: !speculative,
+            span,
         });
         self.readers[self.chunks[i].file.0 as usize] += 1;
         *self.assigned_to.entry(site).or_insert(0) += 1;
@@ -1256,9 +1308,11 @@ impl JobPool {
         self.sink.emit(
             Event::at(self.now_ns(), EventKind::JobGranted { stolen, speculative })
                 .site(site)
-                .chunk(self.chunks[i].id),
+                .chunk(self.chunks[i].id)
+                .span_id(span)
+                .cause(parent),
         );
-        JobBatch { jobs: vec![self.chunks[i]], stolen, terminal: false }
+        JobBatch { jobs: vec![self.chunks[i]], spans: vec![span], stolen, terminal: false }
     }
 
     /// Request a batch for `site` and record the assignment. When the pool
@@ -1268,8 +1322,8 @@ impl JobPool {
     /// when coded redundancy (`r > 1`) is — first completion wins either
     /// way.
     pub fn request_for(&mut self, site: SiteId) -> JobBatch {
-        let batch = self.request(site);
-        self.assign_to(&batch, site);
+        let mut batch = self.request(site);
+        self.assign_to(&mut batch, site);
         if batch.is_empty() && !batch.terminal && !self.dead_sites.contains(&site) {
             if self.speculate {
                 if let Some(i) = self.pick_duplicate_target(site, MAX_ASSIGNEES) {

@@ -273,6 +273,21 @@ pub struct Event {
     pub worker: Option<u32>,
     /// Chunk/job involved, when known.
     pub chunk: Option<ChunkId>,
+    /// Causal span this event belongs to: the pool allocates one span id per
+    /// job *execution* at grant time (so a chunk's speculative or replica
+    /// copies each get their own), and every downstream event of that
+    /// execution — start, fetch, process, completion, reap, evacuation —
+    /// carries it, across threads and across the TCP wire.
+    pub span: Option<u64>,
+    /// The span this one was caused by (replica/speculation lineage: a
+    /// duplicate grant's parent is the execution it races).
+    pub parent: Option<u64>,
+    /// Per-sink delivery sequence number, stamped by [`Telemetry::emit`]
+    /// (1-based; 0 marks an event that never went through a handle). The
+    /// stamped *set* is contiguous — `cloudburst check-json` uses it to
+    /// prove an events JSONL lost nothing — but the recorded *order* may
+    /// interleave, since racing emitters are stamped before they enqueue.
+    pub seq: u64,
     /// What happened.
     pub kind: EventKind,
 }
@@ -281,7 +296,17 @@ impl Event {
     /// An instant event at `at_ns`.
     #[must_use]
     pub fn at(at_ns: u64, kind: EventKind) -> Event {
-        Event { at_ns, dur_ns: 0, site: None, worker: None, chunk: None, kind }
+        Event {
+            at_ns,
+            dur_ns: 0,
+            site: None,
+            worker: None,
+            chunk: None,
+            span: None,
+            parent: None,
+            seq: 0,
+            kind,
+        }
     }
 
     /// A span starting at `at_ns` lasting `dur_ns`.
@@ -308,6 +333,24 @@ impl Event {
     #[must_use]
     pub fn chunk(mut self, chunk: ChunkId) -> Event {
         self.chunk = Some(chunk);
+        self
+    }
+
+    /// Tag with the causal span id (0, the "no span" sentinel, is ignored).
+    #[must_use]
+    pub fn span_id(mut self, span: u64) -> Event {
+        if span != 0 {
+            self.span = Some(span);
+        }
+        self
+    }
+
+    /// Tag with the parent span that caused this event (0 is ignored).
+    #[must_use]
+    pub fn cause(mut self, parent: u64) -> Event {
+        if parent != 0 {
+            self.parent = Some(parent);
+        }
         self
     }
 
@@ -360,10 +403,97 @@ impl Event {
         if let Some(chunk) = self.chunk {
             j = j.field("chunk", Json::U64(u64::from(chunk.0)));
         }
+        if let Some(span) = self.span {
+            j = j.field("span", Json::U64(span));
+        }
+        if let Some(parent) = self.parent {
+            j = j.field("parent", Json::U64(parent));
+        }
+        if self.seq > 0 {
+            j = j.field("seq", Json::U64(self.seq));
+        }
         for (k, v) in self.payload() {
             j = j.field(k, v);
         }
         j
+    }
+
+    /// Parse one JSONL object back into an [`Event`] — the exact inverse of
+    /// [`Event::to_json`], used by `cloudburst explain` / `check-json` to
+    /// reconstruct a run from its `--events-out` artifact.
+    ///
+    /// # Errors
+    /// Returns a message naming the missing/malformed field, including an
+    /// unrecognized `kind` (so a reader confronted with a newer taxonomy
+    /// can skip rather than misfile).
+    pub fn from_json(j: &Json) -> Result<Event, String> {
+        fn u64_of(j: &Json, key: &str) -> Option<u64> {
+            match j.get(key)? {
+                Json::U64(v) => Some(*v),
+                Json::F64(v) if *v >= 0.0 && v.fract() == 0.0 => Some(*v as u64),
+                _ => None,
+            }
+        }
+        fn bool_of(j: &Json, key: &str) -> bool {
+            matches!(j.get(key), Some(Json::Bool(true)))
+        }
+        let at_ns = u64_of(j, "at_ns").ok_or("missing 'at_ns'")?;
+        let label = j.get("kind").and_then(Json::as_str).ok_or("missing 'kind'")?;
+        let kind = match label {
+            "job-granted" => EventKind::JobGranted {
+                stolen: bool_of(j, "stolen"),
+                speculative: bool_of(j, "speculative"),
+            },
+            "job-started" => EventKind::JobStarted { stolen: bool_of(j, "stolen") },
+            "chunk-fetched" => EventKind::ChunkFetched {
+                bytes: u64_of(j, "bytes").unwrap_or(0),
+                remote: bool_of(j, "remote"),
+                retries: u64_of(j, "retries").unwrap_or(0),
+            },
+            "storage-retry" => {
+                EventKind::StorageRetry { retries: u64_of(j, "retries").unwrap_or(0) }
+            }
+            "job-processed" => EventKind::JobProcessed,
+            "job-completed" => EventKind::JobCompleted {
+                merged: bool_of(j, "merged"),
+                late: bool_of(j, "late"),
+                stolen: bool_of(j, "stolen"),
+            },
+            "speculation-resolved" => EventKind::SpeculationResolved { won: bool_of(j, "won") },
+            "job-failed" => EventKind::JobFailed,
+            "lease-reap" => EventKind::LeaseReaped,
+            "job-evacuated" => EventKind::JobEvacuated,
+            "site-evacuated" => EventKind::SiteEvacuated,
+            "lost-result" => EventKind::LostResult { stolen: bool_of(j, "stolen") },
+            "job-abandoned" => EventKind::JobAbandoned,
+            "heartbeat" => EventKind::Heartbeat,
+            "metrics-snapshot" => EventKind::MetricsSnapshot {
+                grants: u64_of(j, "grants").unwrap_or(0),
+                steals: u64_of(j, "steals").unwrap_or(0),
+                completions: u64_of(j, "completions").unwrap_or(0),
+                queue_depth: u64_of(j, "queue_depth").unwrap_or(0),
+                bytes: u64_of(j, "bytes").unwrap_or(0),
+            },
+            "slave-finished" => EventKind::SlaveFinished,
+            "local-merge" => EventKind::SiteMerged,
+            "site-finished" => EventKind::SiteFinished,
+            "global-reduction" => EventKind::GlobalReduction,
+            "run-finished" => EventKind::RunFinished,
+            other => return Err(format!("unknown event kind '{other}'")),
+        };
+        let site = match j.get("site").and_then(Json::as_str) {
+            None => None,
+            Some(text) => Some(SiteId::parse(text).ok_or_else(|| format!("bad site '{text}'"))?),
+        };
+        let mut e = Event::at(at_ns, kind);
+        e.dur_ns = u64_of(j, "dur_ns").unwrap_or(0);
+        e.site = site;
+        e.worker = u64_of(j, "worker").map(|w| w as u32);
+        e.chunk = u64_of(j, "chunk").map(|c| ChunkId(c as u32));
+        e.span = u64_of(j, "span");
+        e.parent = u64_of(j, "parent");
+        e.seq = u64_of(j, "seq").unwrap_or(0);
+        Ok(e)
     }
 }
 
@@ -396,22 +526,29 @@ pub trait EventSink: Send + Sync {
 
 /// The clonable telemetry handle the runtimes carry. Disabled by default:
 /// `emit` is a single branch when no sink is attached.
+///
+/// Every clone of a handle shares one sequence counter: `emit` stamps each
+/// delivered event with the next 1-based [`Event::seq`], so however many
+/// threads and runtimes share the handle, the union of everything the sink
+/// saw carries a gap-free sequence — the invariant `cloudburst check-json`
+/// verifies on events JSONL to detect dropped events.
 #[derive(Clone, Default)]
 pub struct Telemetry {
     sink: Option<Arc<dyn EventSink>>,
+    seq: Arc<std::sync::atomic::AtomicU64>,
 }
 
 impl Telemetry {
     /// The disabled handle (every emit is a no-op).
     #[must_use]
     pub fn off() -> Telemetry {
-        Telemetry { sink: None }
+        Telemetry { sink: None, seq: Arc::default() }
     }
 
     /// A handle delivering every event to `sink`.
     #[must_use]
     pub fn to(sink: Arc<dyn EventSink>) -> Telemetry {
-        Telemetry { sink: Some(sink) }
+        Telemetry { sink: Some(sink), seq: Arc::default() }
     }
 
     /// A handle fanning out to several sinks (0 sinks = off, 1 = direct).
@@ -430,10 +567,12 @@ impl Telemetry {
         self.sink.is_some()
     }
 
-    /// Deliver one event (no-op when disabled).
+    /// Deliver one event (no-op when disabled), stamped with this handle
+    /// family's next sequence number.
     #[inline]
-    pub fn emit(&self, event: Event) {
+    pub fn emit(&self, mut event: Event) {
         if let Some(sink) = &self.sink {
+            event.seq = self.seq.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
             sink.record(event);
         }
     }
@@ -864,6 +1003,48 @@ mod tests {
             Event::span(1700, 200, EventKind::GlobalReduction),
             Event::at(1900, EventKind::RunFinished),
         ]
+    }
+
+    #[test]
+    fn events_round_trip_through_jsonl() {
+        let mut events = sample_events();
+        // Exercise the causal fields and a stamped sequence too.
+        events[0] = events[0].span_id(7).cause(3);
+        for (i, e) in events.iter_mut().enumerate() {
+            e.seq = i as u64 + 1;
+        }
+        for e in &events {
+            let line = e.to_json().to_text();
+            let back = Event::from_json(&Json::parse(&line).expect("line parses"))
+                .expect("event parses back");
+            assert_eq!(back, *e, "round trip diverged for {line}");
+        }
+    }
+
+    #[test]
+    fn from_json_rejects_junk() {
+        let missing = Json::parse(r#"{"kind":"heartbeat"}"#).unwrap();
+        assert!(Event::from_json(&missing).unwrap_err().contains("at_ns"));
+        let unknown = Json::parse(r#"{"at_ns":1,"kind":"warp-drive"}"#).unwrap();
+        assert!(Event::from_json(&unknown).unwrap_err().contains("warp-drive"));
+        let bad_site = Json::parse(r#"{"at_ns":1,"kind":"heartbeat","site":"mars"}"#).unwrap();
+        assert!(Event::from_json(&bad_site).unwrap_err().contains("mars"));
+    }
+
+    #[test]
+    fn emit_stamps_a_shared_gap_free_sequence() {
+        let rec = Arc::new(Recorder::new());
+        let t = Telemetry::to(rec.clone());
+        let t2 = t.clone(); // clones share the counter
+        t.emit(Event::at(1, EventKind::Heartbeat));
+        t2.emit(Event::at(2, EventKind::Heartbeat));
+        t.emit(Event::at(3, EventKind::Heartbeat));
+        let seqs: Vec<u64> = rec.snapshot().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![1, 2, 3]);
+        // A fresh handle starts its own sequence; off handles stamp nothing.
+        let rec2 = Arc::new(Recorder::new());
+        Telemetry::to(rec2.clone()).emit(Event::at(9, EventKind::Heartbeat));
+        assert_eq!(rec2.snapshot()[0].seq, 1);
     }
 
     #[test]

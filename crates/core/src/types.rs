@@ -18,6 +18,17 @@ impl SiteId {
     pub const LOCAL: SiteId = SiteId(0);
     /// Conventional id of the cloud site.
     pub const CLOUD: SiteId = SiteId(1);
+
+    /// Parse the [`fmt::Display`] spelling back (`local` / `cloud` /
+    /// `site<N>`) — the inverse used when reading events JSONL.
+    #[must_use]
+    pub fn parse(text: &str) -> Option<SiteId> {
+        match text {
+            "local" => Some(SiteId::LOCAL),
+            "cloud" => Some(SiteId::CLOUD),
+            _ => text.strip_prefix("site").and_then(|n| n.parse().ok()).map(SiteId),
+        }
+    }
 }
 
 impl fmt::Display for SiteId {

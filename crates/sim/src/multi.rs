@@ -443,7 +443,8 @@ fn run_multi(
             Event::at(secs_to_ns(now), EventKind::JobStarted { stolen: job.stolen })
                 .site(site)
                 .worker(w.lane)
-                .chunk(job.chunk.id),
+                .chunk(job.chunk.id)
+                .span_id(job.span),
         );
 
         // Under coded redundancy the chunk's bytes are replicated at the
@@ -467,7 +468,7 @@ fn run_multi(
         w.processing += compute;
         w.last_done = retr_end + compute;
         if telemetry.is_enabled() {
-            let tag = |e: Event| e.site(site).worker(w.lane).chunk(job.chunk.id);
+            let tag = |e: Event| e.site(site).worker(w.lane).chunk(job.chunk.id).span_id(job.span);
             telemetry.emit(tag(Event::span(
                 secs_to_ns(now),
                 secs_to_ns(retr_end - now),

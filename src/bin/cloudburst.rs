@@ -24,9 +24,10 @@ use cloudburst_apps::knn::Knn;
 use cloudburst_apps::pagerank::PageRank;
 use cloudburst_cluster::FaultPolicy;
 use cloudburst_core::{
-    chrome_trace, events_to_jsonl, http_get, ns_since, parse_exposition, report_to_json,
-    ConsoleSink, Event, EventKind, EventSink, Exposition, Json, LogLevel, Metrics, MetricsServer,
-    Recorder, Registry, Sample, Telemetry,
+    analyze, check_sequence, chrome_trace, diff_benchmarks, events_to_jsonl, http_get, ns_since,
+    parse_events_jsonl, parse_exposition, report_to_json, ConsoleSink, Direction, Event, EventKind,
+    EventSink, Exposition, Json, LogLevel, Metrics, MetricsServer, Recorder, Registry, Sample,
+    Telemetry,
 };
 use cloudburst_sim::{cost_of_usage, CostReport, PricingModel};
 use cloudburst_storage::{organize_redundant, read_index_meta, write_index_redundant, SiteStore};
@@ -49,6 +50,8 @@ fn main() -> ExitCode {
         Some("simulate") => cmd_simulate(&args[1..]),
         Some("check-json") => cmd_check_json(&args[1..]),
         Some("check-metrics") => cmd_check_metrics(&args[1..]),
+        Some("explain") => cmd_explain(&args[1..]),
+        Some("bench-diff") => cmd_bench_diff(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print_usage();
             Ok(())
@@ -84,6 +87,8 @@ USAGE:
   cloudburst check-json FILE
   cloudburst check-metrics <FILE|http://HOST:PORT/metrics>
              [--retries N] [--against-stats STATS.json]
+  cloudburst explain EVENTS.jsonl [--stats STATS.json] [--json OUT.json]
+  cloudburst bench-diff OLD.json NEW.json [--threshold PCT]
 
 OBSERVABILITY:
   --stats-out FILE   write the final run report as a JSON document (includes
@@ -103,7 +108,23 @@ OBSERVABILITY:
                      depth, a straggler/imbalance alert, and the running
                      dollar cost of the burst
   check-json FILE    validate that FILE parses as JSON or JSONL (used by
-                     verify.sh to smoke-test the artifacts above)
+                     verify.sh to smoke-test the artifacts above); event
+                     JSONL additionally gets a delivery-sequence audit —
+                     gaps or duplicates in the stamped `seq` numbers prove
+                     events were dropped or corrupted
+  explain EVENTS     reconstruct a run from its --events-out artifact:
+                     rebuild the causal span DAG, walk the critical chain
+                     (last site, last slave), and attribute the whole
+                     makespan to WAN fetch / local fetch / compute / pool
+                     wait / recovery / reduction / idle — with a verdict
+                     naming the bottleneck. --stats cross-checks the
+                     makespan against a --stats-out document; --json writes
+                     the machine-readable analysis. Exits non-zero when the
+                     categories fail to account for the makespan
+  bench-diff A B     compare two benchmark artifacts (e.g. the committed
+                     BENCH_runtime.json vs a fresh one) leaf by leaf and
+                     fail on any latency/speedup regression beyond
+                     --threshold percent (default 10)
   check-metrics SRC  validate a Prometheus exposition (file or live URL):
                      format, no duplicate series, core counters nonzero;
                      with --against-stats, diff the scrape's job/steal/
@@ -871,6 +892,206 @@ fn cmd_check_json(args: &[String]) -> Result<(), String> {
         objects += 1;
     }
     println!("{}: valid JSONL ({objects} objects)", path.display());
+
+    // If the lines are telemetry events, audit the per-sink delivery
+    // sequence: the stamped `seq` numbers must form a contiguous 1..=max
+    // set, so a gap or duplicate proves events were dropped or doubled
+    // somewhere between emission and the file.
+    if let Ok((events, _skipped)) = parse_events_jsonl(&text) {
+        if !events.is_empty() {
+            let audit = check_sequence(&events).map_err(|e| format!("{}: {e}", path.display()))?;
+            if audit.stamped == 0 {
+                println!("{}: no stamped sequence numbers (audit skipped)", path.display());
+            } else {
+                println!(
+                    "{}: delivery sequence complete ({} stamped events, max seq {})",
+                    path.display(),
+                    audit.stamped,
+                    audit.max
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// explain
+// ---------------------------------------------------------------------------
+
+/// One-line bottleneck advice per dominant attribution category.
+fn verdict_for(category: &str) -> &'static str {
+    match category {
+        "wan_fetch" => {
+            "WAN-class retrieval dominates: deepen the pipeline (--pipeline-depth), \
+             raise fetcher parallelism, or replicate hot chunks locally \
+             (organize --redundancy)."
+        }
+        "local_fetch" => {
+            "local retrieval dominates: the disks, not the WAN, are the bottleneck — \
+             raise fetcher parallelism or chunk size."
+        }
+        "compute" => {
+            "compute-bound: retrieval is fully hidden behind processing — add cores \
+             (or slaves) to go faster; deeper pipelining will not help."
+        }
+        "pool_wait" => {
+            "workers starve waiting for grants: raise the batch size or lower the \
+             master pool's low watermark."
+        }
+        "recovery" => {
+            "fault recovery dominates: leases, evacuations or retries are eating the \
+             run — check the chaos/lease configuration."
+        }
+        "reduction" => {
+            "reduction dominates: merging reduction objects is the long pole — \
+             shrink the reduction object or use coded/tree reduction."
+        }
+        _ => {
+            "phase-barrier idle dominates: sites finish at very different times — \
+             rebalance placement or enable work stealing."
+        }
+    }
+}
+
+/// Reconstruct a run from its `--events-out` artifact and attribute the
+/// makespan: span DAG, critical chain, exhaustive time breakdown, verdict.
+fn cmd_explain(args: &[String]) -> Result<(), String> {
+    let path = PathBuf::from(args.first().ok_or("explain: missing EVENTS.jsonl")?);
+    let text =
+        std::fs::read_to_string(&path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+    let (events, skipped) =
+        parse_events_jsonl(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    if skipped > 0 {
+        eprintln!("explain: note: skipped {skipped} event(s) of unknown kind");
+    }
+    let run = analyze(&events).map_err(|e| format!("{}: {e}", path.display()))?;
+    let attr = &run.attribution;
+
+    println!("explain {}: {} events, makespan {:.4}s", path.display(), run.events, attr.makespan);
+
+    // Optional cross-check against the run's --stats-out document: both are
+    // clocked from the same epoch, so the stats' total_time and the event
+    // stream's makespan must agree closely.
+    if let Some(stats_path) = opt(args, "--stats") {
+        let stats_text = std::fs::read_to_string(stats_path)
+            .map_err(|e| format!("reading {stats_path}: {e}"))?;
+        let stats = Json::parse(stats_text.trim()).map_err(|e| format!("{stats_path}: {e}"))?;
+        let total = stats
+            .get("total_time")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("{stats_path}: no numeric `total_time` field"))?;
+        let drift = (total - attr.makespan).abs();
+        if drift > 0.05 * total.max(attr.makespan).max(1e-9) {
+            return Err(format!(
+                "{stats_path}: stats total_time {total:.4}s disagrees with event makespan \
+                 {:.4}s (drift {drift:.4}s > 5%)",
+                attr.makespan
+            ));
+        }
+        println!("  stats cross-check: total_time {total:.4}s agrees (drift {drift:.6}s)");
+    }
+
+    println!("  where the time went:");
+    for (name, secs) in attr.parts() {
+        let share = if attr.makespan > 0.0 { 100.0 * secs / attr.makespan } else { 0.0 };
+        let bar_len = (share / 2.5).round().clamp(0.0, 40.0) as usize;
+        println!("    {name:<11} {secs:>9.4}s  {share:>5.1}%  {}", "#".repeat(bar_len));
+    }
+    println!(
+        "  attribution total {:.4}s vs makespan {:.4}s ({})",
+        attr.total(),
+        attr.makespan,
+        if attr.agrees() { "agrees" } else { "DISAGREES" }
+    );
+    let site = run.critical_site.map_or_else(|| "-".to_string(), |s| s.to_string());
+    let worker = run.critical_worker.map_or_else(|| "-".to_string(), |w| w.to_string());
+    println!(
+        "  critical chain: site {site}, slave {worker} — busy {:.4}s across {} segment(s)",
+        run.critical_path_secs(),
+        run.critical_path.len()
+    );
+    println!(
+        "  spans: {} tracked, {} duplicate execution(s), lineage depth {}",
+        run.dag.len(),
+        run.dag.duplicates(),
+        run.dag.depth()
+    );
+    let (dominant, dominant_secs) = attr.dominant();
+    let dominant_share =
+        if attr.makespan > 0.0 { 100.0 * dominant_secs / attr.makespan } else { 0.0 };
+    println!("  verdict: {dominant} is dominant ({dominant_share:.1}% of the makespan)");
+    println!("           {}", verdict_for(dominant));
+
+    if let Some(out) = opt(args, "--json") {
+        let mut text = run.to_json().to_text();
+        text.push('\n');
+        std::fs::write(out, text).map_err(|e| format!("writing {out}: {e}"))?;
+        println!("  wrote machine-readable analysis to {out}");
+    }
+
+    if !attr.agrees() {
+        return Err(format!(
+            "explain: attribution accounts for {:.4}s of a {:.4}s makespan — the \
+             categories must sum to the makespan",
+            attr.total(),
+            attr.makespan
+        ));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// bench-diff
+// ---------------------------------------------------------------------------
+
+/// Diff two benchmark artifacts leaf by leaf and fail on regressions.
+fn cmd_bench_diff(args: &[String]) -> Result<(), String> {
+    let old_path = args.first().ok_or("bench-diff: missing OLD.json")?;
+    let new_path = args.get(1).ok_or("bench-diff: missing NEW.json")?;
+    let threshold_pct: f64 = opt_parse(args, "--threshold", 10.0)?;
+    if !(threshold_pct.is_finite() && threshold_pct >= 0.0) {
+        return Err(format!("bench-diff: bad --threshold {threshold_pct}"));
+    }
+    let threshold = threshold_pct / 100.0;
+
+    let load = |p: &str| -> Result<Json, String> {
+        let text = std::fs::read_to_string(p).map_err(|e| format!("reading {p}: {e}"))?;
+        Json::parse(text.trim()).map_err(|e| format!("{p}: {e}"))
+    };
+    let old = load(old_path)?;
+    let new = load(new_path)?;
+
+    let deltas = diff_benchmarks(&old, &new);
+    if deltas.is_empty() {
+        return Err(format!(
+            "bench-diff: {old_path} and {new_path} share no numeric leaves to compare"
+        ));
+    }
+
+    let mut regressions = 0usize;
+    println!("bench-diff {old_path} -> {new_path} (threshold {threshold_pct}%):");
+    for d in &deltas {
+        let change = d.change();
+        let marker = if d.is_regression(threshold) {
+            regressions += 1;
+            "REGRESSION"
+        } else {
+            match d.direction {
+                Direction::Neutral => "info",
+                _ => "ok",
+            }
+        };
+        let pct =
+            if change.is_finite() { format!("{:+.1}%", 100.0 * change) } else { "inf".into() };
+        println!("  {:<28} {:>12.5} -> {:>12.5}  {:>8}  {}", d.path, d.old, d.new, pct, marker);
+    }
+    if regressions > 0 {
+        return Err(format!(
+            "bench-diff: {regressions} regression(s) beyond {threshold_pct}% — see above"
+        ));
+    }
+    println!("bench-diff: no regressions beyond {threshold_pct}% across {} leaves", deltas.len());
     Ok(())
 }
 

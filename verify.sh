@@ -52,8 +52,21 @@ trap 'rm -rf "$SMOKE"' EXIT
     --trace-out "$SMOKE/trace.json"
 # Every artifact must parse with the framework's own validator...
 "$BIN" check-json "$SMOKE/stats.json"
-"$BIN" check-json "$SMOKE/events.jsonl"
+# ...the events artifact must also pass the delivery-sequence audit (the
+# stamped seq numbers form a gapless 1..=max set — nothing was dropped
+# between emission and disk)...
+"$BIN" check-json "$SMOKE/events.jsonl" | grep -q 'delivery sequence complete' \
+    || { echo "events.jsonl failed the delivery-sequence audit"; exit 1; }
 "$BIN" check-json "$SMOKE/trace.json"
+# ...and the causal analysis must reconstruct the run exhaustively: explain
+# exits non-zero unless its seven categories account for the whole
+# makespan, cross-checks the makespan against the stats document, and the
+# machine artifact must carry a verdict.
+"$BIN" explain "$SMOKE/events.jsonl" --stats "$SMOKE/stats.json" \
+    --json "$SMOKE/explain.json"
+"$BIN" check-json "$SMOKE/explain.json"
+grep -q '"dominant"' "$SMOKE/explain.json" \
+    || { echo "explain artifact is missing a dominant verdict"; exit 1; }
 # ...the stats must carry the fault ledger...
 grep -q '"faults"' "$SMOKE/stats.json"
 # ...and the chaos plan's structural consequences must appear in the trace:
@@ -115,6 +128,9 @@ grep -q '^\[watch ' "$SMOKE/watch.txt" \
 echo "   metrics valid"
 
 echo "== bench: pipeline overlap (quick) writes a valid BENCH_runtime.json"
+# Stash the committed artifact before the bench rewrites it: the fresh run
+# is diffed against this baseline below with a 10% regression gate.
+cp BENCH_runtime.json "$SMOKE/bench_base.json"
 # The bench itself asserts result-equivalence at every depth; --quick keeps
 # Criterion's sampling short while the artifact (written before sampling,
 # from a full best-of-3 quantification) stays meaningful.
@@ -133,6 +149,19 @@ OVERHEAD=$(sed -n 's/.*"metrics_overhead":\([0-9.eE+-]*\).*/\1/p' BENCH_runtime.
 awk -v o="$OVERHEAD" 'BEGIN { exit !(o <= 1.01) }' \
     || { echo "metrics overhead regressed: ${OVERHEAD}x > 1.01x"; exit 1; }
 echo "   metrics overhead: ${OVERHEAD}x"
+# The attribution corridor's verdict flip: the traced serial run must be
+# WAN-bound and every pipelined run compute-bound (p < f < 2p by
+# construction — pipelining hides p of each fetch, leaving f − p < p).
+DOMS=$(grep -o '"dominant":"[a-z_]*"' BENCH_runtime.json \
+    | sed 's/.*:"\(.*\)"/\1/' | tr '\n' ' ')
+[[ "$DOMS" == "wan_fetch compute compute " ]] \
+    || { echo "attribution verdicts did not flip with depth: [$DOMS]"; exit 1; }
+echo "   attribution verdicts by depth: $DOMS"
+# Cross-run regression gate: the fresh artifact vs the committed baseline.
+# Gated leaves are the wall-time/latency/speedup metrics; attribution
+# shares are informational by key design.
+"$BIN" bench-diff "$SMOKE/bench_base.json" BENCH_runtime.json --threshold 10 \
+    || { echo "benchmark regressed vs the committed BENCH_runtime.json"; exit 1; }
 
 echo "== bench: coded ablation (quick) writes a valid BENCH_coded.json"
 # The bench itself asserts exact results on the real runtime; the artifact
