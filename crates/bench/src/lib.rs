@@ -8,3 +8,4 @@
 
 pub mod coded;
 pub mod overlap;
+pub mod scale;

@@ -10,7 +10,10 @@
 //!
 //! Entry points: [`run_hybrid`] (channels) and [`run_hybrid_tcp`] (the
 //! same protocol with the head ↔ master control plane over real TCP
-//! sockets, see [`net`]/[`wire`]).
+//! sockets, see [`net`]/[`wire`]). The TCP head serves every connection
+//! from one poll-reactor thread ([`reactor`]) and speaks both the v1
+//! single-job protocol and the v2 batched, credit-windowed protocol
+//! (negotiated per connection, see [`wire`]).
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -19,6 +22,7 @@ pub mod error;
 pub mod head;
 pub mod net;
 pub mod protocol;
+pub mod reactor;
 mod report;
 pub mod router;
 pub mod runtime;
@@ -29,4 +33,4 @@ pub use head::{run_head, run_head_with, CancelBoard, HeadOptions};
 pub use net::{run_hybrid_tcp, serve_head};
 pub use protocol::{HeadMsg, HeadReport, MasterMsg};
 pub use router::{Fetched, StoreRouter};
-pub use runtime::{run_hybrid, FaultPolicy, FtConfig, RunOutcome, RuntimeConfig};
+pub use runtime::{run_hybrid, FaultPolicy, FtConfig, RunOutcome, RuntimeConfig, WireMode};

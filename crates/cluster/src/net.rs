@@ -23,22 +23,21 @@ use crate::report::{assemble_report, SiteOutcome};
 use crate::router::StoreRouter;
 use crate::runtime::{
     collect_global, merge_site_outcome, meter_stores, panic_msg, run_slave, FaultPolicy,
-    ReportSink, RunOutcome, RuntimeConfig, SlaveCtx, SlaveMetrics,
+    ReportSink, RunOutcome, RuntimeConfig, SlaveCtx, SlaveMetrics, WireMode,
 };
 use crate::wire::{
-    read_ack, read_from_master, read_grant, write_ack, write_grant, write_to_head, MasterToHead,
+    read_ack, read_batch_reply, read_grant, read_hello_ack, write_ack_batch, write_hello,
+    write_to_head, AckEntry, MasterToHead, WIRE_VERSION,
 };
 use cloudburst_core::{
-    ns_since, DataIndex, Event, EventKind, FaultPlan, HeartbeatConfig, JobPool, MasterPool,
-    Reduction, SiteId, Take, Telemetry,
+    ns_since, ChunkId, DataIndex, Event, EventKind, FaultPlan, HeartbeatConfig, JobPool,
+    MasterPool, Reduction, SiteId, Take, Telemetry,
 };
 use cloudburst_storage::{ChaosStore, ChunkStore};
 use crossbeam::channel::{unbounded, Receiver};
-use parking_lot::Mutex;
 use std::collections::{BTreeMap, VecDeque};
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -63,9 +62,10 @@ impl Default for TcpHeadOptions {
 }
 
 /// Serve the head's control protocol to exactly `n_masters` connections,
-/// then return the head's report. Each connection gets its own thread; the
-/// pool is shared behind a mutex (the head's work per message is microseconds,
-/// so the lock is never contended at protocol rates).
+/// then return the head's report. All connections are served from one
+/// poll-reactor thread (see [`crate::reactor`]); grants go through the
+/// sharded pool, so v2 peers get lock-free batched grants and v1 peers the
+/// legacy policy path.
 pub fn serve_head(
     listener: &TcpListener,
     pool: JobPool,
@@ -74,63 +74,17 @@ pub fn serve_head(
     serve_head_with(listener, pool, n_masters, &TcpHeadOptions::default())
 }
 
-/// [`serve_head`] with the fault-tolerance machinery of `options`: a lease
-/// reaper thread over the shared pool, per-connection death detection, and
-/// site evacuation on unclean disconnects.
+/// [`serve_head`] with the fault-tolerance machinery of `options`: an
+/// inline lease reaper, per-connection death detection, and site
+/// evacuation on unclean disconnects.
 pub fn serve_head_with(
     listener: &TcpListener,
     pool: JobPool,
     n_masters: usize,
     options: &TcpHeadOptions,
 ) -> io::Result<HeadReport> {
-    let shared = Arc::new(Mutex::new((pool, HeadReport::default())));
-    let done = Arc::new(AtomicBool::new(false));
-    let reaper = options.ft_active.then(|| {
-        let shared = Arc::clone(&shared);
-        let done = Arc::clone(&done);
-        let epoch = options.epoch;
-        std::thread::spawn(move || {
-            while !done.load(Ordering::Relaxed) {
-                {
-                    let mut guard = shared.lock();
-                    let now = epoch.elapsed().as_secs_f64();
-                    guard.0.reap_expired(now);
-                }
-                std::thread::sleep(Duration::from_millis(2));
-            }
-        })
-    });
-    let mut handles = Vec::with_capacity(n_masters);
-    for _ in 0..n_masters {
-        let (stream, _addr) = listener.accept()?;
-        let shared = Arc::clone(&shared);
-        let conn = ConnOptions {
-            heartbeat: options.heartbeat,
-            epoch: options.epoch,
-            ft_active: options.ft_active,
-        };
-        handles.push(std::thread::spawn(move || serve_one_master(stream, &shared, &conn)));
-    }
-    let mut first_err = None;
-    for h in handles {
-        match h.join() {
-            Ok(Ok(())) => {}
-            Ok(Err(e)) => first_err = first_err.or(Some(e)),
-            Err(_) => {
-                first_err = first_err.or_else(|| Some(io::Error::other("head handler panicked")));
-            }
-        }
-    }
-    done.store(true, Ordering::Relaxed);
-    if let Some(r) = reaper {
-        let _ = r.join();
-    }
-    if let Some(e) = first_err {
-        return Err(e);
-    }
-    let (mut pool, mut report) = Arc::try_unwrap(shared)
-        .map_err(|_| io::Error::other("head state still shared"))?
-        .into_inner();
+    let (mut pool, mut report) =
+        crate::reactor::serve_head_reactor(listener, pool, n_masters, options)?;
     // A dead site can strand work when every surviving master drained and
     // disconnected before its jobs were re-homed: record it as abandoned so
     // the runtime reports a partial result instead of a silent one.
@@ -142,96 +96,6 @@ pub fn serve_head_with(
     report.faults = pool.faults().clone();
     report.dead_sites = pool.dead_sites();
     Ok(report)
-}
-
-type SharedHead = Mutex<(JobPool, HeadReport)>;
-
-struct ConnOptions {
-    heartbeat: Option<HeartbeatConfig>,
-    epoch: Instant,
-    ft_active: bool,
-}
-
-fn serve_one_master(stream: TcpStream, shared: &SharedHead, conn: &ConnOptions) -> io::Result<()> {
-    stream.set_nodelay(true)?;
-    if let Some(hb) = conn.heartbeat {
-        // The read timeout IS the death detector: any frame (pings included)
-        // resets it; silence past the heartbeat timeout errors the read.
-        stream.set_read_timeout(Some(Duration::from_secs_f64(hb.timeout.max(1e-3))))?;
-    }
-    let mut site: Option<SiteId> = None;
-    let result = serve_conn(stream, shared, conn, &mut site);
-    match result {
-        Ok(true) => Ok(()),
-        Ok(false) | Err(_) if conn.ft_active => {
-            // Unclean EOF, read timeout, or a mid-frame error: the master is
-            // gone without a goodbye. Declare its site dead and re-home its
-            // work; the run itself continues on the survivors.
-            if let Some(site) = site {
-                shared.lock().0.evacuate(site);
-            }
-            Ok(())
-        }
-        // Fault tolerance off: EOF without Bye is how the classic protocol
-        // ends anyway, and real errors are run-fatal.
-        Ok(false) => Ok(()),
-        Err(e) => Err(e),
-    }
-}
-
-/// Serve one connection until `Bye` (returns `Ok(true)`), EOF without `Bye`
-/// (`Ok(false)`), or an I/O error (read timeout included).
-fn serve_conn(
-    stream: TcpStream,
-    shared: &SharedHead,
-    conn: &ConnOptions,
-    site_slot: &mut Option<SiteId>,
-) -> io::Result<bool> {
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream);
-    while let Some(msg) = read_from_master(&mut reader)? {
-        let now = conn.epoch.elapsed().as_secs_f64();
-        match msg {
-            MasterToHead::Request { site } => {
-                *site_slot = Some(site);
-                let batch = {
-                    let mut guard = shared.lock();
-                    guard.1.requests += 1;
-                    guard.0.request_for_at(site, now)
-                };
-                write_grant(&mut writer, &batch)?;
-            }
-            MasterToHead::Complete { job, site, want_ack } => {
-                *site_slot = Some(site);
-                let merged = {
-                    let mut guard = shared.lock();
-                    let outcome = guard.0.complete_at(job, site, now);
-                    if outcome.is_merged() {
-                        guard.1.completions += 1;
-                    }
-                    outcome.is_merged()
-                };
-                if want_ack {
-                    write_ack(&mut writer, merged)?;
-                }
-            }
-            MasterToHead::Failed { job, site } => {
-                *site_slot = Some(site);
-                let mut guard = shared.lock();
-                guard.1.failures += 1;
-                guard.0.fail(job, site);
-            }
-            MasterToHead::Ping { site } => {
-                *site_slot = Some(site);
-            }
-            MasterToHead::Bye => {
-                writer.flush()?;
-                return Ok(true);
-            }
-        }
-    }
-    writer.flush()?;
-    Ok(false)
 }
 
 /// A transport wrapper that severs all I/O once the chaos plan declares the
@@ -298,6 +162,11 @@ impl TcpMasterFt {
 /// loop: serve slaves from the site pool, refilling over TCP, forwarding
 /// completion/failure reports upstream (with the head's merge verdict
 /// relayed back when a slave asked for an ack).
+///
+/// `credit` is the v2 prefetch-credit window in jobs; `0` skips the
+/// `Hello` handshake entirely and speaks the v1 single-job protocol. A
+/// positive credit still falls back to v1 when the head answers the
+/// handshake with version 1.
 fn run_tcp_master(
     site: SiteId,
     low_watermark: usize,
@@ -305,10 +174,10 @@ fn run_tcp_master(
     rx: &Receiver<MasterMsg>,
     stream: TcpStream,
     ft: TcpMasterFt,
+    credit: usize,
 ) -> io::Result<MasterPool> {
     let mut pool = MasterPool::new(site, low_watermark);
-    let result =
-        tcp_master_loop(site, low_watermark, control_latency_real, rx, stream, &ft, &mut pool);
+    let result = tcp_master_loop(site, control_latency_real, rx, stream, &ft, &mut pool, credit);
     match result {
         // A chaos-revoked site dies mid-conversation by design; its broken
         // socket is the failure signal the head is meant to see, not a
@@ -319,26 +188,64 @@ fn run_tcp_master(
     }
 }
 
+/// Build the (chaos-wrapped, buffered) transports, negotiate the protocol
+/// version, and dispatch to the v1 or v2 loop.
 fn tcp_master_loop(
     site: SiteId,
-    _low_watermark: usize,
     control_latency_real: f64,
     rx: &Receiver<MasterMsg>,
     stream: TcpStream,
     ft: &TcpMasterFt,
     pool: &mut MasterPool,
+    credit: usize,
 ) -> io::Result<()> {
     stream.set_nodelay(true)?;
     let mut reader =
         BufReader::new(ChaosTransport::new(stream.try_clone()?, site, ft.chaos.clone(), ft.epoch));
     let mut writer = BufWriter::new(ChaosTransport::new(stream, site, ft.chaos.clone(), ft.epoch));
+    let mut version = 1;
+    if credit > 0 {
+        let window = credit.min(usize::from(u16::MAX)) as u16;
+        write_hello(&mut writer, site, WIRE_VERSION, window)?;
+        version = read_hello_ack(&mut reader)?;
+    }
+    if version >= 2 {
+        master_loop_v2(site, control_latency_real, rx, ft, pool, credit, &mut reader, &mut writer)
+    } else {
+        master_loop_v1(site, control_latency_real, rx, ft, pool, &mut reader, &mut writer)
+    }
+}
 
+/// Polling pace against an empty head: capped exponential backoff instead
+/// of a fixed short period.
+const POLL_MIN: Duration = Duration::from_micros(100);
+const POLL_CAP: Duration = Duration::from_millis(5);
+
+/// The mailbox tick: how long the master sleeps in `recv_timeout` when no
+/// slave request is parked (halved heartbeat interval when beaconing).
+fn master_tick(ft: &TcpMasterFt) -> Duration {
+    ft.heartbeat.map_or(Duration::from_millis(50), |h| {
+        Duration::from_secs_f64((h.interval / 2.0).max(1e-4))
+    })
+}
+
+/// The classic v1 single-job lockstep loop: one `Request`/grant round-trip
+/// per refill, one `Complete`/ack round-trip per acked report.
+fn master_loop_v1(
+    site: SiteId,
+    control_latency_real: f64,
+    rx: &Receiver<MasterMsg>,
+    ft: &TcpMasterFt,
+    pool: &mut MasterPool,
+    reader: &mut impl Read,
+    writer: &mut impl Write,
+) -> io::Result<()> {
     fn refill(
         pool: &mut MasterPool,
         site: SiteId,
         latency: f64,
         writer: &mut impl Write,
-        reader: &mut impl io::Read,
+        reader: &mut impl Read,
     ) -> io::Result<()> {
         sleep_secs(latency);
         write_to_head(writer, &MasterToHead::Request { site })?;
@@ -351,13 +258,7 @@ fn tcp_master_loop(
     // Any frame doubles as a liveness beacon; explicit pings cover idle
     // stretches. `last_sent` tracks the last time anything went upstream.
     let mut last_sent = Instant::now();
-    let tick = ft.heartbeat.map_or(Duration::from_millis(50), |h| {
-        Duration::from_secs_f64((h.interval / 2.0).max(1e-4))
-    });
-    // Pacing for polling an empty head: capped exponential backoff instead
-    // of a fixed short period.
-    const POLL_MIN: Duration = Duration::from_micros(100);
-    const POLL_CAP: Duration = Duration::from_millis(5);
+    let tick = master_tick(ft);
     let mut idle_wait = POLL_MIN;
 
     // Slaves blocked on empty non-terminal grants must not stop the master
@@ -375,7 +276,7 @@ fn tcp_master_loop(
         }
         if let Some(hb) = ft.heartbeat {
             if last_sent.elapsed().as_secs_f64() >= hb.interval {
-                write_to_head(&mut writer, &MasterToHead::Ping { site })?;
+                write_to_head(writer, &MasterToHead::Ping { site })?;
                 ft.telemetry.emit(Event::at(ns_since(ft.epoch), EventKind::Heartbeat).site(site));
                 last_sent = Instant::now();
             }
@@ -400,16 +301,16 @@ fn tcp_master_loop(
         match msg {
             Some(MasterMsg::Complete { job, reply }) => {
                 let want_ack = reply.is_some();
-                write_to_head(&mut writer, &MasterToHead::Complete { job, site, want_ack })?;
+                write_to_head(writer, &MasterToHead::Complete { job, site, want_ack })?;
                 last_sent = Instant::now();
                 if let Some(reply) = reply {
                     // Lockstep: the ack frame is the next head→master frame.
-                    let merged = read_ack(&mut reader)?;
+                    let merged = read_ack(reader)?;
                     let _ = reply.send(merged);
                 }
             }
             Some(MasterMsg::Failed { job }) => {
-                write_to_head(&mut writer, &MasterToHead::Failed { job, site })?;
+                write_to_head(writer, &MasterToHead::Failed { job, site })?;
                 last_sent = Instant::now();
             }
             Some(MasterMsg::GetJob { reply }) => waiting.push_back(reply),
@@ -423,7 +324,7 @@ fn tcp_master_loop(
                     waiting.pop_front();
                     idle_wait = POLL_MIN;
                     if pool.needs_refill() {
-                        refill(pool, site, control_latency_real, &mut writer, &mut reader)?;
+                        refill(pool, site, control_latency_real, writer, reader)?;
                         last_sent = Instant::now();
                     }
                 }
@@ -432,7 +333,7 @@ fn tcp_master_loop(
                     waiting.pop_front();
                 }
                 Take::NeedRefill => {
-                    refill(pool, site, control_latency_real, &mut writer, &mut reader)?;
+                    refill(pool, site, control_latency_real, writer, reader)?;
                     last_sent = Instant::now();
                     if pool.queued() == 0 && !pool.is_drained() {
                         // Nothing to hand out yet: go back to the mailbox
@@ -448,9 +349,157 @@ fn tcp_master_loop(
     // the surviving sites that poll for the work — hand the queue back as
     // failures so the head requeues it before the orderly goodbye.
     for job in pool.drain_queued() {
-        write_to_head(&mut writer, &MasterToHead::Failed { job: job.chunk.id, site })?;
+        write_to_head(writer, &MasterToHead::Failed { job: job.chunk.id, site })?;
     }
-    write_to_head(&mut writer, &MasterToHead::Bye)?;
+    write_to_head(writer, &MasterToHead::Bye)?;
+    Ok(())
+}
+
+/// Serve parked slave requests from the local pool until it runs dry.
+/// Returns whether any job was handed out.
+fn serve_waiting(
+    pool: &mut MasterPool,
+    waiting: &mut VecDeque<crossbeam::channel::Sender<Take>>,
+) -> bool {
+    let mut progressed = false;
+    while let Some(reply) = waiting.front() {
+        match pool.take() {
+            Take::Job(j) => {
+                let _ = reply.send(Take::Job(j));
+                waiting.pop_front();
+                progressed = true;
+            }
+            Take::Drained => {
+                let _ = reply.send(Take::Drained);
+                waiting.pop_front();
+            }
+            Take::NeedRefill => break,
+        }
+    }
+    progressed
+}
+
+/// The v2 batched loop. Completion/failure reports accumulate locally and
+/// go upstream as one `AckBatch` per burst; the lockstep [`BatchReply`]
+/// carries the merge verdicts, the head's revoked-lease notices (the
+/// master drops those jobs from its queue — whole-batch fencing), and a
+/// refill grant sized to the remaining prefetch credit, so a slave never
+/// stalls on a grant round-trip while credit remains.
+#[allow(clippy::too_many_arguments)] // mirrors master_loop_v1's surface plus the credit window
+fn master_loop_v2(
+    site: SiteId,
+    control_latency_real: f64,
+    rx: &Receiver<MasterMsg>,
+    ft: &TcpMasterFt,
+    pool: &mut MasterPool,
+    credit: usize,
+    reader: &mut impl Read,
+    writer: &mut impl Write,
+) -> io::Result<()> {
+    /// One lockstep exchange: ship the accumulated reports, apply the
+    /// verdicts/revocations, and refill from the piggybacked grant (`want`
+    /// = remaining credit; 0 during shutdown, when only verdicts matter).
+    fn exchange(
+        pool: &mut MasterPool,
+        site: SiteId,
+        latency: f64,
+        want: u16,
+        reports: &mut Vec<(ChunkId, bool, Option<crossbeam::channel::Sender<bool>>)>,
+        writer: &mut impl Write,
+        reader: &mut impl Read,
+    ) -> io::Result<()> {
+        sleep_secs(latency);
+        let entries: Vec<AckEntry> =
+            reports.iter().map(|&(job, ok, _)| AckEntry { job, ok }).collect();
+        write_ack_batch(writer, site, want, &entries)?;
+        let reply = read_batch_reply(reader)?;
+        sleep_secs(latency);
+        if reply.verdicts.len() != entries.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "batch reply verdict count mismatch",
+            ));
+        }
+        for ((_, _, ack), verdict) in reports.drain(..).zip(reply.verdicts) {
+            if let Some(ack) = ack {
+                let _ = ack.send(verdict);
+            }
+        }
+        // Fencing: every undelivered job the head revoked dies here, before
+        // the refill can resurrect a fresh copy of the same chunk.
+        pool.drop_revoked(&reply.revoked);
+        pool.refill(reply.grant);
+        Ok(())
+    }
+
+    let mut last_sent = Instant::now();
+    let tick = master_tick(ft);
+    let mut idle_wait = POLL_MIN;
+    let mut waiting: VecDeque<crossbeam::channel::Sender<Take>> = VecDeque::new();
+    let mut reports: Vec<(ChunkId, bool, Option<crossbeam::channel::Sender<bool>>)> = Vec::new();
+    let mut disconnected = false;
+    while !(disconnected && waiting.is_empty() && reports.is_empty()) {
+        if ft.site_dead(site) {
+            return Ok(());
+        }
+        if let Some(hb) = ft.heartbeat {
+            if last_sent.elapsed().as_secs_f64() >= hb.interval {
+                write_to_head(writer, &MasterToHead::Ping { site })?;
+                ft.telemetry.emit(Event::at(ns_since(ft.epoch), EventKind::Heartbeat).site(site));
+                last_sent = Instant::now();
+            }
+        }
+        let wait = if waiting.is_empty() { tick } else { idle_wait };
+        match rx.recv_timeout(wait) {
+            Ok(m) => {
+                idle_wait = POLL_MIN;
+                let mut next = Some(m);
+                // Batch the whole burst: drain everything already queued so
+                // one exchange carries every report that is ready.
+                while let Some(msg) = next {
+                    match msg {
+                        MasterMsg::Complete { job, reply } => reports.push((job, true, reply)),
+                        MasterMsg::Failed { job } => reports.push((job, false, None)),
+                        MasterMsg::GetJob { reply } => waiting.push_back(reply),
+                    }
+                    next = rx.try_recv().ok();
+                }
+            }
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                if !waiting.is_empty() {
+                    idle_wait = (idle_wait * 2).min(POLL_CAP);
+                }
+            }
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => disconnected = true,
+        }
+        if serve_waiting(pool, &mut waiting) {
+            idle_wait = POLL_MIN;
+        }
+        // One exchange covers every upstream need of this iteration:
+        // shipping reports, feeding starved slaves, and topping the credit
+        // window back up before it runs dry.
+        let starving = !waiting.is_empty() && pool.queued() == 0 && !pool.is_drained();
+        let top_up = !pool.is_drained() && pool.needs_refill() && credit > pool.queued();
+        if !reports.is_empty() || starving || top_up {
+            let want = credit.saturating_sub(pool.queued()).min(usize::from(u16::MAX)) as u16;
+            exchange(pool, site, control_latency_real, want, &mut reports, writer, reader)?;
+            last_sent = Instant::now();
+            if serve_waiting(pool, &mut waiting) {
+                idle_wait = POLL_MIN;
+            }
+        }
+    }
+    // All slaves hung up: flush any still-buffered verdictless reports
+    // (want 0 — no refill), hand undispatched credit back as failures, and
+    // say goodbye. (The loop condition drains `reports` before exit, so
+    // this flush only fires when the mailbox disconnected mid-burst.)
+    if !reports.is_empty() {
+        exchange(pool, site, control_latency_real, 0, &mut reports, writer, reader)?;
+    }
+    for job in pool.drain_queued() {
+        write_to_head(writer, &MasterToHead::Failed { job: job.chunk.id, site })?;
+    }
+    write_to_head(writer, &MasterToHead::Bye)?;
     Ok(())
 }
 
@@ -531,6 +580,17 @@ pub fn run_hybrid_tcp<R: Reduction>(
                 let chaos = chaos.clone();
                 scope.spawn(move || -> Result<SiteOutcome<R::RObj>, RunError> {
                     let control_latency = config.topology.link(site.0, head_site.0).latency;
+                    // The prefetch-credit window generalizes the slave-side
+                    // pipeline depth: enough granted-but-unprocessed jobs to
+                    // keep every core and prefetcher busy across one grant
+                    // round-trip, plus the refill watermark.
+                    let credit = match config.wire {
+                        WireMode::SingleJob => 0,
+                        WireMode::Batched { window: 0 } => {
+                            cores as usize * config.pipeline_depth.max(1) + config.low_watermark + 1
+                        }
+                        WireMode::Batched { window } => window,
+                    };
                     let (master_tx, master_rx) = unbounded::<MasterMsg>();
                     let stream = TcpStream::connect(head_addr)?;
 
@@ -553,6 +613,7 @@ pub fn run_hybrid_tcp<R: Reduction>(
                                         epoch,
                                         telemetry: config.telemetry.clone(),
                                     },
+                                    credit,
                                 )
                             }
                         });

@@ -107,4 +107,11 @@ pub struct HeadReport {
     pub faults: FaultCounters,
     /// Sites declared dead and evacuated during the run.
     pub dead_sites: Vec<SiteId>,
+    /// Connections the head accepted (TCP reactor mode; 0 in channel mode).
+    pub conns_opened: u64,
+    /// Connection states reclaimed — closed and their buffers freed (TCP
+    /// reactor mode). Equal to [`HeadReport::conns_opened`] at the end of
+    /// any run that leaks nothing, whether the peer said Bye, vanished, or
+    /// timed out.
+    pub conns_reclaimed: u64,
 }

@@ -89,6 +89,31 @@ impl FtConfig {
     }
 }
 
+/// How the TCP deployment mode speaks to the head. Ignored by the channel
+/// runtime, which has no wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireMode {
+    /// v2 batched protocol: the master opens with a `Hello`, holds a
+    /// prefetch-credit window of granted-but-unprocessed jobs, ships
+    /// completions in `AckBatch` frames, and is refilled by each reply's
+    /// piggybacked grant — so a slave never stalls on a grant round-trip
+    /// while credit remains. Falls back to v1 against an old head.
+    Batched {
+        /// Prefetch-credit window in jobs. `0` sizes it automatically:
+        /// cores × pipeline depth + refill watermark + 1.
+        window: usize,
+    },
+    /// v1 single-job lockstep RPC per grant — the per-RPC baseline the
+    /// scale bench compares against.
+    SingleJob,
+}
+
+impl Default for WireMode {
+    fn default() -> WireMode {
+        WireMode::Batched { window: 0 }
+    }
+}
+
 /// Everything configurable about a run.
 #[derive(Debug, Clone)]
 pub struct RuntimeConfig {
@@ -123,6 +148,9 @@ pub struct RuntimeConfig {
     pub redundancy: u32,
     /// Failure handling.
     pub fault_policy: FaultPolicy,
+    /// Head ↔ master wire protocol for the TCP deployment mode (batched v2
+    /// by default; [`WireMode::SingleJob`] forces the v1 per-RPC baseline).
+    pub wire: WireMode,
     /// Fault-tolerance subsystem (off by default).
     pub ft: FtConfig,
     /// Event sink for the run (off by default): the pool, the masters, and
@@ -152,6 +180,7 @@ impl RuntimeConfig {
             pipeline_depth: 1,
             redundancy: 1,
             fault_policy: FaultPolicy::FailFast,
+            wire: WireMode::default(),
             ft: FtConfig::default(),
             telemetry: Telemetry::off(),
             metrics: Metrics::off(),

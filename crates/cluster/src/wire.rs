@@ -9,6 +9,19 @@
 //! prefixes are capped before any allocation, unknown tags are rejected,
 //! and truncation surfaces as an error — garbage bytes can never panic or
 //! balloon memory.
+//!
+//! Two protocol versions share the connection. **v1** is the original
+//! single-job lockstep RPC (`Request`/grant, `Complete`/ack). **v2** adds
+//! the batched frames behind the reactor head: a `Hello`/`HelloAck`
+//! version negotiation, `GetJobs{max}` multi-job grant requests, and
+//! `AckBatch` frames that carry many completion/failure reports and are
+//! answered by one [`BatchReply`] (per-report verdicts + revoked-lease
+//! notices + a piggybacked refill grant). A master that never sends
+//! `Hello` is a v1 peer; the head answers `Hello` with
+//! `min(WIRE_VERSION, theirs)` so either side can fall back. The
+//! incremental [`try_read_frame`] decoder accepts any interleaving of v1
+//! and v2 frames, which is what lets a v2 master reuse the v1 `Failed`,
+//! `Ping` and `Bye` frames unchanged.
 
 use bytes::{Buf, BufMut, BytesMut};
 use cloudburst_core::{ByteSize, ChunkId, ChunkMeta, FileId, JobBatch, SiteId};
@@ -222,6 +235,282 @@ pub fn read_ack(r: &mut impl Read) -> io::Result<bool> {
     Ok(b[1] != 0)
 }
 
+// ---------------------------------------------------------------------------
+// v2: batched frames (Hello negotiation, GetJobs, AckBatch / BatchReply)
+// ---------------------------------------------------------------------------
+
+const TAG_HELLO: u8 = 8;
+const TAG_HELLO_ACK: u8 = 9;
+const TAG_GET_JOBS: u8 = 10;
+const TAG_ACK_BATCH: u8 = 11;
+const TAG_BATCH_REPLY: u8 = 12;
+
+/// Bytes per report entry in an `AckBatch` frame (job u32 + ok u8).
+const ACK_ENTRY: usize = 5;
+
+/// Highest control-protocol version this build speaks.
+pub const WIRE_VERSION: u16 = 2;
+
+/// One completion/failure report inside an `AckBatch` frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AckEntry {
+    /// The finished (or failed) job.
+    pub job: ChunkId,
+    /// `true` = completed, `false` = failed.
+    pub ok: bool,
+}
+
+/// Any frame a master may send, v1 or v2 — what the reactor head decodes.
+/// A v2 connection is free to interleave legacy frames (`Failed`, `Ping`,
+/// `Bye`) between batched ones.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// A v1 single-job frame.
+    Legacy(MasterToHead),
+    /// v2 opening handshake: announce the speaker and its prefetch window.
+    Hello {
+        /// The master's site.
+        site: SiteId,
+        /// Highest protocol version the master speaks.
+        version: u16,
+        /// The master's prefetch-credit window (jobs it is willing to hold).
+        credit: u16,
+    },
+    /// Request up to `max` jobs in one grant (reply is a grant frame).
+    GetJobs {
+        /// Requesting site.
+        site: SiteId,
+        /// Upper bound on jobs in the reply grant.
+        max: u16,
+    },
+    /// A batch of completion/failure reports; the head answers with one
+    /// [`BatchReply`] carrying per-report verdicts, revoked-lease notices
+    /// and a piggybacked refill grant of up to `want` jobs.
+    AckBatch {
+        /// Reporting site.
+        site: SiteId,
+        /// Refill credit: how many jobs the reply grant may carry (0 = the
+        /// master only wants the verdicts, e.g. during shutdown).
+        want: u16,
+        /// The reports, in the order the verdicts must come back.
+        entries: Vec<AckEntry>,
+    },
+}
+
+/// The head's lockstep reply to an `AckBatch` frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchReply {
+    /// Per-report merge verdicts, in `entries` order (`true` = merged;
+    /// failure reports get `false`). Positional — like v1's ack frame.
+    pub verdicts: Vec<bool>,
+    /// Jobs whose leases the head revoked (reaped or evacuated) since the
+    /// last reply: the master must drop any of these it still has queued.
+    pub revoked: Vec<ChunkId>,
+    /// Refill grant (empty + terminal once the pool is drained).
+    pub grant: JobBatch,
+}
+
+/// Try to decode one master→head frame from the front of `buf`, consuming
+/// its bytes. `Ok(None)` means the frame is incomplete — leave the bytes in
+/// place and read more. Nothing is allocated until a frame's bytes have
+/// fully arrived, and a `u16` entry count bounds `AckBatch` at ~320 KiB.
+pub fn try_read_frame(buf: &mut BytesMut) -> io::Result<Option<Frame>> {
+    let Some(&tag) = buf.first() else { return Ok(None) };
+    let need = match tag {
+        TAG_REQUEST | TAG_PING => 3,
+        TAG_COMPLETE => 8,
+        TAG_FAILED => 7,
+        TAG_BYE => 1,
+        TAG_HELLO => 7,
+        TAG_GET_JOBS => 5,
+        TAG_ACK_BATCH => {
+            if buf.len() < 7 {
+                return Ok(None);
+            }
+            let n = u16::from_le_bytes([buf[5], buf[6]]) as usize;
+            7 + n * ACK_ENTRY
+        }
+        other => return Err(err(&format!("unknown control tag {other}"))),
+    };
+    if buf.len() < need {
+        return Ok(None);
+    }
+    let mut frame = buf.split_to(need);
+    frame.advance(1);
+    let decoded = match tag {
+        TAG_REQUEST => Frame::Legacy(MasterToHead::Request { site: SiteId(frame.get_u16_le()) }),
+        TAG_PING => Frame::Legacy(MasterToHead::Ping { site: SiteId(frame.get_u16_le()) }),
+        TAG_COMPLETE => {
+            let job = ChunkId(frame.get_u32_le());
+            let site = SiteId(frame.get_u16_le());
+            let want_ack = frame.get_u8() != 0;
+            Frame::Legacy(MasterToHead::Complete { job, site, want_ack })
+        }
+        TAG_FAILED => {
+            let job = ChunkId(frame.get_u32_le());
+            let site = SiteId(frame.get_u16_le());
+            Frame::Legacy(MasterToHead::Failed { job, site })
+        }
+        TAG_BYE => Frame::Legacy(MasterToHead::Bye),
+        TAG_HELLO => {
+            let site = SiteId(frame.get_u16_le());
+            let version = frame.get_u16_le();
+            let credit = frame.get_u16_le();
+            Frame::Hello { site, version, credit }
+        }
+        TAG_GET_JOBS => {
+            let site = SiteId(frame.get_u16_le());
+            let max = frame.get_u16_le();
+            Frame::GetJobs { site, max }
+        }
+        TAG_ACK_BATCH => {
+            let site = SiteId(frame.get_u16_le());
+            let want = frame.get_u16_le();
+            let n = frame.get_u16_le() as usize;
+            let mut entries = Vec::with_capacity(n);
+            for _ in 0..n {
+                let job = ChunkId(frame.get_u32_le());
+                let ok = frame.get_u8() != 0;
+                entries.push(AckEntry { job, ok });
+            }
+            Frame::AckBatch { site, want, entries }
+        }
+        _ => unreachable!("tag validated above"),
+    };
+    Ok(Some(decoded))
+}
+
+/// Encode any frame (the inverse of [`try_read_frame`]). Legacy frames
+/// encode exactly as [`encode_to_head`] would.
+#[must_use]
+pub fn encode_frame(frame: &Frame) -> Vec<u8> {
+    match frame {
+        Frame::Legacy(msg) => encode_to_head(msg),
+        Frame::Hello { site, version, credit } => {
+            let mut buf = BytesMut::with_capacity(7);
+            buf.put_u8(TAG_HELLO);
+            buf.put_u16_le(site.0);
+            buf.put_u16_le(*version);
+            buf.put_u16_le(*credit);
+            buf.to_vec()
+        }
+        Frame::GetJobs { site, max } => {
+            let mut buf = BytesMut::with_capacity(5);
+            buf.put_u8(TAG_GET_JOBS);
+            buf.put_u16_le(site.0);
+            buf.put_u16_le(*max);
+            buf.to_vec()
+        }
+        Frame::AckBatch { site, want, entries } => {
+            let mut buf = BytesMut::with_capacity(7 + entries.len() * ACK_ENTRY);
+            buf.put_u8(TAG_ACK_BATCH);
+            buf.put_u16_le(site.0);
+            buf.put_u16_le(*want);
+            buf.put_u16_le(entries.len() as u16);
+            for e in entries {
+                buf.put_u32_le(e.job.0);
+                buf.put_u8(u8::from(e.ok));
+            }
+            buf.to_vec()
+        }
+    }
+}
+
+/// Open the v2 handshake: announce `site` and the prefetch-credit window.
+/// `version` is normally [`WIRE_VERSION`]; tests pass lower values to
+/// exercise the fallback.
+pub fn write_hello(w: &mut impl Write, site: SiteId, version: u16, credit: u16) -> io::Result<()> {
+    w.write_all(&encode_frame(&Frame::Hello { site, version, credit }))?;
+    w.flush()
+}
+
+/// Answer a `Hello` with the version the head will speak on this
+/// connection (`min(WIRE_VERSION, theirs)`).
+pub fn write_hello_ack(w: &mut impl Write, version: u16) -> io::Result<()> {
+    let mut buf = [0u8; 3];
+    buf[0] = TAG_HELLO_ACK;
+    buf[1..3].copy_from_slice(&version.to_le_bytes());
+    w.write_all(&buf)?;
+    w.flush()
+}
+
+/// Read the head's handshake answer: the negotiated protocol version.
+pub fn read_hello_ack(r: &mut impl Read) -> io::Result<u16> {
+    let mut b = [0u8; 3];
+    r.read_exact(&mut b)?;
+    if b[0] != TAG_HELLO_ACK {
+        return Err(err(&format!("expected hello-ack, got tag {}", b[0])));
+    }
+    Ok(u16::from_le_bytes([b[1], b[2]]))
+}
+
+/// Request up to `max` jobs in one grant (reply is a grant frame).
+pub fn write_get_jobs(w: &mut impl Write, site: SiteId, max: u16) -> io::Result<()> {
+    w.write_all(&encode_frame(&Frame::GetJobs { site, max }))?;
+    w.flush()
+}
+
+/// Send a batch of completion/failure reports; the head answers with one
+/// [`BatchReply`].
+pub fn write_ack_batch(
+    w: &mut impl Write,
+    site: SiteId,
+    want: u16,
+    entries: &[AckEntry],
+) -> io::Result<()> {
+    w.write_all(&encode_frame(&Frame::AckBatch { site, want, entries: entries.to_vec() }))?;
+    w.flush()
+}
+
+/// Encode a [`BatchReply`] (head → master).
+#[must_use]
+pub fn encode_batch_reply(reply: &BatchReply) -> Vec<u8> {
+    let mut buf = BytesMut::with_capacity(6 + reply.verdicts.len() + reply.revoked.len() * 4);
+    buf.put_u8(TAG_BATCH_REPLY);
+    buf.put_u16_le(reply.verdicts.len() as u16);
+    for &v in &reply.verdicts {
+        buf.put_u8(u8::from(v));
+    }
+    buf.put_u16_le(reply.revoked.len() as u16);
+    for &job in &reply.revoked {
+        buf.put_u32_le(job.0);
+    }
+    let mut out = buf.to_vec();
+    out.extend(encode_grant(&reply.grant));
+    out
+}
+
+/// Write a [`BatchReply`] to a stream.
+pub fn write_batch_reply(w: &mut impl Write, reply: &BatchReply) -> io::Result<()> {
+    w.write_all(&encode_batch_reply(reply))?;
+    w.flush()
+}
+
+/// Read a [`BatchReply`] from a stream. Both length prefixes are `u16`, so
+/// the decode allocation is bounded without a separate cap.
+pub fn read_batch_reply(r: &mut impl Read) -> io::Result<BatchReply> {
+    let mut head = [0u8; 3];
+    r.read_exact(&mut head)?;
+    if head[0] != TAG_BATCH_REPLY {
+        return Err(err(&format!("expected batch reply, got tag {}", head[0])));
+    }
+    let n = u16::from_le_bytes([head[1], head[2]]) as usize;
+    let mut verdict_bytes = vec![0u8; n];
+    r.read_exact(&mut verdict_bytes)?;
+    let verdicts = verdict_bytes.iter().map(|&b| b != 0).collect();
+    let mut rb = [0u8; 2];
+    r.read_exact(&mut rb)?;
+    let n_revoked = u16::from_le_bytes(rb) as usize;
+    let mut revoked_bytes = vec![0u8; n_revoked * 4];
+    r.read_exact(&mut revoked_bytes)?;
+    let revoked = revoked_bytes
+        .chunks_exact(4)
+        .map(|c| ChunkId(u32::from_le_bytes(c.try_into().expect("job id"))))
+        .collect();
+    let grant = read_grant(r)?;
+    Ok(BatchReply { verdicts, revoked, grant })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -335,5 +624,141 @@ mod tests {
         let mut c2 = Cursor::new(bytes);
         assert!(read_grant(&mut c2).is_err());
         let _ = cursor;
+    }
+
+    // ---- v2 ----
+
+    #[test]
+    fn v2_frames_roundtrip_through_the_incremental_decoder() {
+        let frames = [
+            Frame::Hello { site: SiteId(3), version: WIRE_VERSION, credit: 256 },
+            Frame::GetJobs { site: SiteId(3), max: 64 },
+            Frame::AckBatch {
+                site: SiteId(3),
+                want: 32,
+                entries: vec![
+                    AckEntry { job: ChunkId(7), ok: true },
+                    AckEntry { job: ChunkId(9), ok: false },
+                ],
+            },
+            Frame::AckBatch { site: SiteId(0), want: 0, entries: Vec::new() },
+            Frame::Legacy(MasterToHead::Ping { site: SiteId(3) }),
+            Frame::Legacy(MasterToHead::Bye),
+        ];
+        let mut buf = BytesMut::new();
+        for f in &frames {
+            buf.extend_from_slice(&encode_frame(f));
+        }
+        for f in &frames {
+            assert_eq!(try_read_frame(&mut buf).unwrap().as_ref(), Some(f));
+        }
+        assert!(buf.is_empty());
+        assert_eq!(try_read_frame(&mut buf).unwrap(), None, "empty buffer");
+    }
+
+    #[test]
+    fn incremental_decoder_waits_for_whole_frames() {
+        let frame = Frame::AckBatch {
+            site: SiteId(1),
+            want: 8,
+            entries: (0..4).map(|i| AckEntry { job: ChunkId(i), ok: i % 2 == 0 }).collect(),
+        };
+        let bytes = encode_frame(&frame);
+        let mut buf = BytesMut::new();
+        // Feed one byte at a time: every prefix must yield None, never an
+        // error or a partial frame, until the final byte lands.
+        for (i, &b) in bytes.iter().enumerate() {
+            buf.extend_from_slice(&[b]);
+            if i + 1 < bytes.len() {
+                assert_eq!(try_read_frame(&mut buf).unwrap(), None, "byte {i}");
+            }
+        }
+        assert_eq!(try_read_frame(&mut buf).unwrap(), Some(frame));
+    }
+
+    #[test]
+    fn incremental_decoder_decodes_every_v1_frame() {
+        let msgs = [
+            MasterToHead::Request { site: SiteId::CLOUD },
+            MasterToHead::Complete { job: ChunkId(42), site: SiteId::LOCAL, want_ack: true },
+            MasterToHead::Failed { job: ChunkId(7), site: SiteId(3) },
+            MasterToHead::Ping { site: SiteId::CLOUD },
+            MasterToHead::Bye,
+        ];
+        let mut buf = BytesMut::new();
+        for m in &msgs {
+            buf.extend_from_slice(&encode_to_head(m));
+        }
+        for m in &msgs {
+            assert_eq!(try_read_frame(&mut buf).unwrap(), Some(Frame::Legacy(*m)));
+        }
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn incremental_decoder_rejects_unknown_tags() {
+        let mut buf = BytesMut::from(&[0xEEu8, 1, 2, 3][..]);
+        assert!(try_read_frame(&mut buf).is_err());
+        let mut zero = BytesMut::from(&[0u8][..]);
+        assert!(try_read_frame(&mut zero).is_err());
+    }
+
+    #[test]
+    fn hello_negotiation_roundtrips_and_caps_at_the_lower_version() {
+        let mut bytes = Vec::new();
+        write_hello(&mut bytes, SiteId(5), WIRE_VERSION, 128).unwrap();
+        let mut buf = BytesMut::from(&bytes[..]);
+        let hello = try_read_frame(&mut buf).unwrap().unwrap();
+        assert_eq!(hello, Frame::Hello { site: SiteId(5), version: WIRE_VERSION, credit: 128 });
+        // Head side answers min(ours, theirs); a v1 client gets v1 back.
+        for (theirs, negotiated) in [(WIRE_VERSION, WIRE_VERSION), (1, 1), (99, WIRE_VERSION)] {
+            let mut reply = Vec::new();
+            write_hello_ack(&mut reply, WIRE_VERSION.min(theirs)).unwrap();
+            assert_eq!(read_hello_ack(&mut Cursor::new(reply)).unwrap(), negotiated);
+        }
+        // An ack frame where a hello-ack is expected is rejected.
+        let mut ack = Vec::new();
+        write_ack(&mut ack, true).unwrap();
+        assert!(read_hello_ack(&mut Cursor::new(ack)).is_err());
+    }
+
+    #[test]
+    fn batch_replies_roundtrip() {
+        let replies = [
+            BatchReply { verdicts: Vec::new(), revoked: Vec::new(), grant: JobBatch::empty(true) },
+            BatchReply {
+                verdicts: vec![true, false, true],
+                revoked: vec![ChunkId(3), ChunkId(11)],
+                grant: JobBatch {
+                    jobs: vec![chunk(1), chunk(2)],
+                    spans: vec![7, 8],
+                    stolen: true,
+                    terminal: false,
+                },
+            },
+        ];
+        for reply in &replies {
+            let mut bytes = Vec::new();
+            write_batch_reply(&mut bytes, reply).unwrap();
+            assert_eq!(&read_batch_reply(&mut Cursor::new(bytes)).unwrap(), reply);
+        }
+    }
+
+    #[test]
+    fn truncated_batch_reply_errors() {
+        let reply = BatchReply {
+            verdicts: vec![true, true],
+            revoked: vec![ChunkId(5)],
+            grant: JobBatch {
+                jobs: vec![chunk(4)],
+                spans: vec![9],
+                stolen: false,
+                terminal: false,
+            },
+        };
+        let bytes = encode_batch_reply(&reply);
+        for cut in [0, 2, 4, bytes.len() - 1] {
+            assert!(read_batch_reply(&mut Cursor::new(&bytes[..cut])).is_err(), "cut {cut}");
+        }
     }
 }

@@ -11,7 +11,7 @@
 
 use crate::layout::ChunkMeta;
 use crate::pool::JobBatch;
-use crate::types::SiteId;
+use crate::types::{ChunkId, SiteId};
 use std::collections::VecDeque;
 
 /// One job as held by a master: the chunk plus whether it was stolen from a
@@ -140,6 +140,16 @@ impl MasterPool {
         self.queue.drain(..).collect()
     }
 
+    /// Drop every queued-but-undispatched job in `revoked` — the head
+    /// reaped their leases (or evacuated a site), so this prefetched credit
+    /// is dead: dispatching it would only burn a slave on a result the
+    /// dedup verdict will discard. Returns how many jobs were dropped.
+    pub fn drop_revoked(&mut self, revoked: &[ChunkId]) -> usize {
+        let before = self.queue.len();
+        self.queue.retain(|j| !revoked.contains(&j.chunk.id));
+        before - self.queue.len()
+    }
+
     /// Number of head refill requests issued so far.
     #[must_use]
     pub fn refill_count(&self) -> u64 {
@@ -230,6 +240,24 @@ mod tests {
         assert_eq!(mp.take(), Take::NeedRefill, "must keep polling");
         mp.refill(JobBatch::empty(true));
         assert_eq!(mp.take(), Take::Drained);
+    }
+
+    #[test]
+    fn drop_revoked_removes_only_undispatched_jobs() {
+        let mut mp = MasterPool::new(SiteId::LOCAL, 0);
+        mp.refill(some_batch(3, false));
+        let first = match mp.take() {
+            Take::Job(j) => j.chunk.id,
+            other => panic!("expected a job, got {other:?}"),
+        };
+        // The dispatched job is out of the queue: revoking it is a no-op.
+        assert_eq!(mp.drop_revoked(&[first]), 0);
+        assert_eq!(mp.queued(), 2);
+        // Revoking one of the two still-queued jobs drops exactly that one.
+        let target = mp.queue.front().copied().unwrap().chunk.id;
+        assert_eq!(mp.drop_revoked(&[target]), 1);
+        assert_eq!(mp.queued(), 1);
+        assert!(matches!(mp.take(), Take::Job(j) if j.chunk.id != target));
     }
 
     #[test]

@@ -225,20 +225,35 @@ struct PoolMetrics {
     replica_wins: BTreeMap<SiteId, Counter>,
     replica_fences: BTreeMap<SiteId, Counter>,
     saved_refetches: BTreeMap<SiteId, Counter>,
-    queue_depth: Gauge,
+    /// Pending jobs per data-home site — one gauge per shard, so a scrape
+    /// (or `--watch`) shows shard imbalance, not just the global backlog.
+    queue_depth: BTreeMap<SiteId, Gauge>,
+    /// Jobs stolen *out of* a site's shard (by home site) — the per-shard
+    /// steal rate; the thief side is counted in `steals`.
+    stolen_from: BTreeMap<SiteId, Counter>,
     in_flight: Gauge,
 }
 
 impl PoolMetrics {
     fn new(handle: Metrics) -> PoolMetrics {
-        let queue_depth = handle.gauge(
-            "cloudburst_pool_queue_depth",
-            "Jobs waiting in the head's pool, not yet leased to any site.",
-            &[],
-        );
         let in_flight =
             handle.gauge("cloudburst_pool_in_flight", "Jobs currently leased to some site.", &[]);
-        PoolMetrics { handle, queue_depth, in_flight, ..PoolMetrics::default() }
+        PoolMetrics { handle, in_flight, ..PoolMetrics::default() }
+    }
+
+    /// Get-or-create the queue-depth gauge of one shard (data-home site).
+    fn depth_gauge<'a>(
+        map: &'a mut BTreeMap<SiteId, Gauge>,
+        handle: &Metrics,
+        site: SiteId,
+    ) -> &'a Gauge {
+        map.entry(site).or_insert_with(|| {
+            handle.gauge(
+                "cloudburst_pool_queue_depth",
+                "Jobs waiting in the head's pool by data-home site (shard depth).",
+                &[("site", &site.to_string())],
+            )
+        })
     }
 
     /// Get-or-create the per-site series of a counter family.
@@ -253,7 +268,7 @@ impl PoolMetrics {
             .or_insert_with(|| handle.counter(name, help, &[("site", &site.to_string())]))
     }
 
-    fn granted(&mut self, site: SiteId, stolen: bool, speculative: bool) {
+    fn granted(&mut self, site: SiteId, home: SiteId, stolen: bool, speculative: bool) {
         if !self.handle.is_enabled() {
             return;
         }
@@ -272,6 +287,14 @@ impl PoolMetrics {
                 "cloudburst_pool_steals_total",
                 "Cross-site (stolen) job grants.",
                 site,
+            )
+            .inc();
+            Self::site(
+                &mut self.stolen_from,
+                &self.handle,
+                "cloudburst_pool_shard_stolen_from_total",
+                "Jobs stolen out of a site's shard by other sites.",
+                home,
             )
             .inc();
         }
@@ -495,6 +518,12 @@ pub struct JobPool {
     /// incremented at the same points that feed the run-report accumulators
     /// so a scrape and `derive_report` agree exactly. Off by default.
     metrics: PoolMetrics,
+    /// When present, every job returned to the pending pool (failure
+    /// requeue, lease reap, evacuation) is also appended here, so the
+    /// sharded wrapper ([`crate::shard::ShardedPool`]) can push it back onto
+    /// the owning site's lock-free shard queue. `None` (the default) is the
+    /// classic unsharded pool, byte-for-byte.
+    shard_log: Option<Vec<ChunkId>>,
 }
 
 impl JobPool {
@@ -537,6 +566,7 @@ impl JobPool {
             faults: FaultCounters::default(),
             sink: Telemetry::off(),
             metrics: PoolMetrics::default(),
+            shard_log: None,
         }
     }
 
@@ -557,12 +587,33 @@ impl JobPool {
     /// report agree exactly.
     pub fn set_metrics(&mut self, metrics: Metrics) {
         self.metrics = PoolMetrics::new(metrics);
+        if self.metrics.handle.is_enabled() {
+            // Pre-create one depth gauge per data-home site so every shard
+            // shows up in a scrape from the first sample on — a site whose
+            // backlog is zero is a signal, not a missing series.
+            let sites: BTreeSet<SiteId> = self.file_site.iter().copied().collect();
+            for site in sites {
+                let map = &mut self.metrics.queue_depth;
+                let _ = PoolMetrics::depth_gauge(map, &self.metrics.handle, site);
+            }
+        }
         self.sync_depth();
     }
 
-    /// Refresh the backlog gauges (no-op while metrics are off).
+    /// Refresh the backlog gauges: one queue-depth gauge per shard
+    /// (data-home site) plus the global in-flight count (no-op while
+    /// metrics are off).
     fn sync_depth(&self) {
-        self.metrics.queue_depth.set(self.pending_total as i64);
+        if !self.metrics.handle.is_enabled() {
+            return;
+        }
+        let mut depth: BTreeMap<SiteId, i64> = BTreeMap::new();
+        for (q, &site) in self.pending_by_file.iter().zip(&self.file_site) {
+            *depth.entry(site).or_insert(0) += q.len() as i64;
+        }
+        for (site, gauge) in &self.metrics.queue_depth {
+            gauge.set(depth.get(site).copied().unwrap_or(0));
+        }
         self.metrics.in_flight.set(self.in_flight() as i64);
     }
 
@@ -781,6 +832,9 @@ impl JobPool {
         let q = &mut self.pending_by_file[self.chunks[i].file.0 as usize];
         let pos = q.partition_point(|&c| c < job);
         q.insert(pos, job);
+        if let Some(log) = &mut self.shard_log {
+            log.push(job);
+        }
         self.sync_depth();
     }
 
@@ -981,7 +1035,7 @@ impl JobPool {
 
     /// The rate-aware steal condition: worth stealing only while the owner
     /// site's pending backlog outlasts the thief's end-to-end steal cost.
-    fn steal_pays_off(&self, thief: SiteId, owner: SiteId) -> bool {
+    pub(crate) fn steal_pays_off(&self, thief: SiteId, owner: SiteId) -> bool {
         if self.dead_sites.contains(&owner) {
             return true; // a dead owner will never drain its own backlog
         }
@@ -1242,7 +1296,7 @@ impl JobPool {
             self.readers[j.file.0 as usize] += 1;
             self.pending_total -= 1;
             *self.assigned_to.entry(site).or_insert(0) += 1;
-            self.metrics.granted(site, batch.stolen, false);
+            self.metrics.granted(site, j.site, batch.stolen, false);
             self.sink.emit(
                 Event::at(
                     self.now_ns(),
@@ -1304,7 +1358,7 @@ impl JobPool {
             self.faults.replica_grants += 1;
             self.metrics.replica_grant(site);
         }
-        self.metrics.granted(site, stolen, speculative);
+        self.metrics.granted(site, self.chunks[i].site, stolen, speculative);
         self.sink.emit(
             Event::at(self.now_ns(), EventKind::JobGranted { stolen, speculative })
                 .site(site)
@@ -1337,6 +1391,81 @@ impl JobPool {
                 }
             }
         }
+        batch
+    }
+
+    // ---- sharded-wrapper support (see `crate::shard::ShardedPool`) ----
+
+    /// Turn the requeue log on or off. While on, every job returned to the
+    /// pending pool is also recorded for [`JobPool::take_requeued`].
+    pub(crate) fn set_shard_log(&mut self, on: bool) {
+        self.shard_log = if on { Some(Vec::new()) } else { None };
+    }
+
+    /// Drain the requeue log: the jobs put back in the pending pool since
+    /// the last call (failure requeues, lease reaps, evacuations).
+    pub(crate) fn take_requeued(&mut self) -> Vec<ChunkId> {
+        match &mut self.shard_log {
+            Some(log) => std::mem::take(log),
+            None => Vec::new(),
+        }
+    }
+
+    /// The data-home site of `job`.
+    pub(crate) fn home_of(&self, job: ChunkId) -> SiteId {
+        self.chunks[job.0 as usize].site
+    }
+
+    /// Every pending job grouped by its data-home site, in physical order —
+    /// the initial shard contents for the sharded wrapper.
+    pub(crate) fn pending_ids_by_site(&self) -> BTreeMap<SiteId, Vec<ChunkId>> {
+        let mut out: BTreeMap<SiteId, Vec<ChunkId>> = BTreeMap::new();
+        for (q, &site) in self.pending_by_file.iter().zip(&self.file_site) {
+            out.entry(site).or_default().extend(q.iter().copied());
+        }
+        for ids in out.values_mut() {
+            ids.sort_unstable();
+        }
+        out
+    }
+
+    /// Grant the still-pending jobs among `ids` to `site` in one batch,
+    /// advancing the pool clock to `now`.
+    ///
+    /// This is the registration half of a sharded grant: the caller already
+    /// *selected* the jobs by popping them off a lock-free shard queue, so
+    /// no policy scan runs here — each id is checked (a shard entry can be
+    /// stale: the job may have completed late, been abandoned, or been
+    /// granted through the legacy path since it was pushed), removed from
+    /// its file's pending queue, and leased via the same bookkeeping as
+    /// [`JobPool::request_for`] (spans, leases, telemetry, metrics). Stale
+    /// ids are skipped silently; the returned batch may therefore be
+    /// smaller than `ids`, or empty.
+    pub(crate) fn assign_ids(
+        &mut self,
+        site: SiteId,
+        ids: &[ChunkId],
+        stolen: bool,
+        now: f64,
+    ) -> JobBatch {
+        self.now = self.now.max(now);
+        let mut jobs = Vec::with_capacity(ids.len());
+        for &id in ids {
+            let i = id.0 as usize;
+            if self.state[i] != JobState::Pending {
+                continue; // stale shard entry
+            }
+            let q = &mut self.pending_by_file[self.chunks[i].file.0 as usize];
+            let pos = q.partition_point(|&c| c < id);
+            if q.get(pos) == Some(&id) {
+                q.remove(pos);
+                jobs.push(self.chunks[i]);
+            } else {
+                debug_assert!(false, "{id} pending but missing from its file queue");
+            }
+        }
+        let mut batch = JobBatch { jobs, spans: Vec::new(), stolen, terminal: false };
+        self.assign_to(&mut batch, site);
         batch
     }
 }

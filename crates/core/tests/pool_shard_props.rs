@@ -1,0 +1,306 @@
+//! Equivalence of the sharded, batched pool and the legacy pool.
+//!
+//! `ShardedPool` re-routes grant *selection* through lock-free per-site
+//! queues but delegates every piece of fault-tolerance state to the same
+//! `JobPool`. These properties drive both pools through random
+//! interleavings of batched grants (every batch size 1..=64), completions,
+//! failures, lease reaps and a site revocation (evacuation), and check that
+//! the sharded façade preserves the contracts the runtimes rely on:
+//!
+//! * **grant-set equivalence** — over a full run both pools grant (and a
+//!   surviving site merges) exactly the set of all chunks;
+//! * **dedup equivalence** — each chunk merges exactly once at sites that
+//!   are alive at the end, no matter how grants, reaps and revocations
+//!   interleave;
+//! * **terminal soundness** — a terminal (empty) batch is only ever issued
+//!   once every job is finished.
+
+use cloudburst_core::{
+    BatchPolicy, ChunkId, Completion, DataIndex, JobBatch, JobPool, LayoutParams, LeaseConfig,
+    ShardedPool, SiteId,
+};
+use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+const SITES: [SiteId; 2] = [SiteId::LOCAL, SiteId::CLOUD];
+
+/// Merged-verdict counts per chunk, by the site that reported it.
+type Merges = BTreeMap<ChunkId, BTreeMap<SiteId, u32>>;
+
+fn build_index(file_sites: &[usize], chunks_per_file: u64) -> DataIndex {
+    let n_files = file_sites.len() as u32;
+    let sites = file_sites.to_vec();
+    DataIndex::build(
+        u64::from(n_files) * chunks_per_file * 4,
+        LayoutParams { unit_size: 8, units_per_chunk: 4, n_files },
+        move |f| SITES[sites[f.0 as usize]],
+    )
+    .unwrap()
+}
+
+/// One step of a random schedule. Site indices are into [`SITES`].
+#[derive(Debug, Clone)]
+enum Op {
+    /// Batched grant of up to `max` jobs (the sharded fast path).
+    Grant { site: usize, max: usize },
+    /// Complete the oldest job the site still holds (plus a duplicate
+    /// report straight after, which must be rejected).
+    Complete { site: usize },
+    /// Fail the oldest job the site still holds.
+    Fail { site: usize },
+    /// Jump the clock past every live lease deadline and reap.
+    Reap,
+    /// Revoke the cloud site (spot-instance loss).
+    Evacuate,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // Weighted pick (4:4:1:1:1) driven by a plain integer selector.
+    (0..11u32, 0..2usize, 1..65usize).prop_map(|(sel, site, max)| match sel {
+        0..=3 => Op::Grant { site, max },
+        4..=7 => Op::Complete { site },
+        8 => Op::Fail { site },
+        9 => Op::Reap,
+        _ => Op::Evacuate,
+    })
+}
+
+/// The slice of pool API the schedule exercises, so one driver runs both
+/// the legacy `JobPool` and the `ShardedPool` façade.
+trait PoolApi {
+    fn grant(&mut self, site: SiteId, max: usize, now: f64) -> JobBatch;
+    fn report(&mut self, job: ChunkId, site: SiteId, now: f64) -> Completion;
+    fn fail_job(&mut self, job: ChunkId, site: SiteId);
+    fn reap(&mut self, now: f64) -> Vec<(ChunkId, SiteId)>;
+    fn revoke(&mut self, site: SiteId);
+    fn done(&self) -> bool;
+    fn finish(self) -> JobPool;
+}
+
+impl PoolApi for JobPool {
+    fn grant(&mut self, site: SiteId, _max: usize, now: f64) -> JobBatch {
+        self.request_for_at(site, now)
+    }
+    fn report(&mut self, job: ChunkId, site: SiteId, now: f64) -> Completion {
+        self.complete_at(job, site, now)
+    }
+    fn fail_job(&mut self, job: ChunkId, site: SiteId) {
+        let _ = self.fail(job, site);
+    }
+    fn reap(&mut self, now: f64) -> Vec<(ChunkId, SiteId)> {
+        self.reap_expired(now)
+    }
+    fn revoke(&mut self, site: SiteId) {
+        self.evacuate(site);
+    }
+    fn done(&self) -> bool {
+        self.all_done()
+    }
+    fn finish(self) -> JobPool {
+        self
+    }
+}
+
+impl PoolApi for ShardedPool {
+    fn grant(&mut self, site: SiteId, max: usize, now: f64) -> JobBatch {
+        let batch = self.get_jobs(site, max, now);
+        assert!(batch.len() <= max, "granted {} jobs for max {max}", batch.len());
+        batch
+    }
+    fn report(&mut self, job: ChunkId, site: SiteId, now: f64) -> Completion {
+        self.complete_at(job, site, now)
+    }
+    fn fail_job(&mut self, job: ChunkId, site: SiteId) {
+        let _ = self.fail(job, site);
+    }
+    fn reap(&mut self, now: f64) -> Vec<(ChunkId, SiteId)> {
+        self.reap_expired(now)
+    }
+    fn revoke(&mut self, site: SiteId) {
+        self.evacuate(site);
+    }
+    fn done(&self) -> bool {
+        self.all_done()
+    }
+    fn finish(self) -> JobPool {
+        self.into_inner()
+    }
+}
+
+struct Driver<P: PoolApi> {
+    pool: P,
+    /// Live leases we hold, oldest first, per processing site. Reaps and
+    /// evacuations remove entries, so everything here is safe to report.
+    held: BTreeMap<SiteId, VecDeque<ChunkId>>,
+    merges: Merges,
+    now: f64,
+}
+
+impl<P: PoolApi> Driver<P> {
+    fn new(pool: P) -> Driver<P> {
+        Driver {
+            pool,
+            held: SITES.iter().map(|&s| (s, VecDeque::new())).collect(),
+            merges: BTreeMap::new(),
+            now: 0.0,
+        }
+    }
+
+    fn complete_held(&mut self, job: ChunkId, site: SiteId) {
+        if self.pool.report(job, site, self.now).is_merged() {
+            *self.merges.entry(job).or_default().entry(site).or_insert(0) += 1;
+        }
+        // The immediate duplicate report must always be rejected.
+        let dup = self.pool.report(job, site, self.now);
+        assert!(!dup.is_merged(), "duplicate completion of {job} by {site} merged");
+    }
+
+    fn apply(&mut self, op: &Op) {
+        self.now += 0.25;
+        match *op {
+            Op::Grant { site, max } => {
+                let site = SITES[site];
+                let batch = self.pool.grant(site, max, self.now);
+                if batch.terminal {
+                    assert!(self.pool.done(), "terminal grant before every job finished");
+                }
+                let q = self.held.get_mut(&site).unwrap();
+                q.extend(batch.jobs.iter().map(|j| j.id));
+            }
+            Op::Complete { site } => {
+                let site = SITES[site];
+                if let Some(job) = self.held.get_mut(&site).unwrap().pop_front() {
+                    self.complete_held(job, site);
+                }
+            }
+            Op::Fail { site } => {
+                let site = SITES[site];
+                if let Some(job) = self.held.get_mut(&site).unwrap().pop_front() {
+                    self.pool.fail_job(job, site);
+                }
+            }
+            Op::Reap => {
+                // Past every live deadline (lease length is capped at 10s).
+                self.now += 30.0;
+                for (job, site) in self.pool.reap(self.now) {
+                    let q = self.held.get_mut(&site).unwrap();
+                    if let Some(pos) = q.iter().position(|&j| j == job) {
+                        q.remove(pos);
+                    }
+                }
+            }
+            Op::Evacuate => {
+                self.pool.revoke(SiteId::CLOUD);
+                self.held.get_mut(&SiteId::CLOUD).unwrap().clear();
+            }
+        }
+    }
+
+    /// Finish the run: report every lease still held by a surviving site,
+    /// then grant/complete round-robin until the pool is terminal.
+    fn drain(&mut self, survivors: &[SiteId]) {
+        for &site in survivors {
+            while let Some(job) = self.held.get_mut(&site).unwrap().pop_front() {
+                self.complete_held(job, site);
+            }
+        }
+        let mut rounds = 0usize;
+        while !self.pool.done() {
+            rounds += 1;
+            assert!(rounds < 10_000, "drain made no progress toward terminal");
+            for &site in survivors {
+                let batch = self.pool.grant(site, 8, self.now);
+                for j in &batch.jobs {
+                    self.complete_held(j.id, site);
+                }
+            }
+        }
+    }
+}
+
+fn run_schedule<P: PoolApi>(pool: P, ops: &[Op]) -> (JobPool, Merges) {
+    let mut driver = Driver::new(pool);
+    let mut evacuated = false;
+    for op in ops {
+        evacuated |= matches!(op, Op::Evacuate);
+        driver.apply(op);
+    }
+    let survivors: Vec<SiteId> = if evacuated { vec![SiteId::LOCAL] } else { SITES.to_vec() };
+    driver.drain(&survivors);
+    (driver.pool.finish(), driver.merges)
+}
+
+proptest! {
+    #[test]
+    fn sharded_pool_is_grant_and_dedup_equivalent_to_the_legacy_pool(
+        file_sites in prop::collection::vec(0..2usize, 1..5),
+        chunks_per_file in 1..6u64,
+        policy_n in 1..5usize,
+        ops in prop::collection::vec(op_strategy(), 1..60),
+    ) {
+        let idx = build_index(&file_sites, chunks_per_file);
+        let n = idx.n_chunks();
+        let mut seed = JobPool::from_index(&idx, BatchPolicy::Fixed(policy_n));
+        seed.set_max_attempts(100); // never abandon: every op count is < 100
+        seed.set_lease(LeaseConfig { base: 1.0, multiplier: 4.0, min: 0.5, max: 10.0 });
+        let legacy = seed.clone();
+
+        let (legacy_pool, legacy_merges) = run_schedule(legacy, &ops);
+        let (sharded_pool, sharded_merges) = run_schedule(ShardedPool::new(seed), &ops);
+
+        for (pool, merges) in [(legacy_pool, legacy_merges), (sharded_pool, sharded_merges)] {
+            prop_assert!(pool.all_done());
+            prop_assert_eq!(pool.abandoned(), 0);
+            let dead: BTreeSet<SiteId> = pool.dead_sites().into_iter().collect();
+            // Dedup: every chunk merged exactly once at sites alive at the
+            // end (a merge that died with an evacuated robj doesn't count —
+            // its re-execution does).
+            let mut surviving: BTreeSet<ChunkId> = BTreeSet::new();
+            for (&chunk, per_site) in &merges {
+                let kept: u32 =
+                    per_site.iter().filter(|(s, _)| !dead.contains(s)).map(|(_, c)| *c).sum();
+                prop_assert!(kept <= 1, "{} merged {} times at surviving sites", chunk, kept);
+                if kept == 1 {
+                    surviving.insert(chunk);
+                }
+            }
+            prop_assert_eq!(surviving.len(), n, "every chunk must merge exactly once");
+            let counted: u64 = pool.site_counts().values().map(|c| c.total()).sum();
+            prop_assert_eq!(counted, n as u64);
+        }
+    }
+
+    #[test]
+    fn every_batch_size_drains_every_job_exactly_once(
+        file_sites in prop::collection::vec(0..2usize, 1..6),
+        chunks_per_file in 1..8u64,
+        max in 1..65usize,
+    ) {
+        let idx = build_index(&file_sites, chunks_per_file);
+        let n = idx.n_chunks();
+        let pool = ShardedPool::new(JobPool::from_index(&idx, BatchPolicy::Fixed(4)));
+        let mut seen: BTreeSet<ChunkId> = BTreeSet::new();
+        let mut round = 0usize;
+        loop {
+            let site = SITES[round % 2];
+            round += 1;
+            let t = round as f64 * 0.001;
+            let batch = pool.get_jobs(site, max, t);
+            prop_assert!(batch.len() <= max);
+            if batch.is_empty() {
+                if batch.terminal {
+                    break;
+                }
+                prop_assert!(round < n * 4 + 64, "empty non-terminal grants forever");
+                continue;
+            }
+            for (k, j) in batch.jobs.iter().enumerate() {
+                prop_assert!(seen.insert(j.id), "{} granted twice", j.id);
+                prop_assert!(batch.span_of(k) != 0, "sharded grants must carry causal spans");
+                prop_assert!(pool.complete_at(j.id, site, t).is_merged());
+            }
+        }
+        prop_assert!(pool.all_done());
+        prop_assert_eq!(seen.len(), n);
+    }
+}

@@ -104,9 +104,9 @@ OBSERVABILITY:
                      free port, printed to stderr). Scrape mid-run with
                      curl or `cloudburst check-metrics`
   --watch            print a live status line to stderr every 250 ms:
-                     per-site throughput, utilization, steal counts, queue
-                     depth, a straggler/imbalance alert, and the running
-                     dollar cost of the burst
+                     per-site throughput, utilization, steal counts,
+                     per-shard queue depth and imbalance, a straggler
+                     alert, and the running dollar cost of the burst
   check-json FILE    validate that FILE parses as JSON or JSONL (used by
                      verify.sh to smoke-test the artifacts above); event
                      JSONL additionally gets a delivery-sequence audit —
@@ -577,6 +577,10 @@ struct SiteSums {
     steals: u64,
     /// Seconds the site's workers spent fetching + processing.
     busy_secs: f64,
+    /// Pending jobs homed at this site (the site's shard depth).
+    queue: i64,
+    /// Jobs stolen *out of* this site's shard by other sites.
+    stolen_from: u64,
 }
 
 /// Everything the watch line and the snapshot event need, distilled from
@@ -616,7 +620,17 @@ fn summarize(samples: &[Sample]) -> MetricSums {
                     out.sites.entry(site.to_owned()).or_default().jobs += s.value as u64;
                 }
             }
-            "cloudburst_pool_queue_depth" => out.queue_depth += s.value as i64,
+            "cloudburst_pool_queue_depth" => {
+                out.queue_depth += s.value as i64;
+                if let Some(site) = label("site") {
+                    out.sites.entry(site.to_owned()).or_default().queue += s.value as i64;
+                }
+            }
+            "cloudburst_pool_shard_stolen_from_total" => {
+                if let Some(site) = label("site") {
+                    out.sites.entry(site.to_owned()).or_default().stolen_from += s.value as u64;
+                }
+            }
             "cloudburst_pool_in_flight" => out.in_flight += s.value as i64,
             "cloudburst_store_bytes_total" => out.bytes += s.value as u64,
             "cloudburst_store_requests_total" if label("site") == Some("cloud") => {
@@ -750,8 +764,27 @@ fn watch_line(
         let cores = if site == "local" { local_cores } else { cloud_cores }.max(1);
         let rate = cur.jobs.saturating_sub(p.jobs) as f64 / dt;
         let util = ((cur.busy_secs - p.busy_secs) / (dt * f64::from(cores))).clamp(0.0, 1.0);
-        line.push_str(&format!(" | {site} {rate:.0} j/s {:.0}% busy", 100.0 * util));
+        line.push_str(&format!(
+            " | {site} {rate:.0} j/s {:.0}% busy q {}",
+            100.0 * util,
+            cur.queue.max(0)
+        ));
+        if cur.stolen_from > p.stolen_from {
+            line.push_str(&format!(" (-{} stolen)", cur.stolen_from - p.stolen_from));
+        }
         rates.push((site.clone(), rate, rate / f64::from(cores)));
+    }
+    // Shard imbalance: the deepest shard against the mean depth. Healthy
+    // stealing keeps this near 1; a big ratio while work remains means one
+    // site's backlog is not draining (or being stolen) fast enough.
+    let depths: Vec<i64> = sums.sites.values().map(|s| s.queue.max(0)).collect();
+    let total_depth: i64 = depths.iter().sum();
+    if depths.len() > 1 && total_depth > 0 {
+        let mean = total_depth as f64 / depths.len() as f64;
+        let max = depths.iter().copied().max().unwrap_or(0) as f64;
+        if mean > 0.0 {
+            line.push_str(&format!(" | shard imb {:.1}x", max / mean));
+        }
     }
     // Straggler watch: a site whose per-core rate has fallen well below the
     // mean while work remains is dragging the tail; estimate the drain time

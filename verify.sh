@@ -177,4 +177,26 @@ awk -v r="$RATIO" 'BEGIN { exit !(r <= 1.0) }' \
     || { echo "coded p99 trails speculation p99: ratio $RATIO > 1.0"; exit 1; }
 echo "   coded p99 / speculation p99: ${RATIO}"
 
+echo "== bench: grant engine at scale (quick) writes a valid BENCH_scale.json"
+# The quick shape (10k jobs, 64 simulated slaves) drains all four modes —
+# channel/TCP, single-job/batched — and the bench itself asserts bit-exact
+# checksums per mode; here we gate the artifact and the headline claim.
+cargo run --release -p cloudburst-bench --bin repro "${CARGO_FLAGS[@]}" -- scale --quick
+"$BIN" check-json BENCH_scale.json
+# Every mode must have drained its pool exactly once, bit-for-bit.
+grep -q '"all_checksums_ok":true' BENCH_scale.json \
+    || { echo "a scale mode lost or duplicated grants"; exit 1; }
+# Batching must never grant slower than the per-RPC baseline, on either
+# control plane (the full-scale target is >=10x on TCP; quick CI boxes only
+# gate the direction).
+CHAN=$(sed -n 's/.*"channel":\([0-9.eE+-]*\).*/\1/p' BENCH_scale.json)
+TCP=$(sed -n 's/.*"tcp":\([0-9.eE+-]*\).*/\1/p' BENCH_scale.json)
+[[ -n "$CHAN" && -n "$TCP" ]] \
+    || { echo "BENCH_scale.json is missing the speedup block"; exit 1; }
+awk -v s="$CHAN" 'BEGIN { exit !(s >= 1.0) }' \
+    || { echo "batched channel grants regressed: ${CHAN}x < 1.0x"; exit 1; }
+awk -v s="$TCP" 'BEGIN { exit !(s >= 1.0) }' \
+    || { echo "batched TCP grants regressed: ${TCP}x < 1.0x"; exit 1; }
+echo "   batched/single grants per sec — channel: ${CHAN}x, tcp: ${TCP}x"
+
 echo "OK"
