@@ -31,7 +31,7 @@ use crate::wire::{
 };
 use cloudburst_core::{
     ns_since, ChunkId, DataIndex, Event, EventKind, FaultPlan, HeartbeatConfig, JobPool,
-    MasterPool, Reduction, SiteId, Take, Telemetry,
+    MasterPool, Metrics, Reduction, SiteId, Take, Telemetry,
 };
 use cloudburst_storage::{ChaosStore, ChunkStore};
 use crossbeam::channel::{unbounded, Receiver};
@@ -53,11 +53,19 @@ pub struct TcpHeadOptions {
     /// Run the lease reaper and treat connection failures as site deaths
     /// (evacuate) instead of run-fatal errors.
     pub ft_active: bool,
+    /// Live-metrics handle for the reactor's connection/backoff gauges
+    /// (`cloudburst_head_*`); [`Metrics::off`] publishes nothing.
+    pub metrics: Metrics,
 }
 
 impl Default for TcpHeadOptions {
     fn default() -> TcpHeadOptions {
-        TcpHeadOptions { heartbeat: None, epoch: Instant::now(), ft_active: false }
+        TcpHeadOptions {
+            heartbeat: None,
+            epoch: Instant::now(),
+            ft_active: false,
+            metrics: Metrics::off(),
+        }
     }
 }
 
@@ -568,7 +576,12 @@ pub fn run_hybrid_tcp<R: Reduction>(
     let mut head_result: Option<Result<HeadReport, RunError>> = None;
 
     std::thread::scope(|scope| {
-        let head_options = TcpHeadOptions { heartbeat: config.ft.heartbeat, epoch, ft_active };
+        let head_options = TcpHeadOptions {
+            heartbeat: config.ft.heartbeat,
+            epoch,
+            ft_active,
+            metrics: config.metrics.clone(),
+        };
         let head_handle = scope.spawn(move || {
             serve_head_with(&listener, pool, n_masters, &head_options).map_err(RunError::Io)
         });

@@ -108,6 +108,26 @@ pub(crate) fn serve_head_reactor(
     let mut last_reap = Instant::now();
     let mut idle_sleep = SLEEP_MIN;
 
+    // Introspection gauges for the /debug/sites plane: connection churn and
+    // the adaptive-backoff level, resolved once so the sweep loop pays only
+    // relaxed stores (nothing at all with metrics off).
+    let g_opened = options.metrics.gauge(
+        "cloudburst_head_conns_opened_total",
+        "Master connections accepted by the head reactor",
+        &[],
+    );
+    let g_reclaimed = options.metrics.gauge(
+        "cloudburst_head_conns_reclaimed_total",
+        "Master connection states reclaimed by the head reactor",
+        &[],
+    );
+    let g_backoff = options.metrics.gauge(
+        "cloudburst_head_backoff_us",
+        "Current adaptive idle-sleep backoff of the head reactor, microseconds",
+        &[],
+    );
+    g_backoff.set(idle_sleep.as_micros() as i64);
+
     while accepted < n_masters || !conns.is_empty() {
         let mut progressed = false;
 
@@ -119,6 +139,7 @@ pub(crate) fn serve_head_reactor(
                     conns.push(Conn::new(stream));
                     accepted += 1;
                     report.conns_opened += 1;
+                    g_opened.set(report.conns_opened as i64);
                     progressed = true;
                 }
                 Err(e) if e.kind() == ErrorKind::WouldBlock => break,
@@ -171,13 +192,18 @@ pub(crate) fn serve_head_reactor(
 
         let before = conns.len();
         conns.retain(|c| !c.closed);
-        report.conns_reclaimed += (before - conns.len()) as u64;
+        if before != conns.len() {
+            report.conns_reclaimed += (before - conns.len()) as u64;
+            g_reclaimed.set(report.conns_reclaimed as i64);
+        }
 
         if progressed {
             idle_sleep = SLEEP_MIN;
+            g_backoff.set(idle_sleep.as_micros() as i64);
         } else if accepted < n_masters || !conns.is_empty() {
             std::thread::sleep(idle_sleep);
             idle_sleep = (idle_sleep * 2).min(SLEEP_CAP);
+            g_backoff.set(idle_sleep.as_micros() as i64);
         }
     }
 

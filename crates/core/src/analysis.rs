@@ -647,6 +647,23 @@ impl BenchDelta {
             Direction::Neutral => false,
         }
     }
+
+    /// The effective regression threshold for this leaf, given the
+    /// caller's base threshold. Histogram-derived quantile leaves
+    /// (`p50`/`p95`/`p99`) are quantized to ~7–10%-wide buckets and sample
+    /// real per-chunk scheduling tails, so a one-bucket move is
+    /// measurement granularity rather than a regression: they gate at no
+    /// less than 25% (two-plus buckets). Every other leaf gates at the
+    /// base threshold.
+    #[must_use]
+    pub fn gate_threshold(&self, base: f64) -> f64 {
+        let leaf = self.path.rsplit('.').next().unwrap_or("");
+        if matches!(leaf, "p50" | "p95" | "p99") {
+            base.max(0.25)
+        } else {
+            base
+        }
+    }
 }
 
 /// Compare two benchmark artifacts leaf-by-leaf. Only numeric leaves
@@ -881,6 +898,33 @@ mod tests {
         // A leaf missing from one side is not compared at all.
         let partial = Json::obj().field("speedup", Json::F64(1.4));
         assert_eq!(diff_benchmarks(&base, &partial).len(), 1);
+    }
+
+    #[test]
+    fn quantile_leaves_gate_at_a_bucket_aware_threshold() {
+        // A one-bucket (~10%) move on a histogram quantile is measurement
+        // granularity; the widened gate only trips past two-plus buckets.
+        let q = BenchDelta {
+            path: "process_seconds.p99".into(),
+            old: 0.00944,
+            new: 0.01153,
+            direction: Direction::LowerBetter,
+        };
+        assert_eq!(q.gate_threshold(0.10), 0.25);
+        assert!(q.is_regression(0.10), "raw 10% would flag the bucket move");
+        assert!(!q.is_regression(q.gate_threshold(0.10)), "bucket-aware gate must not");
+        let big = BenchDelta { new: 0.00944 * 1.4, ..q.clone() };
+        assert!(big.is_regression(big.gate_threshold(0.10)), "a 40% move is a real regression");
+        // Non-quantile leaves keep the caller's threshold.
+        let s = BenchDelta {
+            path: "depths[0].seconds".into(),
+            old: 1.0,
+            new: 1.2,
+            direction: Direction::LowerBetter,
+        };
+        assert_eq!(s.gate_threshold(0.10), 0.10);
+        // A base threshold looser than the bucket floor wins.
+        assert_eq!(q.gate_threshold(0.5), 0.5);
     }
 
     #[test]

@@ -36,6 +36,11 @@
 //!   handle, with a Prometheus text-exposition registry, a strict
 //!   exposition parser/validator, and a dependency-free `/metrics` HTTP
 //!   listener;
+//! * the **health plane** ([`health`]): streaming anomaly detectors
+//!   (straggler, shard imbalance, lease-reap storm, WAN regression, queue
+//!   stall) with trip/clear hysteresis feeding the `/healthz` endpoint,
+//!   typed `health-transition` telemetry events, and the black-box crash
+//!   dump;
 //! * the **causal analysis layer** ([`analysis`]): span-DAG reconstruction
 //!   from any events JSONL, critical-path extraction, an exhaustive
 //!   makespan attribution (WAN fetch / local fetch / compute / pool wait /
@@ -50,6 +55,7 @@ pub mod closure;
 pub mod combiners;
 pub mod config;
 pub mod fault;
+pub mod health;
 pub mod index;
 pub mod json;
 pub mod layout;
@@ -72,26 +78,32 @@ pub use fault::{
     AbandonedJob, FaultCounters, FaultPlan, HeartbeatConfig, LeaseConfig, SiteOutage, SlowSite,
     SlowWorker, WorkerCrash,
 };
+pub use health::{
+    HealthConfig, HealthDetector, HealthMonitor, HealthSample, HealthTransitionRecord,
+};
 pub use index::DataIndex;
 pub use json::Json;
 pub use layout::{ChunkMeta, FileMeta, LayoutParams};
 pub use master::{LocalJob, MasterPool, Take};
 pub use metrics::{
-    check_monotonic, http_get, parse_exposition, Counter, Exposition, Gauge, Histogram, Metrics,
-    MetricsServer, Registry, Sample,
+    check_monotonic, http_get, http_get_status, parse_exposition, Counter, Exposition, Gauge,
+    Histogram, MetricKind, Metrics, MetricsServer, Registry, RouteHandler, RouteResponse, Sample,
 };
 pub use pool::Completion;
-pub use pool::{BatchPolicy, JobBatch, JobPool, SiteJobCounts};
+pub use pool::{
+    BatchPolicy, JobBatch, JobPool, PoolIntrospection, SiteJobCounts, SitePoolIntrospection,
+};
 pub use reduction::{
     coded_combine, global_reduce, reduce_serial, tree_reduce, Merge, Reduction, ReductionObject,
 };
-pub use shard::ShardedPool;
+pub use shard::{ShardIntrospection, ShardedPool};
 pub use stats::{
     assemble_sites, doubling_efficiency, report_to_json, Breakdown, RunReport, SiteSample,
     SiteStats, SlaveSample,
 };
 pub use telemetry::{
     chrome_trace, derive_report, events_to_jsonl, ns_between, ns_since, ns_to_secs, secs_to_ns,
-    ConsoleSink, Event, EventKind, EventSink, LogLevel, Recorder, Telemetry,
+    ConsoleSink, Event, EventKind, EventSink, FlightRecorder, JsonlSink, LogLevel, Recorder,
+    Telemetry,
 };
 pub use types::{ByteSize, ChunkId, FileId, JobId, NodeId, Seconds, SiteId};

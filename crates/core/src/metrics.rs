@@ -1022,9 +1022,18 @@ pub fn check_monotonic(earlier: &Exposition, later: &Exposition) -> Result<(), S
 // The /metrics HTTP listener
 // ---------------------------------------------------------------------------
 
+/// What a debug-plane route handler returns: the HTTP status line suffix
+/// (e.g. `"200 OK"`), the `Content-Type`, and the body.
+pub type RouteResponse = (&'static str, &'static str, String);
+
+/// A debug-plane route handler: called per request with the (possibly
+/// empty) query string, already split off the path.
+pub type RouteHandler = Box<dyn Fn(&str) -> RouteResponse + Send + Sync>;
+
 /// A tiny, dependency-free HTTP/1.1 listener serving `GET /metrics` with
-/// the registry's current exposition. One accept thread, one request per
-/// connection, `Connection: close`.
+/// the registry's current exposition, plus any extra routes mounted at
+/// bind time (the `/healthz` + `/debug/*` introspection plane). One accept
+/// thread, one request per connection, `Connection: close`.
 pub struct MetricsServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
@@ -1035,6 +1044,17 @@ impl MetricsServer {
     /// Bind `addr` (e.g. `127.0.0.1:9184`; port 0 picks a free port) and
     /// start serving `registry`.
     pub fn bind(registry: Arc<Registry>, addr: &str) -> io::Result<MetricsServer> {
+        MetricsServer::bind_with_routes(registry, addr, Vec::new())
+    }
+
+    /// [`MetricsServer::bind`] with extra routes: each `(path, handler)`
+    /// pair serves `GET path[?query]`. `/metrics` and `/` stay reserved
+    /// for the exposition; unknown paths 404.
+    pub fn bind_with_routes(
+        registry: Arc<Registry>,
+        addr: &str,
+        routes: Vec<(String, RouteHandler)>,
+    ) -> io::Result<MetricsServer> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -1046,7 +1066,7 @@ impl MetricsServer {
                 }
                 if let Ok(stream) = stream {
                     // Serve inline: scrapes are small and rare.
-                    let _ = serve_one(stream, &registry);
+                    let _ = serve_one(stream, &registry, &routes);
                 }
             }
         })?;
@@ -1082,7 +1102,11 @@ impl Drop for MetricsServer {
     }
 }
 
-fn serve_one(mut stream: TcpStream, registry: &Registry) -> io::Result<()> {
+fn serve_one(
+    mut stream: TcpStream,
+    registry: &Registry,
+    routes: &[(String, RouteHandler)],
+) -> io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_secs(2)))?;
     stream.set_write_timeout(Some(Duration::from_secs(2)))?;
     // Read until the end of the request head (we ignore any body).
@@ -1101,15 +1125,21 @@ fn serve_one(mut stream: TcpStream, registry: &Registry) -> io::Result<()> {
         }
     }
     let request = String::from_utf8_lossy(&buf);
-    let path =
+    let target =
         request.lines().next().and_then(|l| l.split_whitespace().nth(1)).unwrap_or("/").to_owned();
-    let (status, body) = if path == "/metrics" || path == "/" {
-        ("200 OK", registry.render())
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target.as_str(), ""),
+    };
+    let (status, content_type, body) = if path == "/metrics" || path == "/" {
+        ("200 OK", "text/plain; version=0.0.4; charset=utf-8", registry.render())
+    } else if let Some((_, handler)) = routes.iter().find(|(p, _)| p == path) {
+        handler(query)
     } else {
-        ("404 Not Found", "not found\n".to_owned())
+        ("404 Not Found", "text/plain; charset=utf-8", "not found\n".to_owned())
     };
     let response = format!(
-        "HTTP/1.1 {status}\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\n\
          Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
         body.len()
     );
@@ -1120,6 +1150,17 @@ fn serve_one(mut stream: TcpStream, registry: &Registry) -> io::Result<()> {
 /// behind `cloudburst check-metrics` (no curl dependency). Returns the body
 /// of a 200 response.
 pub fn http_get(url: &str, timeout: Duration) -> io::Result<String> {
+    let (code, body) = http_get_status(url, timeout)?;
+    if code != 200 {
+        return Err(io::Error::other(format!("HTTP error: status {code}")));
+    }
+    Ok(body)
+}
+
+/// [`http_get`] that hands back the status code instead of failing on
+/// non-200 — `cloudburst health <url>` needs the body of a 503 `/healthz`
+/// verdict as much as a 200 one.
+pub fn http_get_status(url: &str, timeout: Duration) -> io::Result<(u16, String)> {
     let rest = url
         .strip_prefix("http://")
         .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "only http:// URLs"))?;
@@ -1140,11 +1181,13 @@ pub fn http_get(url: &str, timeout: Duration) -> io::Result<String> {
     let (head, body) = response
         .split_once("\r\n\r\n")
         .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed HTTP response"))?;
-    let status = head.lines().next().unwrap_or("");
-    if !status.contains(" 200 ") {
-        return Err(io::Error::other(format!("HTTP error: {status}")));
-    }
-    Ok(body.to_owned())
+    let code = head
+        .lines()
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|c| c.parse::<u16>().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed status line"))?;
+    Ok((code, body.to_owned()))
 }
 
 #[cfg(test)]
@@ -1309,6 +1352,45 @@ mod tests {
         let miss =
             http_get(&format!("http://{}/nope", server.local_addr()), Duration::from_secs(2));
         assert!(miss.is_err());
+        server.shutdown();
+    }
+
+    #[test]
+    fn http_server_mounts_extra_routes_with_queries_and_statuses() {
+        let m = Metrics::on();
+        let routes: Vec<(String, RouteHandler)> = vec![
+            (
+                "/debug/echo".to_owned(),
+                Box::new(|q: &str| ("200 OK", "application/json", format!("{{\"q\":\"{q}\"}}\n"))),
+            ),
+            (
+                "/healthz".to_owned(),
+                Box::new(|_: &str| {
+                    (
+                        "503 Service Unavailable",
+                        "application/json",
+                        "{\"status\":\"degraded\"}\n".to_owned(),
+                    )
+                }),
+            ),
+        ];
+        let server =
+            MetricsServer::bind_with_routes(m.registry().unwrap(), "127.0.0.1:0", routes).unwrap();
+        let base = format!("http://{}", server.local_addr());
+        // The query string reaches the handler, stripped of the '?'.
+        let body = http_get(&format!("{base}/debug/echo?last=25"), Duration::from_secs(2)).unwrap();
+        assert_eq!(body, "{\"q\":\"last=25\"}\n");
+        let bare = http_get(&format!("{base}/debug/echo"), Duration::from_secs(2)).unwrap();
+        assert_eq!(bare, "{\"q\":\"\"}\n");
+        // Non-200 routes work; http_get_status surfaces code + body while
+        // plain http_get refuses.
+        let (code, verdict) =
+            http_get_status(&format!("{base}/healthz"), Duration::from_secs(2)).unwrap();
+        assert_eq!(code, 503);
+        assert!(verdict.contains("degraded"));
+        assert!(http_get(&format!("{base}/healthz"), Duration::from_secs(2)).is_err());
+        // /metrics is still the registry exposition.
+        assert!(http_get(&format!("{base}/metrics"), Duration::from_secs(2)).is_ok());
         server.shutdown();
     }
 }

@@ -245,6 +245,53 @@ impl ShardedPool {
     pub fn stolen_from(&self) -> BTreeMap<SiteId, u64> {
         self.shards.iter().map(|(&s, sh)| (s, sh.stolen_from.load(Ordering::Relaxed))).collect()
     }
+
+    /// A point-in-time snapshot of both layers — the lock-free shard
+    /// queues (depths, steal counters) and the inner pool's grant state —
+    /// for `/debug/pool` on a reactor head and the black-box dump.
+    #[must_use]
+    pub fn introspect(&self) -> ShardIntrospection {
+        ShardIntrospection {
+            depths: self.shard_depths(),
+            stolen_from: self.stolen_from(),
+            pool: self.inner.lock().introspect(),
+        }
+    }
+}
+
+/// A point-in-time snapshot of a [`ShardedPool`]: per-shard queue depths
+/// and steal counters over the inner pool's [`PoolIntrospection`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ShardIntrospection {
+    /// Current queued entries per shard (stale entries included).
+    pub depths: BTreeMap<SiteId, usize>,
+    /// Jobs stolen out of each site's shard so far.
+    pub stolen_from: BTreeMap<SiteId, u64>,
+    /// The inner pool's grant state.
+    pub pool: crate::pool::PoolIntrospection,
+}
+
+impl ShardIntrospection {
+    /// Serialize as the reactor-head `/debug/pool` JSON object: the inner
+    /// pool document plus a `shards` array.
+    #[must_use]
+    pub fn to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        let shards = self
+            .depths
+            .iter()
+            .map(|(site, &depth)| {
+                Json::obj()
+                    .field("site", Json::Str(site.to_string()))
+                    .field("depth", Json::U64(depth as u64))
+                    .field(
+                        "stolen_from",
+                        Json::U64(self.stolen_from.get(site).copied().unwrap_or(0)),
+                    )
+            })
+            .collect();
+        self.pool.to_json().field("shards", Json::Arr(shards))
+    }
 }
 
 impl std::fmt::Debug for ShardedPool {
@@ -380,6 +427,31 @@ mod tests {
                 let _ = pool.complete_at(j.id, SiteId::LOCAL, 0.0);
             }
         }
+    }
+
+    #[test]
+    fn introspection_tracks_grants_depths_and_steals() {
+        let pool = two_site_pool();
+        let snap = pool.introspect();
+        assert_eq!(snap.pool.pending, 32);
+        assert_eq!(snap.pool.in_flight, 0);
+        assert_eq!(snap.depths[&SiteId::LOCAL] + snap.depths[&SiteId::CLOUD], 32);
+        let batch = pool.get_jobs(SiteId::LOCAL, 4, 0.0);
+        for j in batch.jobs.iter().take(2) {
+            let _ = pool.complete_at(j.id, SiteId::LOCAL, 0.0);
+        }
+        let snap = pool.introspect();
+        assert_eq!(snap.pool.in_flight, 2);
+        assert_eq!(snap.pool.completed, 2);
+        assert_eq!(snap.pool.per_site[&SiteId::LOCAL].leases, 2);
+        assert_eq!(snap.pool.per_site[&SiteId::LOCAL].completed, 2);
+        assert!(!snap.pool.all_done);
+        // The JSON shape /debug/pool serves: pool fields + shards array.
+        let text = snap.to_json().to_text();
+        for key in ["\"pending\"", "\"in_flight\"", "\"sites\"", "\"shards\"", "\"stolen_from\""] {
+            assert!(text.contains(key), "introspection JSON is missing {key}: {text}");
+        }
+        crate::json::Json::parse(&text).expect("introspection JSON parses");
     }
 
     #[test]

@@ -156,6 +156,19 @@ pub enum EventKind {
         /// Bytes fetched from storage so far.
         bytes: u64,
     },
+    /// A health detector changed state (emitted by
+    /// [`crate::health::HealthMonitor`] after hysteresis, so transitions
+    /// are rare even when the underlying signal is noisy).
+    HealthTransition {
+        /// Which detector changed state.
+        detector: crate::health::HealthDetector,
+        /// `true` = tripped (healthy -> degraded), `false` = cleared.
+        tripped: bool,
+        /// The observed value that drove the transition.
+        value: f64,
+        /// The configured threshold it was compared against.
+        threshold: f64,
+    },
     /// A slave processed its last job and exited (its finish timestamp).
     SlaveFinished,
     /// A site combined its workers' scratch objects (span).
@@ -188,6 +201,7 @@ impl EventKind {
             EventKind::JobAbandoned => "job-abandoned",
             EventKind::Heartbeat => "heartbeat",
             EventKind::MetricsSnapshot { .. } => "metrics-snapshot",
+            EventKind::HealthTransition { .. } => "health-transition",
             EventKind::SlaveFinished => "slave-finished",
             EventKind::SiteMerged => "local-merge",
             EventKind::SiteFinished => "site-finished",
@@ -212,6 +226,8 @@ impl EventKind {
             EventKind::JobCompleted { .. } => "complete",
             EventKind::SpeculationResolved { won: true } => "spec-win",
             EventKind::SpeculationResolved { won: false } => "spec-loss",
+            EventKind::HealthTransition { tripped: true, .. } => "health-trip",
+            EventKind::HealthTransition { tripped: false, .. } => "health-clear",
             other => other.label(),
         }
     }
@@ -235,6 +251,7 @@ impl EventKind {
                 "liveness"
             }
             EventKind::MetricsSnapshot { .. } => "metrics",
+            EventKind::HealthTransition { .. } => "health",
             EventKind::SiteMerged | EventKind::SiteFinished => "site",
             EventKind::GlobalReduction | EventKind::RunFinished => "run",
         }
@@ -256,6 +273,7 @@ impl EventKind {
                 | EventKind::LostResult { .. }
                 | EventKind::JobAbandoned
                 | EventKind::StorageRetry { .. }
+                | EventKind::HealthTransition { .. }
         )
     }
 }
@@ -381,6 +399,12 @@ impl Event {
                 ("queue_depth", Json::U64(queue_depth)),
                 ("bytes", Json::U64(bytes)),
             ],
+            EventKind::HealthTransition { detector, tripped, value, threshold } => vec![
+                ("detector", Json::Str(detector.label().into())),
+                ("tripped", Json::Bool(tripped)),
+                ("value", Json::F64(value)),
+                ("threshold", Json::F64(threshold)),
+            ],
             _ => Vec::new(),
         }
     }
@@ -474,6 +498,17 @@ impl Event {
                 queue_depth: u64_of(j, "queue_depth").unwrap_or(0),
                 bytes: u64_of(j, "bytes").unwrap_or(0),
             },
+            "health-transition" => {
+                let label = j.get("detector").and_then(Json::as_str).ok_or("missing 'detector'")?;
+                let detector = crate::health::HealthDetector::parse(label)
+                    .ok_or_else(|| format!("unknown health detector '{label}'"))?;
+                EventKind::HealthTransition {
+                    detector,
+                    tripped: bool_of(j, "tripped"),
+                    value: j.get("value").and_then(Json::as_f64).unwrap_or(0.0),
+                    threshold: j.get("threshold").and_then(Json::as_f64).unwrap_or(0.0),
+                }
+            }
             "slave-finished" => EventKind::SlaveFinished,
             "local-merge" => EventKind::SiteMerged,
             "site-finished" => EventKind::SiteFinished,
@@ -638,6 +673,181 @@ impl Recorder {
 impl EventSink for Recorder {
     fn record(&self, event: Event) {
         self.events.lock().push(event);
+    }
+}
+
+/// The always-on flight recorder: a bounded ring-buffer sink that keeps
+/// the last `capacity` events and overwrites the oldest beyond that.
+///
+/// The slot vector is allocated once up front; steady-state recording is a
+/// `memcpy` into a preallocated slot under an uncontended `parking_lot`
+/// mutex — no allocation, no unbounded growth — so it can tee alongside
+/// every other sink for the whole run and still cost nothing measurable.
+/// [`FlightRecorder::snapshot`] reconstructs the window oldest-first on
+/// demand; that is what `/debug/events` serves and what the black-box
+/// crash dump writes.
+pub struct FlightRecorder {
+    ring: Mutex<Ring>,
+    capacity: usize,
+    total: std::sync::atomic::AtomicU64,
+}
+
+struct Ring {
+    /// Grows to `capacity` once (preallocated), then stays put.
+    slots: Vec<Event>,
+    /// Overwrite cursor: index of the oldest slot once the ring is full.
+    next: usize,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping the last `capacity` events (0 disables recording).
+    #[must_use]
+    pub fn new(capacity: usize) -> FlightRecorder {
+        FlightRecorder {
+            ring: Mutex::new(Ring { slots: Vec::with_capacity(capacity), next: 0 }),
+            capacity,
+            total: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// The fixed window size.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events currently held (== `capacity` once the ring has wrapped).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ring.lock().slots.len()
+    }
+
+    /// True while nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Every event ever offered, including those already overwritten.
+    #[must_use]
+    pub fn total_recorded(&self) -> u64 {
+        self.total.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// The current window, oldest first.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<Event> {
+        let ring = self.ring.lock();
+        if ring.slots.len() < self.capacity {
+            return ring.slots.clone();
+        }
+        let mut out = Vec::with_capacity(ring.slots.len());
+        out.extend_from_slice(&ring.slots[ring.next..]);
+        out.extend_from_slice(&ring.slots[..ring.next]);
+        out
+    }
+
+    /// The newest `n` events of the window, oldest of those first.
+    #[must_use]
+    pub fn last(&self, n: usize) -> Vec<Event> {
+        let mut window = self.snapshot();
+        let keep = window.len().saturating_sub(n);
+        window.drain(..keep);
+        window
+    }
+}
+
+impl EventSink for FlightRecorder {
+    fn record(&self, event: Event) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.total.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let mut ring = self.ring.lock();
+        if ring.slots.len() < self.capacity {
+            ring.slots.push(event);
+        } else {
+            let at = ring.next;
+            ring.slots[at] = event;
+            ring.next = (at + 1) % self.capacity;
+        }
+    }
+}
+
+impl fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FlightRecorder")
+            .field("capacity", &self.capacity)
+            .field("len", &self.len())
+            .field("total_recorded", &self.total_recorded())
+            .finish()
+    }
+}
+
+/// A streaming JSONL event-log sink: each event is serialized and written
+/// as one line the moment it is recorded, through a line-buffered writer,
+/// so a crashed run's `--events-out` log is complete up to the final whole
+/// record instead of losing everything buffered for an end-of-run dump.
+///
+/// [`JsonlSink::flush`] is exposed for the panic hook; dropping the sink
+/// flushes too.
+pub struct JsonlSink {
+    inner: Mutex<JsonlInner>,
+    path: std::path::PathBuf,
+}
+
+struct JsonlInner {
+    out: std::io::LineWriter<std::fs::File>,
+    /// Reused serialization buffer: one line, no per-event allocation.
+    buf: String,
+}
+
+impl JsonlSink {
+    /// Create (truncate) `path` and stream events into it.
+    ///
+    /// # Errors
+    /// Propagates the file-creation failure.
+    pub fn create(path: impl AsRef<std::path::Path>) -> std::io::Result<JsonlSink> {
+        let path = path.as_ref().to_path_buf();
+        let file = std::fs::File::create(&path)?;
+        Ok(JsonlSink {
+            inner: Mutex::new(JsonlInner {
+                out: std::io::LineWriter::new(file),
+                buf: String::new(),
+            }),
+            path,
+        })
+    }
+
+    /// Where the log is being written.
+    #[must_use]
+    pub fn path(&self) -> &std::path::Path {
+        &self.path
+    }
+
+    /// Push everything buffered to the OS (idempotent; used by the
+    /// panic/black-box hook).
+    pub fn flush(&self) {
+        use std::io::Write;
+        let _ = self.inner.lock().out.flush();
+    }
+}
+
+impl EventSink for JsonlSink {
+    fn record(&self, event: Event) {
+        use std::io::Write;
+        let mut inner = self.inner.lock();
+        let JsonlInner { out, buf } = &mut *inner;
+        buf.clear();
+        event.to_json().write(buf);
+        buf.push('\n');
+        let _ = out.write_all(buf.as_bytes());
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        self.flush();
     }
 }
 
@@ -925,7 +1135,8 @@ pub fn derive_report(events: &[Event], env: &str) -> RunReport {
             | EventKind::JobFailed
             | EventKind::SiteEvacuated
             | EventKind::Heartbeat
-            | EventKind::MetricsSnapshot { .. } => {}
+            | EventKind::MetricsSnapshot { .. }
+            | EventKind::HealthTransition { .. } => {}
         }
     }
 
@@ -1144,6 +1355,78 @@ mod tests {
         assert_eq!(secs_to_ns(1.5), 1_500_000_000);
         let s = 123.456_789;
         assert!((ns_to_secs(secs_to_ns(s)) - s).abs() < 1e-9);
+    }
+
+    #[test]
+    fn health_transition_round_trips_and_classifies() {
+        use crate::health::HealthDetector;
+        let kind = EventKind::HealthTransition {
+            detector: HealthDetector::ReapStorm,
+            tripped: true,
+            value: 7.5,
+            threshold: 2.0,
+        };
+        assert_eq!(kind.label(), "health-transition");
+        assert_eq!(kind.display_name(), "health-trip");
+        assert_eq!(kind.category(), "health");
+        assert!(kind.is_noteworthy());
+        let cleared = EventKind::HealthTransition {
+            detector: HealthDetector::QueueStall,
+            tripped: false,
+            value: 3.0,
+            threshold: 1.0,
+        };
+        assert_eq!(cleared.display_name(), "health-clear");
+        for k in [kind, cleared] {
+            let e = Event::at(42, k);
+            let line = e.to_json().to_text();
+            let back = Event::from_json(&Json::parse(&line).expect("parses")).expect("round trip");
+            assert_eq!(back, e, "diverged for {line}");
+        }
+        let bad = Json::parse(r#"{"at_ns":1,"kind":"health-transition","detector":"x"}"#).unwrap();
+        assert!(Event::from_json(&bad).unwrap_err().contains("unknown health detector"));
+    }
+
+    #[test]
+    fn flight_recorder_keeps_the_last_capacity_events_in_order() {
+        let fr = FlightRecorder::new(4);
+        assert!(fr.is_empty());
+        for i in 0..10u64 {
+            fr.record(Event::at(i, EventKind::Heartbeat));
+        }
+        assert_eq!(fr.capacity(), 4);
+        assert_eq!(fr.len(), 4);
+        assert_eq!(fr.total_recorded(), 10);
+        let at: Vec<u64> = fr.snapshot().iter().map(|e| e.at_ns).collect();
+        assert_eq!(at, vec![6, 7, 8, 9], "window is the last 4, oldest first");
+        let tail: Vec<u64> = fr.last(2).iter().map(|e| e.at_ns).collect();
+        assert_eq!(tail, vec![8, 9]);
+        // last(n) with n beyond the window is just the window.
+        assert_eq!(fr.last(100).len(), 4);
+        // Capacity 0 records nothing and never panics.
+        let off = FlightRecorder::new(0);
+        off.record(Event::at(1, EventKind::Heartbeat));
+        assert!(off.snapshot().is_empty());
+    }
+
+    #[test]
+    fn jsonl_sink_streams_whole_lines_immediately() {
+        let dir = std::env::temp_dir().join(format!("cb-jsonl-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.jsonl");
+        let sink = JsonlSink::create(&path).expect("create log");
+        assert_eq!(sink.path(), path.as_path());
+        sink.record(Event::at(1, EventKind::Heartbeat));
+        sink.record(Event::at(2, EventKind::RunFinished));
+        // Line-buffered: both records are on disk *before* drop/flush.
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        for line in text.lines() {
+            Event::from_json(&Json::parse(line).expect("line parses")).expect("event parses");
+        }
+        sink.flush(); // idempotent
+        drop(sink);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,0 +1,121 @@
+//! Property tests for the flight recorder: for *any* capacity and event
+//! count, the ring must hold exactly the newest `min(capacity, n)` events
+//! in arrival order — `snapshot()` is the suffix of the full stream,
+//! `last(k)` is the suffix of the snapshot, and `total_recorded()` counts
+//! every event ever offered including the overwritten ones. A threaded
+//! smoke checks the same invariants hold under concurrent emitters and
+//! that per-thread emission order survives interleaving.
+
+use cloudburst_core::{Event, EventKind, FlightRecorder, Recorder, Telemetry};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// A stream of `n` distinguishable events: `at_ns` is the arrival index.
+fn stream(n: usize) -> Vec<Event> {
+    (0..n).map(|i| Event::at(i as u64, EventKind::JobProcessed)).collect()
+}
+
+proptest! {
+    /// The ring window is exactly the newest `min(capacity, n)` events,
+    /// oldest first, regardless of how far past capacity the stream ran.
+    #[test]
+    fn snapshot_is_the_stream_suffix(cap in 1usize..40, n in 0usize..300) {
+        use cloudburst_core::EventSink;
+        let fr = FlightRecorder::new(cap);
+        let events = stream(n);
+        for e in &events {
+            fr.record(*e);
+        }
+        prop_assert_eq!(fr.total_recorded(), n as u64);
+        prop_assert_eq!(fr.len(), n.min(cap));
+        let window = fr.snapshot();
+        let expect: Vec<u64> = (n.saturating_sub(cap)..n).map(|i| i as u64).collect();
+        let got: Vec<u64> = window.iter().map(|e| e.at_ns).collect();
+        prop_assert_eq!(got, expect, "snapshot must be the newest {} events in order", cap);
+    }
+
+    /// `last(k)` equals the tail of the snapshot for every `k`, including
+    /// `k == 0` and `k` beyond the window.
+    #[test]
+    fn last_k_is_the_snapshot_tail(cap in 1usize..32, n in 0usize..200, k in 0usize..48) {
+        use cloudburst_core::EventSink;
+        let fr = FlightRecorder::new(cap);
+        for e in stream(n) {
+            fr.record(e);
+        }
+        let window = fr.snapshot();
+        let tail: Vec<u64> =
+            window[window.len().saturating_sub(k)..].iter().map(|e| e.at_ns).collect();
+        let got: Vec<u64> = fr.last(k).iter().map(|e| e.at_ns).collect();
+        prop_assert_eq!(got, tail);
+    }
+
+    /// Capacity 0 is the documented no-op: nothing retained, nothing
+    /// counted, so `--flight-recorder-cap 0` really disables the tee.
+    #[test]
+    fn zero_capacity_records_nothing(n in 0usize..100) {
+        use cloudburst_core::EventSink;
+        let fr = FlightRecorder::new(0);
+        for e in stream(n) {
+            fr.record(e);
+        }
+        prop_assert_eq!(fr.total_recorded(), 0);
+        prop_assert!(fr.is_empty());
+        prop_assert!(fr.snapshot().is_empty());
+    }
+
+    /// Teed through a `Telemetry` fanout, the flight recorder's window is
+    /// the seq-stamped suffix of what a full recorder saw: the black-box
+    /// dump is a faithful tail of the run's event stream.
+    #[test]
+    fn fanout_window_is_suffix_of_full_stream(cap in 1usize..24, n in 0usize..120) {
+        let full = Arc::new(Recorder::new());
+        let flight = Arc::new(FlightRecorder::new(cap));
+        let tee = Telemetry::fanout(vec![full.clone(), flight.clone()]);
+        for e in stream(n) {
+            tee.emit(e);
+        }
+        let all = full.take();
+        let window = flight.snapshot();
+        prop_assert_eq!(window.len(), n.min(cap));
+        let tail = &all[n.saturating_sub(cap)..];
+        for (got, want) in window.iter().zip(tail) {
+            prop_assert_eq!(got.at_ns, want.at_ns);
+            prop_assert_eq!(got.seq, want.seq, "tee must preserve the stamped seq");
+        }
+    }
+}
+
+/// Concurrent emitters: totals are exact, the window fills to capacity,
+/// and each thread's events still appear in its own emission order.
+#[test]
+fn concurrent_writers_keep_totals_and_per_thread_order() {
+    const THREADS: u64 = 4;
+    const PER: u64 = 500;
+    const CAP: usize = 64;
+    let flight = Arc::new(FlightRecorder::new(CAP));
+    let tee = Telemetry::to(flight.clone());
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let tee = tee.clone();
+            s.spawn(move || {
+                for i in 0..PER {
+                    tee.emit(Event::at(t * PER + i, EventKind::JobProcessed));
+                }
+            });
+        }
+    });
+    assert_eq!(flight.total_recorded(), THREADS * PER);
+    assert_eq!(flight.len(), CAP);
+    let window = flight.snapshot();
+    // Within each thread's lane (at_ns ÷ PER), arrival order is preserved.
+    for t in 0..THREADS {
+        let lane: Vec<u64> = window.iter().map(|e| e.at_ns).filter(|a| a / PER == t).collect();
+        assert!(lane.windows(2).all(|w| w[0] < w[1]), "lane {t} out of order: {lane:?}");
+    }
+    // The stamped delivery seqs in the window are distinct.
+    let mut seqs: Vec<u64> = window.iter().map(|e| e.seq).collect();
+    seqs.sort_unstable();
+    seqs.dedup();
+    assert_eq!(seqs.len(), CAP, "window must hold {CAP} distinct delivery seqs");
+}

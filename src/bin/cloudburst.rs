@@ -24,10 +24,11 @@ use cloudburst_apps::knn::Knn;
 use cloudburst_apps::pagerank::PageRank;
 use cloudburst_cluster::FaultPolicy;
 use cloudburst_core::{
-    analyze, check_sequence, chrome_trace, diff_benchmarks, events_to_jsonl, http_get, ns_since,
-    parse_events_jsonl, parse_exposition, report_to_json, ConsoleSink, Direction, Event, EventKind,
-    EventSink, Exposition, Json, LogLevel, Metrics, MetricsServer, Recorder, Registry, Sample,
-    Telemetry,
+    analyze, check_sequence, chrome_trace, diff_benchmarks, events_to_jsonl, http_get,
+    http_get_status, ns_since, parse_events_jsonl, parse_exposition, report_to_json, ConsoleSink,
+    Direction, Event, EventKind, EventSink, Exposition, FlightRecorder, HealthConfig,
+    HealthMonitor, HealthSample, Json, JsonlSink, LogLevel, Metrics, MetricsServer, Recorder,
+    Registry, RouteHandler, Sample, Telemetry,
 };
 use cloudburst_sim::{cost_of_usage, CostReport, PricingModel};
 use cloudburst_storage::{organize_redundant, read_index_meta, write_index_redundant, SiteStore};
@@ -35,7 +36,7 @@ use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 const DIM: usize = 4;
@@ -50,6 +51,7 @@ fn main() -> ExitCode {
         Some("simulate") => cmd_simulate(&args[1..]),
         Some("check-json") => cmd_check_json(&args[1..]),
         Some("check-metrics") => cmd_check_metrics(&args[1..]),
+        Some("health") => cmd_health(&args[1..]),
         Some("explain") => cmd_explain(&args[1..]),
         Some("bench-diff") => cmd_bench_diff(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
@@ -82,11 +84,13 @@ USAGE:
              [--pipeline-depth D] [--ft] [--chaos SPEC]
              [--stats-out FILE] [--events-out FILE] [--trace-out FILE]
              [--log-level off|info|debug] [--metrics-addr ADDR] [--watch]
+             [--flight-recorder-cap N] [--health SPEC]
              [--k K] [--pages N] [--iterations I] [--damping D]
   cloudburst simulate [fig3a|fig3b|fig3c|fig4a|fig4b|fig4c|table1|table2|summary|all]
-  cloudburst check-json FILE
+  cloudburst check-json FILE [--seq]
   cloudburst check-metrics <FILE|http://HOST:PORT/metrics>
              [--retries N] [--against-stats STATS.json]
+  cloudburst health <http://HOST:PORT>  fetch and render a live /healthz verdict
   cloudburst explain EVENTS.jsonl [--stats STATS.json] [--json OUT.json]
   cloudburst bench-diff OLD.json NEW.json [--threshold PCT]
 
@@ -106,12 +110,37 @@ OBSERVABILITY:
   --watch            print a live status line to stderr every 250 ms:
                      per-site throughput, utilization, steal counts,
                      per-shard queue depth and imbalance, a straggler
-                     alert, and the running dollar cost of the burst
+                     alert, head connection churn/backoff (TCP mode), and
+                     the running dollar cost of the burst
+  --flight-recorder-cap N
+                     capacity of the always-on in-memory flight recorder
+                     (default 4096 events, 0 disables): a bounded ring that
+                     keeps the last N telemetry events for /debug/events
+                     and the black-box crash dump. On panic or a fatal run
+                     error the window is dumped to crash-<ts>/ as
+                     events.jsonl + metrics.prom + health.json, in the
+                     shapes `explain` and `check-metrics` consume
+  --health SPEC      tune the health detectors behind /healthz, as
+                     comma-separated key=value clauses: straggler=RATIO
+                     imbalance=RATIO reaps=PER_SEC wan=FACTOR trip=N
+                     clear=N (hysteresis: trip after N bad ticks, clear
+                     after N good ones)
+  --metrics-addr also mounts the live introspection plane next to /metrics:
+                     /healthz       machine-readable verdict (503 = degraded)
+                     /debug/pool    global + per-shard pool depths, steals
+                     /debug/sites   per-site throughput, drain ETA, head
+                                    connection accounting
+                     /debug/events?last=N  flight-recorder tail as JSONL
+  health URL         fetch a run's /healthz and render the verdict; exits
+                     non-zero when any detector is tripped
   check-json FILE    validate that FILE parses as JSON or JSONL (used by
                      verify.sh to smoke-test the artifacts above); event
                      JSONL additionally gets a delivery-sequence audit —
                      gaps or duplicates in the stamped `seq` numbers prove
-                     events were dropped or corrupted
+                     events were dropped or corrupted. The audit is
+                     set-based, so the interleaved streams of v2 batched
+                     runs audit identically. With --seq the audit is
+                     mandatory: a stream with no stamped events fails
   explain EVENTS     reconstruct a run from its --events-out artifact:
                      rebuild the causal span DAG, walk the critical chain
                      (last site, last slave), and attribute the whole
@@ -422,10 +451,31 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         Some(v) => LogLevel::parse(v)
             .ok_or_else(|| format!("invalid --log-level `{v}` (off|info|debug)"))?,
     };
-    let recorder = (events_out.is_some() || trace_out.is_some()).then(|| Arc::new(Recorder::new()));
+    let flight_cap: usize = opt_parse(args, "--flight-recorder-cap", 4096)?;
+    let health_config = match opt(args, "--health") {
+        None => HealthConfig::default(),
+        Some(spec) => HealthConfig::parse_spec(spec)?,
+    };
+    // The Chrome trace needs the full event history; `--events-out` streams
+    // through a line-buffered JSONL sink instead, so a killed run still
+    // leaves whole, parseable lines on disk.
+    let recorder = trace_out.is_some().then(|| Arc::new(Recorder::new()));
+    let events_sink = match &events_out {
+        None => None,
+        Some(path) => Some(Arc::new(
+            JsonlSink::create(path).map_err(|e| format!("creating {}: {e}", path.display()))?,
+        )),
+    };
+    let flight = Arc::new(FlightRecorder::new(flight_cap));
     let mut sinks: Vec<Arc<dyn EventSink>> = Vec::new();
+    if flight_cap > 0 {
+        sinks.push(flight.clone() as Arc<dyn EventSink>);
+    }
     if let Some(r) = &recorder {
         sinks.push(r.clone() as Arc<dyn EventSink>);
+    }
+    if let Some(s) = &events_sink {
+        sinks.push(s.clone() as Arc<dyn EventSink>);
     }
     if let Some(level) = log_level {
         sinks.push(Arc::new(ConsoleSink::new(level)));
@@ -438,32 +488,107 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     if metrics_addr.is_some() || metrics_out.is_some() || watch {
         config.metrics = Metrics::on();
     }
+    let health = Arc::new(Mutex::new(HealthMonitor::new(health_config, config.telemetry.clone())));
     let pricing = PricingModel::aws_2011();
     // Keep the server handle alive for the whole command; Drop stops the
     // listener and joins its thread.
     let _server = match &metrics_addr {
         Some(addr) => {
             let registry = config.metrics.registry().expect("metrics just enabled");
-            let server = MetricsServer::bind(registry, addr)
+            let routes = debug_routes(&registry, &flight, &health);
+            let server = MetricsServer::bind_with_routes(registry, addr, routes)
                 .map_err(|e| format!("binding metrics server on {addr}: {e}"))?;
             eprintln!("serving metrics on http://{}/metrics", server.local_addr());
+            eprintln!("introspection: /healthz /debug/pool /debug/sites /debug/events?last=N");
             Some(server)
         }
         None => None,
     };
+    // The black box: on panic (hook below) or a fatal run error, dump the
+    // flight-recorder window, the final metrics exposition and the health
+    // timeline to crash-<ts>/ for post-mortem `explain`/`check-metrics`.
+    let black_box = Arc::new(BlackBox {
+        flight: flight.clone(),
+        registry: config.metrics.registry(),
+        health: health.clone(),
+        events_sink: events_sink.clone(),
+    });
+    let hook_box = Arc::clone(&black_box);
+    let previous_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        hook_box.dump_to_stderr("panic");
+        previous_hook(info);
+    }));
     let run_started = Instant::now();
     let sampler = LiveMetrics::start(
         &config.metrics,
         config.telemetry.clone(),
+        health.clone(),
         watch,
         local_cores,
         cloud_cores,
         pricing,
     );
 
-    let report = match app.as_str() {
+    let run_result = execute_app(&app, args, &index, stores, &config);
+    // Stop the sampler before the final registry read so the last `--watch`
+    // line never interleaves with the report.
+    drop(sampler);
+    let report = match run_result {
+        Ok(report) => report,
+        Err(e) => {
+            // A fatal fault (chaos-induced or real) leaves a post-mortem.
+            black_box.dump_to_stderr("run failed");
+            return Err(e);
+        }
+    };
+    if let Some(report) = report {
+        let cost = final_cost(
+            &config.metrics,
+            &report,
+            &index,
+            cloud_cores,
+            run_started.elapsed().as_secs_f64(),
+            &pricing,
+        );
+        print_report(&report, &cost);
+        let monitor = health.lock().map_err(|_| "health monitor poisoned".to_owned())?;
+        if monitor.total_trips() > 0 {
+            eprintln!("health: {} detector trip(s) during the run", monitor.total_trips());
+        }
+        let health_doc = monitor.to_json();
+        drop(monitor);
+        if let Some(sink) = &events_sink {
+            sink.flush();
+            println!("wrote event log (JSONL) to {}", sink.path().display());
+        }
+        write_run_artifacts(
+            &report,
+            &cost,
+            &health_doc,
+            config.metrics.registry().as_deref(),
+            recorder.as_deref(),
+            stats_out.as_deref(),
+            trace_out.as_deref(),
+            metrics_out.as_deref(),
+        )?;
+    }
+    Ok(())
+}
+
+/// Execute the chosen application over the organized dataset, returning the
+/// (last iteration's) report. Split out of [`cmd_run`] so every fatal path
+/// funnels through one place where the black box is written.
+fn execute_app(
+    app: &str,
+    args: &[String],
+    index: &DataIndex,
+    stores: BTreeMap<SiteId, Arc<dyn ChunkStore>>,
+    config: &RuntimeConfig,
+) -> Result<Option<RunReport>, String> {
+    let report = match app {
         "wordcount" => {
-            let out = run_hybrid(&WordCount, &index, stores, &config).map_err(|e| e.to_string())?;
+            let out = run_hybrid(&WordCount, index, stores, config).map_err(|e| e.to_string())?;
             let mut counts: Vec<(String, u64)> =
                 out.result.as_string_counts().into_iter().collect();
             counts.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
@@ -476,7 +601,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         "knn" => {
             let k: usize = opt_parse(args, "--k", 10)?;
             let knn = Knn::<DIM>::new([0.5; DIM], k);
-            let out = run_hybrid(&knn, &index, stores, &config).map_err(|e| e.to_string())?;
+            let out = run_hybrid(&knn, index, stores, config).map_err(|e| e.to_string())?;
             println!("{k} nearest neighbors of {:?}:", knn.query);
             for n in out.result.0.into_sorted() {
                 println!("  point {:<10} dist² {:.6}", n.id, n.dist2());
@@ -492,7 +617,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             for iter in 1..=iterations {
                 let km = KMeans::new(centroids.clone());
                 let out =
-                    run_hybrid(&km, &index, stores.clone(), &config).map_err(|e| e.to_string())?;
+                    run_hybrid(&km, index, stores.clone(), config).map_err(|e| e.to_string())?;
                 centroids = out.result.new_centroids(&centroids);
                 println!("iteration {iter}: {:.3}s", out.report.total_time);
                 last_report = Some(out.report);
@@ -510,15 +635,15 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             let iterations: usize = opt_parse(args, "--iterations", 10)?;
             let damping: f64 = opt_parse(args, "--damping", 0.85)?;
             // Page count: one past the largest id seen in the edge list.
-            let n_pages = max_page(&index, &stores)? + 1;
-            let all_edges = read_all(&index, &stores)?;
+            let n_pages = max_page(index, &stores)? + 1;
+            let all_edges = read_all(index, &stores)?;
             let outdeg = PageRank::outdegrees(&all_edges, n_pages as usize);
             let mut ranks = vec![1.0 / f64::from(n_pages); n_pages as usize];
             let mut last_report = None;
             for iter in 1..=iterations {
                 let pr = PageRank::new(&ranks, &outdeg, damping);
                 let out =
-                    run_hybrid(&pr, &index, stores.clone(), &config).map_err(|e| e.to_string())?;
+                    run_hybrid(&pr, index, stores.clone(), config).map_err(|e| e.to_string())?;
                 ranks = pr.next_ranks(&out.result);
                 println!(
                     "iteration {iter}: {:.3}s (robj {} bytes)",
@@ -537,29 +662,232 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         }
         other => return Err(format!("unknown application `{other}`")),
     };
-    // Stop the sampler before the final registry read so the last `--watch`
-    // line never interleaves with the report.
-    drop(sampler);
-    if let Some(report) = report {
-        let cost = final_cost(
-            &config.metrics,
-            &report,
-            &index,
-            cloud_cores,
-            run_started.elapsed().as_secs_f64(),
-            &pricing,
-        );
-        print_report(&report, &cost);
-        write_run_artifacts(
-            &report,
-            &cost,
-            config.metrics.registry().as_deref(),
-            recorder.as_deref(),
-            stats_out.as_deref(),
-            events_out.as_deref(),
-            trace_out.as_deref(),
-            metrics_out.as_deref(),
-        )?;
+    Ok(report)
+}
+
+/// Everything the black-box crash dump needs, shared between the panic hook
+/// and the fatal-error path of `run`.
+struct BlackBox {
+    flight: Arc<FlightRecorder>,
+    registry: Option<Arc<Registry>>,
+    health: Arc<Mutex<HealthMonitor>>,
+    events_sink: Option<Arc<JsonlSink>>,
+}
+
+impl BlackBox {
+    /// Flush the streaming event log and write
+    /// `crash-<ts>/{events.jsonl,metrics.prom,health.json}`: the flight
+    /// recorder's window in the shape `explain` consumes, the final metrics
+    /// exposition in the shape `check-metrics` consumes, and the health
+    /// verdict + transition timeline.
+    fn dump(&self) -> Result<PathBuf, String> {
+        if let Some(sink) = &self.events_sink {
+            sink.flush();
+        }
+        let ts = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.as_millis());
+        let dir = PathBuf::from(format!("crash-{ts}"));
+        std::fs::create_dir_all(&dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+        let write = |name: &str, text: String| -> Result<(), String> {
+            let path = dir.join(name);
+            std::fs::write(&path, text).map_err(|e| format!("writing {}: {e}", path.display()))
+        };
+        write("events.jsonl", events_to_jsonl(&self.flight.snapshot()))?;
+        if let Some(registry) = &self.registry {
+            write("metrics.prom", registry.render())?;
+        }
+        // A poisoned monitor means some thread panicked mid-observe; the
+        // verdict up to that tick is still the best post-mortem we have.
+        let health = match self.health.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let mut text = health.to_json().to_text();
+        text.push('\n');
+        write("health.json", text)?;
+        Ok(dir)
+    }
+
+    /// Best-effort dump for contexts that must not fail (the panic hook).
+    fn dump_to_stderr(&self, why: &str) {
+        match self.dump() {
+            Ok(dir) => eprintln!("{why}: black box written to {}/", dir.display()),
+            Err(e) => eprintln!("{why}: black box write failed: {e}"),
+        }
+    }
+}
+
+/// The live introspection plane mounted next to `/metrics` when
+/// `--metrics-addr` is given.
+fn debug_routes(
+    registry: &Arc<Registry>,
+    flight: &Arc<FlightRecorder>,
+    health: &Arc<Mutex<HealthMonitor>>,
+) -> Vec<(String, RouteHandler)> {
+    let mut routes: Vec<(String, RouteHandler)> = Vec::new();
+    let h = Arc::clone(health);
+    routes.push((
+        "/healthz".to_owned(),
+        Box::new(move |_q| {
+            let Ok(monitor) = h.lock() else {
+                return (
+                    "503 Service Unavailable",
+                    "application/json",
+                    "{\"status\":\"poisoned\"}\n".to_owned(),
+                );
+            };
+            let status = if monitor.is_healthy() { "200 OK" } else { "503 Service Unavailable" };
+            let mut body = monitor.verdict_json().to_text();
+            body.push('\n');
+            (status, "application/json", body)
+        }),
+    ));
+    let reg = Arc::clone(registry);
+    routes.push((
+        "/debug/pool".to_owned(),
+        Box::new(move |_q| {
+            let mut body = pool_debug_json(&summarize(&reg.snapshot())).to_text();
+            body.push('\n');
+            ("200 OK", "application/json", body)
+        }),
+    ));
+    let reg = Arc::clone(registry);
+    // Rates need a delta: remember the previous scrape per route instance.
+    let last_scrape: Mutex<Option<(Instant, MetricSums)>> = Mutex::new(None);
+    routes.push((
+        "/debug/sites".to_owned(),
+        Box::new(move |_q| {
+            let sums = summarize(&reg.snapshot());
+            let now = Instant::now();
+            let prev = match last_scrape.lock() {
+                Ok(mut guard) => guard.replace((now, sums.clone())),
+                Err(_) => None,
+            };
+            let prev_view = prev
+                .as_ref()
+                .map(|(at, sums)| (now.saturating_duration_since(*at).as_secs_f64(), sums));
+            let mut body = sites_debug_json(&sums, prev_view).to_text();
+            body.push('\n');
+            ("200 OK", "application/json", body)
+        }),
+    ));
+    let fr = Arc::clone(flight);
+    routes.push((
+        "/debug/events".to_owned(),
+        Box::new(move |query| {
+            let n = query
+                .split('&')
+                .find_map(|kv| kv.strip_prefix("last="))
+                .and_then(|v| v.parse::<usize>().ok())
+                .unwrap_or(256);
+            ("200 OK", "application/x-ndjson", events_to_jsonl(&fr.last(n)))
+        }),
+    ));
+    routes
+}
+
+/// The `/debug/pool` document: global and per-shard pool state distilled
+/// from the registry (the live pool itself is internal to the runtime).
+fn pool_debug_json(sums: &MetricSums) -> Json {
+    let shards = sums
+        .sites
+        .iter()
+        .map(|(site, s)| {
+            Json::obj()
+                .field("site", Json::Str(site.clone()))
+                .field("queue", Json::U64(s.queue.max(0) as u64))
+                .field("jobs", Json::U64(s.jobs))
+                .field("steals", Json::U64(s.steals))
+                .field("stolen_from", Json::U64(s.stolen_from))
+        })
+        .collect();
+    // The same max/mean depth ratio the imbalance detector judges.
+    let depths: Vec<i64> = sums.sites.values().map(|s| s.queue.max(0)).collect();
+    let total: i64 = depths.iter().sum();
+    let imbalance = if depths.len() > 1 && total > 0 {
+        depths.iter().copied().max().unwrap_or(0) as f64 * depths.len() as f64 / total as f64
+    } else {
+        1.0
+    };
+    Json::obj()
+        .field("queue_depth", Json::U64(sums.queue_depth.max(0) as u64))
+        .field("in_flight", Json::U64(sums.in_flight.max(0) as u64))
+        .field("grants", Json::U64(sums.grants))
+        .field("completions", Json::U64(sums.completions))
+        .field("steals", Json::U64(sums.steals))
+        .field("lease_reaps", Json::U64(sums.lease_reaps))
+        .field("imbalance", Json::F64(imbalance))
+        .field("shards", Json::Arr(shards))
+}
+
+/// The `/debug/sites` document: per-site throughput (over the window since
+/// the previous scrape), drain ETA, and the head reactor's connection
+/// accounting.
+fn sites_debug_json(sums: &MetricSums, prev: Option<(f64, &MetricSums)>) -> Json {
+    let outstanding = (sums.queue_depth.max(0) + sums.in_flight.max(0)) as u64;
+    let mut total_rate = 0.0;
+    let mut sites = Vec::new();
+    for (site, cur) in &sums.sites {
+        let mut entry = Json::obj()
+            .field("site", Json::Str(site.clone()))
+            .field("jobs", Json::U64(cur.jobs))
+            .field("steals", Json::U64(cur.steals))
+            .field("queue", Json::U64(cur.queue.max(0) as u64))
+            .field("busy_secs", Json::F64(cur.busy_secs));
+        if let Some((dt, p)) = prev {
+            if dt > 0.0 {
+                let before = p.sites.get(site).cloned().unwrap_or_default();
+                let rate = cur.jobs.saturating_sub(before.jobs) as f64 / dt;
+                total_rate += rate;
+                entry = entry.field("rate_jobs_per_sec", Json::F64(rate));
+            }
+        }
+        sites.push(entry);
+    }
+    let mut out =
+        Json::obj().field("outstanding", Json::U64(outstanding)).field("sites", Json::Arr(sites));
+    if total_rate > 0.0 {
+        out = out.field("eta_secs", Json::F64(outstanding as f64 / total_rate));
+    }
+    out.field(
+        "head",
+        Json::obj()
+            .field("conns_opened", Json::U64(sums.head_conns_opened))
+            .field("conns_reclaimed", Json::U64(sums.head_conns_reclaimed))
+            .field("backoff_us", Json::U64(sums.head_backoff_us.max(0) as u64)),
+    )
+}
+
+/// `cloudburst health <url>`: fetch a run's `/healthz` verdict and render
+/// it; exits non-zero when any detector is tripped.
+fn cmd_health(args: &[String]) -> Result<(), String> {
+    let src = args.first().ok_or("health: missing URL (e.g. http://127.0.0.1:9184)")?;
+    let url = if src.ends_with("/healthz") {
+        src.clone()
+    } else {
+        format!("{}/healthz", src.trim_end_matches('/'))
+    };
+    let (code, body) = http_get_status(&url, Duration::from_secs(2))
+        .map_err(|e| format!("fetching {url}: {e}"))?;
+    let doc = Json::parse(body.trim()).map_err(|e| format!("{url}: {e}"))?;
+    let status = doc.get("status").and_then(Json::as_str).unwrap_or("unknown").to_owned();
+    println!("{url}: {status} (HTTP {code})");
+    if let Some(detectors) = doc.get("detectors").and_then(Json::as_arr) {
+        for d in detectors {
+            let name = d.get("detector").and_then(Json::as_str).unwrap_or("?");
+            let tripped = matches!(d.get("tripped"), Some(Json::Bool(true)));
+            let trips = d.get("trips").and_then(Json::as_f64).unwrap_or(0.0) as u64;
+            let value = d.get("value").and_then(Json::as_f64).unwrap_or(0.0);
+            let threshold = d.get("threshold").and_then(Json::as_f64).unwrap_or(0.0);
+            println!(
+                "  {name:<16} {:<8} trips {trips:<3} value {value:<10.3} threshold {threshold:.3}",
+                if tripped { "TRIPPED" } else { "ok" }
+            );
+        }
+    }
+    if status != "healthy" {
+        return Err(format!("run is {status}"));
     }
     Ok(())
 }
@@ -597,6 +925,16 @@ struct MetricSums {
     cloud_gets: u64,
     /// Bytes that crossed an inter-site link out of the cloud (priced/GiB).
     cloud_egress: u64,
+    /// Jobs whose lease the head reaped (cumulative, all sites).
+    lease_reaps: u64,
+    /// Seconds spent on inter-site (WAN) transfers, all links.
+    wan_secs: f64,
+    /// Master connections the TCP head's reactor accepted (0 off TCP mode).
+    head_conns_opened: u64,
+    /// Connection states the reactor reclaimed on close/death.
+    head_conns_reclaimed: u64,
+    /// The reactor's current adaptive idle-sleep backoff, microseconds.
+    head_backoff_us: i64,
     sites: BTreeMap<String, SiteSums>,
 }
 
@@ -632,6 +970,11 @@ fn summarize(samples: &[Sample]) -> MetricSums {
                 }
             }
             "cloudburst_pool_in_flight" => out.in_flight += s.value as i64,
+            "cloudburst_pool_lease_reaps_total" => out.lease_reaps += s.value as u64,
+            "cloudburst_net_transfer_seconds_total" => out.wan_secs += s.value,
+            "cloudburst_head_conns_opened_total" => out.head_conns_opened += s.value as u64,
+            "cloudburst_head_conns_reclaimed_total" => out.head_conns_reclaimed += s.value as u64,
+            "cloudburst_head_backoff_us" => out.head_backoff_us = s.value as i64,
             "cloudburst_store_bytes_total" => out.bytes += s.value as u64,
             "cloudburst_store_requests_total" if label("site") == Some("cloud") => {
                 out.cloud_gets += s.value as u64;
@@ -661,9 +1004,11 @@ struct LiveMetrics {
 }
 
 impl LiveMetrics {
+    #[allow(clippy::too_many_arguments)]
     fn start(
         metrics: &Metrics,
         telemetry: Telemetry,
+        health: Arc<Mutex<HealthMonitor>>,
         watch: bool,
         local_cores: u32,
         cloud_cores: u32,
@@ -678,6 +1023,7 @@ impl LiveMetrics {
                 sampler_loop(
                     &registry,
                     &telemetry,
+                    &health,
                     watch,
                     local_cores,
                     cloud_cores,
@@ -699,9 +1045,11 @@ impl Drop for LiveMetrics {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn sampler_loop(
     registry: &Registry,
     telemetry: &Telemetry,
+    health: &Mutex<HealthMonitor>,
     watch: bool,
     local_cores: u32,
     cloud_cores: u32,
@@ -716,6 +1064,7 @@ fn sampler_loop(
         std::thread::sleep(TICK);
         let now = Instant::now();
         let sums = summarize(&registry.snapshot());
+        let dt = now.saturating_duration_since(prev_at).as_secs_f64().max(1e-9);
         telemetry.emit(Event::at(
             ns_since(epoch),
             EventKind::MetricsSnapshot {
@@ -726,8 +1075,29 @@ fn sampler_loop(
                 bytes: sums.bytes,
             },
         ));
+        // Feed the health detectors the same distilled tick the watch line
+        // renders: per-core completion rates, shard depths, reap and WAN
+        // counters. The monitor differentiates across ticks itself.
+        let mut site_rates = Vec::new();
+        for (site, cur) in &sums.sites {
+            let before = prev.sites.get(site).cloned().unwrap_or_default();
+            let cores = if site == "local" { local_cores } else { cloud_cores }.max(1);
+            site_rates.push(cur.jobs.saturating_sub(before.jobs) as f64 / (dt * f64::from(cores)));
+        }
+        let sample = HealthSample {
+            at_ns: ns_since(epoch),
+            outstanding: (sums.queue_depth.max(0) + sums.in_flight.max(0)) as u64,
+            completions: sums.completions,
+            lease_reaps: sums.lease_reaps,
+            shard_depths: sums.sites.values().map(|s| s.queue.max(0) as u64).collect(),
+            site_rates,
+            wan_fetch_secs: sums.wan_secs,
+            wan_fetch_jobs: sums.cloud_gets,
+        };
+        if let Ok(mut monitor) = health.lock() {
+            monitor.observe(&sample);
+        }
         if watch {
-            let dt = now.saturating_duration_since(prev_at).as_secs_f64().max(1e-9);
             let elapsed = now.saturating_duration_since(epoch).as_secs_f64();
             eprintln!(
                 "{}",
@@ -807,6 +1177,16 @@ fn watch_line(
             }
         }
     }
+    // TCP-mode runs: the head reactor's connection churn and its current
+    // adaptive-backoff level (threaded-mode runs never move these gauges).
+    if sums.head_conns_opened > 0 {
+        line.push_str(&format!(
+            " | head conns {}/{} backoff {}us",
+            sums.head_conns_opened,
+            sums.head_conns_reclaimed,
+            sums.head_backoff_us.max(0)
+        ));
+    }
     let cost = cost_of_usage(pricing, cloud_cores, elapsed, sums.cloud_gets, sums.cloud_egress);
     line.push_str(&format!(" | ${:.4}", cost.total()));
     line
@@ -855,18 +1235,20 @@ fn cost_to_json(c: &CostReport) -> Json {
         .field("total", Json::F64(c.total()))
 }
 
-/// Write the machine-readable run artifacts (`--stats-out`, `--events-out`,
-/// `--trace-out`, `--metrics-out`). For iterative applications the event
-/// artifacts cover every iteration of the command, each clocked from its own
-/// run epoch, and the metrics exposition accumulates across iterations.
+/// Write the machine-readable run artifacts (`--stats-out`, `--trace-out`,
+/// `--metrics-out`; `--events-out` streams through its sink during the run).
+/// For iterative applications the event artifacts cover every iteration of
+/// the command, each clocked from its own run epoch, and the metrics
+/// exposition accumulates across iterations. The stats document carries the
+/// health verdict + transition timeline as a `health` block.
 #[allow(clippy::too_many_arguments)]
 fn write_run_artifacts(
     report: &RunReport,
     cost: &CostReport,
+    health: &Json,
     registry: Option<&Registry>,
     recorder: Option<&Recorder>,
     stats_out: Option<&Path>,
-    events_out: Option<&Path>,
     trace_out: Option<&Path>,
     metrics_out: Option<&Path>,
 ) -> Result<(), String> {
@@ -876,15 +1258,15 @@ fn write_run_artifacts(
         Ok(())
     };
     if let Some(path) = stats_out {
-        let mut text = report_to_json(report).field("cost", cost_to_json(cost)).to_text();
+        let mut text = report_to_json(report)
+            .field("cost", cost_to_json(cost))
+            .field("health", health.clone())
+            .to_text();
         text.push('\n');
         write(path, text, "run stats (JSON)")?;
     }
-    let events = recorder.map(Recorder::snapshot).unwrap_or_default();
-    if let Some(path) = events_out {
-        write(path, events_to_jsonl(&events), "event log (JSONL)")?;
-    }
     if let Some(path) = trace_out {
+        let events = recorder.map(Recorder::snapshot).unwrap_or_default();
         let mut text = chrome_trace(&events).to_text();
         text.push('\n');
         write(path, text, "Chrome trace (open in chrome://tracing or Perfetto)")?;
@@ -906,12 +1288,18 @@ fn write_run_artifacts(
 /// `run` command can emit.
 fn cmd_check_json(args: &[String]) -> Result<(), String> {
     let path = PathBuf::from(args.first().ok_or("check-json: missing FILE")?);
+    // `--seq` makes the delivery-sequence audit mandatory: the file must be
+    // an event stream with stamped sequence numbers, not just valid JSON.
+    // The audit itself is order-insensitive (a set check over `seq`), so it
+    // covers v2 batched-mode streams, whose racing shard emitters interleave
+    // freely in the file.
+    let strict_seq = args.iter().any(|a| a == "--seq");
     let text =
         std::fs::read_to_string(&path).map_err(|e| format!("reading {}: {e}", path.display()))?;
     if text.trim().is_empty() {
         return Err(format!("{}: empty file", path.display()));
     }
-    if Json::parse(text.trim()).is_ok() {
+    if Json::parse(text.trim()).is_ok() && !strict_seq {
         println!("{}: valid JSON document", path.display());
         return Ok(());
     }
@@ -930,10 +1318,16 @@ fn cmd_check_json(args: &[String]) -> Result<(), String> {
     // sequence: the stamped `seq` numbers must form a contiguous 1..=max
     // set, so a gap or duplicate proves events were dropped or doubled
     // somewhere between emission and the file.
-    if let Ok((events, _skipped)) = parse_events_jsonl(&text) {
-        if !events.is_empty() {
+    match parse_events_jsonl(&text) {
+        Ok((events, _skipped)) if !events.is_empty() => {
             let audit = check_sequence(&events).map_err(|e| format!("{}: {e}", path.display()))?;
             if audit.stamped == 0 {
+                if strict_seq {
+                    return Err(format!(
+                        "{}: --seq requires stamped sequence numbers, found none",
+                        path.display()
+                    ));
+                }
                 println!("{}: no stamped sequence numbers (audit skipped)", path.display());
             } else {
                 println!(
@@ -942,6 +1336,19 @@ fn cmd_check_json(args: &[String]) -> Result<(), String> {
                     audit.stamped,
                     audit.max
                 );
+            }
+        }
+        Ok(_) => {
+            if strict_seq {
+                return Err(format!(
+                    "{}: --seq requires a telemetry event stream, found none",
+                    path.display()
+                ));
+            }
+        }
+        Err(e) => {
+            if strict_seq {
+                return Err(format!("{}: {e}", path.display()));
             }
         }
     }
@@ -1106,7 +1513,7 @@ fn cmd_bench_diff(args: &[String]) -> Result<(), String> {
     println!("bench-diff {old_path} -> {new_path} (threshold {threshold_pct}%):");
     for d in &deltas {
         let change = d.change();
-        let marker = if d.is_regression(threshold) {
+        let marker = if d.is_regression(d.gate_threshold(threshold)) {
             regressions += 1;
             "REGRESSION"
         } else {

@@ -55,7 +55,8 @@ trap 'rm -rf "$SMOKE"' EXIT
 # ...the events artifact must also pass the delivery-sequence audit (the
 # stamped seq numbers form a gapless 1..=max set — nothing was dropped
 # between emission and disk)...
-"$BIN" check-json "$SMOKE/events.jsonl" | grep -q 'delivery sequence complete' \
+"$BIN" check-json "$SMOKE/events.jsonl" >"$SMOKE/seqcheck.txt"
+grep -q 'delivery sequence complete' "$SMOKE/seqcheck.txt" \
     || { echo "events.jsonl failed the delivery-sequence audit"; exit 1; }
 "$BIN" check-json "$SMOKE/trace.json"
 # ...and the causal analysis must reconstruct the run exhaustively: explain
@@ -84,7 +85,8 @@ echo "== smoke: coded redundancy (r=2) evacuates an outage without re-fetching"
 # zero WAN bytes, and the fault ledger counts the re-fetches saved.
 "$BIN" organize --data "$SMOKE/words.bin" --unit-size 16 --chunk-units 512 \
     --files 8 --out "$SMOKE/org2" --local-frac 0.5 --redundancy 2
-"$BIN" info --org "$SMOKE/org2" | grep -q 'redundancy' \
+"$BIN" info --org "$SMOKE/org2" >"$SMOKE/info2.txt"
+grep -q 'redundancy' "$SMOKE/info2.txt" \
     || { echo "info does not report the coded factor"; exit 1; }
 # Per-job delays stretch the run to ~1 s and the 250 ms detection timeout
 # leaves real margin: a scheduler stall on a busy box must not be able to
@@ -127,13 +129,69 @@ grep -q '^\[watch ' "$SMOKE/watch.txt" \
     || { echo "no --watch lines on stderr"; cat "$SMOKE/watch.txt"; exit 1; }
 echo "   metrics valid"
 
+echo "== smoke: health plane trips on chaos, stays quiet clean, and dumps a black box"
+# Sick run: cloud slowed 8x with a straggler threshold tight enough that
+# the detector must trip. Probe the live introspection plane mid-run.
+HPORT=$((20000 + RANDOM % 20000))
+"$BIN" run wordcount --org "$SMOKE/borg" --local-cores 3 --cloud-cores 3 \
+    --time-scale 2.0 --chaos 'seed=5,slow=cloud:8' --health 'straggler=0.9' \
+    --metrics-addr "127.0.0.1:$HPORT" \
+    --stats-out "$SMOKE/hstats.json" 2>"$SMOKE/hrun.txt" &
+HRUN_PID=$!
+# Wait for the listener, then give the detector its two hysteresis ticks.
+"$BIN" check-metrics "http://127.0.0.1:$HPORT/metrics" --retries 20 \
+    || { kill "$HRUN_PID" 2>/dev/null; cat "$SMOKE/hrun.txt"; exit 1; }
+sleep 1
+# /healthz must serve the machine verdict and the probe subcommand must
+# agree; both shapes are valid JSON documents.
+curl -sf "http://127.0.0.1:$HPORT/debug/pool" >"$SMOKE/pool.json" \
+    || { kill "$HRUN_PID" 2>/dev/null; echo "/debug/pool unreachable"; exit 1; }
+"$BIN" check-json "$SMOKE/pool.json"
+grep -q '"queue_depth"' "$SMOKE/pool.json" && grep -q '"shards"' "$SMOKE/pool.json" \
+    || { kill "$HRUN_PID" 2>/dev/null; echo "/debug/pool missing fields"; exit 1; }
+curl -s "http://127.0.0.1:$HPORT/debug/sites" >"$SMOKE/sites.json"
+"$BIN" check-json "$SMOKE/sites.json"
+curl -s "http://127.0.0.1:$HPORT/healthz" >"$SMOKE/healthz.json"
+"$BIN" check-json "$SMOKE/healthz.json"
+wait "$HRUN_PID" || { cat "$SMOKE/hrun.txt"; exit 1; }
+# The chaos run must have tripped at least one detector (recorded in the
+# stats document's health block), and the clean run below exactly zero.
+TRIPS=$(grep -o '"total_trips":[0-9]*' "$SMOKE/hstats.json" | grep -o '[0-9]*$')
+[[ -n "$TRIPS" && "$TRIPS" -gt 0 ]] \
+    || { echo "chaos run tripped no health detector (total_trips=${TRIPS:-missing})"; exit 1; }
+"$BIN" run wordcount --org "$SMOKE/org" --local-cores 2 --cloud-cores 2 \
+    --time-scale 2e-5 --stats-out "$SMOKE/cleanstats.json" >/dev/null 2>&1
+CLEAN=$(grep -o '"total_trips":[0-9]*' "$SMOKE/cleanstats.json" | grep -o '[0-9]*$')
+[[ "$CLEAN" == "0" ]] \
+    || { echo "clean run tripped a detector (total_trips=${CLEAN:-missing})"; exit 1; }
+echo "   health: chaos trips $TRIPS detector transition(s), clean run 0"
+# Fatal chaos: one lease attempt + a crawling cloud abandons jobs, the run
+# fails, and the black box must hold the three post-mortem artifacts in
+# the shapes the offline tooling consumes. The crash-<ts>/ dump lands in
+# the run's cwd, so run from $SMOKE (with $BIN resolved absolute first).
+ABSBIN="$PWD/$BIN"
+if ( cd "$SMOKE" && "$ABSBIN" run wordcount --org "$SMOKE/org" --local-cores 2 \
+    --cloud-cores 2 --time-scale 2e-3 --metrics-addr "127.0.0.1:$HPORT" \
+    --chaos 'seed=5,lease=0.0005:0.0005:0.001:1,slow=cloud:40' \
+    >/dev/null 2>&1 ); then
+    echo "abandoning chaos run unexpectedly passed"; exit 1
+fi
+BOX=$(ls -d "$SMOKE"/crash-* 2>/dev/null | head -1 || true)
+[[ -n "$BOX" ]] || { echo "fatal run left no crash-<ts>/ black box"; exit 1; }
+"$BIN" explain "$BOX/events.jsonl" >"$SMOKE/boxexplain.txt"
+grep -q 'verdict:' "$SMOKE/boxexplain.txt" \
+    || { echo "explain could not read the black-box event window"; exit 1; }
+"$BIN" check-metrics "$BOX/metrics.prom"
+"$BIN" check-json "$BOX/health.json"
+echo "   black box: $(basename "$BOX") readable by explain/check-metrics/check-json"
+
 echo "== bench: pipeline overlap (quick) writes a valid BENCH_runtime.json"
 # Stash the committed artifact before the bench rewrites it: the fresh run
 # is diffed against this baseline below with a 10% regression gate.
 cp BENCH_runtime.json "$SMOKE/bench_base.json"
 # The bench itself asserts result-equivalence at every depth; --quick keeps
 # Criterion's sampling short while the artifact (written before sampling,
-# from a full best-of-3 quantification) stays meaningful.
+# from a full best-of-7 quantification) stays meaningful.
 cargo bench -p cloudburst-bench --bench pipeline_overlap "${CARGO_FLAGS[@]}" -- --quick
 "$BIN" check-json BENCH_runtime.json
 # Pipelining must never make the S3Sim-heavy scenario slower end to end.
@@ -149,6 +207,14 @@ OVERHEAD=$(sed -n 's/.*"metrics_overhead":\([0-9.eE+-]*\).*/\1/p' BENCH_runtime.
 awk -v o="$OVERHEAD" 'BEGIN { exit !(o <= 1.01) }' \
     || { echo "metrics overhead regressed: ${OVERHEAD}x > 1.01x"; exit 1; }
 echo "   metrics overhead: ${OVERHEAD}x"
+# The always-on flight recorder must be just as free: full event emission
+# teed into the bounded ring, ≤1% on the same interleaved measurement.
+FOVERHEAD=$(sed -n 's/.*"flight_recorder_overhead":\([0-9.eE+-]*\).*/\1/p' BENCH_runtime.json)
+[[ -n "$FOVERHEAD" ]] \
+    || { echo "BENCH_runtime.json is missing 'flight_recorder_overhead'"; exit 1; }
+awk -v o="$FOVERHEAD" 'BEGIN { exit !(o <= 1.01) }' \
+    || { echo "flight recorder overhead regressed: ${FOVERHEAD}x > 1.01x"; exit 1; }
+echo "   flight recorder overhead: ${FOVERHEAD}x"
 # The attribution corridor's verdict flip: the traced serial run must be
 # WAN-bound and every pipelined run compute-bound (p < f < 2p by
 # construction — pipelining hides p of each fetch, leaving f − p < p).
